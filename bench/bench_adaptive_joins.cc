@@ -1,0 +1,141 @@
+// A1 — §2's adaptive operators under wide-area conditions.
+//
+// Three experiments:
+//  (a) delayed/bursty sources: blocking hash join vs symmetric hash join
+//      vs XJoin — time to first tuple and completion;
+//  (b) ripple join online aggregation: estimate + CI convergence;
+//  (c) eddies: routing cost vs the best and worst static predicate
+//      orders, including a mid-stream selectivity shift.
+
+#include "bench/bench_util.h"
+#include "query/eddy.h"
+#include "query/executor.h"
+#include "query/join.h"
+#include "query/ripple.h"
+
+namespace {
+
+using namespace dbm;
+using namespace dbm::query;
+
+data::Relation Keyed(const std::string& name, size_t n, uint64_t range,
+                     uint64_t seed) {
+  data::Relation rel(
+      name, data::Schema({{"k", data::ValueType::kInt},
+                          {"payload", data::ValueType::kInt}}));
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    rel.InsertUnchecked(data::Tuple(
+        {static_cast<int64_t>(rng.Uniform(range)), static_cast<int64_t>(i)}));
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("A1", "Adaptive operators: joins for wide-area sources");
+
+  // ---- (a) join operators under source delays ----
+  data::Relation left = Keyed("remote", 2000, 400, 1);
+  data::Relation right = Keyed("local", 2000, 400, 2);
+  DelayedSource::Timing slow{Seconds(1), 200, 100, Seconds(2)};
+
+  struct JoinRun {
+    const char* name;
+    ExecStats stats;
+  };
+  std::vector<JoinRun> runs;
+  auto execute = [&](const char* name, OperatorPtr op) {
+    std::vector<Tuple> out;
+    auto stats = Execute(op.get(), &out, {});
+    if (stats.ok()) runs.push_back({name, *stats});
+  };
+  execute("blocking hash join",
+          std::make_unique<HashJoin>(
+              std::make_unique<DelayedSource>(&left, slow),
+              std::make_unique<MemSource>(&right), JoinSpec{0, 0}));
+  execute("symmetric hash join",
+          std::make_unique<SymmetricHashJoin>(
+              std::make_unique<DelayedSource>(&left, slow),
+              std::make_unique<MemSource>(&right), JoinSpec{0, 0}));
+  execute("xjoin (mem=256)",
+          std::make_unique<XJoin>(
+              std::make_unique<DelayedSource>(&left, slow),
+              std::make_unique<DelayedSource>(&right, slow), JoinSpec{0, 0},
+              256));
+
+  std::printf("sources: 2000x2000 rows, 1s initial delay, 2s stall every "
+              "100 tuples\n\n");
+  bench::Table ja({24, 12, 20, 18});
+  ja.Row({"operator", "rows", "first tuple (ms)", "complete (ms)"});
+  ja.Rule();
+  for (const JoinRun& run : runs) {
+    ja.Row({run.name, bench::FmtU(run.stats.rows),
+            bench::Fmt("%.1f", ToMillis(run.stats.TimeToFirstRow())),
+            bench::Fmt("%.1f", ToMillis(run.stats.Latency()))});
+  }
+  ja.Rule();
+
+  // ---- (b) ripple join convergence ----
+  std::printf("\nRipple join online aggregation: COUNT(*) of orders |x| "
+              "people\n");
+  data::Relation orders = data::gen::Orders(20000, 500, 0.4, 3);
+  data::Relation people = data::gen::People(500, 4);
+  double truth = 20000;  // every order matches exactly one person
+  RippleJoin ripple(&orders, &people, JoinSpec{1, 0}, AggFunc::kCount, 0);
+  bench::Table rj({12, 16, 16, 14});
+  rj.Row({"samples", "estimate", "95% CI (+/-)", "error vs truth"});
+  rj.Rule();
+  uint64_t taken = 0;
+  for (uint64_t step : {200u, 500u, 1000u, 2000u, 5000u, 10000u, 20500u}) {
+    auto est = ripple.Run(step - taken);
+    taken = step;
+    if (!est.ok()) break;
+    rj.Row({bench::FmtU(est->left_seen + est->right_seen),
+            bench::Fmt("%.0f", est->estimate),
+            bench::Fmt("%.0f", est->half_width),
+            bench::Fmt("%+.1f%%", (est->estimate - truth) / truth * 100)});
+    if (est->exact) break;
+  }
+  rj.Rule();
+
+  // ---- (c) eddies vs static predicate orders ----
+  std::printf("\nEddy routing vs static orders (selectivity shifts at the "
+              "halfway point):\n");
+  data::Relation shifty(
+      "t", data::Schema({{"a", data::ValueType::kInt},
+                         {"b", data::ValueType::kInt}}));
+  for (int i = 0; i < 20000; ++i) {
+    bool first = i < 10000;
+    shifty.InsertUnchecked(
+        data::Tuple({static_cast<int64_t>(first ? 100 : 1),
+                     static_cast<int64_t>(first ? 1 : 100)}));
+  }
+  std::vector<EddyPredicate> ab = {
+      {"a<10", Lt(Col(0), Lit(int64_t{10})), 1.0},
+      {"b<10", Lt(Col(1), Lit(int64_t{10})), 1.0},
+  };
+  std::vector<EddyPredicate> ba = {ab[1], ab[0]};
+
+  MemSource s1(&shifty), s2(&shifty);
+  auto cost_ab = Eddy::RunStatic(&s1, ab, nullptr);
+  auto cost_ba = Eddy::RunStatic(&s2, ba, nullptr);
+  Eddy eddy(std::make_unique<MemSource>(&shifty), ab, 7, 128);
+  std::vector<Tuple> sink;
+  (void)Execute(&eddy, &sink, {});
+
+  bench::Table ed({26, 18});
+  ed.Row({"strategy", "predicate cost"});
+  ed.Rule();
+  ed.Row({"static order a,b", bench::Fmt("%.0f", cost_ab.ValueOr(0))});
+  ed.Row({"static order b,a", bench::Fmt("%.0f", cost_ba.ValueOr(0))});
+  ed.Row({"eddy (adaptive)", bench::Fmt("%.0f", eddy.eddy_stats().total_cost)});
+  ed.Rule();
+  bench::Note("pipelined operators cut time-to-first-tuple by orders of "
+              "magnitude under delays; XJoin turns stalls into output; the "
+              "ripple CI shrinks as samples grow and collapses to the "
+              "exact answer; the eddy tracks the selectivity shift that "
+              "defeats any static order.");
+  return 0;
+}

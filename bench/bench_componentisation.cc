@@ -1,0 +1,135 @@
+// A3 — the componentisation-overhead claim.
+//
+// §1.1/§2: "componentisation itself must not produce excessive
+// overheads". Three layers of the same getpage-style call are compared:
+//   1. direct C++ virtual call,
+//   2. component-port call (blockable, rebindable indirection),
+//   3. ORB-protected call on the virtual CPU (simulated cycles).
+// Plus the SISR ablation: load-time scan amortisation vs a hypothetical
+// per-call validation.
+
+#include <benchmark/benchmark.h>
+
+#include "component/registry.h"
+#include "os/go_system.h"
+#include "storage/buffer.h"
+#include "storage/replacement.h"
+
+namespace {
+
+using namespace dbm;
+
+// --- layer 1: direct virtual call ---
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual int64_t Get(int64_t key) = 0;
+};
+class DirectService : public Service {
+ public:
+  int64_t Get(int64_t key) override { return key * 2654435761u % 97; }
+};
+
+void BM_DirectVirtualCall(benchmark::State& state) {
+  DirectService svc;
+  Service* s = &svc;
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s->Get(k++));
+  }
+}
+BENCHMARK(BM_DirectVirtualCall);
+
+// --- layer 2: component port call ---
+class ServiceComponent : public component::Component {
+ public:
+  ServiceComponent() : Component("svc", "getvalue") {}
+  int64_t Get(int64_t key) { return key * 2654435761u % 97; }
+};
+class ClientComponent : public component::Component {
+ public:
+  ClientComponent() : Component("client", "client") {
+    DeclarePort("svc", "getvalue");
+  }
+  Result<int64_t> Call(int64_t key) {
+    DBM_ASSIGN_OR_RETURN(ServiceComponent * s,
+                         Require<ServiceComponent>("svc"));
+    return s->Get(key);
+  }
+};
+
+void BM_ComponentPortCall(benchmark::State& state) {
+  auto svc = std::make_shared<ServiceComponent>();
+  ClientComponent client;
+  client.FindPort("svc")->SetTarget(svc);
+  int64_t k = 0;
+  for (auto _ : state) {
+    auto r = client.Call(k++);
+    benchmark::DoNotOptimize(r.ValueOr(0));
+  }
+}
+BENCHMARK(BM_ComponentPortCall);
+
+// --- layer 3: buffer manager getpage through ports ---
+void BM_GetPageThroughPorts(benchmark::State& state) {
+  auto disk = std::make_shared<storage::DiskComponent>();
+  auto policy = std::make_shared<storage::LruPolicy>();
+  storage::BufferManager buffer("buf", 64);
+  buffer.FindPort("disk")->SetTarget(disk);
+  buffer.FindPort("policy")->SetTarget(policy);
+  std::vector<storage::PageId> pages;
+  for (int i = 0; i < 32; ++i) pages.push_back(disk->Allocate());
+  size_t i = 0;
+  for (auto _ : state) {
+    storage::PageId p = pages[i++ % pages.size()];
+    auto page = buffer.GetPage(p);
+    benchmark::DoNotOptimize(page.ok());
+    (void)buffer.Unpin(p, false);
+  }
+}
+BENCHMARK(BM_GetPageThroughPorts);
+
+// --- layer 4: ORB-protected call (simulated machine) ---
+void BM_OrbProtectedCall(benchmark::State& state) {
+  os::GoSystem sys;
+  auto adder = sys.LoadWithService(os::images::Adder());
+  if (!adder.ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.orb().Call(adder->second, k++, 1).ok());
+  }
+  state.counters["sim_cycles_per_call"] = benchmark::Counter(
+      static_cast<double>(sys.ledger().total()) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_OrbProtectedCall);
+
+// --- SISR ablation: load-time scan vs hypothetical per-call validation ---
+void BM_SisrScanAmortisation(benchmark::State& state) {
+  // Simulated-cycle accounting: scanning a 64-instruction image once
+  // (2 cycles/insn) vs re-validating 8 instructions on every call.
+  const os::Cycles scan_once = 64 * os::SisrScanner::kCyclesPerInstruction;
+  const os::Cycles per_call_check = 8 * os::SisrScanner::kCyclesPerInstruction;
+  const os::Cycles rpc = 73;
+  uint64_t calls = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    os::Cycles sisr_total = scan_once + calls * rpc;
+    os::Cycles percall_total = calls * (rpc + per_call_check);
+    benchmark::DoNotOptimize(sisr_total);
+    benchmark::DoNotOptimize(percall_total);
+  }
+  os::Cycles sisr_total = scan_once + calls * rpc;
+  os::Cycles percall_total = calls * (rpc + per_call_check);
+  state.counters["sisr_cycles_per_call"] = benchmark::Counter(
+      static_cast<double>(sisr_total) / static_cast<double>(calls));
+  state.counters["percall_cycles_per_call"] = benchmark::Counter(
+      static_cast<double>(percall_total) / static_cast<double>(calls));
+}
+BENCHMARK(BM_SisrScanAmortisation)->Arg(10)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// A2 — Kendra: intra-request codec adaptation on a varying link.
+//
+// Fixed codecs either stall (bitrate above the trough) or waste quality
+// (bitrate below the peak); the adaptive ladder tracks the bandwidth
+// trace. Also prints the per-chunk decision trace — the feedback-loop
+// behaviour §6 reflects on.
+
+#include "bench/bench_util.h"
+#include "kendra/kendra.h"
+
+namespace {
+
+using namespace dbm;
+using namespace dbm::kendra;
+
+StreamResult Run(bool adaptive, const AudioCodec* fixed) {
+  EventLoop loop;
+  net::Network net(&loop);
+  net.AddDevice({"server", net::DeviceClass::kServer, 1, -1, 0, 0});
+  net.AddDevice({"client", net::DeviceClass::kPda, 0.2, 60, 5, 0});
+  net.Connect("server", "client", {400, Millis(5), "wireless"});
+  AudioServer server(&net, "server", "client");
+  std::vector<BandwidthEvent> trace = {
+      {Seconds(3), 50},  {Seconds(6), 400}, {Seconds(9), 90},
+      {Seconds(12), 20}, {Seconds(15), 400},
+  };
+  auto result = adaptive
+                    ? server.StreamAdaptive(DefaultLadder(), Seconds(20), trace)
+                    : server.StreamFixed(*fixed, Seconds(20), trace);
+  return result.ok() ? *result : StreamResult{};
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("A2", "Kendra audio: adaptive codec ladder vs fixed");
+
+  bench::Table table({18, 10, 14, 14, 12, 12});
+  table.Row({"strategy", "stalls", "stall (ms)", "quality", "switches",
+             "MB sent"});
+  table.Rule();
+  for (const AudioCodec& codec : DefaultLadder()) {
+    StreamResult r = Run(false, &codec);
+    table.Row({"fixed " + codec.name, bench::FmtU(r.stalls),
+               bench::Fmt("%.0f", ToMillis(r.total_stall)),
+               bench::Fmt("%.2f", r.mean_quality),
+               bench::FmtU(r.codec_switches),
+               bench::Fmt("%.2f", static_cast<double>(r.bytes_sent) / 1e6)});
+  }
+  StreamResult adaptive = Run(true, nullptr);
+  table.Row({"adaptive ladder", bench::FmtU(adaptive.stalls),
+             bench::Fmt("%.0f", ToMillis(adaptive.total_stall)),
+             bench::Fmt("%.2f", adaptive.mean_quality),
+             bench::FmtU(adaptive.codec_switches),
+             bench::Fmt("%.2f",
+                        static_cast<double>(adaptive.bytes_sent) / 1e6)});
+  table.Rule();
+
+  std::printf("\nadaptive decision trace (one entry per 500 ms chunk):\n  ");
+  std::string last;
+  for (size_t i = 0; i < adaptive.decisions.size(); ++i) {
+    if (adaptive.decisions[i] != last) {
+      std::printf("[chunk %zu -> %s] ", i, adaptive.decisions[i].c_str());
+      last = adaptive.decisions[i];
+    }
+  }
+  std::printf("\n");
+  bench::Note("the ladder rides the bandwidth trace: quality near the "
+              "best sustainable rung with a fraction of the greedy "
+              "codec's stall time — the intra-request adaptation Kendra "
+              "demonstrated.");
+  return 0;
+}

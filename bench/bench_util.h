@@ -1,0 +1,56 @@
+// Shared console-table helpers for the experiment harness. Every bench
+// binary regenerates one paper artefact (table or figure) and prints it
+// in a uniform layout: experiment header, paper-vs-measured rows, and a
+// short interpretation line so EXPERIMENTS.md can quote outputs directly.
+
+#ifndef DBM_BENCH_BENCH_UTIL_H_
+#define DBM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dbm::bench {
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Fixed-width row printer: pass pre-formatted cells.
+class Table {
+ public:
+  explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::printf("%-*s", widths_[i], cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+  void Rule() {
+    int total = 0;
+    for (int w : widths_) total += w;
+    for (int i = 0; i < total; ++i) std::printf("-");
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+inline std::string FmtU(uint64_t v) { return std::to_string(v); }
+
+inline void Note(const std::string& text) {
+  std::printf("  -> %s\n", text.c_str());
+}
+
+}  // namespace dbm::bench
+
+#endif  // DBM_BENCH_BENCH_UTIL_H_

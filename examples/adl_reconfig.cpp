@@ -1,0 +1,99 @@
+// Darwin ADL round trip: parse an architecture description, instantiate
+// it as a live component system, verify conformance, then execute the
+// Fig-5 docked→wireless switchover as a transactional plan — including a
+// deliberately failing variant that rolls back.
+
+#include <cstdio>
+
+#include "adl/architecture.h"
+#include "adl/parser.h"
+#include "dbmachine/scenarios.h"
+
+namespace {
+
+using namespace dbm;
+
+class Generic : public component::Component {
+ public:
+  Generic(const std::string& name, const adl::ComponentTypeDecl& type)
+      : Component(name, type.name) {
+    for (const auto& p : type.provides) AddProvided(p.type);
+    for (const auto& r : type.required) DeclarePort(r.name, r.type, r.optional);
+  }
+};
+
+class FailsToStart : public component::Component {
+ public:
+  explicit FailsToStart(const std::string& name)
+      : Component(name, "WirelessDriver") {
+    AddProvided("netdriver");
+  }
+  Status Start() override { return Status::Internal("radio init failed"); }
+};
+
+}  // namespace
+
+int main() {
+  auto doc = adl::Parse(machine::MobileCbmsAdl());
+  if (!doc.ok()) {
+    std::printf("parse failed: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu component types, %zu configurations\n",
+              doc->types.size(), doc->configurations.size());
+
+  adl::ComponentFactory factory =
+      [&](const adl::InstanceDecl& inst) -> Result<component::ComponentPtr> {
+    auto it = doc->types.find(inst.type);
+    if (it == doc->types.end()) return Status::NotFound(inst.type);
+    return component::ComponentPtr(
+        std::make_shared<Generic>(inst.name, it->second));
+  };
+
+  component::Registry reg;
+  Status s = adl::Instantiate(*doc, doc->configurations.at("DockedSession"),
+                              factory, &reg);
+  std::printf("instantiate DockedSession: %s (%zu components live)\n",
+              s.ToString().c_str(), reg.size());
+  (void)reg.StartAll();
+
+  auto conforms = [&](const char* config) {
+    Status c = adl::Conforms(*doc, doc->configurations.at(config),
+                             reg.Snapshot());
+    std::printf("conforms to %-16s: %s\n", config, c.ToString().c_str());
+  };
+  conforms("DockedSession");
+  conforms("WirelessSession");
+
+  // The Fig 5 switchover.
+  auto diff = adl::Diff(*doc, doc->configurations.at("DockedSession"),
+                        doc->configurations.at("WirelessSession"));
+  if (!diff.ok()) return 1;
+  std::printf("\ndiff: +%zu instances, %zu replaced, -%zu, %zu rebinds\n",
+              diff->added_instances.size(), diff->replaced_instances.size(),
+              diff->removed_instances.size(), diff->bindings_to_apply.size());
+  auto plan = adl::LowerDiff(*diff, factory);
+  if (!plan.ok()) return 1;
+  component::Reconfigurer rc(&reg);
+  std::printf("execute switchover: %s\n", rc.Execute(*plan).ToString().c_str());
+  conforms("WirelessSession");
+
+  // Now the failure path: switch back, but with a driver that cannot
+  // start. The transactional reconfigurer backs the whole switch off.
+  auto back = adl::Diff(*doc, doc->configurations.at("WirelessSession"),
+                        doc->configurations.at("DockedSession"));
+  adl::ComponentFactory failing_factory =
+      [&](const adl::InstanceDecl& inst) -> Result<component::ComponentPtr> {
+    if (inst.type == "EthernetDriver") {
+      return component::ComponentPtr(
+          std::make_shared<FailsToStart>(inst.name));
+    }
+    return factory(inst);
+  };
+  auto bad_plan = adl::LowerDiff(*back, failing_factory);
+  if (!bad_plan.ok()) return 1;
+  std::printf("\nswitch back with a failing driver: %s\n",
+              rc.Execute(*bad_plan).ToString().c_str());
+  conforms("WirelessSession");  // still wireless: the switch backed off
+  return 0;
+}

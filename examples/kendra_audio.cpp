@@ -1,0 +1,64 @@
+// Kendra: streaming audio over a deteriorating wireless link, with the
+// codec ladder adapting mid-delivery (intra-request adaptation).
+
+#include <cstdio>
+
+#include "kendra/kendra.h"
+
+int main() {
+  using namespace dbm;
+  using namespace dbm::kendra;
+
+  EventLoop loop;
+  net::Network net(&loop);
+  net.AddDevice({"server", net::DeviceClass::kServer, 1, -1, 0, 0});
+  net.AddDevice({"client", net::DeviceClass::kPda, 0.2, 60, 5, 0});
+  net.Connect("server", "client", {400, Millis(5), "wireless"});
+
+  std::vector<BandwidthEvent> trace = {
+      {Seconds(4), 60},    // user walks away from the access point
+      {Seconds(9), 400},   // ...and back
+      {Seconds(14), 25},   // elevator
+  };
+  std::printf("bandwidth trace: 400 kbps, 60@4s, 400@9s, 25@14s\n\n");
+
+  AudioServer server(&net, "server", "client");
+  auto adaptive = server.StreamAdaptive(DefaultLadder(), Seconds(20), trace);
+  if (!adaptive.ok()) {
+    std::printf("stream failed: %s\n",
+                adaptive.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("adaptive ladder : %llu chunks, %llu stalls (%.0f ms), mean "
+              "quality %.2f, %llu codec switches\n",
+              static_cast<unsigned long long>(adaptive->chunks),
+              static_cast<unsigned long long>(adaptive->stalls),
+              ToMillis(adaptive->total_stall), adaptive->mean_quality,
+              static_cast<unsigned long long>(adaptive->codec_switches));
+
+  std::printf("decision trace  : ");
+  std::string last;
+  for (size_t i = 0; i < adaptive->decisions.size(); ++i) {
+    if (adaptive->decisions[i] != last) {
+      std::printf("%s[%zu] ", adaptive->decisions[i].c_str(), i);
+      last = adaptive->decisions[i];
+    }
+  }
+  std::printf("\n\n");
+
+  for (const AudioCodec& codec : DefaultLadder()) {
+    EventLoop loop2;
+    net::Network net2(&loop2);
+    net2.AddDevice({"server", net::DeviceClass::kServer, 1, -1, 0, 0});
+    net2.AddDevice({"client", net::DeviceClass::kPda, 0.2, 60, 5, 0});
+    net2.Connect("server", "client", {400, Millis(5), "wireless"});
+    AudioServer fixed_server(&net2, "server", "client");
+    auto fixed = fixed_server.StreamFixed(codec, Seconds(20), trace);
+    if (!fixed.ok()) continue;
+    std::printf("fixed %-8s    : %llu stalls (%6.0f ms), quality %.2f\n",
+                codec.name.c_str(),
+                static_cast<unsigned long long>(fixed->stalls),
+                ToMillis(fixed->total_stall), fixed->mean_quality);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: assemble a tiny Database Machine and run one adaptive query.
+//
+// Builds the §4 world (sensor, PDA, laptop), attaches a data component
+// whose own rule list says `Select BEST (pda, laptop)`, and issues a
+// query from the PDA twice — once with the laptop idle, once with it
+// saturated — showing the placement decision flip.
+
+#include <cstdio>
+
+#include "dbmachine/machine.h"
+
+int main() {
+  using namespace dbm;
+  using namespace dbm::machine;
+
+  // 1. The environment: devices and a wireless link.
+  EventLoop loop;
+  net::Network net(&loop);
+  net.AddDevice({"pda", net::DeviceClass::kPda, /*capacity=*/0.2,
+                 /*battery=*/60, 0, 0});
+  net.AddDevice({"laptop", net::DeviceClass::kLaptop, 1.0, 90, 3, 0});
+  net.Connect("pda", "laptop", {2000, Millis(2), "wireless"});
+
+  // 2. The machine: registry + adaptation pipeline over that environment.
+  DatabaseMachine machine(&net);
+  if (!machine.InstrumentDevice("laptop").ok() ||
+      !machine.InstrumentDevice("pda").ok()) {
+    std::printf("instrumentation failed\n");
+    return 1;
+  }
+
+  // 3. A data component (Fig 2): data + metadata + rules + versions.
+  auto personal = std::make_shared<data::DataComponent>(
+      "personal-data", data::gen::People(5000, 7), "laptop");
+  (void)personal->PublishVersion(data::VersionKind::kReplica, "laptop", 0);
+  (void)personal->PublishVersion(data::VersionKind::kSummary, "pda", 0,
+                                 /*quality=*/0.2);
+  (void)personal->rules().Add(1, "personal-data",
+                              "Select BEST (pda, laptop)");
+  if (!machine.AttachData(personal, /*vantage=*/"pda").ok()) {
+    std::printf("attach failed\n");
+    return 1;
+  }
+
+  // 4. Query from the PDA under two laptop load levels.
+  auto query_once = [&](double laptop_load) {
+    (*net.GetDevice("laptop"))->set_load(laptop_load);
+    (void)machine.SampleAll();
+    (void)machine.QueryData(
+        "personal-data", "pda", [&](const DataQueryResult& r) {
+          std::printf("  laptop load %.2f -> served by %-6s (%s, %zu bytes, "
+                      "%.2f ms)\n",
+                      laptop_load, r.served_from.c_str(),
+                      data::VersionKindName(r.kind), r.bytes_transferred,
+                      ToMillis(r.Latency()));
+        });
+    loop.RunUntil();
+  };
+
+  std::printf("Query: personal data, issued on the PDA, rule = "
+              "Select BEST (pda, laptop)\n");
+  query_once(0.05);  // idle laptop: full replica over the network
+  query_once(0.95);  // saturated laptop: local summary wins
+
+  std::printf("\nThe placement decision lives in the data component's own "
+              "rule list;\nno query code changed between the two runs.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "adapt/metrics.h"
+
+#include <algorithm>
+
+namespace dbm::adapt {
+
+const char* GaugeKindName(GaugeKind k) {
+  switch (k) {
+    case GaugeKind::kLast: return "last";
+    case GaugeKind::kEwma: return "ewma";
+    case GaugeKind::kWindowMean: return "window-mean";
+    case GaugeKind::kWindowMax: return "window-max";
+  }
+  return "?";
+}
+
+Status Gauge::Sample(SimTime t) {
+  DBM_ASSIGN_OR_RETURN(Monitor * mon, Require<Monitor>("source"));
+  double raw = mon->Read();
+  switch (kind_) {
+    case GaugeKind::kLast:
+      value_ = raw;
+      break;
+    case GaugeKind::kEwma:
+      value_ = primed_ ? alpha_ * raw + (1.0 - alpha_) * value_ : raw;
+      primed_ = true;
+      break;
+    case GaugeKind::kWindowMean: {
+      samples_.push_back(raw);
+      if (samples_.size() > window_) samples_.pop_front();
+      double sum = 0;
+      for (double s : samples_) sum += s;
+      value_ = sum / static_cast<double>(samples_.size());
+      break;
+    }
+    case GaugeKind::kWindowMax: {
+      samples_.push_back(raw);
+      if (samples_.size() > window_) samples_.pop_front();
+      value_ = *std::max_element(samples_.begin(), samples_.end());
+      break;
+    }
+  }
+  bus_->Publish(mon->metric(), value_, t);
+  ++publishes_;
+  return Status::OK();
+}
+
+}  // namespace dbm::adapt

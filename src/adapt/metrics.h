@@ -1,0 +1,150 @@
+// Monitors, gauges and the metric bus (left half of Fig 1).
+//
+// Monitors sample raw environmental data (device load, link bandwidth,
+// battery). Gauges aggregate raw monitor output "for more lightweight
+// processing" (paper §3) — EWMA or sliding windows — and publish to the
+// metric bus, the snapshot of the world the session manager evaluates
+// constraints against. All three are themselves components, so the
+// adaptation machinery can be reconfigured like everything else.
+
+#ifndef DBM_ADAPT_METRICS_H_
+#define DBM_ADAPT_METRICS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "component/component.h"
+
+namespace dbm::adapt {
+
+/// Metric identity, e.g. "laptop.processor-util" or "net.bandwidth".
+using MetricName = std::string;
+
+/// The blackboard of current aggregated metric values.
+class MetricBus {
+ public:
+  void Publish(const MetricName& metric, double value, SimTime at) {
+    values_[metric] = Entry{value, at};
+  }
+
+  Result<double> Get(const MetricName& metric) const {
+    auto it = values_.find(metric);
+    if (it == values_.end()) {
+      return Status::NotFound("no metric '" + metric + "' published");
+    }
+    return it->second.value;
+  }
+
+  double GetOr(const MetricName& metric, double fallback) const {
+    auto it = values_.find(metric);
+    return it == values_.end() ? fallback : it->second.value;
+  }
+
+  Result<SimTime> Age(const MetricName& metric, SimTime now) const {
+    auto it = values_.find(metric);
+    if (it == values_.end()) {
+      return Status::NotFound("no metric '" + metric + "' published");
+    }
+    return now - it->second.at;
+  }
+
+  size_t size() const { return values_.size(); }
+  const std::map<MetricName, double> SnapshotValues() const {
+    std::map<MetricName, double> out;
+    for (const auto& [k, v] : values_) out[k] = v.value;
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double value;
+    SimTime at;
+  };
+  std::map<MetricName, Entry> values_;
+};
+
+/// A monitor component: produces raw samples of one metric.
+class Monitor : public component::Component {
+ public:
+  Monitor(std::string name, MetricName metric)
+      : Component(std::move(name), "monitor"), metric_(std::move(metric)) {}
+
+  const MetricName& metric() const { return metric_; }
+
+  /// One raw sample of the monitored quantity.
+  virtual double Read() = 0;
+
+  uint64_t sample_count() const { return samples_; }
+
+ protected:
+  uint64_t samples_ = 0;
+
+ private:
+  MetricName metric_;
+};
+
+/// Monitor backed by a sampling function (the usual adapter onto the
+/// environment simulator).
+class CallbackMonitor : public Monitor {
+ public:
+  CallbackMonitor(std::string name, MetricName metric,
+                  std::function<double()> fn)
+      : Monitor(std::move(name), std::move(metric)), fn_(std::move(fn)) {}
+
+  double Read() override {
+    ++samples_;
+    return fn_();
+  }
+
+ private:
+  std::function<double()> fn_;
+};
+
+/// Aggregation policies for gauges.
+enum class GaugeKind : uint8_t {
+  kLast,        // pass-through (the "no gauge" ablation baseline)
+  kEwma,        // exponentially weighted moving average
+  kWindowMean,  // mean over the last N samples
+  kWindowMax,   // max over the last N samples (for peak detection)
+};
+
+const char* GaugeKindName(GaugeKind k);
+
+/// A gauge component: pulls its monitor port, aggregates, publishes.
+class Gauge : public component::Component {
+ public:
+  Gauge(std::string name, GaugeKind kind, MetricBus* bus,
+        double ewma_alpha = 0.3, size_t window = 8)
+      : Component(std::move(name), "gauge"),
+        kind_(kind),
+        bus_(bus),
+        alpha_(ewma_alpha),
+        window_(window) {
+    DeclarePort("source", "monitor");
+  }
+
+  /// Samples the monitor, folds into the aggregate, publishes at time `t`.
+  Status Sample(SimTime t);
+
+  double value() const { return value_; }
+  GaugeKind kind() const { return kind_; }
+  uint64_t publish_count() const { return publishes_; }
+
+ private:
+  GaugeKind kind_;
+  MetricBus* bus_;
+  double alpha_;
+  size_t window_;
+  std::deque<double> samples_;
+  double value_ = 0.0;
+  bool primed_ = false;
+  uint64_t publishes_ = 0;
+};
+
+}  // namespace dbm::adapt
+
+#endif  // DBM_ADAPT_METRICS_H_

@@ -1,0 +1,467 @@
+#include "adapt/rules.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dbm::adapt {
+
+std::string Target::resource() const {
+  std::vector<std::string> rest(path.begin() + (path.empty() ? 0 : 1),
+                                path.end());
+  return Join(rest, ".");
+}
+
+std::string Target::ToString() const {
+  std::string out = Join(path, ".");
+  if (!args.empty()) {
+    out += "(" + Join(args, ", ") + ")";
+  }
+  return out;
+}
+
+const char* CmpName(Cmp c) {
+  switch (c) {
+    case Cmp::kGt: return ">";
+    case Cmp::kLt: return "<";
+    case Cmp::kGe: return ">=";
+    case Cmp::kLe: return "<=";
+    case Cmp::kEq: return "=";
+    case Cmp::kNe: return "!=";
+  }
+  return "?";
+}
+
+bool ApplyCmp(Cmp c, double lhs, double rhs) {
+  switch (c) {
+    case Cmp::kGt: return lhs > rhs;
+    case Cmp::kLt: return lhs < rhs;
+    case Cmp::kGe: return lhs >= rhs;
+    case Cmp::kLe: return lhs <= rhs;
+    case Cmp::kEq: return lhs == rhs;
+    case Cmp::kNe: return lhs != rhs;
+  }
+  return false;
+}
+
+const char* ActionKindName(ActionKind k) {
+  switch (k) {
+    case ActionKind::kPick: return "PICK";
+    case ActionKind::kBest: return "BEST";
+    case ActionKind::kNearest: return "NEAREST";
+    case ActionKind::kSwitch: return "SWITCH";
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  std::ostringstream out;
+  auto action_str = [](const Action& a) {
+    std::string s;
+    if (a.kind != ActionKind::kPick) {
+      s += ActionKindName(a.kind);
+      s += "(";
+    }
+    for (size_t i = 0; i < a.targets.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += a.targets[i].ToString();
+    }
+    if (a.kind != ActionKind::kPick) s += ")";
+    return s;
+  };
+  if (!trigger.has_value()) {
+    out << "Select " << action_str(action);
+  } else {
+    out << "If ";
+    for (size_t i = 0; i < trigger->comparisons.size(); ++i) {
+      if (i > 0) {
+        out << (trigger->ops[i - 1] == BoolOp::kAnd ? " and " : " or ");
+      }
+      const Comparison& c = trigger->comparisons[i];
+      out << c.metric << " " << CmpName(c.op) << " " << c.value;
+      if (c.op2.has_value()) {
+        out << " " << CmpName(*c.op2) << " " << *c.value2;
+      }
+    }
+    out << " then " << action_str(action);
+    if (else_action.has_value()) out << " else " << action_str(*else_action);
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Tokenizer for the rule notation.
+class RuleLexer {
+ public:
+  explicit RuleLexer(std::string_view src) : src_(src) {}
+
+  struct Tok {
+    enum Kind { kWord, kNumber, kCmp, kLParen, kRParen, kComma, kEnd } kind;
+    std::string text;
+    double number = 0;
+    Cmp cmp = Cmp::kGt;
+  };
+
+  Result<std::vector<Tok>> Run() {
+    std::vector<Tok> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '.') {  // sentence punctuation (Table 2 rows end with '.')
+        ++pos_;
+        continue;
+      }
+      if (c == '(') { out.push_back({Tok::kLParen, "("}); ++pos_; continue; }
+      if (c == ')') { out.push_back({Tok::kRParen, ")"}); ++pos_; continue; }
+      if (c == ',') { out.push_back({Tok::kComma, ","}); ++pos_; continue; }
+      if (c == '>' || c == '<' || c == '=' || c == '!') {
+        Tok t{Tok::kCmp, std::string(1, c)};
+        bool eq = pos_ + 1 < src_.size() && src_[pos_ + 1] == '=';
+        switch (c) {
+          case '>': t.cmp = eq ? Cmp::kGe : Cmp::kGt; break;
+          case '<': t.cmp = eq ? Cmp::kLe : Cmp::kLt; break;
+          case '=': t.cmp = Cmp::kEq; break;
+          case '!':
+            if (!eq) {
+              return Status::ParseError("lone '!' in rule");
+            }
+            t.cmp = Cmp::kNe;
+            break;
+        }
+        pos_ += eq ? 2 : 1;
+        out.push_back(t);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.')) {
+          ++pos_;
+        }
+        // A trailing '.' is sentence punctuation, not part of the number.
+        size_t end = pos_;
+        if (src_[end - 1] == '.') --end;
+        Tok t{Tok::kNumber, std::string(src_.substr(start, end - start))};
+        t.number = std::stod(t.text);
+        // Swallow a unit suffix: % Kbps Mbps ms s.
+        if (pos_ < src_.size() && src_[pos_] == '%') ++pos_;
+        out.push_back(t);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_' || src_[pos_] == '-' || src_[pos_] == '.')) {
+          ++pos_;
+        }
+        std::string word(src_.substr(start, pos_ - start));
+        // Strip sentence-final '.' ("...videosmall.ram(time parms)." ends
+        // with punctuation in the paper's table).
+        while (!word.empty() && word.back() == '.') word.pop_back();
+        out.push_back({Tok::kWord, std::move(word)});
+        continue;
+      }
+      return Status::ParseError(StrFormat("unexpected character '%c'", c));
+    }
+    out.push_back({Tok::kEnd, ""});
+    return out;
+  }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+using Tok = RuleLexer::Tok;
+
+bool IsUnitWord(const std::string& w) {
+  return EqualsIgnoreCase(w, "kbps") || EqualsIgnoreCase(w, "mbps") ||
+         EqualsIgnoreCase(w, "ms") || EqualsIgnoreCase(w, "s") ||
+         EqualsIgnoreCase(w, "percent");
+}
+
+class RuleParser {
+ public:
+  explicit RuleParser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<Rule> Run() {
+    Rule rule;
+    if (!At(Tok::kWord)) {
+      return Status::ParseError("rule must start with 'Select' or 'If'");
+    }
+    std::string head = Take().text;
+    if (EqualsIgnoreCase(head, "select")) {
+      DBM_ASSIGN_OR_RETURN(rule.action, ParseAction());
+    } else if (EqualsIgnoreCase(head, "if")) {
+      DBM_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+      rule.trigger = std::move(cond);
+      if (!AtWord("then")) {
+        return Status::ParseError("expected 'then' after condition");
+      }
+      Take();
+      DBM_ASSIGN_OR_RETURN(rule.action, ParseAction());
+      if (AtWord("else")) {
+        Take();
+        DBM_ASSIGN_OR_RETURN(Action ea, ParseAction());
+        rule.else_action = std::move(ea);
+      }
+    } else {
+      return Status::ParseError("rule must start with 'Select' or 'If', got '" +
+                                head + "'");
+    }
+    if (!At(Tok::kEnd)) {
+      return Status::ParseError("trailing tokens after rule: '" +
+                                Peek().text + "'");
+    }
+    return rule;
+  }
+
+ private:
+  const Tok& Peek() const { return toks_[idx_]; }
+  bool At(Tok::Kind k) const { return Peek().kind == k; }
+  bool AtWord(const char* w) const {
+    return At(Tok::kWord) && EqualsIgnoreCase(Peek().text, w);
+  }
+  Tok Take() { return toks_[idx_++]; }
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    DBM_ASSIGN_OR_RETURN(Comparison first, ParseComparison());
+    cond.comparisons.push_back(std::move(first));
+    while (AtWord("and") || AtWord("or")) {
+      cond.ops.push_back(EqualsIgnoreCase(Take().text, "and") ? BoolOp::kAnd
+                                                              : BoolOp::kOr);
+      DBM_ASSIGN_OR_RETURN(Comparison next, ParseComparison());
+      cond.comparisons.push_back(std::move(next));
+    }
+    return cond;
+  }
+
+  Result<Comparison> ParseComparison() {
+    if (!At(Tok::kWord)) {
+      return Status::ParseError("expected metric name in condition");
+    }
+    Comparison c;
+    c.metric = Take().text;
+    if (!At(Tok::kCmp)) {
+      return Status::ParseError("expected comparison operator after metric '" +
+                                c.metric + "'");
+    }
+    c.op = Take().cmp;
+    if (!At(Tok::kNumber)) {
+      return Status::ParseError("expected number in comparison");
+    }
+    c.value = Take().number;
+    SkipUnit();
+    // Banded form: `bandwidth > 30 < 100 Kbps`.
+    if (At(Tok::kCmp)) {
+      c.op2 = Take().cmp;
+      if (!At(Tok::kNumber)) {
+        return Status::ParseError("expected number after band operator");
+      }
+      c.value2 = Take().number;
+      SkipUnit();
+    }
+    return c;
+  }
+
+  void SkipUnit() {
+    if (At(Tok::kWord) && IsUnitWord(Peek().text)) Take();
+  }
+
+  Result<Action> ParseAction() {
+    Action action;
+    if (!At(Tok::kWord)) {
+      return Status::ParseError("expected action");
+    }
+    const std::string& w = Peek().text;
+    if (EqualsIgnoreCase(w, "best")) {
+      action.kind = ActionKind::kBest;
+    } else if (EqualsIgnoreCase(w, "nearest")) {
+      action.kind = ActionKind::kNearest;
+    } else if (EqualsIgnoreCase(w, "switch")) {
+      action.kind = ActionKind::kSwitch;
+    } else {
+      action.kind = ActionKind::kPick;
+    }
+    if (action.kind != ActionKind::kPick) {
+      Take();  // the function word
+      if (!At(Tok::kLParen)) {
+        return Status::ParseError("expected '(' after " +
+                                  std::string(ActionKindName(action.kind)));
+      }
+      // The paper's Table 2 contains `SWITCH ((a, b)` — tolerate doubled
+      // opening parens.
+      while (At(Tok::kLParen)) Take();
+      while (true) {
+        DBM_ASSIGN_OR_RETURN(Target t, ParseTarget());
+        action.targets.push_back(std::move(t));
+        if (At(Tok::kComma)) {
+          Take();
+          continue;
+        }
+        break;
+      }
+      while (At(Tok::kRParen)) Take();
+    } else {
+      DBM_ASSIGN_OR_RETURN(Target t, ParseTarget());
+      action.targets.push_back(std::move(t));
+    }
+    if (action.targets.empty()) {
+      return Status::ParseError("action has no targets");
+    }
+    return action;
+  }
+
+  Result<Target> ParseTarget() {
+    if (!At(Tok::kWord)) {
+      return Status::ParseError("expected target");
+    }
+    Target t;
+    t.path = Split(Take().text, '.', /*skip_empty=*/true);
+    if (At(Tok::kLParen)) {
+      Take();
+      while (!At(Tok::kRParen)) {
+        if (At(Tok::kEnd)) {
+          return Status::ParseError("unterminated target argument list");
+        }
+        if (At(Tok::kComma)) {
+          Take();
+          continue;
+        }
+        t.args.push_back(Take().text);
+      }
+      Take();  // )
+    }
+    return t;
+  }
+
+  std::vector<Tok> toks_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+Result<Rule> ParseRule(std::string_view text) {
+  RuleLexer lexer(text);
+  DBM_ASSIGN_OR_RETURN(std::vector<Tok> toks, lexer.Run());
+  RuleParser parser(std::move(toks));
+  auto rule = parser.Run();
+  if (!rule.ok()) {
+    return rule.status().WithContext("parsing rule '" + std::string(text) +
+                                     "'");
+  }
+  return rule;
+}
+
+bool Evaluate(const Condition& cond, const MetricBus& bus) {
+  bool result = false;
+  for (size_t i = 0; i < cond.comparisons.size(); ++i) {
+    const Comparison& c = cond.comparisons[i];
+    auto value = bus.Get(c.metric);
+    bool this_one = false;
+    if (value.ok()) {
+      this_one = ApplyCmp(c.op, *value, c.value);
+      if (this_one && c.op2.has_value()) {
+        this_one = ApplyCmp(*c.op2, *value, *c.value2);
+      }
+    }
+    if (i == 0) {
+      result = this_one;
+    } else if (cond.ops[i - 1] == BoolOp::kAnd) {
+      result = result && this_one;
+    } else {
+      result = result || this_one;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+Result<Target> ChooseTarget(const Action& action, const TargetScorer& scorer) {
+  if (action.targets.empty()) {
+    return Status::InvalidArgument("action has no targets");
+  }
+  switch (action.kind) {
+    case ActionKind::kPick:
+      return action.targets.front();
+    case ActionKind::kBest: {
+      const Target* best = &action.targets.front();
+      double best_score = scorer.Score(*best);
+      for (const Target& t : action.targets) {
+        double s = scorer.Score(t);
+        if (s > best_score) {
+          best = &t;
+          best_score = s;
+        }
+      }
+      return *best;
+    }
+    case ActionKind::kNearest: {
+      const Target* best = &action.targets.front();
+      double best_d = scorer.Distance(*best);
+      for (const Target& t : action.targets) {
+        double d = scorer.Distance(t);
+        if (d < best_d) {
+          best = &t;
+          best_d = d;
+        }
+      }
+      return *best;
+    }
+    case ActionKind::kSwitch: {
+      // Move away from the current target to the best alternative.
+      std::optional<Target> current = scorer.Current();
+      const Target* best = nullptr;
+      double best_score = -std::numeric_limits<double>::infinity();
+      for (const Target& t : action.targets) {
+        if (current.has_value() && t == *current) continue;
+        double s = scorer.Score(t);
+        if (s > best_score) {
+          best = &t;
+          best_score = s;
+        }
+      }
+      if (best == nullptr) {
+        return Status::Unavailable("SWITCH has no alternative target");
+      }
+      return *best;
+    }
+  }
+  return Status::Internal("unknown action kind");
+}
+
+}  // namespace
+
+Result<Decision> Evaluate(const Rule& rule, const MetricBus& bus,
+                          const TargetScorer& scorer) {
+  Decision d;
+  const Action* act = nullptr;
+  if (!rule.trigger.has_value() || Evaluate(*rule.trigger, bus)) {
+    d.fired = true;
+    act = &rule.action;
+  } else if (rule.else_action.has_value()) {
+    d.fired = true;
+    d.from_else = true;
+    act = &*rule.else_action;
+  } else {
+    return d;  // not fired, nothing chosen
+  }
+  d.kind = act->kind;
+  d.migrate_state = act->kind == ActionKind::kSwitch;
+  DBM_ASSIGN_OR_RETURN(Target chosen, ChooseTarget(*act, scorer));
+  d.chosen = std::move(chosen);
+  return d;
+}
+
+}  // namespace dbm::adapt

@@ -1,0 +1,148 @@
+// The adaptability-rule / constraint language of Table 2 and §4.
+//
+// The paper attaches rules to data components and Patia atoms:
+//
+//   Select BEST(PDA, Laptop)
+//   Select NEAREST(PDA, Laptop)
+//   If processor-util > 90% then SWITCH(node1.Page1.html, node2.Page1.html)
+//   If bandwidth > 30 < 100 Kbps then
+//       BEST(node1.videohalf.ram(time parms),
+//            node2.videohalf.ram(time parms),
+//            node3.videohalf.ram(time parms))
+//   else node3.videosmall.ram(time parms)
+//
+// This module gives that notation a grammar, parser and evaluator:
+//
+//   rule      := 'Select' action
+//              | 'If' condition 'then' action ('else' action)?
+//   condition := comparison (('and'|'or') comparison)*
+//   comparison:= metric cmp number unit? (cmp number unit?)?   // banded
+//   cmp       := '>' | '<' | '>=' | '<=' | '=' | '!='
+//   action    := func '(' target (',' target)* ')' | target
+//   func      := 'BEST' | 'NEAREST' | 'SWITCH'
+//   target    := dotted-ident ( '(' arg (',' arg)* ')' )?
+//
+// Units (%, Kbps, Mbps, ms, s) are accepted and ignored — the metric's
+// publisher fixes the scale. Function names are case-insensitive.
+//
+// Evaluation is split from *scoring*: BEST and NEAREST consult a
+// TargetScorer supplied by the hosting layer (the environment simulator
+// scores devices by capacity/load and by proximity), keeping the rule
+// engine independent of what the targets denote — pages, devices, codecs
+// or data versions.
+
+#ifndef DBM_ADAPT_RULES_H_
+#define DBM_ADAPT_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapt/metrics.h"
+#include "common/result.h"
+
+namespace dbm::adapt {
+
+/// A rule target: "node1.videohalf.ram(time parms)" →
+/// path = {node1, videohalf, ram}, args = {"time", "parms"}.
+struct Target {
+  std::vector<std::string> path;
+  std::vector<std::string> args;
+
+  std::string node() const { return path.empty() ? "" : path.front(); }
+  /// Path without the leading node, joined with '.'.
+  std::string resource() const;
+  std::string ToString() const;
+
+  bool operator==(const Target& other) const {
+    return path == other.path && args == other.args;
+  }
+};
+
+enum class Cmp : uint8_t { kGt, kLt, kGe, kLe, kEq, kNe };
+const char* CmpName(Cmp c);
+bool ApplyCmp(Cmp c, double lhs, double rhs);
+
+/// One comparison, possibly banded: `bandwidth > 30 < 100`.
+struct Comparison {
+  MetricName metric;
+  Cmp op = Cmp::kGt;
+  double value = 0;
+  std::optional<Cmp> op2;   // second bound of a band
+  std::optional<double> value2;
+};
+
+enum class BoolOp : uint8_t { kAnd, kOr };
+
+/// `comparison (and|or comparison)*`, evaluated left to right.
+struct Condition {
+  std::vector<Comparison> comparisons;
+  std::vector<BoolOp> ops;  // size = comparisons.size() - 1
+};
+
+enum class ActionKind : uint8_t {
+  kPick,     // bare target: choose exactly it
+  kBest,     // highest-scoring target
+  kNearest,  // lowest-distance target
+  kSwitch,   // migrate processing (and data) to the best other target
+};
+const char* ActionKindName(ActionKind k);
+
+struct Action {
+  ActionKind kind = ActionKind::kPick;
+  std::vector<Target> targets;
+};
+
+/// A parsed rule. `trigger` is absent for bare `Select ...` rules (they
+/// fire whenever evaluated).
+struct Rule {
+  std::optional<Condition> trigger;
+  Action action;
+  std::optional<Action> else_action;
+
+  std::string ToString() const;
+};
+
+/// Parses one rule from the Table 2 notation.
+Result<Rule> ParseRule(std::string_view text);
+
+/// Scores targets for BEST / NEAREST. Implemented by the hosting layer.
+class TargetScorer {
+ public:
+  virtual ~TargetScorer() = default;
+  /// Larger is better (e.g. spare capacity). Default 0: ties broken by
+  /// target order, making BEST deterministic even unscored.
+  virtual double Score(const Target& target) const {
+    (void)target;
+    return 0;
+  }
+  /// Smaller is nearer. Default 0.
+  virtual double Distance(const Target& target) const {
+    (void)target;
+    return 0;
+  }
+  /// The target currently serving (SWITCH must move *away* from it).
+  virtual std::optional<Target> Current() const { return std::nullopt; }
+};
+
+/// The outcome of evaluating a rule.
+struct Decision {
+  bool fired = false;            // trigger satisfied (or no trigger)
+  bool from_else = false;        // else branch selected
+  ActionKind kind = ActionKind::kPick;
+  std::optional<Target> chosen;  // absent iff !fired and no else branch
+  bool migrate_state = false;    // true for SWITCH (paper: save processing
+                                 // state as well as data state)
+};
+
+/// Evaluates `cond` against the bus. Missing metrics make the condition
+/// false (a constraint on an unknown quantity cannot be reported broken).
+bool Evaluate(const Condition& cond, const MetricBus& bus);
+
+/// Evaluates a full rule: trigger → action or else-action → target choice.
+Result<Decision> Evaluate(const Rule& rule, const MetricBus& bus,
+                          const TargetScorer& scorer);
+
+}  // namespace dbm::adapt
+
+#endif  // DBM_ADAPT_RULES_H_

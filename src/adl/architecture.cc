@@ -1,0 +1,207 @@
+#include "adl/architecture.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dbm::adl {
+
+Status Validate(const Document& doc, const ConfigurationDecl& config) {
+  std::set<std::string> names;
+  for (const InstanceDecl& inst : config.instances) {
+    if (!names.insert(inst.name).second) {
+      return Status::InvalidArgument("duplicate instance '" + inst.name +
+                                     "' in configuration '" + config.name +
+                                     "'");
+    }
+    if (doc.types.count(inst.type) == 0) {
+      return Status::NotFound("instance '" + inst.name +
+                              "' has undeclared type '" + inst.type + "'");
+    }
+  }
+
+  std::set<std::pair<std::string, std::string>> bound;
+  for (const BindDecl& b : config.bindings) {
+    const InstanceDecl* from = config.FindInstance(b.from_instance);
+    if (from == nullptr) {
+      return Status::NotFound("binding from unknown instance '" +
+                              b.from_instance + "'");
+    }
+    const InstanceDecl* to = config.FindInstance(b.to_instance);
+    if (to == nullptr) {
+      return Status::NotFound("binding to unknown instance '" +
+                              b.to_instance + "'");
+    }
+    const ComponentTypeDecl& from_type = doc.types.at(from->type);
+    const RequireDecl* port = from_type.FindRequire(b.from_port);
+    if (port == nullptr) {
+      return Status::NotFound("type '" + from->type + "' has no port '" +
+                              b.from_port + "'");
+    }
+    const ComponentTypeDecl& to_type = doc.types.at(to->type);
+    if (!to_type.ProvidesType(port->type)) {
+      return Status::InvalidArgument(
+          "binding " + b.from_instance + "." + b.from_port + " -- " +
+          b.to_instance + ": '" + to->type + "' does not provide type '" +
+          port->type + "'");
+    }
+    if (!bound.insert({b.from_instance, b.from_port}).second) {
+      return Status::InvalidArgument("port " + b.from_instance + "." +
+                                     b.from_port + " bound twice");
+    }
+  }
+
+  // Every mandatory port of every instance must be bound.
+  for (const InstanceDecl& inst : config.instances) {
+    const ComponentTypeDecl& type = doc.types.at(inst.type);
+    for (const RequireDecl& r : type.required) {
+      if (!r.optional && bound.count({inst.name, r.name}) == 0) {
+        return Status::FailedPrecondition(
+            "mandatory port " + inst.name + "." + r.name +
+            " is unbound in configuration '" + config.name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<ConfigurationDiff> Diff(const Document& doc,
+                               const ConfigurationDecl& from,
+                               const ConfigurationDecl& to) {
+  DBM_RETURN_NOT_OK_CTX(Validate(doc, from), "diff source");
+  DBM_RETURN_NOT_OK_CTX(Validate(doc, to), "diff target");
+
+  ConfigurationDiff diff;
+  std::map<std::string, std::string> from_types, to_types;
+  for (const InstanceDecl& i : from.instances) from_types[i.name] = i.type;
+  for (const InstanceDecl& i : to.instances) to_types[i.name] = i.type;
+
+  std::set<std::string> fresh;  // instances whose ports start unbound
+  for (const InstanceDecl& i : to.instances) {
+    auto it = from_types.find(i.name);
+    if (it == from_types.end()) {
+      diff.added_instances.push_back(i);
+      fresh.insert(i.name);
+    } else if (it->second != i.type) {
+      diff.replaced_instances.push_back(i);
+      fresh.insert(i.name);
+    }
+  }
+  for (const InstanceDecl& i : from.instances) {
+    if (to_types.count(i.name) == 0) diff.removed_instances.push_back(i.name);
+  }
+
+  auto key = [](const BindDecl& b) {
+    return b.from_instance + "." + b.from_port;
+  };
+  std::map<std::string, const BindDecl*> from_binds, to_binds;
+  for (const BindDecl& b : from.bindings) from_binds[key(b)] = &b;
+  for (const BindDecl& b : to.bindings) to_binds[key(b)] = &b;
+
+  for (const BindDecl& b : to.bindings) {
+    auto it = from_binds.find(key(b));
+    // Reapply when new, retargeted, or originating from a fresh instance.
+    // (A binding whose *target* was replaced in place needs no rebind: the
+    // runtime Swap retargets inbound ports itself.)
+    if (it == from_binds.end() || it->second->to_instance != b.to_instance ||
+        fresh.count(b.from_instance) > 0) {
+      diff.bindings_to_apply.push_back(b);
+    }
+  }
+  for (const BindDecl& b : from.bindings) {
+    if (to_binds.count(key(b)) == 0 && to_types.count(b.from_instance) > 0 &&
+        fresh.count(b.from_instance) == 0) {
+      diff.bindings_to_drop.push_back(b);
+    }
+  }
+  return diff;
+}
+
+Result<component::ReconfigurationPlan> LowerDiff(
+    const ConfigurationDiff& diff, const ComponentFactory& factory) {
+  component::ReconfigurationPlan plan;
+  for (const InstanceDecl& inst : diff.added_instances) {
+    DBM_ASSIGN_OR_RETURN(component::ComponentPtr c, factory(inst));
+    plan.Add(std::move(c));
+  }
+  for (const InstanceDecl& inst : diff.replaced_instances) {
+    DBM_ASSIGN_OR_RETURN(component::ComponentPtr c, factory(inst));
+    plan.Swap(inst.name, std::move(c));
+  }
+  for (const BindDecl& b : diff.bindings_to_apply) {
+    plan.Rebind(b.from_instance, b.from_port, b.to_instance);
+  }
+  for (const BindDecl& b : diff.bindings_to_drop) {
+    plan.Unbind(b.from_instance, b.from_port);
+  }
+  for (const std::string& name : diff.removed_instances) {
+    plan.Remove(name);
+  }
+  return plan;
+}
+
+Status Instantiate(const Document& doc, const ConfigurationDecl& config,
+                   const ComponentFactory& factory,
+                   component::Registry* registry) {
+  DBM_RETURN_NOT_OK(Validate(doc, config));
+  for (const InstanceDecl& inst : config.instances) {
+    DBM_ASSIGN_OR_RETURN(component::ComponentPtr c, factory(inst));
+    DBM_RETURN_NOT_OK(registry->Add(std::move(c)));
+  }
+  for (const BindDecl& b : config.bindings) {
+    DBM_RETURN_NOT_OK(
+        registry->Bind(b.from_instance, b.from_port, b.to_instance));
+  }
+  return Status::OK();
+}
+
+Status Conforms(const Document& doc, const ConfigurationDecl& config,
+                const component::ArchitectureSnapshot& snapshot) {
+  DBM_RETURN_NOT_OK(Validate(doc, config));
+
+  std::set<std::string> described;
+  for (const InstanceDecl& inst : config.instances) {
+    described.insert(inst.name);
+    if (std::find(snapshot.components.begin(), snapshot.components.end(),
+                  inst.name) == snapshot.components.end()) {
+      return Status::ConstraintBroken("described instance '" + inst.name +
+                                      "' missing from running system");
+    }
+    // The running component must actually BE the described type (its
+    // provided set carries the component-type name).
+    auto prov = snapshot.provided.find(inst.name);
+    if (prov == snapshot.provided.end() ||
+        std::find(prov->second.begin(), prov->second.end(), inst.type) ==
+            prov->second.end()) {
+      return Status::ConstraintBroken("running component '" + inst.name +
+                                      "' is not an instance of type '" +
+                                      inst.type + "'");
+    }
+  }
+  for (const std::string& name : snapshot.components) {
+    if (described.count(name) == 0) {
+      return Status::ConstraintBroken("running component '" + name +
+                                      "' not in described architecture");
+    }
+  }
+
+  std::map<std::pair<std::string, std::string>, std::string> live;
+  for (const component::BindingEdge& e : snapshot.bindings) {
+    live[{e.from_component, e.from_port}] = e.to_component;
+  }
+  for (const BindDecl& b : config.bindings) {
+    auto it = live.find({b.from_instance, b.from_port});
+    if (it == live.end()) {
+      return Status::ConstraintBroken("described binding " + b.from_instance +
+                                      "." + b.from_port + " is unbound");
+    }
+    if (it->second != b.to_instance) {
+      return Status::ConstraintBroken(
+          "binding " + b.from_instance + "." + b.from_port + " targets '" +
+          it->second + "', description says '" + b.to_instance + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbm::adl

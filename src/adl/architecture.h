@@ -1,0 +1,80 @@
+// Validation, diffing and lowering of ADL configurations.
+//
+// Validate  — the "validity of change can be evaluated at runtime" check
+//             from §3: every instance's type exists, every binding is
+//             type-compatible, every mandatory port is bound.
+// Diff      — compares two configurations (e.g. DockedSession vs
+//             WirelessSession, Fig 5) and yields the instances/bindings to
+//             add, remove or retarget.
+// Lower     — turns a diff into a transactional ReconfigurationPlan for
+//             the runtime registry, given a factory that can instantiate
+//             component types.
+// Conform   — checks that a running registry's snapshot matches a
+//             configuration (the session monitor's structural constraint).
+
+#ifndef DBM_ADL_ARCHITECTURE_H_
+#define DBM_ADL_ARCHITECTURE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adl/ast.h"
+#include "common/result.h"
+#include "component/reconfigure.h"
+#include "component/registry.h"
+
+namespace dbm::adl {
+
+/// Validates `config` against the component types in `doc`.
+Status Validate(const Document& doc, const ConfigurationDecl& config);
+
+/// The structural delta between two valid configurations.
+struct ConfigurationDiff {
+  std::vector<InstanceDecl> added_instances;
+  std::vector<std::string> removed_instances;
+  /// Same instance name, different component type: swapped in place (the
+  /// runtime Swap migrates state and retargets inbound bindings).
+  std::vector<InstanceDecl> replaced_instances;
+  /// Bindings to (re)apply: new/retargeted bindings, plus every outbound
+  /// binding of an added or replaced instance (whose ports start unbound).
+  std::vector<BindDecl> bindings_to_apply;
+  /// Bindings present in `from` but deliberately absent in `to`, on
+  /// instances that survive unchanged.
+  std::vector<BindDecl> bindings_to_drop;
+
+  bool empty() const {
+    return added_instances.empty() && removed_instances.empty() &&
+           replaced_instances.empty() && bindings_to_apply.empty() &&
+           bindings_to_drop.empty();
+  }
+};
+
+/// Computes from → to. Both configurations must validate against `doc`.
+Result<ConfigurationDiff> Diff(const Document& doc,
+                               const ConfigurationDecl& from,
+                               const ConfigurationDecl& to);
+
+/// Creates runtime components for ADL instances.
+using ComponentFactory =
+    std::function<Result<component::ComponentPtr>(const InstanceDecl&)>;
+
+/// Lowers a diff onto a reconfiguration plan: add new instances, apply
+/// retargeted/new bindings, drop stale bindings, remove old instances (in
+/// that order, so removals never strand a bound port).
+Result<component::ReconfigurationPlan> LowerDiff(
+    const ConfigurationDiff& diff, const ComponentFactory& factory);
+
+/// Instantiates a full configuration into an (empty) registry.
+Status Instantiate(const Document& doc, const ConfigurationDecl& config,
+                   const ComponentFactory& factory,
+                   component::Registry* registry);
+
+/// Structural conformance: does the running snapshot match `config`?
+/// Reports the first discrepancy in the error message.
+Status Conforms(const Document& doc, const ConfigurationDecl& config,
+                const component::ArchitectureSnapshot& snapshot);
+
+}  // namespace dbm::adl
+
+#endif  // DBM_ADL_ARCHITECTURE_H_

@@ -1,0 +1,102 @@
+// AST for the Darwin-style architecture description language.
+//
+// The paper illustrates its architectures (Figs 4 and 5) in the graphical
+// form of Darwin [Magee et al. 95]: components expose *provided* services
+// (filled circles) and *required* services (empty circles); configurations
+// instantiate component types and bind requirements to provisions. We give
+// the language a concrete textual syntax:
+//
+//   component QueryOptimiser {
+//     provide plan : optimiser;
+//     require stats : statistics;
+//     require net : netdriver optional;
+//   }
+//
+//   configuration DockedSession {
+//     inst opt : QueryOptimiser;
+//     inst eth : EthernetDriver;
+//     bind opt.net -- eth;
+//   }
+//
+// Configurations can be validated, compared (diffed) and lowered onto the
+// runtime component registry as transactional reconfiguration plans —
+// which is precisely the docked→wireless switchover of Fig 5.
+
+#ifndef DBM_ADL_AST_H_
+#define DBM_ADL_AST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbm::adl {
+
+/// A provided service: `provide <name> : <type>;` (type defaults to name).
+struct ProvideDecl {
+  std::string name;
+  std::string type;
+};
+
+/// A required port: `require <name> : <type> [optional];`.
+struct RequireDecl {
+  std::string name;
+  std::string type;
+  bool optional = false;
+};
+
+/// `component <Name> { ... }`
+struct ComponentTypeDecl {
+  std::string name;
+  std::vector<ProvideDecl> provides;
+  std::vector<RequireDecl> required;
+
+  const RequireDecl* FindRequire(const std::string& port) const {
+    for (const RequireDecl& r : required) {
+      if (r.name == port) return &r;
+    }
+    return nullptr;
+  }
+  bool ProvidesType(const std::string& type) const {
+    for (const ProvideDecl& p : provides) {
+      if (p.type == type) return true;
+    }
+    return false;
+  }
+};
+
+/// `inst <name> : <ComponentType>;`
+struct InstanceDecl {
+  std::string name;
+  std::string type;
+};
+
+/// `bind <inst>.<port> -- <inst>;`
+struct BindDecl {
+  std::string from_instance;
+  std::string from_port;
+  std::string to_instance;
+};
+
+/// `configuration <Name> { ... }`
+struct ConfigurationDecl {
+  std::string name;
+  std::vector<InstanceDecl> instances;
+  std::vector<BindDecl> bindings;
+
+  const InstanceDecl* FindInstance(const std::string& name_) const {
+    for (const InstanceDecl& i : instances) {
+      if (i.name == name_) return &i;
+    }
+    return nullptr;
+  }
+};
+
+/// A parsed ADL document.
+struct Document {
+  std::map<std::string, ComponentTypeDecl> types;
+  std::map<std::string, ConfigurationDecl> configurations;
+};
+
+}  // namespace dbm::adl
+
+#endif  // DBM_ADL_AST_H_

@@ -1,0 +1,249 @@
+#include "adl/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace dbm::adl {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kLBrace,
+  kRBrace,
+  kColon,
+  kSemi,
+  kDot,
+  kBindArrow,  // "--"
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '-') {
+        out.push_back({TokKind::kBindArrow, "--", line_});
+        pos_ += 2;
+        continue;
+      }
+      switch (c) {
+        case '{': out.push_back({TokKind::kLBrace, "{", line_}); ++pos_; continue;
+        case '}': out.push_back({TokKind::kRBrace, "}", line_}); ++pos_; continue;
+        case ':': out.push_back({TokKind::kColon, ":", line_}); ++pos_; continue;
+        case ';': out.push_back({TokKind::kSemi, ";", line_}); ++pos_; continue;
+        case '.': out.push_back({TokKind::kDot, ".", line_}); ++pos_; continue;
+        default: break;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_' || src_[pos_] == '-')) {
+          // Allow '-' inside identifiers but not a trailing "--" arrow.
+          if (src_[pos_] == '-' && pos_ + 1 < src_.size() &&
+              src_[pos_ + 1] == '-') {
+            break;
+          }
+          ++pos_;
+        }
+        out.push_back(
+            {TokKind::kIdent, std::string(src_.substr(start, pos_ - start)),
+             line_});
+        continue;
+      }
+      return Status::ParseError(
+          StrFormat("line %d: unexpected character '%c'", line_, c));
+    }
+    out.push_back({TokKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Document> Run() {
+    Document doc;
+    while (!At(TokKind::kEnd)) {
+      DBM_ASSIGN_OR_RETURN(std::string kw, ExpectIdent());
+      if (kw == "component") {
+        DBM_ASSIGN_OR_RETURN(ComponentTypeDecl decl, ParseComponent());
+        if (doc.types.count(decl.name) > 0) {
+          return Err("duplicate component type '" + decl.name + "'");
+        }
+        doc.types[decl.name] = std::move(decl);
+      } else if (kw == "configuration") {
+        DBM_ASSIGN_OR_RETURN(ConfigurationDecl decl, ParseConfiguration());
+        if (doc.configurations.count(decl.name) > 0) {
+          return Err("duplicate configuration '" + decl.name + "'");
+        }
+        doc.configurations[decl.name] = std::move(decl);
+      } else {
+        return Err("expected 'component' or 'configuration', got '" + kw +
+                   "'");
+      }
+    }
+    return doc;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("line %d: %s", Peek().line, msg.c_str()));
+  }
+
+  const Token& Peek() const { return toks_[idx_]; }
+  bool At(TokKind k) const { return Peek().kind == k; }
+  Token Take() { return toks_[idx_++]; }
+
+  Status Expect(TokKind k, const char* what) {
+    if (!At(k)) return Err(std::string("expected ") + what);
+    Take();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (!At(TokKind::kIdent)) return Err("expected identifier");
+    return Take().text;
+  }
+
+  Result<ComponentTypeDecl> ParseComponent() {
+    ComponentTypeDecl decl;
+    DBM_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    DBM_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
+    while (!At(TokKind::kRBrace)) {
+      DBM_ASSIGN_OR_RETURN(std::string kw, ExpectIdent());
+      if (kw == "provide") {
+        ProvideDecl p;
+        DBM_ASSIGN_OR_RETURN(p.name, ExpectIdent());
+        if (At(TokKind::kColon)) {
+          Take();
+          DBM_ASSIGN_OR_RETURN(p.type, ExpectIdent());
+        } else {
+          p.type = p.name;
+        }
+        DBM_RETURN_NOT_OK(Expect(TokKind::kSemi, "';'"));
+        decl.provides.push_back(std::move(p));
+      } else if (kw == "require") {
+        RequireDecl r;
+        DBM_ASSIGN_OR_RETURN(r.name, ExpectIdent());
+        DBM_RETURN_NOT_OK(Expect(TokKind::kColon, "':'"));
+        DBM_ASSIGN_OR_RETURN(r.type, ExpectIdent());
+        if (At(TokKind::kIdent) && Peek().text == "optional") {
+          Take();
+          r.optional = true;
+        }
+        DBM_RETURN_NOT_OK(Expect(TokKind::kSemi, "';'"));
+        decl.required.push_back(std::move(r));
+      } else {
+        return Err("expected 'provide' or 'require', got '" + kw + "'");
+      }
+    }
+    Take();  // }
+    return decl;
+  }
+
+  Result<ConfigurationDecl> ParseConfiguration() {
+    ConfigurationDecl decl;
+    DBM_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    DBM_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
+    while (!At(TokKind::kRBrace)) {
+      DBM_ASSIGN_OR_RETURN(std::string kw, ExpectIdent());
+      if (kw == "inst") {
+        InstanceDecl inst;
+        DBM_ASSIGN_OR_RETURN(inst.name, ExpectIdent());
+        DBM_RETURN_NOT_OK(Expect(TokKind::kColon, "':'"));
+        DBM_ASSIGN_OR_RETURN(inst.type, ExpectIdent());
+        DBM_RETURN_NOT_OK(Expect(TokKind::kSemi, "';'"));
+        decl.instances.push_back(std::move(inst));
+      } else if (kw == "bind") {
+        BindDecl b;
+        DBM_ASSIGN_OR_RETURN(b.from_instance, ExpectIdent());
+        DBM_RETURN_NOT_OK(Expect(TokKind::kDot, "'.'"));
+        DBM_ASSIGN_OR_RETURN(b.from_port, ExpectIdent());
+        DBM_RETURN_NOT_OK(Expect(TokKind::kBindArrow, "'--'"));
+        DBM_ASSIGN_OR_RETURN(b.to_instance, ExpectIdent());
+        DBM_RETURN_NOT_OK(Expect(TokKind::kSemi, "';'"));
+        decl.bindings.push_back(std::move(b));
+      } else {
+        return Err("expected 'inst' or 'bind', got '" + kw + "'");
+      }
+    }
+    Take();  // }
+    return decl;
+  }
+
+  std::vector<Token> toks_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+Result<Document> Parse(std::string_view source) {
+  Lexer lexer(source);
+  DBM_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Run());
+  Parser parser(std::move(toks));
+  return parser.Run();
+}
+
+std::string ToSource(const Document& doc) {
+  std::ostringstream out;
+  for (const auto& [name, type] : doc.types) {
+    out << "component " << name << " {\n";
+    for (const ProvideDecl& p : type.provides) {
+      out << "  provide " << p.name << " : " << p.type << ";\n";
+    }
+    for (const RequireDecl& r : type.required) {
+      out << "  require " << r.name << " : " << r.type
+          << (r.optional ? " optional" : "") << ";\n";
+    }
+    out << "}\n";
+  }
+  for (const auto& [name, cfg] : doc.configurations) {
+    out << "configuration " << name << " {\n";
+    for (const InstanceDecl& i : cfg.instances) {
+      out << "  inst " << i.name << " : " << i.type << ";\n";
+    }
+    for (const BindDecl& b : cfg.bindings) {
+      out << "  bind " << b.from_instance << "." << b.from_port << " -- "
+          << b.to_instance << ";\n";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace dbm::adl

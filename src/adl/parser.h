@@ -1,0 +1,24 @@
+// Recursive-descent parser for the Darwin-style ADL.
+
+#ifndef DBM_ADL_PARSER_H_
+#define DBM_ADL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "adl/ast.h"
+#include "common/result.h"
+
+namespace dbm::adl {
+
+/// Parses an ADL document. Errors carry 1-based line numbers. Comments run
+/// from `//` to end of line.
+Result<Document> Parse(std::string_view source);
+
+/// Pretty-prints a configuration back to ADL text (round-trips through
+/// Parse).
+std::string ToSource(const Document& doc);
+
+}  // namespace dbm::adl
+
+#endif  // DBM_ADL_PARSER_H_

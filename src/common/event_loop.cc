@@ -1,0 +1,46 @@
+#include "common/event_loop.h"
+
+namespace dbm {
+
+EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < Now()) at = Now();
+  EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  // The heap entry stays behind and is skipped at pop time; `live_` is the
+  // source of truth for whether an event may still fire.
+  return live_.erase(id) > 0;
+}
+
+bool EventLoop::Step(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (live_.find(top.id) == live_.end()) {  // cancelled: skip silently
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) return false;
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    live_.erase(ev.id);
+    clock_.AdvanceTo(ev.at);
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::RunUntil(SimTime until) {
+  size_t executed = 0;
+  while (Step(until)) ++executed;
+  if (until != kSimTimeNever && until > clock_.Now()) {
+    clock_.AdvanceTo(until);
+  }
+  return executed;
+}
+
+}  // namespace dbm

@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel.
+//
+// The ubiquitous-computing environment (devices, links, streams, request
+// generators) is simulated as events over SimTime. Events scheduled for the
+// same instant fire in scheduling order (stable), which keeps runs
+// deterministic.
+
+#ifndef DBM_COMMON_EVENT_LOOP_H_
+#define DBM_COMMON_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace dbm {
+
+/// Handle used to cancel a scheduled event.
+using EventId = uint64_t;
+
+/// A single-threaded discrete-event loop over simulated time.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  const SimClock& clock() const { return clock_; }
+  SimTime Now() const { return clock_.Now(); }
+
+  /// Schedules `fn` to run at absolute simulated time `at` (clamped to now).
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(Now() + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if already fired or unknown.
+  bool Cancel(EventId id);
+
+  /// Runs until the queue is empty or `until` is reached (whichever first).
+  /// Returns the number of events executed.
+  size_t RunUntil(SimTime until = kSimTimeNever);
+
+  /// Runs exactly one event if any is pending before `until`.
+  bool Step(SimTime until = kSimTimeNever);
+
+  bool empty() const { return live_.empty(); }
+  size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;  // tie-break: FIFO within the same instant
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> live_;  // scheduled, not yet fired/cancelled
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace dbm
+
+#endif  // DBM_COMMON_EVENT_LOOP_H_

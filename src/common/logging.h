@@ -1,0 +1,47 @@
+// Minimal leveled logging. Disabled below the compile-time threshold; the
+// runtime level gates the rest. Simulation components log through this so
+// experiments can run silent by default.
+
+#ifndef DBM_COMMON_LOGGING_H_
+#define DBM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dbm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global runtime log threshold. Defaults to kWarn (quiet benches/tests).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dbm
+
+#define DBM_LOG(level)                                              \
+  if (::dbm::LogLevel::level >= ::dbm::GetLogLevel())               \
+  ::dbm::internal::LogMessage(::dbm::LogLevel::level, __FILE__, __LINE__) \
+      .stream()
+
+#define DBM_CHECK(cond)                                             \
+  if (!(cond))                                                      \
+  ::dbm::internal::LogMessage(::dbm::LogLevel::kError, __FILE__,    \
+                              __LINE__)                             \
+          .stream()                                                 \
+      << "CHECK failed: " #cond " "
+
+#endif  // DBM_COMMON_LOGGING_H_

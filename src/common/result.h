@@ -1,0 +1,71 @@
+// Result<T>: a value-or-Status return type (Arrow idiom).
+
+#ifndef DBM_COMMON_RESULT_H_
+#define DBM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dbm {
+
+/// Holds either a T or a non-OK Status. Constructing from an OK Status is a
+/// programming error (asserted).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; asserts ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dbm
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define DBM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define DBM_ASSIGN_OR_RETURN(lhs, expr) \
+  DBM_ASSIGN_OR_RETURN_IMPL(            \
+      DBM_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define DBM_CONCAT_INNER_(a, b) a##b
+#define DBM_CONCAT_(a, b) DBM_CONCAT_INNER_(a, b)
+
+#endif  // DBM_COMMON_RESULT_H_

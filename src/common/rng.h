@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All stochastic behaviour in the simulators draws from an explicitly seeded
+// Rng so every experiment is reproducible bit-for-bit.
+
+#ifndef DBM_COMMON_RNG_H_
+#define DBM_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dbm {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential inter-arrival with the given rate (events per unit time).
+  double Exponential(double rate) {
+    double u = UniformDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+  /// Zipf-distributed integer in [0, n) with skew theta (0 = uniform).
+  /// Uses the rejection-inversion-free cumulative method; O(n) setup-free but
+  /// O(1) amortised for repeated draws via the harmonic approximation.
+  uint64_t Zipf(uint64_t n, double theta) {
+    if (theta <= 0.0) return Uniform(n);
+    // Approximate inverse-CDF sampling using the continuous Zipf CDF.
+    double u = UniformDouble();
+    double one_minus = 1.0 - theta;
+    double hn = (std::pow(static_cast<double>(n), one_minus) - 1.0) / one_minus;
+    double x = std::pow(u * hn * one_minus + 1.0, 1.0 / one_minus);
+    uint64_t k = static_cast<uint64_t>(x) - 1;
+    return k >= n ? n - 1 : k;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace dbm
+
+#endif  // DBM_COMMON_RNG_H_

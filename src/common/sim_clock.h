@@ -1,0 +1,52 @@
+// Simulated wall-clock time for the discrete-event environment simulator.
+//
+// All environment-level timing (network transfers, request arrivals, stream
+// pacing) is expressed in simulated microseconds so experiments are
+// deterministic and independent of host speed. CPU-level costs use the
+// separate cycle-accounting clock in src/os/cycles.h.
+
+#ifndef DBM_COMMON_SIM_CLOCK_H_
+#define DBM_COMMON_SIM_CLOCK_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace dbm {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+/// Conversion helpers.
+constexpr SimTime Micros(int64_t us) { return us; }
+constexpr SimTime Millis(int64_t ms) { return ms * 1000; }
+constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * 1e6);
+}
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/// A monotonically advancing simulated clock. Owned by the event loop;
+/// observers hold a const reference.
+class SimClock {
+ public:
+  SimTime Now() const { return now_; }
+
+  /// Advances to `t`; time never moves backwards.
+  void AdvanceTo(SimTime t) {
+    assert(t >= now_ && "simulated time moved backwards");
+    now_ = t;
+  }
+
+  void AdvanceBy(SimTime delta) { AdvanceTo(now_ + delta); }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace dbm
+
+#endif  // DBM_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace dbm {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kProtectionFault: return "protection-fault";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kConstraintBroken: return "constraint-broken";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kNotImplemented: return "not-implemented";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace dbm

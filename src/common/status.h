@@ -1,0 +1,158 @@
+// Status: lightweight error propagation for the Database Machine libraries.
+//
+// Follows the Arrow/RocksDB idiom: functions that can fail return Status (or
+// Result<T>, see result.h) instead of throwing. Exceptions are confined to
+// parser internals and converted at module boundaries.
+
+#ifndef DBM_COMMON_STATUS_H_
+#define DBM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dbm {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnavailable = 7,
+  kAborted = 8,
+  kProtectionFault = 9,   // SISR scanner / segment-model violations
+  kParseError = 10,       // ADL / rule-language syntax errors
+  kConstraintBroken = 11, // adaptation constraint violated (triggers rules)
+  kIoError = 12,
+  kNotImplemented = 13,
+  kInternal = 14,
+};
+
+/// Returns the canonical lower-case name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no allocation); error
+/// states carry a code and message on the heap.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ProtectionFault(std::string msg) {
+    return Status(StatusCode::kProtectionFault, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintBroken(std::string msg) {
+    return Status(StatusCode::kConstraintBroken, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsProtectionFault() const {
+    return code() == StatusCode::kProtectionFault;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsConstraintBroken() const {
+    return code() == StatusCode::kConstraintBroken;
+  }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context, keeping the code.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code(), context + ": " + message());
+  }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace dbm
+
+/// Propagates a non-OK Status from the enclosing function.
+#define DBM_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::dbm::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Like DBM_RETURN_NOT_OK but prefixes context on failure.
+#define DBM_RETURN_NOT_OK_CTX(expr, ctx)       \
+  do {                                         \
+    ::dbm::Status _st = (expr);                \
+    if (!_st.ok()) return _st.WithContext(ctx); \
+  } while (0)
+
+#endif  // DBM_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+// Small string utilities shared by the ADL and rule-language parsers.
+
+#ifndef DBM_COMMON_STRINGS_H_
+#define DBM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbm {
+
+/// Splits `s` on `delim`, omitting empty pieces when `skip_empty`.
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool skip_empty = false);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive equality for ASCII.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dbm
+
+#endif  // DBM_COMMON_STRINGS_H_

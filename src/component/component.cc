@@ -1,0 +1,57 @@
+#include "component/component.h"
+
+namespace dbm::component {
+
+const char* LifecycleName(Lifecycle s) {
+  switch (s) {
+    case Lifecycle::kCreated: return "created";
+    case Lifecycle::kInitialised: return "initialised";
+    case Lifecycle::kActive: return "active";
+    case Lifecycle::kQuiesced: return "quiesced";
+    case Lifecycle::kRemoved: return "removed";
+  }
+  return "?";
+}
+
+Status Component::DriveInit() {
+  if (lifecycle_ != Lifecycle::kCreated) {
+    return Status::FailedPrecondition("Init from state " +
+                                      std::string(LifecycleName(lifecycle_)) +
+                                      " on '" + name_ + "'");
+  }
+  for (auto& [pname, port] : ports_) {
+    if (!port->optional() && !port->bound()) {
+      return Status::FailedPrecondition("required port '" + pname + "' of '" +
+                                        name_ + "' unbound at Init");
+    }
+  }
+  DBM_RETURN_NOT_OK(Init());
+  lifecycle_ = Lifecycle::kInitialised;
+  return Status::OK();
+}
+
+Status Component::DriveStart() {
+  if (lifecycle_ != Lifecycle::kInitialised &&
+      lifecycle_ != Lifecycle::kQuiesced) {
+    return Status::FailedPrecondition("Start from state " +
+                                      std::string(LifecycleName(lifecycle_)) +
+                                      " on '" + name_ + "'");
+  }
+  DBM_RETURN_NOT_OK(Start());
+  lifecycle_ = Lifecycle::kActive;
+  return Status::OK();
+}
+
+Status Component::DriveStop() {
+  if (lifecycle_ == Lifecycle::kQuiesced) return Status::OK();  // idempotent
+  if (lifecycle_ != Lifecycle::kActive) {
+    return Status::FailedPrecondition("Stop from state " +
+                                      std::string(LifecycleName(lifecycle_)) +
+                                      " on '" + name_ + "'");
+  }
+  DBM_RETURN_NOT_OK(Stop());
+  lifecycle_ = Lifecycle::kQuiesced;
+  return Status::OK();
+}
+
+}  // namespace dbm::component

@@ -1,0 +1,237 @@
+// The fine-grained component model.
+//
+// The paper's architecture dissolves DBMS and OS into "open sets of
+// fine-grained components" with concrete boundaries present in the running
+// system. This module is that runtime: components declare the service
+// types they provide and the ports they require; ports are bound at run
+// time and can be *re*bound by the adaptivity manager; a component carries
+// its own architectural description (paper §3: a component consists of its
+// application logic, the architectural description of itself, its
+// switching rules and a lightweight adaptivity manager).
+//
+// Two component planes exist in this codebase:
+//  * src/os: the protection-level plane (segments + ORB) proving the
+//    mechanism is cheap — Table 1;
+//  * this module: the C++-native plane on which the data-management
+//    services (buffer manager, operators, monitors, ...) are built.
+// The componentisation bench (A3) measures the cost of this plane's
+// indirection against a direct call and against the ORB-protected plane.
+
+#ifndef DBM_COMPONENT_COMPONENT_H_
+#define DBM_COMPONENT_COMPONENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbm::component {
+
+/// Service/interface types are identified by name ("getpage", "optimiser",
+/// "codec", ...). Bind-time checking compares these names.
+using TypeName = std::string;
+
+/// Lifecycle of a component instance.
+enum class Lifecycle : uint8_t {
+  kCreated,      // constructed, ports unbound
+  kInitialised,  // Init() succeeded
+  kActive,       // Start() succeeded, serving calls
+  kQuiesced,     // Stop() succeeded; safe to rebind/replace
+  kRemoved,      // detached from the registry
+};
+
+const char* LifecycleName(Lifecycle s);
+
+/// Opaque serialized component state, produced by Checkpoint and consumed
+/// by Restore. The State Manager moves these between component versions
+/// (and between devices when a component migrates).
+struct StateBlob {
+  std::string type;  // component type that produced it
+  std::vector<int64_t> words;
+  std::string text;
+};
+
+class Component;
+
+/// A required port: a rebindable, blockable reference to a provider.
+///
+/// Blocking is the quiescence mechanism: during a reconfiguration the
+/// adaptivity manager blocks affected ports, swaps the target, and
+/// unblocks. A call arriving while blocked fails with Unavailable (callers
+/// retry at the next safe point) rather than reaching a half-switched
+/// provider.
+class Port {
+ public:
+  Port(std::string name, TypeName type, bool optional)
+      : name_(std::move(name)), type_(std::move(type)), optional_(optional) {}
+
+  const std::string& name() const { return name_; }
+  const TypeName& type() const { return type_; }
+  bool optional() const { return optional_; }
+  bool bound() const { return target_ != nullptr; }
+  bool blocked() const { return blocked_; }
+  uint64_t call_count() const { return calls_; }
+
+  void Block() { blocked_ = true; }
+  void Unblock() { blocked_ = false; }
+
+  /// The current provider, or Unavailable when blocked/unbound.
+  Result<Component*> Resolve() {
+    if (blocked_) {
+      return Status::Unavailable("port '" + name_ +
+                                 "' blocked for reconfiguration");
+    }
+    if (target_ == nullptr) {
+      return Status::Unavailable("port '" + name_ + "' is unbound");
+    }
+    ++calls_;
+    return target_.get();
+  }
+
+  /// Provider without counting a call (introspection).
+  Component* Peek() const { return target_.get(); }
+  std::shared_ptr<Component> TargetShared() const { return target_; }
+
+  /// Rebind target (type checking is done by the registry/owner).
+  void SetTarget(std::shared_ptr<Component> target) {
+    target_ = std::move(target);
+    ++generation_;
+  }
+  uint64_t generation() const { return generation_; }
+
+ private:
+  std::string name_;
+  TypeName type_;
+  bool optional_;
+  bool blocked_ = false;
+  std::shared_ptr<Component> target_;
+  uint64_t calls_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// Base class for every runtime component.
+///
+/// Derived classes declare provided types and required ports in their
+/// constructor, implement the lifecycle hooks they need, and expose their
+/// service API as ordinary C++ methods reached via `As<T>()`.
+class Component : public std::enable_shared_from_this<Component> {
+ public:
+  Component(std::string name, TypeName primary_type)
+      : name_(std::move(name)) {
+    provided_.insert(std::move(primary_type));
+  }
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+  Lifecycle lifecycle() const { return lifecycle_; }
+
+  /// The service types this component provides.
+  const std::unordered_set<TypeName>& provided() const { return provided_; }
+  bool Provides(const TypeName& type) const {
+    return provided_.count(type) > 0;
+  }
+
+  /// Declared required ports, keyed by port name.
+  Port* FindPort(const std::string& port_name) {
+    auto it = ports_.find(port_name);
+    return it == ports_.end() ? nullptr : it->second.get();
+  }
+  const Port* FindPort(const std::string& port_name) const {
+    auto it = ports_.find(port_name);
+    return it == ports_.end() ? nullptr : it->second.get();
+  }
+  std::vector<Port*> Ports() {
+    std::vector<Port*> out;
+    out.reserve(ports_.size());
+    for (auto& [_, p] : port_order_helper()) out.push_back(p);
+    return out;
+  }
+
+  /// Downcast to the concrete service interface.
+  template <typename T>
+  T* As() {
+    return dynamic_cast<T*>(this);
+  }
+
+  /// Resolves the provider bound to `port_name` as interface T.
+  template <typename T>
+  Result<T*> Require(const std::string& port_name) {
+    Port* port = FindPort(port_name);
+    if (port == nullptr) {
+      return Status::NotFound("no port '" + port_name + "' on '" + name_ +
+                              "'");
+    }
+    DBM_ASSIGN_OR_RETURN(Component * target, port->Resolve());
+    T* typed = dynamic_cast<T*>(target);
+    if (typed == nullptr) {
+      return Status::Internal("provider bound to '" + port_name +
+                              "' does not implement the expected interface");
+    }
+    return typed;
+  }
+
+  // --- lifecycle hooks (defaults succeed) ---
+  virtual Status Init() { return Status::OK(); }
+  virtual Status Start() { return Status::OK(); }
+  virtual Status Stop() { return Status::OK(); }
+
+  // --- state management (for migration / version switch) ---
+  virtual bool HasState() const { return false; }
+  virtual Status Checkpoint(StateBlob* out) const {
+    (void)out;
+    return Status::NotImplemented("component '" + name_ + "' is stateless");
+  }
+  virtual Status Restore(const StateBlob& blob) {
+    (void)blob;
+    return Status::NotImplemented("component '" + name_ + "' is stateless");
+  }
+
+  // --- lifecycle driving (called by the registry / reconfigurer) ---
+  Status DriveInit();
+  Status DriveStart();
+  Status DriveStop();
+  void MarkRemoved() { lifecycle_ = Lifecycle::kRemoved; }
+
+ protected:
+  /// Adds another provided type (a component may provide several).
+  void AddProvided(TypeName type) { provided_.insert(std::move(type)); }
+
+  /// Declares a required port. Call from the derived constructor.
+  Port* DeclarePort(const std::string& port_name, TypeName type,
+                    bool optional = false) {
+    auto port = std::make_unique<Port>(port_name, std::move(type), optional);
+    Port* raw = port.get();
+    ports_.emplace(port_name, std::move(port));
+    port_decl_order_.push_back(port_name);
+    return raw;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Port*>> port_order_helper() {
+    std::vector<std::pair<std::string, Port*>> out;
+    for (const std::string& n : port_decl_order_) {
+      out.emplace_back(n, ports_.at(n).get());
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::unordered_set<TypeName> provided_;
+  std::unordered_map<std::string, std::unique_ptr<Port>> ports_;
+  std::vector<std::string> port_decl_order_;
+  Lifecycle lifecycle_ = Lifecycle::kCreated;
+};
+
+using ComponentPtr = std::shared_ptr<Component>;
+
+}  // namespace dbm::component
+
+#endif  // DBM_COMPONENT_COMPONENT_H_

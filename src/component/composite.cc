@@ -1,0 +1,30 @@
+#include "component/composite.h"
+
+namespace dbm::component {
+
+Status Composite::Export(const std::string& child, const TypeName& child_type,
+                         const TypeName& as_type) {
+  DBM_ASSIGN_OR_RETURN(ComponentPtr c, children_.Get(child));
+  if (!c->Provides(child_type)) {
+    return Status::InvalidArgument("child '" + child +
+                                   "' does not provide type '" + child_type +
+                                   "'");
+  }
+  if (exports_.count(as_type) > 0) {
+    return Status::AlreadyExists("type '" + as_type + "' already exported");
+  }
+  exports_[as_type] = child;
+  AddProvided(as_type);
+  return Status::OK();
+}
+
+Result<ComponentPtr> Composite::Delegate(const TypeName& exported_type) const {
+  auto it = exports_.find(exported_type);
+  if (it == exports_.end()) {
+    return Status::NotFound("composite '" + name() + "' exports no type '" +
+                            exported_type + "'");
+  }
+  return children_.Get(it->second);
+}
+
+}  // namespace dbm::component

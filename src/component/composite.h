@@ -1,0 +1,69 @@
+// Composite components.
+//
+// Paper §3: "Sophisticated adaptive systems can be composed of components
+// that in turn are composed of sub-components. In our architecture a
+// component consists of both the application logic, the architectural
+// description of itself ... and a copy of the switching rules relevant to
+// it." A Composite owns an internal registry of children, re-exports
+// selected child services as its own provided types (delegation), and
+// drives the children's lifecycle with its own. Internal structure can be
+// reconfigured without the outside world noticing — the black-box
+// boundary the closed-adaptivity model preserves.
+
+#ifndef DBM_COMPONENT_COMPOSITE_H_
+#define DBM_COMPONENT_COMPOSITE_H_
+
+#include <map>
+#include <string>
+
+#include "component/registry.h"
+
+namespace dbm::component {
+
+class Composite : public Component {
+ public:
+  Composite(std::string name, TypeName primary_type)
+      : Component(std::move(name), std::move(primary_type)) {}
+
+  /// Adds a child to the internal structure.
+  Status AddChild(ComponentPtr child) { return children_.Add(std::move(child)); }
+
+  /// Binds child ports within the internal structure.
+  Status BindInternal(const std::string& child, const std::string& port,
+                      const std::string& provider) {
+    return children_.Bind(child, port, provider);
+  }
+
+  /// Exports a child's service: the composite now Provides `as_type`, and
+  /// Delegate(as_type) resolves to that child.
+  Status Export(const std::string& child, const TypeName& child_type,
+                const TypeName& as_type);
+
+  /// Resolves an exported type to the providing child (for callers that
+  /// obtained the composite through a port and need the real service).
+  Result<ComponentPtr> Delegate(const TypeName& exported_type) const;
+
+  /// Direct access to the internal structure (the composite's own
+  /// adaptivity manager reconfigures through this).
+  Registry& children() { return children_; }
+  const Registry& children() const { return children_; }
+
+  // Lifecycle cascades over children, then self.
+  Status Init() override { return Status::OK(); }
+  Status Start() override { return children_.StartAll(); }
+  Status Stop() override { return children_.StopAll(); }
+
+  /// The composite's architectural self-description (§3): a structural
+  /// snapshot of its internals.
+  ArchitectureSnapshot SelfDescription() const {
+    return children_.Snapshot();
+  }
+
+ private:
+  Registry children_;
+  std::map<TypeName, std::string> exports_;  // exported type → child name
+};
+
+}  // namespace dbm::component
+
+#endif  // DBM_COMPONENT_COMPOSITE_H_

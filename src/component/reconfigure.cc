@@ -1,0 +1,288 @@
+#include "component/reconfigure.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dbm::component {
+
+Status Reconfigurer::Validate(const ReconfigurationPlan& plan) const {
+  // Track names added/removed earlier in the same plan so later ops can
+  // reference them.
+  std::set<std::string> present;
+  for (const std::string& n :
+       const_cast<Registry*>(registry_)->Names()) {
+    present.insert(n);
+  }
+  for (const ReconfigOp& op : plan.ops) {
+    switch (op.kind) {
+      case ReconfigOp::Kind::kAdd:
+        if (op.component == nullptr) {
+          return Status::InvalidArgument("add of null component");
+        }
+        if (present.count(op.name) > 0) {
+          return Status::AlreadyExists("plan adds existing component '" +
+                                       op.name + "'");
+        }
+        present.insert(op.name);
+        break;
+      case ReconfigOp::Kind::kRemove:
+        if (present.count(op.name) == 0) {
+          return Status::NotFound("plan removes unknown component '" +
+                                  op.name + "'");
+        }
+        present.erase(op.name);
+        break;
+      case ReconfigOp::Kind::kRebind: {
+        if (present.count(op.name) == 0) {
+          return Status::NotFound("plan rebinds unknown component '" +
+                                  op.name + "'");
+        }
+        if (present.count(op.target) == 0) {
+          return Status::NotFound("plan rebinds to unknown provider '" +
+                                  op.target + "'");
+        }
+        // Port existence/type checks happen at apply time when the
+        // components (possibly added by this plan) are live.
+        break;
+      }
+      case ReconfigOp::Kind::kUnbind:
+        if (present.count(op.name) == 0) {
+          return Status::NotFound("plan unbinds unknown component '" +
+                                  op.name + "'");
+        }
+        break;
+      case ReconfigOp::Kind::kSwap:
+        if (present.count(op.name) == 0) {
+          return Status::NotFound("plan swaps unknown component '" + op.name +
+                                  "'");
+        }
+        if (op.component == nullptr) {
+          return Status::InvalidArgument("swap with null replacement");
+        }
+        if (op.component->name() != op.name &&
+            present.count(op.component->name()) > 0) {
+          return Status::AlreadyExists("swap replacement name '" +
+                                       op.component->name() +
+                                       "' already present");
+        }
+        present.erase(op.name);
+        present.insert(op.component->name());
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Reconfigurer::Execute(const ReconfigurationPlan& plan) {
+  DBM_RETURN_NOT_OK_CTX(Validate(plan), "reconfiguration validation");
+
+  std::vector<std::function<void()>> undo;
+  pending_activation_.clear();
+  Status failure;
+  for (const ReconfigOp& op : plan.ops) {
+    Status s;
+    switch (op.kind) {
+      case ReconfigOp::Kind::kAdd: s = ApplyAdd(op, &undo); break;
+      case ReconfigOp::Kind::kRemove: s = ApplyRemove(op, &undo); break;
+      case ReconfigOp::Kind::kRebind: s = ApplyRebind(op, &undo); break;
+      case ReconfigOp::Kind::kUnbind: s = ApplyUnbind(op, &undo); break;
+      case ReconfigOp::Kind::kSwap: s = ApplySwap(op, &undo); break;
+    }
+    if (!s.ok()) {
+      failure = s;
+      break;
+    }
+    ++stats_.ops_applied;
+  }
+
+  // Activation phase: incoming components Init/Start only after the whole
+  // new structure (including their own bindings) is in place.
+  if (failure.ok()) {
+    for (const ComponentPtr& c : pending_activation_) {
+      Status s;
+      if (c->lifecycle() == Lifecycle::kCreated) s = c->DriveInit();
+      if (s.ok() && c->lifecycle() != Lifecycle::kActive) s = c->DriveStart();
+      if (!s.ok()) {
+        failure = s.WithContext("activating '" + c->name() + "'");
+        break;
+      }
+    }
+  }
+
+  if (!failure.ok()) {
+    // Back the switch off: undo in reverse order.
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) (*it)();
+    ++stats_.rolled_back;
+    return Status::Aborted("reconfiguration rolled back: " +
+                           failure.ToString());
+  }
+  ++stats_.committed;
+  return Status::OK();
+}
+
+Status Reconfigurer::ApplyAdd(const ReconfigOp& op,
+                              std::vector<std::function<void()>>* undo) {
+  ComponentPtr c = op.component;
+  DBM_RETURN_NOT_OK(registry_->Add(c));
+  Registry* reg = registry_;
+  undo->push_back([reg, c] {
+    if (c->lifecycle() == Lifecycle::kActive) (void)c->DriveStop();
+    // Force: a component that refuses to Stop during rollback still goes.
+    (void)reg->ForceRemove(c->name());
+  });
+  pending_activation_.push_back(c);  // started in the activation phase
+  return Status::OK();
+}
+
+Status Reconfigurer::ApplyRemove(const ReconfigOp& op,
+                                 std::vector<std::function<void()>>* undo) {
+  DBM_ASSIGN_OR_RETURN(ComponentPtr victim, registry_->Get(op.name));
+  bool was_active = victim->lifecycle() == Lifecycle::kActive;
+  if (was_active) {
+    DBM_RETURN_NOT_OK(victim->DriveStop());
+  }
+  Status s = registry_->Remove(op.name);
+  if (!s.ok()) {
+    if (was_active) (void)victim->DriveStart();
+    return s;
+  }
+  Registry* reg = registry_;
+  undo->push_back([reg, victim, was_active] {
+    (void)reg->Add(victim);
+    if (was_active) (void)victim->DriveStart();
+  });
+  return Status::OK();
+}
+
+Status Reconfigurer::ApplyRebind(const ReconfigOp& op,
+                                 std::vector<std::function<void()>>* undo) {
+  DBM_ASSIGN_OR_RETURN(ComponentPtr owner, registry_->Get(op.name));
+  Port* port = owner->FindPort(op.port);
+  if (port == nullptr) {
+    return Status::NotFound("no port '" + op.port + "' on '" + op.name + "'");
+  }
+  ComponentPtr previous = port->TargetShared();
+  port->Block();
+  Status s = registry_->Bind(op.name, op.port, op.target);
+  if (!s.ok()) {
+    port->Unblock();
+    return s;
+  }
+  port->Unblock();
+  undo->push_back([port, previous] {
+    port->Block();
+    port->SetTarget(previous);
+    port->Unblock();
+  });
+  return Status::OK();
+}
+
+Status Reconfigurer::ApplyUnbind(const ReconfigOp& op,
+                                 std::vector<std::function<void()>>* undo) {
+  DBM_ASSIGN_OR_RETURN(ComponentPtr owner, registry_->Get(op.name));
+  Port* port = owner->FindPort(op.port);
+  if (port == nullptr) {
+    return Status::NotFound("no port '" + op.port + "' on '" + op.name + "'");
+  }
+  ComponentPtr previous = port->TargetShared();
+  port->Block();
+  port->SetTarget(nullptr);
+  port->Unblock();
+  undo->push_back([port, previous] {
+    port->Block();
+    port->SetTarget(previous);
+    port->Unblock();
+  });
+  return Status::OK();
+}
+
+Status Reconfigurer::ApplySwap(const ReconfigOp& op,
+                               std::vector<std::function<void()>>* undo) {
+  DBM_ASSIGN_OR_RETURN(ComponentPtr old_c, registry_->Get(op.name));
+  ComponentPtr new_c = op.component;
+
+  // Find every port in the system bound to the old provider; these are the
+  // quiescence set for this swap.
+  std::vector<Port*> inbound;
+  for (const std::string& name : registry_->Names()) {
+    ComponentPtr c = registry_->Get(name).value();
+    for (Port* p : c->Ports()) {
+      if (p->Peek() == old_c.get()) inbound.push_back(p);
+    }
+  }
+  for (Port* p : inbound) p->Block();
+  auto unblock_all = [&inbound] {
+    for (Port* p : inbound) p->Unblock();
+  };
+
+  bool was_active = old_c->lifecycle() == Lifecycle::kActive;
+  if (was_active) {
+    Status s = old_c->DriveStop();
+    if (!s.ok()) {
+      unblock_all();
+      return s;
+    }
+  }
+
+  // State migration old → new (the State Manager's job in the paper).
+  if (old_c->HasState()) {
+    StateBlob blob;
+    Status s = old_c->Checkpoint(&blob);
+    if (s.ok()) s = new_c->Restore(blob);
+    if (!s.ok()) {
+      if (was_active) (void)old_c->DriveStart();
+      unblock_all();
+      return s.WithContext("state migration during swap of '" + op.name +
+                           "'");
+    }
+    ++stats_.state_migrations;
+  }
+
+  // Detach inbound bindings and retire the old provider first: the
+  // replacement may (and in ADL-driven swaps does) reuse its name.
+  for (Port* p : inbound) p->SetTarget(nullptr);
+  auto reattach_old = [&] {
+    for (Port* p : inbound) p->SetTarget(old_c);
+  };
+  Status s = registry_->Remove(op.name);
+  if (!s.ok()) {
+    reattach_old();
+    if (was_active) (void)old_c->DriveStart();
+    unblock_all();
+    return s;
+  }
+
+  // Register the replacement; its Init/Start happens in the activation
+  // phase once the plan's rebinds have populated its ports.
+  s = registry_->Add(new_c);
+  if (!s.ok()) {
+    (void)registry_->Add(old_c);
+    reattach_old();
+    if (was_active) (void)old_c->DriveStart();
+    unblock_all();
+    return s.WithContext("registering replacement in swap of '" + op.name +
+                         "'");
+  }
+  pending_activation_.push_back(new_c);
+
+  for (Port* p : inbound) p->SetTarget(new_c);
+  unblock_all();
+
+  Registry* reg = registry_;
+  std::vector<Port*> inbound_copy = inbound;
+  undo->push_back([reg, old_c, new_c, inbound_copy, was_active] {
+    for (Port* p : inbound_copy) p->Block();
+    for (Port* p : inbound_copy) p->SetTarget(nullptr);
+    if (new_c->lifecycle() == Lifecycle::kActive) (void)new_c->DriveStop();
+    (void)reg->ForceRemove(new_c->name());  // may share the old name
+    (void)reg->Add(old_c);
+    if (was_active && old_c->lifecycle() != Lifecycle::kActive) {
+      (void)old_c->DriveStart();
+    }
+    for (Port* p : inbound_copy) p->SetTarget(old_c);
+    for (Port* p : inbound_copy) p->Unblock();
+  });
+  return Status::OK();
+}
+
+}  // namespace dbm::component

@@ -1,0 +1,118 @@
+// Transactional reconfiguration.
+//
+// Paper §3: when adaptivity triggers, the session manager designs an
+// alternative component architecture and the Adaptivity Manager "carries
+// out the unbinding and rebinding of components ... it must ensure the
+// instantiation adheres to transactional style properties. That is, the
+// switch can be backed off if something goes wrong."
+//
+// A ReconfigurationPlan is an ordered list of operations (add, remove,
+// rebind, swap). Execute() validates the whole plan against the registry,
+// then applies operations one by one while recording undo actions; any
+// failure rolls the applied prefix back in reverse order and returns
+// Aborted. Ports touched by the plan are blocked for its duration, so
+// in-flight callers observe Unavailable (and retry at a safe point) rather
+// than a half-switched provider.
+
+#ifndef DBM_COMPONENT_RECONFIGURE_H_
+#define DBM_COMPONENT_RECONFIGURE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "component/registry.h"
+
+namespace dbm::component {
+
+/// One reconfiguration step.
+struct ReconfigOp {
+  enum class Kind {
+    kAdd,     // add `component` to the registry (init+start it)
+    kRemove,  // quiesce and remove component `name`
+    kRebind,  // rebind `name`.`port` to provider `target`
+    kUnbind,  // unbind `name`.`port`
+    kSwap,    // replace provider `name` with `component`, migrating state
+              // and all inbound bindings
+  };
+  Kind kind;
+  std::string name;        // component being removed/rebound/swapped
+  std::string port;        // for kRebind
+  std::string target;      // for kRebind: new provider name
+  ComponentPtr component;  // for kAdd / kSwap: the incoming instance
+};
+
+struct ReconfigurationPlan {
+  std::vector<ReconfigOp> ops;
+
+  ReconfigurationPlan& Add(ComponentPtr c) {
+    ops.push_back({ReconfigOp::Kind::kAdd, c->name(), "", "", std::move(c)});
+    return *this;
+  }
+  ReconfigurationPlan& Remove(std::string name) {
+    ops.push_back(
+        {ReconfigOp::Kind::kRemove, std::move(name), "", "", nullptr});
+    return *this;
+  }
+  ReconfigurationPlan& Rebind(std::string component, std::string port,
+                              std::string provider) {
+    ops.push_back({ReconfigOp::Kind::kRebind, std::move(component),
+                   std::move(port), std::move(provider), nullptr});
+    return *this;
+  }
+  ReconfigurationPlan& Unbind(std::string component, std::string port) {
+    ops.push_back({ReconfigOp::Kind::kUnbind, std::move(component),
+                   std::move(port), "", nullptr});
+    return *this;
+  }
+  ReconfigurationPlan& Swap(std::string old_name, ComponentPtr replacement) {
+    ops.push_back({ReconfigOp::Kind::kSwap, std::move(old_name), "", "",
+                   std::move(replacement)});
+    return *this;
+  }
+
+  bool empty() const { return ops.empty(); }
+};
+
+/// Outcome statistics for instrumentation (bench_fig1_loop reads these).
+struct ReconfigStats {
+  uint64_t committed = 0;
+  uint64_t rolled_back = 0;
+  uint64_t ops_applied = 0;
+  uint64_t state_migrations = 0;
+};
+
+class Reconfigurer {
+ public:
+  explicit Reconfigurer(Registry* registry) : registry_(registry) {}
+
+  /// Validates and applies `plan` transactionally. On failure everything
+  /// applied so far is undone and the original architecture restored.
+  Status Execute(const ReconfigurationPlan& plan);
+
+  const ReconfigStats& stats() const { return stats_; }
+
+ private:
+  Status Validate(const ReconfigurationPlan& plan) const;
+  Status ApplyAdd(const ReconfigOp& op,
+                  std::vector<std::function<void()>>* undo);
+  Status ApplyRemove(const ReconfigOp& op,
+                     std::vector<std::function<void()>>* undo);
+  Status ApplyRebind(const ReconfigOp& op,
+                     std::vector<std::function<void()>>* undo);
+  Status ApplyUnbind(const ReconfigOp& op,
+                     std::vector<std::function<void()>>* undo);
+  Status ApplySwap(const ReconfigOp& op,
+                   std::vector<std::function<void()>>* undo);
+
+  Registry* registry_;
+  ReconfigStats stats_;
+  /// Components added/swapped in by the plan currently executing; they are
+  /// initialised and started only after all structural ops succeed.
+  std::vector<ComponentPtr> pending_activation_;
+};
+
+}  // namespace dbm::component
+
+#endif  // DBM_COMPONENT_RECONFIGURE_H_

@@ -1,0 +1,177 @@
+#include "component/registry.h"
+
+#include <algorithm>
+
+namespace dbm::component {
+
+Registry::~Registry() {
+  for (auto& [_, c] : components_) {
+    for (Port* port : c->Ports()) {
+      port->SetTarget(nullptr);
+    }
+  }
+}
+
+Status Registry::Add(ComponentPtr component) {
+  if (component == nullptr) {
+    return Status::InvalidArgument("null component");
+  }
+  const std::string& name = component->name();
+  if (components_.count(name) > 0) {
+    return Status::AlreadyExists("component '" + name + "' already present");
+  }
+  components_[name] = std::move(component);
+  insertion_order_.push_back(name);
+  return Status::OK();
+}
+
+Status Registry::Remove(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return Status::NotFound("component '" + name + "' not present");
+  }
+  ComponentPtr victim = it->second;
+  if (victim->lifecycle() == Lifecycle::kActive) {
+    return Status::FailedPrecondition("component '" + name +
+                                      "' is active; quiesce before removal");
+  }
+  // No dangling bindings may remain.
+  for (const auto& [other_name, other] : components_) {
+    if (other_name == name) continue;
+    for (Port* port : other->Ports()) {
+      if (port->Peek() == victim.get()) {
+        return Status::FailedPrecondition(
+            "component '" + other_name + "' port '" + port->name() +
+            "' is still bound to '" + name + "'");
+      }
+    }
+  }
+  victim->MarkRemoved();
+  components_.erase(it);
+  insertion_order_.erase(std::remove(insertion_order_.begin(),
+                                     insertion_order_.end(), name),
+                         insertion_order_.end());
+  return Status::OK();
+}
+
+Status Registry::ForceRemove(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return Status::NotFound("component '" + name + "' not present");
+  }
+  ComponentPtr victim = it->second;
+  for (const auto& [other_name, other] : components_) {
+    if (other_name == name) continue;
+    for (Port* port : other->Ports()) {
+      if (port->Peek() == victim.get()) port->SetTarget(nullptr);
+    }
+  }
+  victim->MarkRemoved();
+  components_.erase(it);
+  insertion_order_.erase(std::remove(insertion_order_.begin(),
+                                     insertion_order_.end(), name),
+                         insertion_order_.end());
+  return Status::OK();
+}
+
+Result<ComponentPtr> Registry::Get(const std::string& name) const {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return Status::NotFound("component '" + name + "' not present");
+  }
+  return it->second;
+}
+
+Status Registry::Bind(const std::string& component, const std::string& port,
+                      const std::string& provider) {
+  DBM_ASSIGN_OR_RETURN(ComponentPtr from, Get(component));
+  DBM_ASSIGN_OR_RETURN(ComponentPtr to, Get(provider));
+  Port* p = from->FindPort(port);
+  if (p == nullptr) {
+    return Status::NotFound("no port '" + port + "' on '" + component + "'");
+  }
+  if (!to->Provides(p->type())) {
+    return Status::InvalidArgument("provider '" + provider +
+                                   "' does not provide type '" + p->type() +
+                                   "' required by port '" + port + "'");
+  }
+  p->SetTarget(to);
+  return Status::OK();
+}
+
+Status Registry::Unbind(const std::string& component,
+                        const std::string& port) {
+  DBM_ASSIGN_OR_RETURN(ComponentPtr from, Get(component));
+  Port* p = from->FindPort(port);
+  if (p == nullptr) {
+    return Status::NotFound("no port '" + port + "' on '" + component + "'");
+  }
+  p->SetTarget(nullptr);
+  return Status::OK();
+}
+
+std::vector<ComponentPtr> Registry::Providers(const TypeName& type) const {
+  std::vector<ComponentPtr> out;
+  for (const auto& [_, c] : components_) {
+    if (c->Provides(type)) out.push_back(c);
+  }
+  return out;
+}
+
+ArchitectureSnapshot Registry::Snapshot() const {
+  ArchitectureSnapshot snap;
+  for (const auto& [name, c] : components_) {
+    snap.components.push_back(name);
+    std::vector<std::string> types(c->provided().begin(), c->provided().end());
+    std::sort(types.begin(), types.end());
+    snap.provided[name] = std::move(types);
+    for (const Port* port :
+         const_cast<Component&>(*c).Ports()) {
+      if (port->Peek() != nullptr) {
+        snap.bindings.push_back(BindingEdge{name, port->name(),
+                                            port->Peek()->name(),
+                                            port->type()});
+      }
+    }
+  }
+  std::sort(snap.bindings.begin(), snap.bindings.end(),
+            [](const BindingEdge& a, const BindingEdge& b) {
+              return std::tie(a.from_component, a.from_port) <
+                     std::tie(b.from_component, b.from_port);
+            });
+  return snap;
+}
+
+Status Registry::StartAll() {
+  for (const std::string& name : insertion_order_) {
+    ComponentPtr c = components_.at(name);
+    if (c->lifecycle() == Lifecycle::kCreated) {
+      DBM_RETURN_NOT_OK(c->DriveInit().WithContext("initialising " + name));
+    }
+    if (c->lifecycle() == Lifecycle::kInitialised ||
+        c->lifecycle() == Lifecycle::kQuiesced) {
+      DBM_RETURN_NOT_OK(c->DriveStart().WithContext("starting " + name));
+    }
+  }
+  return Status::OK();
+}
+
+Status Registry::StopAll() {
+  for (auto it = insertion_order_.rbegin(); it != insertion_order_.rend();
+       ++it) {
+    ComponentPtr c = components_.at(*it);
+    if (c->lifecycle() == Lifecycle::kActive) {
+      DBM_RETURN_NOT_OK(c->DriveStop().WithContext("stopping " + *it));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(components_.size());
+  for (const auto& [name, _] : components_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dbm::component

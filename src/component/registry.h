@@ -1,0 +1,92 @@
+// The component registry: the running system's component graph.
+//
+// Holds every live component, performs type-checked binding, and exports a
+// structural snapshot (used by the ADL layer to compare the running
+// architecture against a description).
+
+#ifndef DBM_COMPONENT_REGISTRY_H_
+#define DBM_COMPONENT_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "component/component.h"
+
+namespace dbm::component {
+
+/// One binding edge in a structural snapshot.
+struct BindingEdge {
+  std::string from_component;
+  std::string from_port;
+  std::string to_component;
+  TypeName type;
+};
+
+/// Structural view of the running system.
+struct ArchitectureSnapshot {
+  std::vector<std::string> components;            // names, sorted
+  std::map<std::string, std::vector<std::string>> provided;  // name → types
+  std::vector<BindingEdge> bindings;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  /// Destroying the registry dissolves the architecture: every port of
+  /// every held component is unbound. Bindings are strong references, so
+  /// cyclic architectures (A→B→A, self-bindings) would otherwise leak —
+  /// the registry owns the structure and takes the cycles down with it.
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Adds a component; names are unique.
+  Status Add(ComponentPtr component);
+
+  /// Removes a quiesced (or never-started) component. Fails if any other
+  /// component's port is still bound to it.
+  Status Remove(const std::string& name);
+
+  /// Rollback-path removal: evicts the component regardless of lifecycle
+  /// (a component that fails to Stop during a rollback must still leave)
+  /// and detaches any ports still bound to it. Only the reconfigurer's
+  /// undo machinery should call this.
+  Status ForceRemove(const std::string& name);
+
+  Result<ComponentPtr> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return components_.count(name) > 0;
+  }
+
+  /// Binds `component`.`port` to `provider`, checking that the provider
+  /// provides the port's declared type.
+  Status Bind(const std::string& component, const std::string& port,
+              const std::string& provider);
+
+  Status Unbind(const std::string& component, const std::string& port);
+
+  /// All components providing `type` (for BEST/NEAREST-style selection).
+  std::vector<ComponentPtr> Providers(const TypeName& type) const;
+
+  /// Structural export for ADL comparison.
+  ArchitectureSnapshot Snapshot() const;
+
+  /// Drives Init+Start over all components in insertion order.
+  Status StartAll();
+  /// Drives Stop over all components in reverse insertion order.
+  Status StopAll();
+
+  size_t size() const { return components_.size(); }
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, ComponentPtr> components_;  // sorted, deterministic
+  std::vector<std::string> insertion_order_;
+};
+
+}  // namespace dbm::component
+
+#endif  // DBM_COMPONENT_REGISTRY_H_

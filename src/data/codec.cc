@@ -1,0 +1,202 @@
+#include "data/codec.h"
+
+namespace dbm::data {
+
+Bytes RleCodec::Encode(const Bytes& input) const {
+  Bytes out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto run_len = [&](size_t at) {
+    size_t k = 1;
+    while (at + k < n && input[at + k] == input[at] && k < 129) ++k;
+    return k;
+  };
+  while (i < n) {
+    size_t k = run_len(i);
+    if (k >= 3) {
+      // Repeat run: control 128..255 encodes lengths 2..129.
+      out.push_back(static_cast<uint8_t>(128 + (k - 2)));
+      out.push_back(input[i]);
+      i += k;
+      continue;
+    }
+    // Literal run: extend until a run of >= 3 starts or 128 bytes emitted.
+    size_t start = i;
+    while (i < n && (i - start) < 128) {
+      if (run_len(i) >= 3) break;
+      ++i;
+    }
+    out.push_back(static_cast<uint8_t>((i - start) - 1));
+    out.insert(out.end(), input.begin() + static_cast<long>(start),
+               input.begin() + static_cast<long>(i));
+  }
+  return out;
+}
+
+Result<Bytes> RleCodec::Decode(const Bytes& input) const {
+  Bytes out;
+  size_t i = 0;
+  while (i < input.size()) {
+    uint8_t c = input[i++];
+    if (c < 128) {
+      size_t len = static_cast<size_t>(c) + 1;
+      if (i + len > input.size()) {
+        return Status::IoError("rle: truncated literal run");
+      }
+      out.insert(out.end(), input.begin() + static_cast<long>(i),
+                 input.begin() + static_cast<long>(i + len));
+      i += len;
+    } else {
+      if (i >= input.size()) {
+        return Status::IoError("rle: truncated repeat run");
+      }
+      size_t len = static_cast<size_t>(c) - 126;  // 2..129
+      out.insert(out.end(), len, input[i++]);
+    }
+  }
+  return out;
+}
+
+Bytes DeltaRleCodec::Encode(const Bytes& input) const {
+  Bytes delta(input.size());
+  uint8_t prev = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    delta[i] = static_cast<uint8_t>(input[i] - prev);
+    prev = input[i];
+  }
+  return RleCodec().Encode(delta);
+}
+
+Result<Bytes> DeltaRleCodec::Decode(const Bytes& input) const {
+  DBM_ASSIGN_OR_RETURN(Bytes delta, RleCodec().Decode(input));
+  Bytes out(delta.size());
+  uint8_t prev = 0;
+  for (size_t i = 0; i < delta.size(); ++i) {
+    out[i] = static_cast<uint8_t>(delta[i] + prev);
+    prev = out[i];
+  }
+  return out;
+}
+
+Bytes LzCodec::Encode(const Bytes& input) const {
+  Bytes out;
+  const size_t n = input.size();
+  constexpr size_t kMinMatch = 4;
+  constexpr size_t kMaxMatch = 131;  // 128 + 3 control values
+  constexpr size_t kWindow = 65535;
+  constexpr size_t kHashSize = 1 << 14;
+  constexpr int kChain = 16;
+
+  // Hash chains over 3-byte prefixes.
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(n, -1);
+  auto hash3 = [&](size_t i) {
+    uint32_t h = input[i] | (input[i + 1] << 8) | (input[i + 2] << 16);
+    return (h * 2654435761u) >> 18;  // top 14 bits
+  };
+
+  auto flush_literals = [&](size_t from, size_t to) {
+    while (from < to) {
+      size_t len = std::min<size_t>(128, to - from);
+      out.push_back(static_cast<uint8_t>(len - 1));
+      out.insert(out.end(), input.begin() + static_cast<long>(from),
+                 input.begin() + static_cast<long>(from + len));
+      from += len;
+    }
+  };
+
+  size_t i = 0, lit_start = 0;
+  while (i < n) {
+    size_t best_len = 0, best_off = 0;
+    if (i + kMinMatch <= n && i + 2 < n) {
+      uint32_t h = hash3(i);
+      int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && chain++ < kChain) {
+        size_t off = i - static_cast<size_t>(cand);
+        if (off > kWindow) break;
+        size_t len = 0;
+        size_t max_len = std::min(kMaxMatch, n - i);
+        while (len < max_len &&
+               input[static_cast<size_t>(cand) + len] == input[i + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_off = off;
+        }
+        cand = prev[static_cast<size_t>(cand)];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals(lit_start, i);
+      out.push_back(static_cast<uint8_t>(128 + (best_len - kMinMatch)));
+      out.push_back(static_cast<uint8_t>(best_off & 0xFF));
+      out.push_back(static_cast<uint8_t>(best_off >> 8));
+      // Index the covered positions so later matches can reference them.
+      size_t stop = std::min(i + best_len, n >= 2 ? n - 2 : 0);
+      for (size_t j = i; j < stop; ++j) {
+        uint32_t h = hash3(j);
+        prev[j] = head[h];
+        head[h] = static_cast<int64_t>(j);
+      }
+      i += best_len;
+      lit_start = i;
+    } else {
+      if (i + 2 < n) {
+        uint32_t h = hash3(i);
+        prev[i] = head[h];
+        head[h] = static_cast<int64_t>(i);
+      }
+      ++i;
+    }
+  }
+  flush_literals(lit_start, n);
+  return out;
+}
+
+Result<Bytes> LzCodec::Decode(const Bytes& input) const {
+  Bytes out;
+  size_t i = 0;
+  while (i < input.size()) {
+    uint8_t c = input[i++];
+    if (c < 128) {
+      size_t len = static_cast<size_t>(c) + 1;
+      if (i + len > input.size()) {
+        return Status::IoError("lz: truncated literal run");
+      }
+      out.insert(out.end(), input.begin() + static_cast<long>(i),
+                 input.begin() + static_cast<long>(i + len));
+      i += len;
+    } else {
+      if (i + 2 > input.size()) {
+        return Status::IoError("lz: truncated match token");
+      }
+      size_t len = static_cast<size_t>(c) - 128 + 4;
+      size_t off = input[i] | (static_cast<size_t>(input[i + 1]) << 8);
+      i += 2;
+      if (off == 0 || off > out.size()) {
+        return Status::IoError("lz: match offset out of range");
+      }
+      size_t start = out.size() - off;
+      for (size_t j = 0; j < len; ++j) {
+        out.push_back(out[start + j]);  // overlapping copies are legal
+      }
+    }
+  }
+  return out;
+}
+
+Result<const Codec*> FindCodec(const std::string& name) {
+  static const IdentityCodec identity;
+  static const RleCodec rle;
+  static const DeltaRleCodec delta_rle;
+  static const LzCodec lz;
+  if (name == "identity") return static_cast<const Codec*>(&identity);
+  if (name == "rle") return static_cast<const Codec*>(&rle);
+  if (name == "delta-rle") return static_cast<const Codec*>(&delta_rle);
+  if (name == "lz") return static_cast<const Codec*>(&lz);
+  return Status::NotFound("no codec '" + name + "'");
+}
+
+}  // namespace dbm::data

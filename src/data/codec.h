@@ -1,0 +1,83 @@
+// Codecs for compressed data versions.
+//
+// Scenario 2: when the laptop undocks, the optimiser "decides to send a
+// compressed version of the data thus using more resources on both the
+// sensor and the Laptop while saving communication time". Versions carry
+// the codec name ("perhaps with associated decompression code" — Fig 2);
+// a swappable codec component ladder also drives the Kendra audio server.
+
+#ifndef DBM_DATA_CODEC_H_
+#define DBM_DATA_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbm::data {
+
+using Bytes = std::vector<uint8_t>;
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string name() const = 0;
+  virtual Bytes Encode(const Bytes& input) const = 0;
+  virtual Result<Bytes> Decode(const Bytes& input) const = 0;
+  /// Relative CPU cost per input byte (1.0 = identity), used by the
+  /// environment simulator to charge encode/decode time.
+  virtual double CpuCostPerByte() const { return 1.0; }
+};
+
+/// Pass-through.
+class IdentityCodec : public Codec {
+ public:
+  std::string name() const override { return "identity"; }
+  Bytes Encode(const Bytes& input) const override { return input; }
+  Result<Bytes> Decode(const Bytes& input) const override { return input; }
+  double CpuCostPerByte() const override { return 0.0; }
+};
+
+/// PackBits-style run-length encoding. Control byte c: c < 128 introduces
+/// a literal run of c+1 bytes; c >= 128 repeats the following byte
+/// (c - 126) times. Worst-case overhead is 1 byte per 128 (never blows up
+/// on high-entropy data); zero-heavy serialised relations compress well.
+class RleCodec : public Codec {
+ public:
+  std::string name() const override { return "rle"; }
+  Bytes Encode(const Bytes& input) const override;
+  Result<Bytes> Decode(const Bytes& input) const override;
+  double CpuCostPerByte() const override { return 1.5; }
+};
+
+/// Delta-encodes the byte stream then RLE-compresses it; wins on slowly
+/// drifting numeric streams (the sensor scenario).
+class DeltaRleCodec : public Codec {
+ public:
+  std::string name() const override { return "delta-rle"; }
+  Bytes Encode(const Bytes& input) const override;
+  Result<Bytes> Decode(const Bytes& input) const override;
+  double CpuCostPerByte() const override { return 2.5; }
+};
+
+/// LZ77 with a 64 KiB window and greedy hash-chain matching. Token
+/// stream: control byte c < 128 introduces a literal run of c+1 bytes;
+/// c >= 128 is a match of length (c - 128 + 4) at the 2-byte
+/// little-endian back-offset that follows. Wins on text with repeated
+/// substrings — the XML sensor stream's tags compress heavily.
+class LzCodec : public Codec {
+ public:
+  std::string name() const override { return "lz"; }
+  Bytes Encode(const Bytes& input) const override;
+  Result<Bytes> Decode(const Bytes& input) const override;
+  double CpuCostPerByte() const override { return 4.0; }
+};
+
+/// Finds a codec by name ("identity", "rle", "delta-rle", "lz").
+Result<const Codec*> FindCodec(const std::string& name);
+
+}  // namespace dbm::data
+
+#endif  // DBM_DATA_CODEC_H_

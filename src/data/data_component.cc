@@ -1,0 +1,80 @@
+#include "data/data_component.h"
+
+namespace dbm::data {
+
+Status DataComponent::Insert(Tuple tuple) {
+  DBM_RETURN_NOT_OK(FireTriggers(TriggerEvent::kInsert, tuple));
+  DBM_RETURN_NOT_OK(primary_.Insert(std::move(tuple)));
+  // Statistics decay: the row count is tracked incrementally, but value
+  // distributions drift until the next refresh — the paper's optimiser
+  // adapts precisely because such metadata is "not quite accurate enough".
+  ++stats_.row_count;
+  ++inserts_since_refresh_;
+  return Status::OK();
+}
+
+Status DataComponent::AddTrigger(Trigger trigger) {
+  for (const Trigger& t : triggers_) {
+    if (t.name == trigger.name) {
+      return Status::AlreadyExists("trigger '" + trigger.name +
+                                   "' already defined");
+    }
+  }
+  triggers_.push_back(std::move(trigger));
+  return Status::OK();
+}
+
+Status DataComponent::DropTrigger(const std::string& name) {
+  for (auto it = triggers_.begin(); it != triggers_.end(); ++it) {
+    if (it->name == name) {
+      triggers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no trigger '" + name + "'");
+}
+
+Status DataComponent::FireTriggers(TriggerEvent event, const Tuple& tuple) {
+  for (const Trigger& t : triggers_) {
+    if (t.event != event || !t.body) continue;
+    DBM_RETURN_NOT_OK_CTX(t.body(tuple), "trigger '" + t.name + "'");
+  }
+  return Status::OK();
+}
+
+Status DataComponent::PublishVersion(VersionKind kind,
+                                     const std::string& location,
+                                     SimTime as_of, double quality,
+                                     const std::string& codec) {
+  DBM_ASSIGN_OR_RETURN(
+      MaterializedVersion version,
+      Materialize(primary_, kind, location, as_of, quality, codec));
+  return versions_.Put(std::move(version));
+}
+
+Status DataComponent::Checkpoint(component::StateBlob* out) const {
+  out->type = "data-component";
+  out->text = location_;
+  std::vector<uint8_t> bytes = primary_.Serialize();
+  out->words.clear();
+  out->words.reserve(bytes.size());
+  for (uint8_t b : bytes) out->words.push_back(b);
+  return Status::OK();
+}
+
+Status DataComponent::Restore(const component::StateBlob& blob) {
+  if (blob.type != "data-component") {
+    return Status::InvalidArgument("state blob of type '" + blob.type +
+                                   "' is not a data component");
+  }
+  std::vector<uint8_t> bytes;
+  bytes.reserve(blob.words.size());
+  for (int64_t w : blob.words) bytes.push_back(static_cast<uint8_t>(w));
+  DBM_ASSIGN_OR_RETURN(Relation rel, Relation::Deserialize(bytes));
+  primary_ = std::move(rel);
+  location_ = blob.text;
+  RefreshStatistics();
+  return Status::OK();
+}
+
+}  // namespace dbm::data

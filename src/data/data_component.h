@@ -1,0 +1,102 @@
+// The data component of Fig 2: "Data | Metadata | Adaptability Rules |
+// Versions". Data components are first-class runtime components — they
+// migrate, carry their own switching rules, and expose alternative
+// versions for the session manager's BEST/NEAREST placement decisions.
+
+#ifndef DBM_DATA_DATA_COMPONENT_H_
+#define DBM_DATA_DATA_COMPONENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/session.h"
+#include "component/component.h"
+#include "data/relation.h"
+#include "data/version.h"
+
+namespace dbm::data {
+
+/// Trigger events (classic DBMS metadata, Fig 2).
+enum class TriggerEvent : uint8_t { kInsert, kUpdate, kDelete };
+
+struct Trigger {
+  std::string name;
+  TriggerEvent event = TriggerEvent::kInsert;
+  /// Invoked with the affected tuple.
+  std::function<Status(const Tuple&)> body;
+};
+
+/// A data component: the unit of data placement and adaptation.
+class DataComponent : public component::Component {
+ public:
+  DataComponent(std::string name, Relation primary,
+                std::string home_location)
+      : Component(std::move(name), "data-component"),
+        primary_(std::move(primary)),
+        location_(std::move(home_location)) {
+    RefreshStatistics();
+  }
+
+  // --- data ---
+  const Relation& relation() const { return primary_; }
+  const std::string& location() const { return location_; }
+
+  /// Insert with trigger firing and incremental statistics decay.
+  Status Insert(Tuple tuple);
+
+  /// Moves the component's home (component migration, §3: "in a highly
+  /// adaptive system the component can migrate, as can the data
+  /// component").
+  void MigrateTo(std::string new_location) {
+    location_ = std::move(new_location);
+    ++migrations_;
+  }
+  uint64_t migrations() const { return migrations_; }
+
+  // --- metadata ---
+  const RelationStats& statistics() const { return stats_; }
+  void RefreshStatistics() { stats_ = primary_.ComputeStatistics(); }
+  /// Injects estimation error (scenario 3's stale statistics).
+  void PerturbStatistics(double factor) { stats_.PerturbCardinality(factor); }
+
+  Status AddTrigger(Trigger trigger);
+  Status DropTrigger(const std::string& name);
+  size_t trigger_count() const { return triggers_.size(); }
+
+  // --- adaptability rules ---
+  adapt::ConstraintTable& rules() { return rules_; }
+  const adapt::ConstraintTable& rules() const { return rules_; }
+
+  // --- versions ---
+  VersionStore& versions() { return versions_; }
+  const VersionStore& versions() const { return versions_; }
+
+  /// Materialises and stores a version of the current primary at
+  /// `location`.
+  Status PublishVersion(VersionKind kind, const std::string& location,
+                        SimTime as_of, double quality = 1.0,
+                        const std::string& codec = "rle");
+
+  // --- state management (migration support) ---
+  bool HasState() const override { return true; }
+  Status Checkpoint(component::StateBlob* out) const override;
+  Status Restore(const component::StateBlob& blob) override;
+
+ private:
+  Status FireTriggers(TriggerEvent event, const Tuple& tuple);
+
+  Relation primary_;
+  std::string location_;
+  RelationStats stats_;
+  std::vector<Trigger> triggers_;
+  adapt::ConstraintTable rules_;
+  VersionStore versions_;
+  uint64_t migrations_ = 0;
+  uint64_t inserts_since_refresh_ = 0;
+};
+
+}  // namespace dbm::data
+
+#endif  // DBM_DATA_DATA_COMPONENT_H_

@@ -1,0 +1,180 @@
+#include "data/object.h"
+
+#include "common/strings.h"
+
+namespace dbm::data {
+
+Status ObjectStore::DefineClass(ClassDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("class needs a name");
+  }
+  if (classes_.count(def.name) > 0) {
+    return Status::AlreadyExists("class '" + def.name + "' already defined");
+  }
+  classes_[def.name] = std::move(def);
+  return Status::OK();
+}
+
+Result<const ClassDef*> ObjectStore::GetClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    return Status::NotFound("no class '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<ObjectId> ObjectStore::Create(const std::string& class_name,
+                                     std::map<std::string, Value> scalars) {
+  DBM_ASSIGN_OR_RETURN(const ClassDef* def, GetClass(class_name));
+  Object obj;
+  obj.id = next_id_++;
+  obj.class_name = class_name;
+  for (auto& [field, value] : scalars) {
+    const Field* f = def->FindScalar(field);
+    if (f == nullptr) {
+      return Status::NotFound("class '" + class_name + "' has no scalar '" +
+                              field + "'");
+    }
+    if (!IsNull(value) && TypeOf(value) != f->type) {
+      return Status::InvalidArgument(
+          "field '" + field + "' expects " + ValueTypeName(f->type) +
+          ", got " + ValueTypeName(TypeOf(value)));
+    }
+    obj.scalars[field] = std::move(value);
+  }
+  for (const Field& f : def->scalars) {
+    if (obj.scalars.count(f.name) == 0) obj.scalars[f.name] = Value{};
+  }
+  for (const std::string& r : def->references) {
+    obj.references[r] = kNullObject;
+  }
+  ObjectId id = obj.id;
+  objects_[id] = std::move(obj);
+  return id;
+}
+
+Result<const Object*> ObjectStore::Get(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound(StrFormat("no object %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return &it->second;
+}
+
+Result<Object*> ObjectStore::GetMutable(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound(StrFormat("no object %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return &it->second;
+}
+
+Status ObjectStore::SetScalar(ObjectId id, const std::string& field,
+                              Value value) {
+  DBM_ASSIGN_OR_RETURN(Object * obj, GetMutable(id));
+  DBM_ASSIGN_OR_RETURN(const ClassDef* def, GetClass(obj->class_name));
+  const Field* f = def->FindScalar(field);
+  if (f == nullptr) {
+    return Status::NotFound("class '" + obj->class_name +
+                            "' has no scalar '" + field + "'");
+  }
+  if (!IsNull(value) && TypeOf(value) != f->type) {
+    return Status::InvalidArgument("type mismatch for '" + field + "'");
+  }
+  obj->scalars[field] = std::move(value);
+  return Status::OK();
+}
+
+Status ObjectStore::SetReference(ObjectId id, const std::string& field,
+                                 ObjectId target) {
+  DBM_ASSIGN_OR_RETURN(Object * obj, GetMutable(id));
+  DBM_ASSIGN_OR_RETURN(const ClassDef* def, GetClass(obj->class_name));
+  if (!def->HasReference(field)) {
+    return Status::NotFound("class '" + obj->class_name +
+                            "' has no reference '" + field + "'");
+  }
+  if (target != kNullObject) {
+    DBM_RETURN_NOT_OK(Get(target).status());
+  }
+  obj->references[field] = target;
+  return Status::OK();
+}
+
+Result<Value> ObjectStore::Navigate(ObjectId root,
+                                    const std::string& path) const {
+  std::vector<std::string> segments = Split(path, '.', /*skip_empty=*/true);
+  if (segments.empty()) {
+    return Status::InvalidArgument("empty navigation path");
+  }
+  ObjectId current = root;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    DBM_ASSIGN_OR_RETURN(const Object* obj, Get(current));
+    auto ref = obj->references.find(segments[i]);
+    if (ref == obj->references.end()) {
+      return Status::NotFound("'" + segments[i] + "' is not a reference of " +
+                              obj->class_name);
+    }
+    if (ref->second == kNullObject) {
+      return Value{};  // null reference: null result (SQL-style)
+    }
+    current = ref->second;
+  }
+  DBM_ASSIGN_OR_RETURN(const Object* leaf, Get(current));
+  auto scalar = leaf->scalars.find(segments.back());
+  if (scalar == leaf->scalars.end()) {
+    return Status::NotFound("'" + segments.back() + "' is not a scalar of " +
+                            leaf->class_name);
+  }
+  return scalar->second;
+}
+
+Result<XmlNode> ObjectStore::ToXml(ObjectId id) const {
+  DBM_ASSIGN_OR_RETURN(const Object* obj, Get(id));
+  XmlNode node;
+  node.tag = obj->class_name;
+  node.attributes["id"] = std::to_string(obj->id);
+  for (const auto& [field, value] : obj->scalars) {
+    XmlNode child;
+    child.tag = field;
+    child.text = ValueToString(value);
+    node.children.push_back(std::move(child));
+  }
+  for (const auto& [field, target] : obj->references) {
+    XmlNode child;
+    child.tag = field;
+    child.attributes["ref"] = std::to_string(target);  // by id: cycle-safe
+    node.children.push_back(std::move(child));
+  }
+  return node;
+}
+
+Result<Relation> ObjectStore::Flatten(const std::string& class_name) const {
+  DBM_ASSIGN_OR_RETURN(const ClassDef* def, GetClass(class_name));
+  std::vector<Field> fields;
+  fields.push_back(Field{"id", ValueType::kInt});
+  for (const Field& f : def->scalars) fields.push_back(f);
+  for (const std::string& r : def->references) {
+    fields.push_back(Field{r + "_id", ValueType::kInt});
+  }
+  Relation rel(class_name, Schema(std::move(fields)));
+  for (const auto& [id, obj] : objects_) {
+    if (obj.class_name != class_name) continue;
+    Tuple row;
+    row.values.push_back(static_cast<int64_t>(id));
+    for (const Field& f : def->scalars) {
+      row.values.push_back(obj.scalars.at(f.name));
+    }
+    for (const std::string& r : def->references) {
+      ObjectId target = obj.references.at(r);
+      row.values.push_back(target == kNullObject
+                               ? Value{}
+                               : Value{static_cast<int64_t>(target)});
+    }
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace dbm::data

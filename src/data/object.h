@@ -1,0 +1,94 @@
+// Object-structured data — the third face of the heterogeneous model.
+//
+// §4: "Example data could be OO structured data concerned with a person
+// or a relational table used for transaction processing or an XML
+// stream." Objects have a class, scalar fields and references to other
+// objects; an ObjectStore owns them and supports path navigation
+// ("person.address.city"), cycle-safe serialisation to XML, and flattening
+// into relations so the query substrate can reach object data.
+
+#ifndef DBM_DATA_OBJECT_H_
+#define DBM_DATA_OBJECT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "data/xml.h"
+
+namespace dbm::data {
+
+using ObjectId = uint64_t;
+constexpr ObjectId kNullObject = 0;
+
+/// A class definition: scalar fields and reference fields.
+struct ClassDef {
+  std::string name;
+  std::vector<Field> scalars;               // name + type
+  std::vector<std::string> references;      // field name → any object
+
+  const Field* FindScalar(const std::string& field) const {
+    for (const Field& f : scalars) {
+      if (f.name == field) return &f;
+    }
+    return nullptr;
+  }
+  bool HasReference(const std::string& field) const {
+    for (const std::string& r : references) {
+      if (r == field) return true;
+    }
+    return false;
+  }
+};
+
+/// An object instance.
+struct Object {
+  ObjectId id = kNullObject;
+  std::string class_name;
+  std::map<std::string, Value> scalars;
+  std::map<std::string, ObjectId> references;
+};
+
+class ObjectStore {
+ public:
+  /// Registers a class; names are unique.
+  Status DefineClass(ClassDef def);
+  Result<const ClassDef*> GetClass(const std::string& name) const;
+
+  /// Creates an instance of `class_name` with the given scalar values
+  /// (type-checked; missing scalars become null).
+  Result<ObjectId> Create(const std::string& class_name,
+                          std::map<std::string, Value> scalars = {});
+
+  Result<const Object*> Get(ObjectId id) const;
+  Result<Object*> GetMutable(ObjectId id);
+
+  /// Sets a scalar (type-checked) or reference field.
+  Status SetScalar(ObjectId id, const std::string& field, Value value);
+  Status SetReference(ObjectId id, const std::string& field, ObjectId target);
+
+  /// Navigates a dotted path from `root`: intermediate segments must be
+  /// reference fields; the last segment is a scalar.
+  Result<Value> Navigate(ObjectId root, const std::string& path) const;
+
+  /// Serialises one object (references by id attribute; cycle-safe).
+  Result<XmlNode> ToXml(ObjectId id) const;
+
+  /// Flattens all instances of a class into a relation: columns = the
+  /// class's scalars plus an "id" column and one "<ref>_id" column per
+  /// reference.
+  Result<Relation> Flatten(const std::string& class_name) const;
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  std::map<std::string, ClassDef> classes_;
+  std::map<ObjectId, Object> objects_;
+  ObjectId next_id_ = 1;
+};
+
+}  // namespace dbm::data
+
+#endif  // DBM_DATA_OBJECT_H_

@@ -1,0 +1,108 @@
+// In-memory relations with attribute statistics (the "standard metadata
+// found in traditional databases e.g. attribute statistics, triggers" of
+// Fig 2). Statistics can be deliberately perturbed — scenario 3 (intra-
+// query adaptation) depends on the optimiser starting from wrong numbers.
+
+#ifndef DBM_DATA_RELATION_H_
+#define DBM_DATA_RELATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/value.h"
+
+namespace dbm::data {
+
+/// Equi-width histogram over a numeric column.
+struct Histogram {
+  double lo = 0;
+  double hi = 0;
+  std::vector<uint64_t> buckets;
+
+  /// Estimated fraction of values ≤ x.
+  double SelectivityLe(double x) const;
+  /// Estimated fraction of values = x (uniform-within-bucket assumption).
+  double SelectivityEq(double x) const;
+  uint64_t total() const;
+};
+
+/// Per-column statistics.
+struct ColumnStats {
+  uint64_t count = 0;
+  uint64_t nulls = 0;
+  double min = 0;
+  double max = 0;
+  uint64_t distinct_estimate = 0;
+  Histogram histogram;
+};
+
+/// Relation-level statistics.
+struct RelationStats {
+  uint64_t row_count = 0;
+  std::map<std::string, ColumnStats> columns;
+
+  /// Multiplies every cardinality by `factor` — the knob for producing the
+  /// inaccurate estimates that trigger mid-query re-optimisation.
+  void PerturbCardinality(double factor);
+};
+
+/// A row-store relation.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Appends a type-checked row.
+  Status Insert(Tuple tuple);
+  /// Appends without checking (bulk load of trusted data).
+  void InsertUnchecked(Tuple tuple) { rows_.push_back(std::move(tuple)); }
+
+  /// Computes fresh statistics (histogram_buckets per numeric column).
+  RelationStats ComputeStatistics(size_t histogram_buckets = 16) const;
+
+  /// Uniform row sample of about `fraction` of rows — the "summary /
+  /// lower-quality version" materialisation.
+  Relation Sample(double fraction, uint64_t seed) const;
+
+  /// Byte-serialisation (versions, codecs, and network transfer sizing).
+  std::vector<uint8_t> Serialize() const;
+  static Result<Relation> Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Approximate in-memory payload size in bytes.
+  size_t PayloadBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+/// Deterministic synthetic relation generators used across tests, benches
+/// and examples.
+namespace gen {
+
+/// "people(id:int, name:string, age:int, city:string)" with `n` rows.
+Relation People(size_t n, uint64_t seed);
+
+/// "orders(id:int, person_id:int, amount:double, day:int)"; person_id
+/// references People(n_people) with Zipf skew `theta`.
+Relation Orders(size_t n, size_t n_people, double theta, uint64_t seed);
+
+/// Sensor readings "readings(seq:int, temperature:double, battery:double)".
+Relation SensorReadings(size_t n, uint64_t seed);
+
+}  // namespace gen
+
+}  // namespace dbm::data
+
+#endif  // DBM_DATA_RELATION_H_

@@ -1,0 +1,99 @@
+// Values, schemas and tuples — the relational face of the heterogeneous
+// data model. The paper's data components hold "OO structured data ... or
+// a relational table ... or an XML stream"; relations live here, XML in
+// xml.h, and objects in object.h.
+
+#ifndef DBM_DATA_VALUE_H_
+#define DBM_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbm::data {
+
+enum class ValueType : uint8_t { kNull, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+/// A single relational value. Null is the monostate alternative.
+using Value = std::variant<std::monostate, int64_t, double, std::string>;
+
+ValueType TypeOf(const Value& v);
+bool IsNull(const Value& v);
+std::string ValueToString(const Value& v);
+
+/// Three-valued-free comparison: nulls sort first, numeric types compare
+/// numerically across int/double, strings lexicographically. Comparing a
+/// number with a string is an error surfaced as InvalidArgument by callers
+/// that need it; here numbers sort before strings (deterministic total
+/// order for sorting and hashing).
+int CompareValues(const Value& a, const Value& b);
+
+/// FNV-1a hash of a value (for hash joins and grouping).
+uint64_t HashValue(const Value& v);
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t size() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the named column.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Concatenation (for join outputs). Duplicate names get the side
+  /// prefixes "l." / "r.".
+  static Schema Join(const Schema& left, const Schema& right);
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// A row. Positions correspond to the governing schema.
+struct Tuple {
+  std::vector<Value> values;
+
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> v) : values(std::move(v)) {}
+
+  size_t size() const { return values.size(); }
+  const Value& at(size_t i) const { return values[i]; }
+
+  /// Concatenation for join output.
+  static Tuple Concat(const Tuple& l, const Tuple& r);
+
+  bool operator==(const Tuple& other) const;
+  std::string ToString() const;
+};
+
+/// Validates that a tuple's value types match the schema (null allowed in
+/// any column).
+Status CheckTuple(const Schema& schema, const Tuple& tuple);
+
+}  // namespace dbm::data
+
+#endif  // DBM_DATA_VALUE_H_

@@ -1,0 +1,105 @@
+#include "data/version.h"
+
+namespace dbm::data {
+
+const char* VersionKindName(VersionKind k) {
+  switch (k) {
+    case VersionKind::kPrimary: return "primary";
+    case VersionKind::kReplica: return "replica";
+    case VersionKind::kCompressed: return "compressed";
+    case VersionKind::kStale: return "stale";
+    case VersionKind::kSummary: return "summary";
+  }
+  return "?";
+}
+
+Result<Relation> MaterializedVersion::Open() const {
+  DBM_ASSIGN_OR_RETURN(const Codec* codec, FindCodec(descriptor.codec));
+  DBM_ASSIGN_OR_RETURN(Bytes raw, codec->Decode(payload));
+  return Relation::Deserialize(raw);
+}
+
+Result<MaterializedVersion> Materialize(const Relation& primary,
+                                        VersionKind kind,
+                                        const std::string& location,
+                                        SimTime as_of, double quality,
+                                        const std::string& codec_name,
+                                        uint64_t seed) {
+  MaterializedVersion out;
+  out.descriptor.kind = kind;
+  out.descriptor.location = location;
+  out.descriptor.as_of = as_of;
+  out.descriptor.quality = kind == VersionKind::kSummary ? quality : 1.0;
+  out.descriptor.codec = "identity";
+  out.descriptor.id = primary.name() + "@" + location + "#" +
+                      VersionKindName(kind);
+
+  switch (kind) {
+    case VersionKind::kPrimary:
+    case VersionKind::kReplica:
+    case VersionKind::kStale:
+      out.payload = primary.Serialize();
+      break;
+    case VersionKind::kCompressed: {
+      DBM_ASSIGN_OR_RETURN(const Codec* codec, FindCodec(codec_name));
+      out.payload = codec->Encode(primary.Serialize());
+      out.descriptor.codec = codec_name;
+      break;
+    }
+    case VersionKind::kSummary: {
+      Relation sample = primary.Sample(quality, seed);
+      out.payload = sample.Serialize();
+      break;
+    }
+  }
+  out.descriptor.payload_bytes = out.payload.size();
+  return out;
+}
+
+Status VersionStore::Put(MaterializedVersion version) {
+  const std::string& id = version.descriptor.id;
+  if (versions_.count(id) > 0) {
+    return Status::AlreadyExists("version '" + id + "' already stored");
+  }
+  versions_.emplace(id, std::move(version));
+  return Status::OK();
+}
+
+Result<const MaterializedVersion*> VersionStore::Get(
+    const std::string& id) const {
+  auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound("no version '" + id + "'");
+  }
+  return &it->second;
+}
+
+Status VersionStore::Drop(const std::string& id) {
+  return versions_.erase(id) > 0
+             ? Status::OK()
+             : Status::NotFound("no version '" + id + "'");
+}
+
+std::vector<const VersionDescriptor*> VersionStore::Catalogue() const {
+  std::vector<const VersionDescriptor*> out;
+  out.reserve(versions_.size());
+  for (const auto& [_, v] : versions_) out.push_back(&v.descriptor);
+  return out;
+}
+
+std::vector<const VersionDescriptor*> VersionStore::At(
+    const std::string& location) const {
+  std::vector<const VersionDescriptor*> out;
+  for (const auto& [_, v] : versions_) {
+    if (v.descriptor.location == location) out.push_back(&v.descriptor);
+  }
+  return out;
+}
+
+size_t VersionStore::TotalBytes() const {
+  size_t bytes = 0;
+  for (const auto& [_, v] : versions_) bytes += v.payload.size();
+  return bytes;
+}
+
+}  // namespace dbm::data

@@ -1,0 +1,84 @@
+// Data versions (Fig 2: "the list of versions is indications of where
+// alternatives can be found. Versions are not necessarily exact replicas;
+// they could be compressed versions of the data (perhaps with associated
+// decompression code) or be out-of-date. They also could be lower quality
+// versions or summaries of the data.")
+
+#ifndef DBM_DATA_VERSION_H_
+#define DBM_DATA_VERSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "data/codec.h"
+#include "data/relation.h"
+
+namespace dbm::data {
+
+enum class VersionKind : uint8_t {
+  kPrimary,     // the authoritative copy
+  kReplica,     // exact copy on another node
+  kCompressed,  // codec-encoded copy (smaller transfer, CPU to decode)
+  kStale,       // older snapshot ("the ability to cope with slightly
+                // out-of-date data", §1)
+  kSummary,     // sampled / lower-quality version
+};
+
+const char* VersionKindName(VersionKind k);
+
+/// Where and what an alternative version is.
+struct VersionDescriptor {
+  std::string id;        // unique within the data component
+  VersionKind kind = VersionKind::kPrimary;
+  std::string location;  // device/node holding it
+  SimTime as_of = 0;     // snapshot time (staleness = now - as_of)
+  double quality = 1.0;  // 1.0 = full fidelity
+  std::string codec = "identity";
+  size_t payload_bytes = 0;
+};
+
+/// A materialised version: descriptor + the (possibly encoded) payload.
+struct MaterializedVersion {
+  VersionDescriptor descriptor;
+  Bytes payload;
+
+  /// Decodes and deserialises back to a relation.
+  Result<Relation> Open() const;
+};
+
+/// Builds a version of `primary` according to `kind`:
+///  * kPrimary / kReplica / kStale → exact serialisation
+///  * kCompressed → encode with `codec`
+///  * kSummary → Sample(quality) then serialise
+Result<MaterializedVersion> Materialize(const Relation& primary,
+                                        VersionKind kind,
+                                        const std::string& location,
+                                        SimTime as_of, double quality = 1.0,
+                                        const std::string& codec = "rle",
+                                        uint64_t seed = 42);
+
+/// A set of materialised versions of one logical datum, addressable by id.
+class VersionStore {
+ public:
+  Status Put(MaterializedVersion version);
+  Result<const MaterializedVersion*> Get(const std::string& id) const;
+  Status Drop(const std::string& id);
+
+  std::vector<const VersionDescriptor*> Catalogue() const;
+
+  /// Versions held at a location.
+  std::vector<const VersionDescriptor*> At(const std::string& location) const;
+
+  size_t size() const { return versions_.size(); }
+  size_t TotalBytes() const;
+
+ private:
+  std::map<std::string, MaterializedVersion> versions_;
+};
+
+}  // namespace dbm::data
+
+#endif  // DBM_DATA_VERSION_H_

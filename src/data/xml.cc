@@ -1,0 +1,196 @@
+#include "data/xml.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dbm::data {
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view src) : src_(src) {}
+
+  Result<XmlNode> Run() {
+    SkipWs();
+    DBM_ASSIGN_OR_RETURN(XmlNode root, ParseElement());
+    SkipWs();
+    if (pos_ != src_.size()) {
+      return Status::ParseError("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_' || src_[pos_] == '-' || src_[pos_] == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("expected name");
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  Result<XmlNode> ParseElement() {
+    if (pos_ >= src_.size() || src_[pos_] != '<') {
+      return Status::ParseError("expected '<'");
+    }
+    ++pos_;
+    XmlNode node;
+    DBM_ASSIGN_OR_RETURN(node.tag, ParseName());
+    // Attributes.
+    while (true) {
+      SkipWs();
+      if (pos_ >= src_.size()) return Status::ParseError("unterminated tag");
+      if (src_[pos_] == '/' || src_[pos_] == '>') break;
+      DBM_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWs();
+      if (pos_ >= src_.size() || src_[pos_] != '=') {
+        return Status::ParseError("expected '=' after attribute '" + key +
+                                  "'");
+      }
+      ++pos_;
+      SkipWs();
+      if (pos_ >= src_.size() || src_[pos_] != '"') {
+        return Status::ParseError("expected '\"'");
+      }
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"') ++pos_;
+      if (pos_ >= src_.size()) {
+        return Status::ParseError("unterminated attribute value");
+      }
+      node.attributes[key] = std::string(src_.substr(start, pos_ - start));
+      ++pos_;
+    }
+    if (src_[pos_] == '/') {
+      ++pos_;
+      if (pos_ >= src_.size() || src_[pos_] != '>') {
+        return Status::ParseError("expected '>' after '/'");
+      }
+      ++pos_;
+      return node;  // self-closing
+    }
+    ++pos_;  // '>'
+    // Content: text and child elements until </tag>.
+    while (true) {
+      if (pos_ >= src_.size()) {
+        return Status::ParseError("unterminated element <" + node.tag + ">");
+      }
+      if (src_[pos_] == '<') {
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+          pos_ += 2;
+          DBM_ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != node.tag) {
+            return Status::ParseError("mismatched closing tag </" + close +
+                                      "> for <" + node.tag + ">");
+          }
+          SkipWs();
+          if (pos_ >= src_.size() || src_[pos_] != '>') {
+            return Status::ParseError("expected '>' in closing tag");
+          }
+          ++pos_;
+          return node;
+        }
+        DBM_ASSIGN_OR_RETURN(XmlNode child, ParseElement());
+        node.children.push_back(std::move(child));
+      } else {
+        size_t start = pos_;
+        while (pos_ < src_.size() && src_[pos_] != '<') ++pos_;
+        std::string_view text = src_.substr(start, pos_ - start);
+        node.text += std::string(Trim(text));
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+void SerializeInto(const XmlNode& node, std::ostringstream* out) {
+  *out << "<" << node.tag;
+  for (const auto& [k, v] : node.attributes) {
+    *out << " " << k << "=\"" << v << "\"";
+  }
+  if (node.text.empty() && node.children.empty()) {
+    *out << "/>";
+    return;
+  }
+  *out << ">" << node.text;
+  for (const XmlNode& c : node.children) SerializeInto(c, out);
+  *out << "</" << node.tag << ">";
+}
+
+}  // namespace
+
+Result<XmlNode> ParseXml(std::string_view source) {
+  return XmlParser(source).Run();
+}
+
+std::string SerializeXml(const XmlNode& node) {
+  std::ostringstream out;
+  SerializeInto(node, &out);
+  return out.str();
+}
+
+XmlNode RowToXml(const Schema& schema, const Tuple& row,
+                 const std::string& tag) {
+  XmlNode node;
+  node.tag = tag;
+  for (size_t i = 0; i < schema.size() && i < row.size(); ++i) {
+    XmlNode child;
+    child.tag = schema.field(i).name;
+    child.text = ValueToString(row.at(i));
+    node.children.push_back(std::move(child));
+  }
+  return node;
+}
+
+Result<Tuple> XmlToRow(const Schema& schema, const XmlNode& node) {
+  Tuple row;
+  for (const Field& f : schema.fields()) {
+    const XmlNode* child = node.FindChild(f.name);
+    if (child == nullptr) {
+      return Status::NotFound("fragment <" + node.tag + "> lacks <" + f.name +
+                              ">");
+    }
+    switch (f.type) {
+      case ValueType::kInt:
+        try {
+          row.values.emplace_back(
+              static_cast<int64_t>(std::stoll(child->text)));
+        } catch (const std::exception&) {
+          return Status::ParseError("bad int in <" + f.name + ">: '" +
+                                    child->text + "'");
+        }
+        break;
+      case ValueType::kDouble:
+        try {
+          row.values.emplace_back(std::stod(child->text));
+        } catch (const std::exception&) {
+          return Status::ParseError("bad double in <" + f.name + ">");
+        }
+        break;
+      case ValueType::kString:
+        row.values.emplace_back(child->text);
+        break;
+      case ValueType::kNull:
+        row.values.emplace_back();
+        break;
+    }
+  }
+  return row;
+}
+
+}  // namespace dbm::data

@@ -1,0 +1,53 @@
+// Minimal XML for the sensor-stream scenario ("the sensor's data ... is
+// streamed in XML format", §4). Supports elements, attributes and text —
+// enough to represent and re-parse sensor readings; no DTDs, entities or
+// namespaces.
+
+#ifndef DBM_DATA_XML_H_
+#define DBM_DATA_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace dbm::data {
+
+struct XmlNode {
+  std::string tag;
+  std::map<std::string, std::string> attributes;
+  std::string text;  // concatenated character data
+  std::vector<XmlNode> children;
+
+  const XmlNode* FindChild(const std::string& tag_) const {
+    for (const XmlNode& c : children) {
+      if (c.tag == tag_) return &c;
+    }
+    return nullptr;
+  }
+  std::string Attr(const std::string& key, const std::string& dflt = "") const {
+    auto it = attributes.find(key);
+    return it == attributes.end() ? dflt : it->second;
+  }
+};
+
+/// Parses a single XML document (one root element).
+Result<XmlNode> ParseXml(std::string_view source);
+
+/// Serialises a node (and subtree) to text.
+std::string SerializeXml(const XmlNode& node);
+
+/// Converts one relational row into the sensor-stream XML fragment, e.g.
+/// <reading seq="4"><temperature>21.3</temperature>...</reading>.
+XmlNode RowToXml(const Schema& schema, const Tuple& row,
+                 const std::string& tag = "reading");
+
+/// Parses a sensor-stream fragment back to a row of `schema`.
+Result<Tuple> XmlToRow(const Schema& schema, const XmlNode& node);
+
+}  // namespace dbm::data
+
+#endif  // DBM_DATA_XML_H_

@@ -1,0 +1,233 @@
+#include "dbmachine/scenarios.h"
+
+#include "adl/parser.h"
+
+namespace dbm::machine {
+
+// ---------------------------------------------------------------------------
+// Scenario 1
+// ---------------------------------------------------------------------------
+
+Result<Scenario1Report> RunScenario1(const Scenario1Config& config) {
+  EventLoop loop;
+  net::Network net(&loop);
+  net.AddDevice({"sensor", net::DeviceClass::kSensor, 0.05, 80, 0, 0});
+  net.AddDevice({"pda", net::DeviceClass::kPda, 0.2, 60, 0, 0});
+  net.AddDevice({"laptop", net::DeviceClass::kLaptop, 1.0, 90, 3, 0});
+  net.Connect("pda", "laptop", {2000, Millis(2), "wireless"});
+  (*net.GetDevice("laptop"))->set_load(config.laptop_load);
+
+  DatabaseMachine machine(&net);
+  DBM_RETURN_NOT_OK(machine.InstrumentDevice("pda"));
+  DBM_RETURN_NOT_OK(machine.InstrumentDevice("laptop"));
+
+  // Personal data: primary on the laptop, summary version on the PDA.
+  auto dc = std::make_shared<data::DataComponent>(
+      "personal-data", data::gen::People(config.rows, config.seed),
+      "laptop");
+  DBM_RETURN_NOT_OK(dc->PublishVersion(data::VersionKind::kReplica, "laptop",
+                                       0));
+  DBM_RETURN_NOT_OK(dc->PublishVersion(data::VersionKind::kSummary, "pda", 0,
+                                       config.summary_quality));
+  DBM_RETURN_NOT_OK(dc->rules().Add(1, "personal-data", config.rule));
+  DBM_RETURN_NOT_OK(machine.AttachData(dc, /*vantage=*/"pda"));
+  DBM_RETURN_NOT_OK(machine.SampleAll());
+
+  Scenario1Report report;
+  bool completed = false;
+  auto on_done = [&](const DataQueryResult& r) {
+    report.query = r;
+    report.quality = r.kind == data::VersionKind::kSummary
+                         ? config.summary_quality
+                         : 1.0;
+    completed = true;
+  };
+  if (config.adaptive) {
+    DBM_RETURN_NOT_OK(machine.QueryData("personal-data", "pda", on_done));
+  } else {
+    DBM_RETURN_NOT_OK(
+        machine.QueryDataFrom("personal-data", "laptop", "pda", on_done));
+  }
+  loop.RunUntil();
+  if (!completed) return Status::Internal("scenario 1 query never finished");
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2
+// ---------------------------------------------------------------------------
+
+const char* MobileCbmsAdl() {
+  return R"(
+// Fig 4: the component-based management system within the Laptop.
+component QueryOptimiser {
+  provide plan : optimiser;
+  require net : netdriver;
+}
+component WirelessOptimiser {
+  provide plan : optimiser;
+  require net : netdriver;
+}
+component EthernetDriver {
+  provide eth : netdriver;
+}
+component WirelessDriver {
+  provide wifi : netdriver;
+}
+component SessionMgr {
+  provide session;
+  require optimiser : optimiser;
+}
+
+configuration DockedSession {
+  inst sm : SessionMgr;
+  inst opt : QueryOptimiser;
+  inst drv : EthernetDriver;
+  bind sm.optimiser -- opt;
+  bind opt.net -- drv;
+}
+
+configuration WirelessSession {
+  inst sm : SessionMgr;
+  inst opt : WirelessOptimiser;
+  inst drv : WirelessDriver;
+  bind sm.optimiser -- opt;
+  bind opt.net -- drv;
+}
+)";
+}
+
+namespace {
+
+/// Runtime stand-in instantiated for ADL component types.
+class GenericComponent : public component::Component {
+ public:
+  GenericComponent(const std::string& name,
+                   const adl::ComponentTypeDecl& type)
+      : Component(name, type.name) {
+    for (const adl::ProvideDecl& p : type.provides) AddProvided(p.type);
+    for (const adl::RequireDecl& r : type.required) {
+      DeclarePort(r.name, r.type, r.optional);
+    }
+  }
+};
+
+}  // namespace
+
+Result<Scenario2Report> RunScenario2(const Scenario2Config& config) {
+  EventLoop loop;
+  net::Network net(&loop);
+  net.AddDevice({"sensor", net::DeviceClass::kSensor, 0.05, 80, 0, 0});
+  net.AddDevice({"laptop", net::DeviceClass::kLaptop, 1.0, 90, 3, 0});
+  net::Link* link = net.Connect("sensor", "laptop",
+                                {config.docked_kbps, Millis(1), "wired"});
+  (*net.GetDevice("laptop"))->set_docked(true);
+
+  DatabaseMachine machine(&net);
+  DBM_RETURN_NOT_OK(machine.InstrumentLink("sensor", "laptop"));
+
+  // Instantiate the docked architecture from the Fig 4 description.
+  DBM_ASSIGN_OR_RETURN(adl::Document doc, adl::Parse(MobileCbmsAdl()));
+  adl::ComponentFactory factory =
+      [&doc](const adl::InstanceDecl& inst)
+      -> Result<component::ComponentPtr> {
+    auto it = doc.types.find(inst.type);
+    if (it == doc.types.end()) {
+      return Status::NotFound("no ADL type '" + inst.type + "'");
+    }
+    return component::ComponentPtr(
+        std::make_shared<GenericComponent>(inst.name, it->second));
+  };
+  DBM_RETURN_NOT_OK(adl::Instantiate(doc, doc.configurations.at(
+                                              "DockedSession"),
+                                     factory, &machine.registry()));
+
+  // The stream under observation.
+  data::Relation readings =
+      data::gen::SensorReadings(config.rows, /*seed=*/7);
+  net::SensorStream::Options stream_options;
+  stream_options.chunk_rows = config.chunk_rows;
+  net::SensorStream stream(&net, "sensor", "laptop", &readings,
+                           stream_options);
+
+  Scenario2Report report;
+
+  // The adaptation loop: sample the bandwidth gauge; when it collapses,
+  // run the Fig 5 switchover (ADL reconfiguration) and move the stream to
+  // the compressed version at its next safe point.
+  bool switched = false;
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [&, weak_tick] {
+    auto tick = weak_tick.lock();
+    if (tick == nullptr) return;
+    (void)machine.SampleAll();
+    double bw = machine.bus().GetOr("bandwidth", config.docked_kbps);
+    if (config.adaptive && !switched && bw < config.docked_kbps * 0.5) {
+      switched = true;
+      ++report.adaptation_events;
+      Status s = machine.SwitchConfiguration(doc, "DockedSession",
+                                             "WirelessSession", factory);
+      report.reconfigured = s.ok();
+      stream.RequestCodecSwitch("lz");
+    }
+    if (stream.stats().completed_at < 0) {
+      loop.ScheduleAfter(config.tick_interval, [tick] { (*tick)(); });
+    }
+  };
+  loop.ScheduleAfter(config.tick_interval, [tick] { (*tick)(); });
+
+  // The undocking event.
+  loop.ScheduleAt(config.undock_at, [&] {
+    link->set_spec({config.wireless_kbps, Millis(8), "wireless"});
+    (*net.GetDevice("laptop"))->set_docked(false);
+  });
+
+  bool completed = false;
+  DBM_RETURN_NOT_OK(stream.Start(
+      [&](const net::SensorStream::Stats&) { completed = true; }));
+  loop.RunUntil();
+  if (!completed) return Status::Internal("scenario 2 stream never finished");
+
+  report.stream = stream.stats();
+  report.delivery_time = report.stream.completed_at;
+  report.conforms_wireless =
+      machine.CheckConforms(doc, "WirelessSession").ok();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3
+// ---------------------------------------------------------------------------
+
+Result<Scenario3Report> RunScenario3(const Scenario3Config& config) {
+  data::Relation orders = data::gen::Orders(config.orders, config.people,
+                                            config.zipf_theta, config.seed);
+  data::Relation people = data::gen::People(config.people, config.seed + 1);
+  data::RelationStats orders_stats = orders.ComputeStatistics();
+  data::RelationStats people_stats = people.ComputeStatistics();
+  orders_stats.PerturbCardinality(config.stats_error);
+
+  query::JoinQuery q;
+  q.left = query::TableInput{&orders, &orders_stats, std::nullopt, nullptr,
+                             1.0};
+  q.right = query::TableInput{&people, &people_stats, std::nullopt, nullptr,
+                              1.0};
+  q.spec = query::JoinSpec{1, 0};
+  q.left_join_column = "person_id";
+  q.right_join_column = "id";
+
+  adapt::StateManager state;
+  query::AdaptiveJoinExecutor exec{query::Optimizer(), &state};
+  query::AdaptiveJoinExecutor::Options options;
+  options.allow_reoptimization = config.adaptive;
+
+  std::vector<query::Tuple> out;
+  DBM_ASSIGN_OR_RETURN(query::ExecStats stats, exec.Run(q, &out, options));
+  Scenario3Report report;
+  report.exec = stats;
+  report.result_rows = out.size();
+  return report;
+}
+
+}  // namespace dbm::machine

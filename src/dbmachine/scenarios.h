@@ -1,0 +1,99 @@
+// The three §4 scenarios as reusable, parameterised drivers. Tests,
+// examples and benchmarks all run these so the reported numbers come from
+// one implementation.
+
+#ifndef DBM_DBMACHINE_SCENARIOS_H_
+#define DBM_DBMACHINE_SCENARIOS_H_
+
+#include <string>
+
+#include "dbmachine/machine.h"
+#include "net/sensor_stream.h"
+#include "query/executor.h"
+
+namespace dbm::machine {
+
+// ---------------------------------------------------------------------------
+// Scenario 1: inter-query adaptation.
+// "Personal data <...>, <Select BEST (PDA, Laptop)>, <Select NEAREST
+// (PDA, Laptop)>" — a PDA-issued query is served by whichever device the
+// rule picks given live capacity/load; the PDA holds a summary version,
+// the laptop the full replica.
+// ---------------------------------------------------------------------------
+
+struct Scenario1Config {
+  size_t rows = 2000;          // personal-data cardinality
+  double laptop_load = 0.0;    // utilisation of the laptop at query time
+  bool adaptive = true;        // false = always fetch from the laptop
+  std::string rule = "Select BEST (pda, laptop)";
+  double summary_quality = 0.15;  // fraction of rows in the PDA summary
+  uint64_t seed = 42;
+};
+
+struct Scenario1Report {
+  DataQueryResult query;
+  double quality = 1.0;  // fidelity of the delivered version
+};
+
+Result<Scenario1Report> RunScenario1(const Scenario1Config& config);
+
+// ---------------------------------------------------------------------------
+// Scenario 2: system adaptation (docked → wireless switchover, Figs 4-5).
+// The laptop receives the sensor's XML stream; mid-stream it is unplugged.
+// The adaptation loop notices the bandwidth collapse, executes the Darwin
+// docked→wireless reconfiguration, and switches the stream to the
+// compressed version at the next safe point.
+// ---------------------------------------------------------------------------
+
+struct Scenario2Config {
+  size_t rows = 1500;
+  size_t chunk_rows = 16;          // safe-point granularity
+  /// Undock ~25% into the docked delivery (which runs at ~10 Mbps).
+  SimTime undock_at = Millis(50);
+  double docked_kbps = 10000;
+  double wireless_kbps = 150;
+  bool adaptive = true;            // false = keep raw stream + docked config
+  SimTime tick_interval = Millis(5);
+};
+
+struct Scenario2Report {
+  net::SensorStream::Stats stream;
+  SimTime delivery_time = 0;
+  bool reconfigured = false;       // ADL switchover executed
+  bool conforms_wireless = false;  // running system matches WirelessSession
+  uint64_t adaptation_events = 0;
+};
+
+Result<Scenario2Report> RunScenario2(const Scenario2Config& config);
+
+/// The Fig 4 ADL document used by scenario 2 (exposed for tests/examples).
+const char* MobileCbmsAdl();
+
+// ---------------------------------------------------------------------------
+// Scenario 3: intra-query adaptation.
+// A join planned from stale statistics builds on the wrong side; at a
+// safe point the executor consults the State Manager, re-plans with the
+// observed cardinality ("change the join's inner-loop to the outer-loop")
+// and resumes.
+// ---------------------------------------------------------------------------
+
+struct Scenario3Config {
+  size_t orders = 20000;
+  size_t people = 400;
+  double zipf_theta = 0.4;
+  /// Multiplier applied to the orders statistics (<1 = underestimate).
+  double stats_error = 0.02;
+  bool adaptive = true;
+  uint64_t seed = 21;
+};
+
+struct Scenario3Report {
+  query::ExecStats exec;
+  uint64_t result_rows = 0;
+};
+
+Result<Scenario3Report> RunScenario3(const Scenario3Config& config);
+
+}  // namespace dbm::machine
+
+#endif  // DBM_DBMACHINE_SCENARIOS_H_

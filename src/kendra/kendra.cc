@@ -1,0 +1,131 @@
+#include "kendra/kendra.h"
+
+#include <algorithm>
+
+namespace dbm::kendra {
+
+const std::vector<AudioCodec>& DefaultLadder() {
+  static const std::vector<AudioCodec> ladder = {
+      {"pcm-256", 256, 1.00},
+      {"mp3-128", 128, 0.92},
+      {"mp3-64", 64, 0.80},
+      {"gsm-13", 13, 0.55},
+  };
+  return ladder;
+}
+
+Result<StreamResult> AudioServer::StreamFixed(
+    const AudioCodec& codec, SimTime duration,
+    const std::vector<BandwidthEvent>& trace) {
+  return StreamImpl({codec}, /*adaptive=*/false, duration, trace);
+}
+
+Result<StreamResult> AudioServer::StreamAdaptive(
+    const std::vector<AudioCodec>& ladder, SimTime duration,
+    const std::vector<BandwidthEvent>& trace) {
+  if (ladder.empty()) {
+    return Status::InvalidArgument("empty codec ladder");
+  }
+  return StreamImpl(ladder, /*adaptive=*/true, duration, trace);
+}
+
+Result<StreamResult> AudioServer::StreamImpl(
+    const std::vector<AudioCodec>& ladder, bool adaptive, SimTime duration,
+    const std::vector<BandwidthEvent>& trace) {
+  DBM_ASSIGN_OR_RETURN(net::Link * link,
+                       network_->GetLink(server_, client_));
+  EventLoop* loop = network_->loop();
+
+  // Apply the bandwidth trace.
+  for (const BandwidthEvent& ev : trace) {
+    loop->ScheduleAt(ev.at, [link, ev] { link->set_bandwidth(ev.bandwidth_kbps); });
+  }
+
+  const uint64_t total_chunks = static_cast<uint64_t>(
+      (duration + options_.chunk_duration - 1) / options_.chunk_duration);
+
+  auto result = std::make_shared<StreamResult>();
+  auto state = std::make_shared<double>(0);  // EWMA throughput (kbps)
+  auto primed = std::make_shared<bool>(false);
+  auto codec_idx = std::make_shared<size_t>(adaptive ? ladder.size() - 1 : 0);
+  auto quality_sum = std::make_shared<double>(0);
+  SimTime start = loop->Now();
+  auto done = std::make_shared<bool>(false);
+
+  auto send_chunk = std::make_shared<std::function<void(uint64_t)>>();
+  std::weak_ptr<std::function<void(uint64_t)>> weak_send = send_chunk;
+  *send_chunk = [this, loop, link, ladder, adaptive, total_chunks, result,
+                 state, primed, codec_idx, quality_sum, start, done,
+                 weak_send](uint64_t chunk) {
+    auto send_chunk = weak_send.lock();
+    if (send_chunk == nullptr) return;
+    if (chunk >= total_chunks) {
+      result->finished_at = loop->Now();
+      result->mean_quality =
+          result->chunks == 0 ? 0 : *quality_sum / static_cast<double>(result->chunks);
+      *done = true;
+      return;
+    }
+    // Chunk-boundary safe point: the adaptive controller picks the best
+    // codec fitting inside the measured throughput with headroom.
+    if (adaptive && *primed) {
+      size_t pick = ladder.size() - 1;
+      for (size_t i = 0; i < ladder.size(); ++i) {
+        if (ladder[i].bitrate_kbps <= options_.headroom * *state) {
+          pick = i;
+          break;  // ladder is best-first
+        }
+      }
+      if (pick != *codec_idx) {
+        *codec_idx = pick;
+        ++result->codec_switches;
+      }
+    }
+    const AudioCodec& codec = ladder[*codec_idx];
+    result->decisions.push_back(codec.name);
+
+    // Chunk payload: bitrate × chunk duration.
+    size_t bytes = static_cast<size_t>(codec.bitrate_kbps * 1000.0 *
+                                       ToSeconds(options_.chunk_duration) /
+                                       8.0);
+    SimTime deadline = start + options_.jitter_buffer +
+                       static_cast<SimTime>(chunk + 1) *
+                           options_.chunk_duration;
+    SimTime sent_at = loop->Now();
+    result->bytes_sent += bytes;
+    Status s = network_->Transfer(
+        server_, client_, bytes,
+        [this, loop, result, state, primed, quality_sum, codec, bytes,
+         sent_at, deadline, chunk, send_chunk](SimTime arrived) {
+          ++result->chunks;
+          *quality_sum += codec.quality;
+          SimTime xfer = std::max<SimTime>(1, arrived - sent_at);
+          double throughput_kbps =
+              static_cast<double>(bytes) * 8.0 / 1000.0 / ToSeconds(xfer);
+          *state = *primed
+                       ? options_.ewma_alpha * throughput_kbps +
+                             (1 - options_.ewma_alpha) * *state
+                       : throughput_kbps;
+          *primed = true;
+          if (arrived > deadline) {
+            ++result->stalls;
+            result->total_stall += arrived - deadline;
+          }
+          // Pace: the next chunk is sent when the previous lands (server
+          // push with one chunk in flight).
+          (*send_chunk)(chunk + 1);
+        });
+    if (!s.ok()) {
+      result->finished_at = loop->Now();
+      *done = true;
+    }
+  };
+  (*send_chunk)(0);
+  loop->RunUntil();
+  if (!*done) {
+    return Status::Internal("audio stream did not complete");
+  }
+  return *result;
+}
+
+}  // namespace dbm::kendra

@@ -1,0 +1,96 @@
+// Kendra: the adaptive audio server (§5.2, ref [23]).
+//
+// "While the server is delivering some streaming media (e.g. audio) the
+// codec of the stream is chosen to best suit the bandwidth, and if the
+// bandwidth should change during mid delivery, then a new less bandwidth
+// hungry codec is swapped in." This module reproduces that intra-request
+// adaptation: audio is delivered in fixed-duration chunks against
+// playback deadlines; the adaptive controller tracks delivered throughput
+// through an EWMA gauge and swaps codecs at chunk boundaries. The fixed-
+// codec baselines either stall (too greedy) or waste quality (too timid).
+
+#ifndef DBM_KENDRA_KENDRA_H_
+#define DBM_KENDRA_KENDRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace dbm::kendra {
+
+/// One rung of the codec ladder.
+struct AudioCodec {
+  std::string name;
+  double bitrate_kbps = 128;
+  double quality = 1.0;  // relative perceptual quality in (0,1]
+};
+
+/// The default ladder, best first.
+const std::vector<AudioCodec>& DefaultLadder();
+
+/// A step change in link bandwidth at a point in time.
+struct BandwidthEvent {
+  SimTime at = 0;
+  double bandwidth_kbps = 0;
+};
+
+struct StreamResult {
+  uint64_t chunks = 0;
+  uint64_t stalls = 0;          // chunks that missed their deadline
+  SimTime total_stall = 0;      // accumulated rebuffering time
+  double mean_quality = 0;      // delivered-quality average over chunks
+  uint64_t codec_switches = 0;
+  uint64_t bytes_sent = 0;
+  SimTime finished_at = 0;
+  /// Per-chunk codec decisions (the feedback-loop trace §6 reflects on).
+  std::vector<std::string> decisions;
+};
+
+class AudioServer {
+ public:
+  struct Options {
+    SimTime chunk_duration = Millis(500);  // audio per chunk
+    SimTime jitter_buffer = Millis(1000);  // startup buffer
+    /// Adaptive headroom: pick the best codec with bitrate ≤
+    /// headroom × measured throughput.
+    double headroom = 0.8;
+    double ewma_alpha = 0.4;
+  };
+
+  AudioServer(net::Network* network, std::string server, std::string client)
+      : network_(network),
+        server_(std::move(server)),
+        client_(std::move(client)),
+        options_() {}
+  AudioServer(net::Network* network, std::string server, std::string client,
+              const Options& options)
+      : network_(network),
+        server_(std::move(server)),
+        client_(std::move(client)),
+        options_(options) {}
+
+  /// Streams `duration` of audio with a FIXED codec (baseline).
+  Result<StreamResult> StreamFixed(const AudioCodec& codec,
+                                   SimTime duration,
+                                   const std::vector<BandwidthEvent>& trace);
+
+  /// Streams adaptively over the ladder.
+  Result<StreamResult> StreamAdaptive(
+      const std::vector<AudioCodec>& ladder, SimTime duration,
+      const std::vector<BandwidthEvent>& trace);
+
+ private:
+  Result<StreamResult> StreamImpl(const std::vector<AudioCodec>& ladder,
+                                  bool adaptive, SimTime duration,
+                                  const std::vector<BandwidthEvent>& trace);
+
+  net::Network* network_;
+  std::string server_, client_;
+  Options options_;
+};
+
+}  // namespace dbm::kendra
+
+#endif  // DBM_KENDRA_KENDRA_H_

@@ -1,0 +1,143 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace dbm::net {
+
+const char* DeviceClassName(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kSensor: return "sensor";
+    case DeviceClass::kPda: return "pda";
+    case DeviceClass::kLaptop: return "laptop";
+    case DeviceClass::kServer: return "server";
+  }
+  return "?";
+}
+
+Device* Network::AddDevice(DeviceSpec spec) {
+  std::string name = spec.name;
+  auto device = std::make_unique<Device>(std::move(spec));
+  Device* raw = device.get();
+  devices_[name] = std::move(device);
+  return raw;
+}
+
+Result<Device*> Network::GetDevice(const std::string& name) const {
+  auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    return Status::NotFound("no device '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Link* Network::Connect(const std::string& a, const std::string& b,
+                       LinkSpec spec) {
+  auto link = std::make_unique<Link>(a, b, std::move(spec));
+  Link* raw = link.get();
+  links_[Key(a, b)] = std::move(link);
+  return raw;
+}
+
+Result<Link*> Network::GetLink(const std::string& a,
+                               const std::string& b) const {
+  auto it = links_.find(Key(a, b));
+  if (it == links_.end()) {
+    return Status::NotFound("no link between '" + a + "' and '" + b + "'");
+  }
+  return it->second.get();
+}
+
+Status Network::Transfer(const std::string& from, const std::string& to,
+                         size_t bytes, std::function<void(SimTime)> on_done,
+                         size_t chunk_bytes) {
+  DBM_ASSIGN_OR_RETURN(Link * link, GetLink(from, to));
+  if (chunk_bytes == 0) chunk_bytes = bytes == 0 ? 1 : bytes;
+
+  // Recursive chunk sender: each chunk reads the link's *current* spec,
+  // so reconfiguration mid-transfer changes the remainder's pacing. The
+  // function captures itself weakly (scheduled events hold the strong
+  // reference) to avoid a shared_ptr cycle.
+  auto send_next = std::make_shared<std::function<void(size_t)>>();
+  std::weak_ptr<std::function<void(size_t)>> weak = send_next;
+  *send_next = [this, link, chunk_bytes, on_done = std::move(on_done),
+                weak](size_t remaining) {
+    auto self = weak.lock();
+    if (self == nullptr) return;
+    if (remaining == 0) {
+      on_done(loop_->Now());
+      return;
+    }
+    if (!link->up()) {
+      // Link down: retry in 10 simulated ms (the adaptation layer is
+      // expected to reroute before this matters).
+      loop_->ScheduleAfter(Millis(10),
+                           [self, remaining] { (*self)(remaining); });
+      return;
+    }
+    size_t chunk = std::min(chunk_bytes, remaining);
+    link->AccountBytes(chunk);
+    loop_->ScheduleAfter(link->TransferTime(chunk),
+                         [self, remaining, chunk] {
+                           (*self)(remaining - chunk);
+                         });
+  };
+  (*send_next)(bytes);
+  return Status::OK();
+}
+
+double Network::Distance(const std::string& a, const std::string& b) const {
+  auto da = GetDevice(a);
+  auto db = GetDevice(b);
+  if (!da.ok() || !db.ok()) return 1e18;
+  double dx = (*da)->x() - (*db)->x();
+  double dy = (*da)->y() - (*db)->y();
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<std::string> Network::DeviceNames() const {
+  std::vector<std::string> names;
+  names.reserve(devices_.size());
+  for (const auto& [name, _] : devices_) names.push_back(name);
+  return names;
+}
+
+double NetworkScorer::Score(const adapt::Target& target) const {
+  auto device = net_->GetDevice(target.node());
+  if (!device.ok()) return -1e18;
+  return (*device)->SpareCapacity();
+}
+
+double NetworkScorer::Distance(const adapt::Target& target) const {
+  return net_->Distance(vantage_, target.node());
+}
+
+std::shared_ptr<adapt::CallbackMonitor> MakeLoadMonitor(Network* net,
+                                                        std::string device) {
+  return std::make_shared<adapt::CallbackMonitor>(
+      device + ".load-mon", device + ".processor-util",
+      [net, device]() -> double {
+        auto d = net->GetDevice(device);
+        return d.ok() ? (*d)->load() * 100.0 : 0.0;
+      });
+}
+
+std::shared_ptr<adapt::CallbackMonitor> MakeBandwidthMonitor(
+    Network* net, std::string a, std::string b) {
+  return std::make_shared<adapt::CallbackMonitor>(
+      a + "-" + b + ".bw-mon", "bandwidth", [net, a, b]() -> double {
+        auto link = net->GetLink(a, b);
+        return link.ok() && (*link)->up() ? (*link)->bandwidth_kbps() : 0.0;
+      });
+}
+
+std::shared_ptr<adapt::CallbackMonitor> MakeBatteryMonitor(
+    Network* net, std::string device) {
+  return std::make_shared<adapt::CallbackMonitor>(
+      device + ".battery-mon", device + ".battery",
+      [net, device]() -> double {
+        auto d = net->GetDevice(device);
+        return d.ok() ? (*d)->battery() : 0.0;
+      });
+}
+
+}  // namespace dbm::net

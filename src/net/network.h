@@ -1,0 +1,190 @@
+// The ubiquitous-computing environment simulator.
+//
+// §4's setting: "a sensor, a Laptop and a PDA. The Laptop and PDA can make
+// use of the sensor's data (which is streamed in XML format)". Devices
+// have capacity, load, battery and position; links have bandwidth and
+// latency that change when a laptop docks or undocks. The paper's
+// scenarios could not run on real hardware here, so this simulator
+// provides the identical *control inputs* — monitored load, bandwidth and
+// battery signals — that drive the adaptation framework.
+
+#ifndef DBM_NET_NETWORK_H_
+#define DBM_NET_NETWORK_H_
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/metrics.h"
+#include "adapt/rules.h"
+#include "common/event_loop.h"
+#include "common/result.h"
+
+namespace dbm::net {
+
+enum class DeviceClass : uint8_t { kSensor, kPda, kLaptop, kServer };
+const char* DeviceClassName(DeviceClass c);
+
+struct DeviceSpec {
+  std::string name;
+  DeviceClass cls = DeviceClass::kServer;
+  double capacity = 1.0;    // relative compute capacity
+  double battery = -1.0;    // percent; -1 = mains powered
+  double x = 0, y = 0;      // position (NEAREST)
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const std::string& name() const { return spec_.name; }
+  DeviceClass cls() const { return spec_.cls; }
+  double capacity() const { return spec_.capacity; }
+  double x() const { return spec_.x; }
+  double y() const { return spec_.y; }
+
+  /// Utilisation in [0,1].
+  double load() const { return load_; }
+  void set_load(double l) { load_ = std::clamp(l, 0.0, 1.0); }
+  void AddLoad(double delta) { set_load(load_ + delta); }
+
+  bool on_mains() const { return spec_.battery < 0 || docked_; }
+  double battery() const { return battery_override_ >= 0 ? battery_override_ : spec_.battery; }
+  void set_battery(double pct) { battery_override_ = pct; }
+
+  /// Docking state (laptops): affects power and which uplink is active.
+  bool docked() const { return docked_; }
+  void set_docked(bool d) { docked_ = d; }
+
+  void MoveTo(double nx, double ny) {
+    spec_.x = nx;
+    spec_.y = ny;
+  }
+
+  /// Spare-capacity score used by BEST: capacity × (1 − load), with a
+  /// battery-powered penalty (the paper's BEST weighs "capacity and
+  /// current load").
+  double SpareCapacity() const {
+    double s = spec_.capacity * (1.0 - load_);
+    if (!on_mains()) s *= 0.5;
+    return s;
+  }
+
+ private:
+  DeviceSpec spec_;
+  double load_ = 0;
+  double battery_override_ = -1;
+  bool docked_ = false;
+};
+
+struct LinkSpec {
+  double bandwidth_kbps = 1000;  // kilobits per simulated second
+  SimTime latency = Millis(1);
+  std::string kind = "wired";    // "wired" | "wireless"
+};
+
+class Link {
+ public:
+  Link(std::string a, std::string b, LinkSpec spec)
+      : a_(std::move(a)), b_(std::move(b)), spec_(std::move(spec)) {}
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+  const LinkSpec& spec() const { return spec_; }
+  void set_spec(LinkSpec spec) { spec_ = std::move(spec); }
+
+  double bandwidth_kbps() const { return spec_.bandwidth_kbps; }
+  void set_bandwidth(double kbps) { spec_.bandwidth_kbps = kbps; }
+  bool up() const { return up_; }
+  void set_up(bool u) { up_ = u; }
+
+  /// Transfer time for `bytes` at the CURRENT spec.
+  SimTime TransferTime(size_t bytes) const {
+    double bits = static_cast<double>(bytes) * 8.0;
+    double seconds = bits / (spec_.bandwidth_kbps * 1000.0);
+    return spec_.latency + Seconds(seconds);
+  }
+
+  uint64_t bytes_carried() const { return bytes_carried_; }
+  void AccountBytes(size_t bytes) { bytes_carried_ += bytes; }
+
+ private:
+  std::string a_, b_;
+  LinkSpec spec_;
+  bool up_ = true;
+  uint64_t bytes_carried_ = 0;
+};
+
+/// The simulated network: devices + links over an event loop.
+class Network {
+ public:
+  explicit Network(EventLoop* loop) : loop_(loop) {}
+
+  Device* AddDevice(DeviceSpec spec);
+  Result<Device*> GetDevice(const std::string& name) const;
+
+  Link* Connect(const std::string& a, const std::string& b, LinkSpec spec);
+  Result<Link*> GetLink(const std::string& a, const std::string& b) const;
+
+  /// Schedules a chunked transfer of `bytes` from `from` to `to`;
+  /// `on_done(completion_time)` fires when the last byte lands. Chunked
+  /// so mid-transfer bandwidth changes (undocking!) affect the remainder.
+  Status Transfer(const std::string& from, const std::string& to,
+                  size_t bytes, std::function<void(SimTime)> on_done,
+                  size_t chunk_bytes = 16 * 1024);
+
+  double Distance(const std::string& a, const std::string& b) const;
+
+  EventLoop* loop() { return loop_; }
+
+  std::vector<std::string> DeviceNames() const;
+
+ private:
+  static std::pair<std::string, std::string> Key(const std::string& a,
+                                                 const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  EventLoop* loop_;
+  std::map<std::string, std::unique_ptr<Device>> devices_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>>
+      links_;
+};
+
+/// Scores rule targets against the live network: BEST = spare capacity of
+/// the target's node; NEAREST = euclidean distance from the querying
+/// device. Targets name devices ("Laptop") or node-qualified resources
+/// ("node1.Page1.html" — the node component is scored).
+class NetworkScorer : public adapt::TargetScorer {
+ public:
+  NetworkScorer(const Network* net, std::string vantage)
+      : net_(net), vantage_(std::move(vantage)) {}
+
+  void set_current(std::optional<adapt::Target> current) {
+    current_ = std::move(current);
+  }
+
+  double Score(const adapt::Target& target) const override;
+  double Distance(const adapt::Target& target) const override;
+  std::optional<adapt::Target> Current() const override { return current_; }
+
+ private:
+  const Network* net_;
+  std::string vantage_;
+  std::optional<adapt::Target> current_;
+};
+
+/// Convenience monitors for the Fig 1 pipeline over this simulator.
+std::shared_ptr<adapt::CallbackMonitor> MakeLoadMonitor(Network* net,
+                                                        std::string device);
+std::shared_ptr<adapt::CallbackMonitor> MakeBandwidthMonitor(
+    Network* net, std::string a, std::string b);
+std::shared_ptr<adapt::CallbackMonitor> MakeBatteryMonitor(
+    Network* net, std::string device);
+
+}  // namespace dbm::net
+
+#endif  // DBM_NET_NETWORK_H_

@@ -1,0 +1,69 @@
+#include "net/sensor_stream.h"
+
+#include <algorithm>
+
+namespace dbm::net {
+
+Status SensorStream::Start(std::function<void(const Stats&)> on_complete) {
+  on_complete_ = std::move(on_complete);
+  // Validate codec and route before the first chunk.
+  DBM_RETURN_NOT_OK(data::FindCodec(codec_).status());
+  DBM_RETURN_NOT_OK(net_->GetLink(from_, to_).status());
+  SendChunk(0);
+  return Status::OK();
+}
+
+void SensorStream::SendChunk(size_t row) {
+  if (row >= readings_->size()) {
+    stats_.completed_at = net_->loop()->Now();
+    if (on_complete_) on_complete_(stats_);
+    return;
+  }
+  // Safe point: apply a pending codec switch at the chunk boundary.
+  if (!requested_codec_.empty() && requested_codec_ != codec_) {
+    if (data::FindCodec(requested_codec_).ok()) {
+      codec_ = requested_codec_;
+      ++stats_.codec_switches;
+    }
+    requested_codec_.clear();
+  }
+
+  size_t end = std::min(row + options_.chunk_rows, readings_->size());
+  std::string xml = "<chunk>";
+  for (size_t i = row; i < end; ++i) {
+    xml += data::SerializeXml(
+        data::RowToXml(readings_->schema(), readings_->rows()[i]));
+  }
+  xml += "</chunk>";
+
+  data::Bytes raw(xml.begin(), xml.end());
+  auto codec = data::FindCodec(codec_);
+  data::Bytes wire = (*codec)->Encode(raw);
+  stats_.raw_bytes += raw.size();
+  stats_.wire_bytes += wire.size();
+
+  // Encode on the sensor + decode on the consumer, charged as simulated
+  // time before the transfer begins (sequential device, single radio).
+  SimTime cpu = static_cast<SimTime>(
+      static_cast<double>(raw.size()) * options_.cpu_us_per_byte *
+      ((*codec)->CpuCostPerByte() * 2.0));
+  stats_.cpu_time += cpu;
+
+  size_t rows_in_chunk = end - row;
+  net_->loop()->ScheduleAfter(cpu, [this, wire, row, end, rows_in_chunk] {
+    Status s = net_->Transfer(
+        from_, to_, wire.size(),
+        [this, end, rows_in_chunk](SimTime) {
+          stats_.rows_delivered += rows_in_chunk;
+          ++stats_.chunks;
+          SendChunk(end);
+        });
+    if (!s.ok() && on_complete_) {
+      stats_.completed_at = net_->loop()->Now();
+      on_complete_(stats_);
+    }
+    (void)row;
+  });
+}
+
+}  // namespace dbm::net

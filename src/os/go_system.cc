@@ -1,0 +1,85 @@
+#include "os/go_system.h"
+
+namespace dbm::os::images {
+
+ComponentImage NullServer(const std::string& name) {
+  ComponentImage img;
+  img.name = name;
+  img.text = {Instr{Op::kRet, 0, 0, 0, 0}};
+  img.provides = {
+      InterfaceDecl{"serve", 0, HashInterfaceType("null-service")}};
+  return img;
+}
+
+ComponentImage Adder(const std::string& name) {
+  ComponentImage img;
+  img.name = name;
+  img.text = {
+      Instr{Op::kAdd, 0, 1, 2, 0},  // r0 = r1 + r2
+      Instr{Op::kRet, 0, 0, 0, 0},
+  };
+  img.provides = {InterfaceDecl{"add", 0, HashInterfaceType("adder")}};
+  return img;
+}
+
+ComponentImage Forwarder(const std::string& name, TypeHash port_type) {
+  ComponentImage img;
+  img.name = name;
+  img.text = {
+      Instr{Op::kCallPort, 0, 0, 0, 0},
+      Instr{Op::kRet, 0, 0, 0, 0},
+  };
+  img.provides = {
+      InterfaceDecl{"forward", 0, HashInterfaceType("forwarder")}};
+  img.required = {RequiredPortDecl{"downstream", port_type}};
+  return img;
+}
+
+ComponentImage RepeatCaller(const std::string& name, TypeHash port_type,
+                            int64_t n) {
+  ComponentImage img;
+  img.name = name;
+  // r4 = n; while (r4 != 0) { callport 0; r4 -= 1; } ret
+  img.text = {
+      Instr{Op::kMovImm, 4, 0, 0, n},   // 0: r4 = n
+      Instr{Op::kMovImm, 5, 0, 0, 1},   // 1: r5 = 1
+      Instr{Op::kJz, 4, 0, 0, 6},       // 2: if r4 == 0 goto 6
+      Instr{Op::kCallPort, 0, 0, 0, 0}, // 3: invoke port 0
+      Instr{Op::kSub, 4, 4, 5, 0},      // 4: r4 -= 1
+      Instr{Op::kJmp, 0, 0, 0, 2},      // 5: loop
+      Instr{Op::kRet, 0, 0, 0, 0},      // 6: done
+  };
+  img.provides = {InterfaceDecl{"run", 0, HashInterfaceType("repeater")}};
+  img.required = {RequiredPortDecl{"target", port_type}};
+  return img;
+}
+
+ComponentImage CountdownTask(const std::string& name, int64_t n) {
+  ComponentImage img;
+  img.name = name;
+  img.text = {
+      Instr{Op::kMovImm, 6, 0, 0, 0},   // 0: r6 = 0 (base register)
+      Instr{Op::kLoad, 0, 6, 0, 0},     // 1: r0 = data[0]
+      Instr{Op::kJz, 0, 0, 0, 6},       // 2: already done -> ret (r0=0)
+      Instr{Op::kMovImm, 5, 0, 0, 1},   // 3: r5 = 1
+      Instr{Op::kSub, 0, 0, 5, 0},      // 4: r0 -= 1
+      Instr{Op::kStore, 0, 6, 0, 0},    // 5: data[0] = r0
+      Instr{Op::kRet, 0, 0, 0, 0},      // 6:
+  };
+  img.data_init = {n};
+  img.provides = {InterfaceDecl{"step", 0, HashInterfaceType("task")}};
+  return img;
+}
+
+ComponentImage Malicious(const std::string& name) {
+  ComponentImage img;
+  img.name = name;
+  img.text = {
+      Instr{Op::kLoadSegment, 0, 0, 0, 1},  // forbidden in user code
+      Instr{Op::kRet, 0, 0, 0, 0},
+  };
+  img.provides = {InterfaceDecl{"evil", 0, HashInterfaceType("evil")}};
+  return img;
+}
+
+}  // namespace dbm::os::images

@@ -1,0 +1,104 @@
+// GoSystem: the assembled zero-kernel OS (our reproduction of Go!).
+//
+// Bundles physical memory, the cycle ledger, the VCPU, the ORB and the
+// loader into one substrate object, and wires the VCPU's kCallPort
+// instruction to the ORB's thread-migrating Invoke. Everything above this
+// layer (component runtime, DBMS services, Patia) runs on a GoSystem.
+
+#ifndef DBM_OS_GO_SYSTEM_H_
+#define DBM_OS_GO_SYSTEM_H_
+
+#include <memory>
+
+#include "os/loader.h"
+#include "os/memory.h"
+#include "os/orb.h"
+#include "os/vcpu.h"
+
+namespace dbm::os {
+
+class GoSystem {
+ public:
+  explicit GoSystem(size_t memory_words = 1 << 20,
+                    const MachineCosts& machine = DefaultMachineCosts())
+      : memory_(memory_words),
+        ledger_(/*track_breakdown=*/true),
+        vcpu_(&memory_, &ledger_),
+        orb_(&vcpu_, machine),
+        loader_(&memory_, &vcpu_, &orb_) {
+    vcpu_.set_port_handler(
+        [this](ComponentId caller, uint32_t port) {
+          return orb_.Invoke(caller, port);
+        });
+  }
+
+  GoSystem(const GoSystem&) = delete;
+  GoSystem& operator=(const GoSystem&) = delete;
+
+  SegmentMemory& memory() { return memory_; }
+  CycleLedger& ledger() { return ledger_; }
+  Vcpu& vcpu() { return vcpu_; }
+  Orb& orb() { return orb_; }
+  Loader& loader() { return loader_; }
+
+  /// Loads an image and returns (component id, interface id of its first
+  /// provided service) — the common case for tests and benches.
+  Result<std::pair<ComponentId, InterfaceId>> LoadWithService(
+      const ComponentImage& image) {
+    DBM_ASSIGN_OR_RETURN(ComponentId id, loader_.Load(image));
+    const LoadedComponent* lc = loader_.Get(id);
+    if (lc->provided.empty()) {
+      return Status::InvalidArgument("image provides no interface");
+    }
+    return std::make_pair(id, lc->provided.front());
+  }
+
+  /// Binds `client`'s port `port` to `iface`, using the declared port type.
+  Status BindPort(ComponentId client, uint32_t port, InterfaceId iface) {
+    const LoadedComponent* lc = loader_.Get(client);
+    if (lc == nullptr) {
+      return Status::NotFound("client not loaded");
+    }
+    if (port >= lc->image.required.size()) {
+      return Status::OutOfRange("port index out of range");
+    }
+    return orb_.Bind(client, port, iface, lc->image.required[port].type);
+  }
+
+ private:
+  SegmentMemory memory_;
+  CycleLedger ledger_;
+  Vcpu vcpu_;
+  Orb orb_;
+  Loader loader_;
+};
+
+/// Canned images used by tests and benchmarks.
+namespace images {
+
+/// A service whose body is a single `ret` — the null-RPC callee.
+ComponentImage NullServer(const std::string& name = "null-server");
+
+/// A service computing r0 = r1 + r2.
+ComponentImage Adder(const std::string& name = "adder");
+
+/// A client with one required port that forwards its call (callport 0; ret).
+ComponentImage Forwarder(const std::string& name, TypeHash port_type);
+
+/// A client that calls port 0 `n` times then returns (for throughput runs).
+ComponentImage RepeatCaller(const std::string& name, TypeHash port_type,
+                            int64_t n);
+
+/// An image containing a privileged instruction (must be rejected).
+ComponentImage Malicious(const std::string& name = "malicious");
+
+/// A schedulable task: each call to its "step" interface decrements a
+/// persistent counter (initialised to `n`) and returns the remainder in
+/// r0 — r0 == 0 signals completion to the scheduler.
+ComponentImage CountdownTask(const std::string& name, int64_t n);
+
+}  // namespace images
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_GO_SYSTEM_H_

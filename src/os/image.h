@@ -1,0 +1,78 @@
+// Component images: the unit of loading (and of protection) in the
+// zero-kernel OS. An image declares the services it provides (entry points)
+// and the ports it requires, mirroring Darwin's provides/requires view of a
+// component.
+
+#ifndef DBM_OS_IMAGE_H_
+#define DBM_OS_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/isa.h"
+
+namespace dbm::os {
+
+/// Hash identifying an interface *type*; bind-time type checking compares
+/// these (a required port may only bind to a provided interface of the same
+/// type).
+using TypeHash = uint32_t;
+
+/// FNV-1a over the interface type name; stable across platforms.
+constexpr TypeHash HashInterfaceType(const char* s) {
+  uint32_t h = 2166136261u;
+  while (*s != '\0') {
+    h ^= static_cast<uint32_t>(*s++);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+inline TypeHash HashInterfaceType(const std::string& s) {
+  return HashInterfaceType(s.c_str());
+}
+
+/// A service the component exports: name, entry pc in the text section, and
+/// the interface type it implements.
+struct InterfaceDecl {
+  std::string name;
+  uint32_t entry_pc = 0;
+  TypeHash type = 0;
+};
+
+/// A service the component consumes via kCallPort. The port index in
+/// kCallPort's immediate field indexes this list.
+struct RequiredPortDecl {
+  std::string name;
+  TypeHash type = 0;
+};
+
+/// A loadable component image.
+struct ComponentImage {
+  std::string name;
+  Program text;
+  uint32_t data_words = 64;
+  uint32_t stack_words = 64;
+  /// Initial contents of the data segment (length must not exceed
+  /// data_words; the remainder is zeroed).
+  std::vector<int64_t> data_init;
+  std::vector<InterfaceDecl> provides;
+  std::vector<RequiredPortDecl> required;
+  /// Trusted images (the ORB itself, device drivers blessed by the loader)
+  /// may contain privileged instructions; everything else must pass the
+  /// SISR scan.
+  bool trusted = false;
+};
+
+/// Identifier of a loaded component instance.
+using ComponentId = uint32_t;
+constexpr ComponentId kInvalidComponent = 0;
+
+/// Identifier of a registered interface in the ORB's table.
+using InterfaceId = uint32_t;
+constexpr InterfaceId kInvalidInterface = 0;
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_IMAGE_H_

@@ -1,0 +1,97 @@
+#include "os/interrupts.h"
+
+#include "common/strings.h"
+
+namespace dbm::os {
+
+Result<InterruptController::Line*> InterruptController::GetLine(
+    IrqLine line) {
+  if (line >= table_.size()) {
+    return Status::OutOfRange(StrFormat("no interrupt line %u", line));
+  }
+  return &table_[line];
+}
+
+Status InterruptController::Attach(IrqLine line, InterfaceId handler) {
+  DBM_ASSIGN_OR_RETURN(Line * l, GetLine(line));
+  if (orb_->Lookup(handler) == nullptr) {
+    return Status::NotFound(
+        StrFormat("handler interface %u not registered", handler));
+  }
+  if (l->handler != kInvalidInterface) {
+    return Status::AlreadyExists(
+        StrFormat("line %u already has a handler", line));
+  }
+  l->handler = handler;
+  return Status::OK();
+}
+
+Status InterruptController::Detach(IrqLine line) {
+  DBM_ASSIGN_OR_RETURN(Line * l, GetLine(line));
+  if (l->handler == kInvalidInterface) {
+    return Status::NotFound(StrFormat("line %u has no handler", line));
+  }
+  l->handler = kInvalidInterface;
+  l->pending = false;
+  return Status::OK();
+}
+
+Status InterruptController::Mask(IrqLine line) {
+  DBM_ASSIGN_OR_RETURN(Line * l, GetLine(line));
+  l->masked = true;
+  return Status::OK();
+}
+
+Status InterruptController::Unmask(IrqLine line) {
+  DBM_ASSIGN_OR_RETURN(Line * l, GetLine(line));
+  l->masked = false;
+  if (l->pending) {
+    l->pending = false;
+    return Dispatch(l);
+  }
+  return Status::OK();
+}
+
+Result<bool> InterruptController::IsMasked(IrqLine line) const {
+  if (line >= table_.size()) {
+    return Status::OutOfRange(StrFormat("no interrupt line %u", line));
+  }
+  return table_[line].masked;
+}
+
+Status InterruptController::Raise(IrqLine line) {
+  DBM_ASSIGN_OR_RETURN(Line * l, GetLine(line));
+  ++l->stats.raised;
+  if (l->handler == kInvalidInterface) {
+    return Status::FailedPrecondition(
+        StrFormat("interrupt %u raised with no handler attached", line));
+  }
+  if (l->masked) {
+    l->pending = true;  // level-triggered: coalesces
+    ++l->stats.dropped_masked;
+    return Status::OK();
+  }
+  return Dispatch(l);
+}
+
+Status InterruptController::Dispatch(Line* line) {
+  ledger_->Charge(kDispatchOverhead, "irq:dispatch");
+  line->stats.cycles += kDispatchOverhead;
+  Cycles before = ledger_->total();
+  Status s = orb_->Call(line->handler);
+  line->stats.cycles += ledger_->total() - before;
+  if (s.ok()) {
+    ++line->stats.dispatched;
+    ++total_dispatched_;
+  }
+  return s;
+}
+
+Result<const IrqStats*> InterruptController::Stats(IrqLine line) const {
+  if (line >= table_.size()) {
+    return Status::OutOfRange(StrFormat("no interrupt line %u", line));
+  }
+  return &table_[line].stats;
+}
+
+}  // namespace dbm::os

@@ -1,0 +1,35 @@
+#include "os/isa.h"
+
+#include "common/strings.h"
+
+namespace dbm::os {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kMovImm: return "movi";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kJmp: return "jmp";
+    case Op::kJz: return "jz";
+    case Op::kCallPort: return "callport";
+    case Op::kRet: return "ret";
+    case Op::kHalt: return "halt";
+    case Op::kLoadSegment: return "lseg";
+    case Op::kEnableInts: return "sti";
+    case Op::kDisableInts: return "cli";
+    case Op::kIoPort: return "ioport";
+  }
+  return "?";
+}
+
+std::string Disassemble(const Instr& ins) {
+  return StrFormat("%-8s r%d, r%d, r%d, #%lld", OpName(ins.op), ins.a, ins.b,
+                   ins.c, static_cast<long long>(ins.imm));
+}
+
+}  // namespace dbm::os

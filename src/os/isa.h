@@ -1,0 +1,94 @@
+// The virtual instruction set executed by component code.
+//
+// SISR (Software-based Instruction-Set Reduction) works by *scanning* a
+// component's text section at load time and rejecting privileged
+// instructions, so that all code can then run in a single processor mode.
+// To reproduce that mechanism we need an ISA with a privileged subset; this
+// small register machine provides it. The encoding is deliberately simple —
+// the contribution being reproduced is the scan-then-trust protection
+// model, not x86 decoding.
+
+#ifndef DBM_OS_ISA_H_
+#define DBM_OS_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbm::os {
+
+/// Opcodes. The privileged subset mirrors the operations the paper calls
+/// out: segment-register loads, interrupt control, and port I/O.
+enum class Op : uint8_t {
+  // --- unprivileged ---
+  kNop = 0,
+  kMovImm,    // r[a] = imm
+  kMov,       // r[a] = r[b]
+  kAdd,       // r[a] = r[b] + r[c]
+  kSub,       // r[a] = r[b] - r[c]
+  kMul,       // r[a] = r[b] * r[c]
+  kLoad,      // r[a] = data[r[b] + imm]      (checked against data segment)
+  kStore,     // data[r[b] + imm] = r[a]
+  kJmp,       // pc = imm
+  kJz,        // if (r[a] == 0) pc = imm
+  kCallPort,  // invoke required-port #imm via the ORB (thread migration)
+  kRet,       // return from component entry point
+  kHalt,
+  // --- privileged (rejected by the SISR scanner in user components) ---
+  kLoadSegment,   // load a segment register — the context-switch primitive
+  kEnableInts,    // STI
+  kDisableInts,   // CLI
+  kIoPort,        // device port access
+};
+
+/// True for opcodes only the ORB (trusted) component may contain.
+constexpr bool IsPrivileged(Op op) {
+  return op == Op::kLoadSegment || op == Op::kEnableInts ||
+         op == Op::kDisableInts || op == Op::kIoPort;
+}
+
+/// Per-opcode execution cost in cycles.
+constexpr uint64_t OpCost(Op op) {
+  switch (op) {
+    case Op::kNop: return 1;
+    case Op::kMovImm: return 1;
+    case Op::kMov: return 1;
+    case Op::kAdd: return 1;
+    case Op::kSub: return 1;
+    case Op::kMul: return 3;
+    case Op::kLoad: return 2;
+    case Op::kStore: return 2;
+    case Op::kJmp: return 1;
+    case Op::kJz: return 1;
+    case Op::kCallPort: return 5;   // near call into the ORB stub
+    case Op::kRet: return 5;
+    case Op::kHalt: return 1;
+    case Op::kLoadSegment: return 3;  // paper: segment reg load = 3 cycles
+    case Op::kEnableInts: return 7;
+    case Op::kDisableInts: return 7;
+    case Op::kIoPort: return 30;
+  }
+  return 1;
+}
+
+/// A decoded instruction. Registers are indices into an 8-register file.
+struct Instr {
+  Op op = Op::kNop;
+  uint8_t a = 0;
+  uint8_t b = 0;
+  uint8_t c = 0;
+  int64_t imm = 0;
+};
+
+/// A component text section.
+using Program = std::vector<Instr>;
+
+/// Human-readable opcode name (for diagnostics and scanner reports).
+const char* OpName(Op op);
+
+/// Disassembles one instruction.
+std::string Disassemble(const Instr& ins);
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_ISA_H_

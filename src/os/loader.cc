@@ -1,0 +1,101 @@
+#include "os/loader.h"
+
+#include "common/strings.h"
+
+namespace dbm::os {
+
+Result<ComponentId> Loader::Load(const ComponentImage& image) {
+  ScanReport report = scanner_.Scan(image);
+  total_scan_cycles_ += report.scan_cycles;
+  if (!report.accepted) {
+    const ScanViolation& first = report.violations.front();
+    return Status::ProtectionFault(
+        StrFormat("image '%s' rejected by SISR scan (%zu violations; first: "
+                  "pc %u: %s)",
+                  image.name.c_str(), report.violations.size(), first.pc,
+                  first.reason.c_str()));
+  }
+
+  auto lc = std::make_unique<LoadedComponent>();
+  lc->image = image;
+
+  DBM_ASSIGN_OR_RETURN(
+      lc->code, memory_->Allocate(
+                    static_cast<uint32_t>(image.text.size()),
+                    SegmentKind::kCode));
+  auto cleanup_code = [&] { (void)memory_->Free(lc->code); };
+  auto data = memory_->Allocate(image.data_words, SegmentKind::kData);
+  if (!data.ok()) {
+    cleanup_code();
+    return data.status();
+  }
+  lc->data = *data;
+  auto stack = memory_->Allocate(image.stack_words, SegmentKind::kStack);
+  if (!stack.ok()) {
+    cleanup_code();
+    (void)memory_->Free(lc->data);
+    return stack.status();
+  }
+  lc->stack = *stack;
+
+  if (image.data_init.size() > image.data_words) {
+    (void)memory_->Free(lc->code);
+    (void)memory_->Free(lc->data);
+    (void)memory_->Free(lc->stack);
+    return Status::InvalidArgument("data_init larger than data segment");
+  }
+  for (size_t i = 0; i < image.data_init.size(); ++i) {
+    DBM_RETURN_NOT_OK(memory_->Write(lc->data, static_cast<uint32_t>(i),
+                                     image.data_init[i]));
+  }
+
+  lc->id = next_id_++;
+  vcpu_->MapText(lc->code, &lc->image.text);
+  orb_->InstallPortTable(lc->id, lc->image.required.size());
+  for (const InterfaceDecl& decl : lc->image.provides) {
+    lc->provided.push_back(
+        orb_->RegisterInterface(lc->id, decl, lc->code, lc->data, lc->stack));
+  }
+
+  ComponentId id = lc->id;
+  components_[id] = std::move(lc);
+  return id;
+}
+
+Status Loader::Unload(ComponentId id) {
+  auto it = components_.find(id);
+  if (it == components_.end()) {
+    return Status::NotFound(StrFormat("component %u not loaded", id));
+  }
+  LoadedComponent& lc = *it->second;
+  for (InterfaceId iface : lc.provided) {
+    (void)orb_->RevokeInterface(iface);
+  }
+  orb_->RemovePortTable(id);
+  vcpu_->UnmapText(lc.code);
+  DBM_RETURN_NOT_OK(memory_->Free(lc.code));
+  DBM_RETURN_NOT_OK(memory_->Free(lc.data));
+  DBM_RETURN_NOT_OK(memory_->Free(lc.stack));
+  components_.erase(it);
+  return Status::OK();
+}
+
+const LoadedComponent* Loader::Get(ComponentId id) const {
+  auto it = components_.find(id);
+  return it == components_.end() ? nullptr : it->second.get();
+}
+
+Result<InterfaceId> Loader::FindInterface(ComponentId id,
+                                          const std::string& name) const {
+  const LoadedComponent* lc = Get(id);
+  if (lc == nullptr) {
+    return Status::NotFound(StrFormat("component %u not loaded", id));
+  }
+  for (size_t i = 0; i < lc->image.provides.size(); ++i) {
+    if (lc->image.provides[i].name == name) return lc->provided[i];
+  }
+  return Status::NotFound(StrFormat("component '%s' provides no '%s'",
+                                    lc->image.name.c_str(), name.c_str()));
+}
+
+}  // namespace dbm::os

@@ -1,0 +1,71 @@
+// The component loader: the point at which SISR protection is established.
+//
+// Loading = scan (reject privileged/malformed code) → allocate code/data/
+// stack segments → map text → register provided interfaces with the ORB →
+// install the required-port table. After load, nothing can go wrong that
+// segmentation will not catch; there is no kernel mode to re-enter.
+
+#ifndef DBM_OS_LOADER_H_
+#define DBM_OS_LOADER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "os/image.h"
+#include "os/memory.h"
+#include "os/orb.h"
+#include "os/scanner.h"
+#include "os/vcpu.h"
+
+namespace dbm::os {
+
+/// A loaded component instance: its protection state plus the registered
+/// interface ids.
+struct LoadedComponent {
+  ComponentId id = kInvalidComponent;
+  ComponentImage image;  // owns the text the VCPU executes
+  Selector code = kNullSelector;
+  Selector data = kNullSelector;
+  Selector stack = kNullSelector;
+  std::vector<InterfaceId> provided;  // parallel to image.provides
+};
+
+class Loader {
+ public:
+  Loader(SegmentMemory* memory, Vcpu* vcpu, Orb* orb)
+      : memory_(memory), vcpu_(vcpu), orb_(orb) {}
+
+  /// Scans and loads `image`. Fails with ProtectionFault (carrying the
+  /// scanner's first violation) if the scan rejects it.
+  Result<ComponentId> Load(const ComponentImage& image);
+
+  /// Revokes interfaces, unbinds ports, unmaps text, frees segments.
+  Status Unload(ComponentId id);
+
+  const LoadedComponent* Get(ComponentId id) const;
+
+  /// Finds a provided interface by name on a loaded component.
+  Result<InterfaceId> FindInterface(ComponentId id,
+                                    const std::string& name) const;
+
+  /// Total load-time scan cost so far (for the amortisation ablation).
+  Cycles total_scan_cycles() const { return total_scan_cycles_; }
+  size_t loaded_count() const { return components_.size(); }
+
+ private:
+  SegmentMemory* memory_;
+  Vcpu* vcpu_;
+  Orb* orb_;
+  SisrScanner scanner_;
+  std::unordered_map<ComponentId, std::unique_ptr<LoadedComponent>>
+      components_;
+  ComponentId next_id_ = 1;
+  Cycles total_scan_cycles_ = 0;
+};
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_LOADER_H_

@@ -1,0 +1,89 @@
+#include "os/memory.h"
+
+#include "common/strings.h"
+
+namespace dbm::os {
+
+Result<Selector> SegmentMemory::Allocate(uint32_t words, SegmentKind kind) {
+  if (words == 0) {
+    return Status::InvalidArgument("segment size must be > 0");
+  }
+  if (next_base_ + words > mem_.size()) {
+    return Status::ResourceExhausted(
+        StrFormat("out of physical memory (%zu words)", mem_.size()));
+  }
+  Selector sel;
+  if (!free_list_.empty()) {
+    sel = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    // Selector 0 is the null selector; descriptor slots start at 1.
+    if (table_.empty()) table_.emplace_back();
+    table_.emplace_back();
+    sel = static_cast<Selector>(table_.size() - 1);
+  }
+  SegmentDescriptor& d = table_[sel];
+  d.base = next_base_;
+  d.limit = words;
+  d.kind = kind;
+  d.present = true;
+  next_base_ += words;
+  ++live_segments_;
+  return sel;
+}
+
+Status SegmentMemory::Free(Selector sel) {
+  if (sel == kNullSelector || sel >= table_.size() || !table_[sel].present) {
+    return Status::NotFound(StrFormat("no segment with selector %u", sel));
+  }
+  table_[sel].present = false;
+  free_list_.push_back(sel);
+  --live_segments_;
+  return Status::OK();
+}
+
+Result<int64_t> SegmentMemory::Read(Selector sel, uint32_t offset) const {
+  const SegmentDescriptor* d = Descriptor(sel);
+  if (d == nullptr) {
+    return Status::ProtectionFault(
+        StrFormat("read through invalid selector %u", sel));
+  }
+  if (offset >= d->limit) {
+    return Status::ProtectionFault(
+        StrFormat("read offset %u exceeds segment limit %u", offset,
+                  d->limit));
+  }
+  return mem_[d->base + offset];
+}
+
+Status SegmentMemory::Write(Selector sel, uint32_t offset, int64_t value) {
+  const SegmentDescriptor* d = Descriptor(sel);
+  if (d == nullptr) {
+    return Status::ProtectionFault(
+        StrFormat("write through invalid selector %u", sel));
+  }
+  if (d->kind == SegmentKind::kCode) {
+    return Status::ProtectionFault("write to code segment");
+  }
+  if (offset >= d->limit) {
+    return Status::ProtectionFault(
+        StrFormat("write offset %u exceeds segment limit %u", offset,
+                  d->limit));
+  }
+  mem_[d->base + offset] = value;
+  return Status::OK();
+}
+
+const SegmentDescriptor* SegmentMemory::Descriptor(Selector sel) const {
+  if (sel == kNullSelector || sel >= table_.size() || !table_[sel].present) {
+    return nullptr;
+  }
+  return &table_[sel];
+}
+
+size_t SegmentMemory::MetadataBytes() const {
+  // 8 bytes per descriptor-table entry, like a real GDT.
+  return table_.size() * 8;
+}
+
+}  // namespace dbm::os

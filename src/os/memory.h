@@ -1,0 +1,124 @@
+// Memory protection models.
+//
+// SISR protects components with *segments*: each component instance gets a
+// data segment, each component type a code segment, and a segment-register
+// load is the (privileged, 3-cycle) context-switch primitive. The baseline
+// against which the paper compares is *page-based* protection, whose
+// per-process metadata (page tables) and switch cost (TLB flush) are two
+// orders of magnitude larger. Both models are implemented here so the
+// memory bench (T1b) can compare them directly.
+
+#ifndef DBM_OS_MEMORY_H_
+#define DBM_OS_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "os/cycles.h"
+
+namespace dbm::os {
+
+/// Index of a segment descriptor in the descriptor table (a "selector").
+using Selector = uint32_t;
+constexpr Selector kNullSelector = 0;
+
+enum class SegmentKind : uint8_t { kCode, kData, kStack };
+
+/// A segment descriptor: base/limit protection exactly as IA32 segmentation
+/// provides. 8 bytes of metadata per segment, like a real GDT entry.
+struct SegmentDescriptor {
+  uint64_t base = 0;
+  uint32_t limit = 0;  // size in words
+  SegmentKind kind = SegmentKind::kData;
+  bool present = false;
+};
+
+/// Flat physical memory carved into segments. Access checks are performed
+/// against the descriptor named by the active selector; an out-of-bounds
+/// access is a protection fault. Matches the paper's claim that protection
+/// metadata is tiny (a descriptor per segment) compared with page tables.
+class SegmentMemory {
+ public:
+  explicit SegmentMemory(size_t words = 1 << 20) : mem_(words, 0) {}
+
+  /// Allocates a segment of `words` words; returns its selector.
+  Result<Selector> Allocate(uint32_t words, SegmentKind kind);
+
+  /// Frees a segment (descriptor slot becomes reusable).
+  Status Free(Selector sel);
+
+  /// Reads/writes relative to a segment, enforcing base/limit.
+  Result<int64_t> Read(Selector sel, uint32_t offset) const;
+  Status Write(Selector sel, uint32_t offset, int64_t value);
+
+  const SegmentDescriptor* Descriptor(Selector sel) const;
+
+  /// Bytes of protection metadata currently in use (descriptor table).
+  size_t MetadataBytes() const;
+
+  size_t segment_count() const { return live_segments_; }
+
+ private:
+  std::vector<int64_t> mem_;
+  std::vector<SegmentDescriptor> table_;
+  std::vector<Selector> free_list_;
+  uint64_t next_base_ = 0;
+  size_t live_segments_ = 0;
+};
+
+/// Page-based protection model (the comparator). Only the *metadata and
+/// switch-cost shape* matters for the benchmarks: per-address-space page
+/// tables sized to the mapped range, and a TLB flush on switch.
+class PageMemoryModel {
+ public:
+  explicit PageMemoryModel(uint32_t page_bytes = 4096,
+                           uint32_t pte_bytes = 4)
+      : page_bytes_(page_bytes), pte_bytes_(pte_bytes) {}
+
+  struct AddressSpace {
+    uint64_t mapped_bytes = 0;
+    uint32_t id = 0;
+  };
+
+  /// Creates an address space mapping `bytes` of memory.
+  AddressSpace CreateAddressSpace(uint64_t bytes) {
+    AddressSpace as;
+    as.mapped_bytes = bytes;
+    as.id = next_id_++;
+    total_mapped_ += bytes;
+    ++spaces_;
+    return as;
+  }
+
+  /// Page-table metadata bytes for one address space: one PTE per page,
+  /// plus a page-directory page (the two-level x86 layout).
+  uint64_t MetadataBytesFor(const AddressSpace& as) const {
+    uint64_t pages = (as.mapped_bytes + page_bytes_ - 1) / page_bytes_;
+    uint64_t pte_pages =
+        (pages * pte_bytes_ + page_bytes_ - 1) / page_bytes_;
+    return pages * pte_bytes_ + (pte_pages + 1) * 0 + page_bytes_;
+  }
+
+  /// Cycle cost of switching address spaces (CR3 reload + TLB refill for the
+  /// working set of `touched_pages`).
+  Cycles SwitchCost(uint64_t touched_pages,
+                    const MachineCosts& mc = DefaultMachineCosts()) const {
+    return mc.tlb_flush + touched_pages * mc.tlb_refill_per_page;
+  }
+
+  uint32_t page_bytes() const { return page_bytes_; }
+
+ private:
+  uint32_t page_bytes_;
+  uint32_t pte_bytes_;
+  uint32_t next_id_ = 1;
+  uint64_t total_mapped_ = 0;
+  size_t spaces_ = 0;
+};
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_MEMORY_H_

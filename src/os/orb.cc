@@ -1,0 +1,169 @@
+#include "os/orb.h"
+
+#include "common/strings.h"
+
+namespace dbm::os {
+
+InterfaceId Orb::RegisterInterface(ComponentId component,
+                                   const InterfaceDecl& decl, Selector code,
+                                   Selector data, Selector stack) {
+  InterfaceRecord rec{};
+  rec.component = component;
+  rec.entry_pc = decl.entry_pc;
+  rec.code_seg = code;
+  rec.data_seg = data;
+  rec.stack_seg = stack;
+  rec.type = decl.type;
+  rec.flags = 1;  // present
+  rec.name_ref = static_cast<uint32_t>(names_.size());
+  names_.push_back(decl.name);
+  table_.push_back(rec);
+  ++live_interfaces_;
+  return static_cast<InterfaceId>(table_.size() - 1);
+}
+
+Status Orb::RevokeInterface(InterfaceId id) {
+  if (id == kInvalidInterface || id >= table_.size()) {
+    return Status::NotFound(StrFormat("no interface %u", id));
+  }
+  if ((table_[id].flags & 1) == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("interface %u already revoked", id));
+  }
+  table_[id].flags &= ~1u;
+  --live_interfaces_;
+  return Status::OK();
+}
+
+void Orb::InstallPortTable(ComponentId component, size_t port_count) {
+  port_tables_[component] =
+      std::vector<InterfaceId>(port_count, kInvalidInterface);
+}
+
+void Orb::RemovePortTable(ComponentId component) {
+  port_tables_.erase(component);
+}
+
+Status Orb::Bind(ComponentId component, uint32_t port_index,
+                 InterfaceId iface, TypeHash required_type) {
+  auto it = port_tables_.find(component);
+  if (it == port_tables_.end()) {
+    return Status::NotFound(
+        StrFormat("component %u has no port table", component));
+  }
+  if (port_index >= it->second.size()) {
+    return Status::OutOfRange(
+        StrFormat("port %u out of range for component %u", port_index,
+                  component));
+  }
+  const InterfaceRecord* rec = Lookup(iface);
+  if (rec == nullptr || (rec->flags & 1) == 0) {
+    return Status::NotFound(StrFormat("interface %u not registered", iface));
+  }
+  if (rec->type != required_type) {
+    return Status::InvalidArgument(StrFormat(
+        "type mismatch binding port %u of component %u: required %08x, "
+        "interface '%s' provides %08x",
+        port_index, component, required_type,
+        InterfaceName(iface).c_str(), rec->type));
+  }
+  it->second[port_index] = iface;
+  return Status::OK();
+}
+
+Status Orb::Unbind(ComponentId component, uint32_t port_index) {
+  auto it = port_tables_.find(component);
+  if (it == port_tables_.end() || port_index >= it->second.size()) {
+    return Status::NotFound(
+        StrFormat("no port %u on component %u", port_index, component));
+  }
+  it->second[port_index] = kInvalidInterface;
+  return Status::OK();
+}
+
+InterfaceId Orb::BoundTo(ComponentId component, uint32_t port_index) const {
+  auto it = port_tables_.find(component);
+  if (it == port_tables_.end() || port_index >= it->second.size()) {
+    return kInvalidInterface;
+  }
+  return it->second[port_index];
+}
+
+const InterfaceRecord* Orb::Lookup(InterfaceId id) const {
+  if (id == kInvalidInterface || id >= table_.size()) return nullptr;
+  return &table_[id];
+}
+
+const std::string& Orb::InterfaceName(InterfaceId id) const {
+  static const std::string kUnknown = "<unknown>";
+  const InterfaceRecord* rec = Lookup(id);
+  if (rec == nullptr || rec->name_ref >= names_.size()) return kUnknown;
+  return names_[rec->name_ref];
+}
+
+Status Orb::Invoke(ComponentId caller, uint32_t port_index) {
+  InterfaceId iface = BoundTo(caller, port_index);
+  if (iface == kInvalidInterface) {
+    return Status::Unavailable(
+        StrFormat("port %u of component %u is unbound", port_index, caller));
+  }
+  const InterfaceRecord& rec = table_[iface];
+  if ((rec.flags & 1) == 0) {
+    return Status::Unavailable(
+        StrFormat("interface '%s' has been revoked",
+                  InterfaceName(iface).c_str()));
+  }
+  return InvokeRecord(rec);
+}
+
+Status Orb::Call(InterfaceId iface) {
+  const InterfaceRecord* rec = Lookup(iface);
+  if (rec == nullptr) {
+    return Status::NotFound(StrFormat("no interface %u", iface));
+  }
+  if ((rec->flags & 1) == 0) {
+    return Status::Unavailable(
+        StrFormat("interface '%s' has been revoked",
+                  InterfaceName(iface).c_str()));
+  }
+  vcpu_->ledger()->Charge(costs_.near_call, "orb:near-call");
+  return InvokeRecord(*rec);
+}
+
+Status Orb::Call(InterfaceId iface, int64_t a1, int64_t a2, int64_t a3) {
+  vcpu_->set_reg(1, a1);
+  vcpu_->set_reg(2, a2);
+  vcpu_->set_reg(3, a3);
+  return Call(iface);
+}
+
+Status Orb::InvokeRecord(const InterfaceRecord& rec) {
+  CycleLedger* ledger = vcpu_->ledger();
+  ++invocations_;
+
+  // --- call path ---
+  ledger->Charge(costs_.iface_lookup, "orb:iface-lookup");
+  ledger->Charge(costs_.access_check, "orb:access-check");
+  ledger->Charge(costs_.save_context, "orb:save-context");
+  ledger->Charge(3 * machine_.segment_register_load, "orb:segment-loads");
+  ledger->Charge(costs_.arg_setup, "orb:arg-setup");
+
+  ThreadContext callee;
+  callee.code = rec.code_seg;
+  callee.data = rec.data_seg;
+  callee.stack = rec.stack_seg;
+  callee.pc = rec.entry_pc;
+  callee.component = rec.component;
+  callee.privileged = false;
+
+  Status body = vcpu_->Run(callee);
+
+  // --- return path (runs even if the callee faulted: the ORB restores the
+  // caller's context before propagating the fault) ---
+  ledger->Charge(3 * machine_.segment_register_load, "orb:segment-loads");
+  ledger->Charge(costs_.restore_context, "orb:restore-context");
+  ledger->Charge(costs_.orb_exit, "orb:exit");
+  return body;
+}
+
+}  // namespace dbm::os

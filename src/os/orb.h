@@ -1,0 +1,135 @@
+// The ORB: the only privileged component in the zero-kernel system.
+//
+// Components invoke services on one another by indirecting through the ORB,
+// which performs the protected intra-machine RPC by *migrating the thread*:
+// it saves the caller's selectors, loads the callee's code/data/stack
+// selectors (3 cycles per segment register on the modelled Pentium), runs
+// the callee, and restores the caller on return. Because the SISR scanner
+// guarantees no user component contains segment-register loads, this
+// indirection is the sole way to cross a protection boundary — the ORB is
+// "the nearest part of the OS analogous to a kernel".
+//
+// Interface registrations cost exactly 32 bytes each (the paper's §5.1
+// figure); Orb::MetadataBytes() exposes this for the memory benchmark.
+
+#ifndef DBM_OS_ORB_H_
+#define DBM_OS_ORB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "os/cycles.h"
+#include "os/image.h"
+#include "os/vcpu.h"
+
+namespace dbm::os {
+
+/// A registered interface. Exactly 32 bytes — the per-interface protection
+/// metadata cost reported in the paper. Debug names live in a side table
+/// that is not protection state.
+struct InterfaceRecord {
+  ComponentId component;  // owning component instance
+  uint32_t entry_pc;      // entry point within the code segment
+  Selector code_seg;
+  Selector data_seg;
+  Selector stack_seg;
+  TypeHash type;          // bind-time type check token
+  uint32_t flags;         // bit 0: present/valid
+  uint32_t name_ref;      // index into the debug name table
+};
+static_assert(sizeof(InterfaceRecord) == 32,
+              "the paper's claim is 32 bytes per interface");
+
+/// Fixed dispatch costs of the ORB fast path. Together with the three
+/// segment-register loads each way (3 cycles each) and the callee's
+/// call/ret instructions, a null RPC totals ~73 cycles — Table 1's Go! row.
+struct OrbCosts {
+  Cycles near_call = 5;        // caller's call into the ORB stub
+  Cycles iface_lookup = 12;    // indexed fetch of the 32-byte record
+  Cycles access_check = 6;     // present bit + type token compare
+  Cycles save_context = 8;     // caller selectors + pc to the ORB stack
+  Cycles arg_setup = 6;        // register-window argument pass
+  Cycles restore_context = 8;
+  Cycles orb_exit = 5;         // return to caller
+};
+
+class Orb {
+ public:
+  explicit Orb(Vcpu* vcpu,
+               const MachineCosts& machine = DefaultMachineCosts())
+      : vcpu_(vcpu), machine_(machine) {
+    // Slot 0 is the invalid interface.
+    table_.push_back(InterfaceRecord{});
+    names_.push_back("<invalid>");
+  }
+
+  /// Registers a provided interface; returns its id.
+  InterfaceId RegisterInterface(ComponentId component,
+                                const InterfaceDecl& decl, Selector code,
+                                Selector data, Selector stack);
+
+  /// Marks an interface invalid; in-flight lookups start failing with
+  /// Unavailable. Used by the reconfiguration engine during a switch.
+  Status RevokeInterface(InterfaceId id);
+
+  /// Declares a component's required-port table (sized at load time).
+  void InstallPortTable(ComponentId component, size_t port_count);
+  void RemovePortTable(ComponentId component);
+
+  /// Binds `component`'s required port `port_index` to `iface`, checking
+  /// interface types. Rebinding over an existing binding is allowed (it is
+  /// how adaptation swaps implementations).
+  Status Bind(ComponentId component, uint32_t port_index, InterfaceId iface,
+              TypeHash required_type);
+
+  /// Unbinds a port; subsequent calls through it fail with Unavailable.
+  Status Unbind(ComponentId component, uint32_t port_index);
+
+  /// Current binding of a port (kInvalidInterface if unbound).
+  InterfaceId BoundTo(ComponentId component, uint32_t port_index) const;
+
+  /// Thread-migrating invocation from a running component (kCallPort).
+  /// The caller's near-call cost was already charged by the VCPU.
+  Status Invoke(ComponentId caller, uint32_t port_index);
+
+  /// Host-initiated invocation (the host acts as a trusted caller);
+  /// charges the near-call itself so the full path costs the same 73
+  /// cycles as a component-to-component null RPC.
+  Status Call(InterfaceId iface);
+
+  /// Call with up to three register arguments; r0 holds the return value
+  /// afterwards (read it from the VCPU).
+  Status Call(InterfaceId iface, int64_t a1, int64_t a2 = 0, int64_t a3 = 0);
+
+  const InterfaceRecord* Lookup(InterfaceId id) const;
+  const std::string& InterfaceName(InterfaceId id) const;
+
+  /// Protection metadata held by the ORB, in bytes (32 per interface).
+  size_t MetadataBytes() const {
+    return live_interfaces_ * sizeof(InterfaceRecord);
+  }
+  size_t interface_count() const { return live_interfaces_; }
+
+  const OrbCosts& costs() const { return costs_; }
+  uint64_t invocation_count() const { return invocations_; }
+
+ private:
+  Status InvokeRecord(const InterfaceRecord& rec);
+
+  Vcpu* vcpu_;
+  MachineCosts machine_;
+  OrbCosts costs_;
+  std::vector<InterfaceRecord> table_;
+  std::vector<std::string> names_;
+  std::unordered_map<ComponentId, std::vector<InterfaceId>> port_tables_;
+  size_t live_interfaces_ = 0;
+  uint64_t invocations_ = 0;
+};
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_ORB_H_

@@ -1,0 +1,73 @@
+#include "os/scanner.h"
+
+#include "common/strings.h"
+
+namespace dbm::os {
+
+ScanReport SisrScanner::Scan(const ComponentImage& image) const {
+  ScanReport report;
+  const Program& text = image.text;
+  report.scan_cycles =
+      static_cast<Cycles>(text.size()) * kCyclesPerInstruction;
+
+  auto violate = [&report](uint32_t pc, std::string reason) {
+    report.violations.push_back(ScanViolation{pc, std::move(reason)});
+  };
+
+  if (text.empty()) {
+    violate(0, "empty text section");
+    report.accepted = false;
+    return report;
+  }
+
+  const auto text_size = static_cast<int64_t>(text.size());
+  for (uint32_t pc = 0; pc < text.size(); ++pc) {
+    const Instr& ins = text[pc];
+    if (IsPrivileged(ins.op) && !image.trusted) {
+      violate(pc, StrFormat("privileged instruction '%s' in untrusted image",
+                            OpName(ins.op)));
+    }
+    if (ins.a >= 8 || ins.b >= 8 || ins.c >= 8) {
+      violate(pc, "register operand out of range");
+    }
+    switch (ins.op) {
+      case Op::kJmp:
+      case Op::kJz:
+        if (ins.imm < 0 || ins.imm >= text_size) {
+          violate(pc, StrFormat("jump target %lld outside text section",
+                                static_cast<long long>(ins.imm)));
+        }
+        break;
+      case Op::kCallPort:
+        if (ins.imm < 0 ||
+            ins.imm >= static_cast<int64_t>(image.required.size())) {
+          violate(pc, StrFormat("callport index %lld not a declared port",
+                                static_cast<long long>(ins.imm)));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // The text must not be able to fall off the end.
+  const Instr& last = text.back();
+  if (last.op != Op::kRet && last.op != Op::kHalt && last.op != Op::kJmp) {
+    violate(static_cast<uint32_t>(text.size() - 1),
+            "text section may fall through its end");
+  }
+
+  // Entry points must land inside the text.
+  for (const InterfaceDecl& decl : image.provides) {
+    if (decl.entry_pc >= text.size()) {
+      violate(decl.entry_pc,
+              StrFormat("entry point of '%s' outside text section",
+                        decl.name.c_str()));
+    }
+  }
+
+  report.accepted = report.violations.empty();
+  return report;
+}
+
+}  // namespace dbm::os

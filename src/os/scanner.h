@@ -1,0 +1,54 @@
+// The SISR load-time code scanner.
+//
+// SISR removes the kernel/user mode distinction: instead of trapping
+// privileged operations at run time, the loader *scans* a component's text
+// section and refuses to load code containing privileged instructions or
+// malformed control flow. Once loaded, the code can run at full speed with
+// no mode switches — protection has been paid for once, at load time.
+
+#ifndef DBM_OS_SCANNER_H_
+#define DBM_OS_SCANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "os/cycles.h"
+#include "os/image.h"
+#include "os/isa.h"
+
+namespace dbm::os {
+
+/// One scanner finding.
+struct ScanViolation {
+  uint32_t pc = 0;
+  std::string reason;
+};
+
+/// Result of scanning an image.
+struct ScanReport {
+  bool accepted = false;
+  std::vector<ScanViolation> violations;
+  /// Load-time cost of the scan itself; amortised over the component's
+  /// lifetime (this is the ablation in bench_componentisation).
+  Cycles scan_cycles = 0;
+};
+
+/// Scans component text for:
+///  * privileged opcodes (kLoadSegment, kEnableInts, kDisableInts, kIoPort)
+///    in untrusted images;
+///  * jump targets outside the text section;
+///  * kCallPort immediates outside the declared required-port list;
+///  * register operands outside the 8-register file;
+///  * a text section that can fall off the end (last instruction must be a
+///    terminator or unconditional jump).
+class SisrScanner {
+ public:
+  /// Cycles charged per instruction scanned (one pass, table-driven).
+  static constexpr Cycles kCyclesPerInstruction = 2;
+
+  ScanReport Scan(const ComponentImage& image) const;
+};
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_SCANNER_H_

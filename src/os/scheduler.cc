@@ -1,0 +1,65 @@
+#include "os/scheduler.h"
+
+#include <limits>
+
+namespace dbm::os {
+
+size_t StridePolicy::PickNext(const std::vector<TaskId>& runnable) {
+  if (passes_.size() < tickets_.size()) passes_.resize(tickets_.size(), 0);
+  size_t best = 0;
+  double best_pass = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < runnable.size(); ++i) {
+    TaskId id = runnable[i];
+    double pass = id < passes_.size() ? passes_[id] : 0;
+    if (pass < best_pass) {
+      best_pass = pass;
+      best = i;
+    }
+  }
+  TaskId chosen = runnable[best];
+  uint64_t tickets = chosen < tickets_.size() && tickets_[chosen] > 0
+                         ? tickets_[chosen]
+                         : 1;
+  if (chosen >= passes_.size()) passes_.resize(chosen + 1, 0);
+  passes_[chosen] += 1.0 / static_cast<double>(tickets);
+  return best;
+}
+
+TaskId Scheduler::AddTask(const std::string& name, InterfaceId step_iface) {
+  tasks_.push_back(Task{name, step_iface, {}});
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+bool Scheduler::AllFinished() const {
+  for (const Task& t : tasks_) {
+    if (!t.stats.finished) return false;
+  }
+  return true;
+}
+
+Result<uint64_t> Scheduler::Run(uint64_t max_dispatches) {
+  uint64_t dispatches = 0;
+  while (dispatches < max_dispatches) {
+    std::vector<TaskId> runnable;
+    for (TaskId i = 0; i < tasks_.size(); ++i) {
+      if (!tasks_[i].stats.finished) runnable.push_back(i);
+    }
+    if (runnable.empty()) break;
+    size_t pick = policy_->PickNext(runnable);
+    if (pick >= runnable.size()) {
+      return Status::Internal("policy picked out of range");
+    }
+    Task& task = tasks_[runnable[pick]];
+
+    Cycles before = vcpu_->ledger()->total();
+    DBM_RETURN_NOT_OK_CTX(orb_->Call(task.step),
+                          "dispatching task '" + task.name + "'");
+    task.stats.cycles += vcpu_->ledger()->total() - before;
+    ++task.stats.dispatches;
+    ++dispatches;
+    if (vcpu_->reg(0) == 0) task.stats.finished = true;
+  }
+  return dispatches;
+}
+
+}  // namespace dbm::os

@@ -1,0 +1,109 @@
+// A scheduler component for the zero-kernel system.
+//
+// "A truly component-based OS can be seen as a zero-kernel system, where
+// the kernel has been replaced by a set of components that cooperate to
+// provide services usually found in traditional kernels" (§5.1). The
+// scheduler is one such component: it multiplexes *tasks* (each an
+// interface to invoke repeatedly) over the single virtual CPU. Because a
+// dispatch is just an ORB call, a "context switch" between tasks costs
+// one thread migration — the cycle ledger shows scheduling overhead in
+// the same currency as Table 1.
+//
+// Policies are swappable (round-robin and stride/priority), exercising
+// the same replace-a-policy-component pattern as the buffer manager.
+
+#ifndef DBM_OS_SCHEDULER_H_
+#define DBM_OS_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "os/orb.h"
+
+namespace dbm::os {
+
+using TaskId = uint32_t;
+
+struct TaskStats {
+  uint64_t dispatches = 0;
+  Cycles cycles = 0;
+  bool finished = false;
+};
+
+/// Scheduling policy interface.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Chooses among runnable task indices (non-empty).
+  virtual size_t PickNext(const std::vector<TaskId>& runnable) = 0;
+};
+
+/// Round-robin over runnable tasks.
+class RoundRobinPolicy : public SchedulingPolicy {
+ public:
+  const char* name() const override { return "round-robin"; }
+  size_t PickNext(const std::vector<TaskId>& runnable) override {
+    return next_++ % runnable.size();
+  }
+
+ private:
+  size_t next_ = 0;
+};
+
+/// Stride scheduling: tasks with higher tickets run proportionally more.
+class StridePolicy : public SchedulingPolicy {
+ public:
+  explicit StridePolicy(std::vector<uint64_t> tickets)
+      : tickets_(std::move(tickets)) {}
+  const char* name() const override { return "stride"; }
+  size_t PickNext(const std::vector<TaskId>& runnable) override;
+
+ private:
+  std::vector<uint64_t> tickets_;
+  std::vector<double> passes_;
+};
+
+/// The scheduler component: dispatches each task's interface via the ORB
+/// for one quantum; a task is done when its run returns r0 == 0.
+class Scheduler {
+ public:
+  Scheduler(Orb* orb, Vcpu* vcpu, std::unique_ptr<SchedulingPolicy> policy)
+      : orb_(orb), vcpu_(vcpu), policy_(std::move(policy)) {}
+
+  /// Registers a task; `step_iface` is invoked once per quantum and its
+  /// r0 return value is "more work remaining?" (0 = finished).
+  TaskId AddTask(const std::string& name, InterfaceId step_iface);
+
+  /// Runs until all tasks finish or `max_dispatches` quanta have run.
+  /// Returns the number of dispatches performed.
+  Result<uint64_t> Run(uint64_t max_dispatches);
+
+  const TaskStats& stats(TaskId id) const { return tasks_[id].stats; }
+  const std::string& task_name(TaskId id) const { return tasks_[id].name; }
+  size_t task_count() const { return tasks_.size(); }
+  bool AllFinished() const;
+
+  /// Swap the policy mid-run (the adaptation hook).
+  void SetPolicy(std::unique_ptr<SchedulingPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+  const char* policy_name() const { return policy_->name(); }
+
+ private:
+  struct Task {
+    std::string name;
+    InterfaceId step;
+    TaskStats stats;
+  };
+
+  Orb* orb_;
+  Vcpu* vcpu_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_SCHEDULER_H_

@@ -1,0 +1,111 @@
+#include "os/vcpu.h"
+
+#include "common/strings.h"
+
+namespace dbm::os {
+
+Status Vcpu::Run(ThreadContext ctx, uint64_t max_instructions) {
+  auto it = text_map_.find(ctx.code);
+  if (it == text_map_.end()) {
+    return Status::ProtectionFault(
+        StrFormat("no text mapped for code selector %u", ctx.code));
+  }
+  const Program& text = *it->second;
+
+  if (call_depth_ >= kMaxCallDepth) {
+    return Status::ResourceExhausted("thread-migration call depth exceeded");
+  }
+  ++call_depth_;
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } guard{&call_depth_};
+
+  uint64_t executed = 0;
+  while (true) {
+    if (executed++ >= max_instructions) {
+      return Status::ResourceExhausted(
+          StrFormat("instruction budget (%llu) exhausted in component %u",
+                    static_cast<unsigned long long>(max_instructions),
+                    ctx.component));
+    }
+    if (ctx.pc >= text.size()) {
+      return Status::ProtectionFault(
+          StrFormat("pc %u ran off text section (size %zu)", ctx.pc,
+                    text.size()));
+    }
+    const Instr& ins = text[ctx.pc];
+    ledger_->Charge(OpCost(ins.op), "vcpu:execute");
+
+    if (IsPrivileged(ins.op) && !ctx.privileged) {
+      return Status::ProtectionFault(
+          StrFormat("privileged instruction '%s' at pc %u in unprivileged "
+                    "component %u (scanner bypass?)",
+                    OpName(ins.op), ctx.pc, ctx.component));
+    }
+
+    switch (ins.op) {
+      case Op::kNop:
+        break;
+      case Op::kMovImm:
+        regs_[ins.a] = ins.imm;
+        break;
+      case Op::kMov:
+        regs_[ins.a] = regs_[ins.b];
+        break;
+      case Op::kAdd:
+        regs_[ins.a] = regs_[ins.b] + regs_[ins.c];
+        break;
+      case Op::kSub:
+        regs_[ins.a] = regs_[ins.b] - regs_[ins.c];
+        break;
+      case Op::kMul:
+        regs_[ins.a] = regs_[ins.b] * regs_[ins.c];
+        break;
+      case Op::kLoad: {
+        auto r = memory_->Read(
+            ctx.data, static_cast<uint32_t>(regs_[ins.b] + ins.imm));
+        if (!r.ok()) return r.status();
+        regs_[ins.a] = *r;
+        break;
+      }
+      case Op::kStore: {
+        DBM_RETURN_NOT_OK(memory_->Write(
+            ctx.data, static_cast<uint32_t>(regs_[ins.b] + ins.imm),
+            regs_[ins.a]));
+        break;
+      }
+      case Op::kJmp:
+        ctx.pc = static_cast<uint32_t>(ins.imm);
+        continue;
+      case Op::kJz:
+        if (regs_[ins.a] == 0) {
+          ctx.pc = static_cast<uint32_t>(ins.imm);
+          continue;
+        }
+        break;
+      case Op::kCallPort: {
+        if (!port_handler_) {
+          return Status::FailedPrecondition("no port handler installed");
+        }
+        DBM_RETURN_NOT_OK(port_handler_(
+            ctx.component, static_cast<uint32_t>(ins.imm)));
+        break;
+      }
+      case Op::kRet:
+      case Op::kHalt:
+        return Status::OK();
+      case Op::kLoadSegment:
+      case Op::kEnableInts:
+      case Op::kDisableInts:
+      case Op::kIoPort:
+        // Privileged ops are modelled as no-ops beyond their cycle cost:
+        // their architectural effects (selector reloads) are performed by
+        // the ORB through native state, not through the ISA.
+        break;
+    }
+    ++ctx.pc;
+  }
+}
+
+}  // namespace dbm::os

@@ -1,0 +1,88 @@
+// The virtual CPU.
+//
+// Executes component text with cycle accounting. There is exactly one
+// processor mode (that is the point of SISR); a "context switch" is a
+// reload of the code/data/stack selectors in the thread context, and the
+// ORB is the only party that performs it. The VCPU still *checks*
+// privileged opcodes at execute time as defence in depth — the scanner is
+// the protection mechanism, the runtime check exists so tests can prove a
+// scanner bypass would be caught rather than silently honoured.
+
+#ifndef DBM_OS_VCPU_H_
+#define DBM_OS_VCPU_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "os/cycles.h"
+#include "os/image.h"
+#include "os/isa.h"
+#include "os/memory.h"
+
+namespace dbm::os {
+
+/// The architectural thread state: selectors + pc. Loading new selectors
+/// IS the context switch (3 cycles per segment register on the modelled
+/// Pentium).
+struct ThreadContext {
+  Selector code = kNullSelector;
+  Selector data = kNullSelector;
+  Selector stack = kNullSelector;
+  uint32_t pc = 0;
+  ComponentId component = kInvalidComponent;
+  bool privileged = false;
+};
+
+class Vcpu {
+ public:
+  /// Handler invoked on kCallPort: (port index) → status. Installed by the
+  /// ORB; it performs the thread-migrating invocation.
+  using PortHandler =
+      std::function<Status(ComponentId caller, uint32_t port_index)>;
+
+  Vcpu(SegmentMemory* memory, CycleLedger* ledger)
+      : memory_(memory), ledger_(ledger) {}
+
+  /// Associates a code segment with its (immutable) text section.
+  void MapText(Selector code_seg, const Program* text) {
+    text_map_[code_seg] = text;
+  }
+  void UnmapText(Selector code_seg) { text_map_.erase(code_seg); }
+
+  void set_port_handler(PortHandler handler) {
+    port_handler_ = std::move(handler);
+  }
+
+  /// Runs `ctx` until kRet/kHalt or fault. `max_instructions` bounds
+  /// runaway loops. Registers persist across Run calls — they are the
+  /// argument/return-value passing convention (r0 = return value,
+  /// r1..r3 = arguments), exactly the register-window style the paper's
+  /// thread-migrating RPC uses.
+  Status Run(ThreadContext ctx, uint64_t max_instructions = 1 << 20);
+
+  int64_t reg(int i) const { return regs_[static_cast<size_t>(i)]; }
+  void set_reg(int i, int64_t v) { regs_[static_cast<size_t>(i)] = v; }
+
+  CycleLedger* ledger() { return ledger_; }
+  SegmentMemory* memory() { return memory_; }
+
+  /// Depth of nested thread-migrating calls currently on this thread.
+  int call_depth() const { return call_depth_; }
+
+ private:
+  SegmentMemory* memory_;
+  CycleLedger* ledger_;
+  std::unordered_map<Selector, const Program*> text_map_;
+  PortHandler port_handler_;
+  std::array<int64_t, 8> regs_ = {};
+  int call_depth_ = 0;
+
+  static constexpr int kMaxCallDepth = 64;
+};
+
+}  // namespace dbm::os
+
+#endif  // DBM_OS_VCPU_H_

@@ -1,0 +1,187 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/value.h"
+
+namespace dbm::query {
+
+using data::CompareValues;
+using data::IsNull;
+using data::TypeOf;
+using data::ValueType;
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+namespace {
+double NumericOf(const Value& v) {
+  return TypeOf(v) == ValueType::kInt
+             ? static_cast<double>(std::get<int64_t>(v))
+             : (TypeOf(v) == ValueType::kDouble ? std::get<double>(v) : 0.0);
+}
+}  // namespace
+
+HashAggregate::HashAggregate(OperatorPtr child, std::vector<size_t> group_by,
+                             std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {
+  std::vector<data::Field> fields;
+  for (size_t g : group_by_) fields.push_back(child_->schema().field(g));
+  for (const AggSpec& a : aggs_) {
+    data::ValueType type = a.func == AggFunc::kCount
+                               ? data::ValueType::kInt
+                               : data::ValueType::kDouble;
+    fields.push_back(data::Field{
+        a.out_name.empty() ? std::string(AggFuncName(a.func)) : a.out_name,
+        type});
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+Status HashAggregate::Open() {
+  DBM_RETURN_NOT_OK(child_->Open());
+  groups_.clear();
+  input_done_ = false;
+  return Status::OK();
+}
+
+Status HashAggregate::Fold(const Tuple& tuple) {
+  Tuple key;
+  for (size_t g : group_by_) key.values.push_back(tuple.at(g));
+  std::string key_str = key.ToString();
+  auto it = groups_.find(key_str);
+  if (it == groups_.end()) {
+    GroupState gs;
+    gs.sums.assign(aggs_.size(), 0);
+    gs.mins.assign(aggs_.size(), 0);
+    gs.maxs.assign(aggs_.size(), 0);
+    gs.counts.assign(aggs_.size(), 0);
+    it = groups_.emplace(key_str, std::make_pair(key, std::move(gs))).first;
+  }
+  GroupState& gs = it->second.second;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& a = aggs_[i];
+    if (a.func == AggFunc::kCount) {
+      ++gs.counts[i];
+      continue;
+    }
+    const Value& v = tuple.at(a.column);
+    if (IsNull(v)) continue;
+    double d = NumericOf(v);
+    if (gs.counts[i] == 0) {
+      gs.mins[i] = gs.maxs[i] = d;
+    } else {
+      gs.mins[i] = std::min(gs.mins[i], d);
+      gs.maxs[i] = std::max(gs.maxs[i], d);
+    }
+    gs.sums[i] += d;
+    ++gs.counts[i];
+  }
+  return Status::OK();
+}
+
+Tuple HashAggregate::Finish(const Tuple& key, const GroupState& gs) const {
+  Tuple out = key;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    switch (aggs_[i].func) {
+      case AggFunc::kCount:
+        out.values.emplace_back(static_cast<int64_t>(gs.counts[i]));
+        break;
+      case AggFunc::kSum:
+        out.values.emplace_back(gs.sums[i]);
+        break;
+      case AggFunc::kAvg:
+        out.values.emplace_back(
+            gs.counts[i] == 0
+                ? Value{}
+                : Value{gs.sums[i] / static_cast<double>(gs.counts[i])});
+        break;
+      case AggFunc::kMin:
+        out.values.emplace_back(gs.counts[i] == 0 ? Value{}
+                                                  : Value{gs.mins[i]});
+        break;
+      case AggFunc::kMax:
+        out.values.emplace_back(gs.counts[i] == 0 ? Value{}
+                                                  : Value{gs.maxs[i]});
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Step> HashAggregate::Next(SimTime now) {
+  while (!input_done_) {
+    DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
+    switch (step.kind) {
+      case Step::Kind::kTuple:
+        ++stats_.consumed_left;
+        DBM_RETURN_NOT_OK(Fold(step.tuple));
+        break;
+      case Step::Kind::kNotReady:
+        return step;
+      case Step::Kind::kEnd:
+        input_done_ = true;
+        emit_ = groups_.begin();
+        break;
+    }
+  }
+  if (emit_ == groups_.end()) return Step::End();
+  Tuple out = Finish(emit_->second.first, emit_->second.second);
+  ++emit_;
+  return Emit(std::move(out), now);
+}
+
+Status HashAggregate::Close() { return child_->Close(); }
+
+SortOp::SortOp(OperatorPtr child, size_t column, bool ascending)
+    : child_(std::move(child)), column_(column), ascending_(ascending) {}
+
+Status SortOp::Open() {
+  DBM_RETURN_NOT_OK(child_->Open());
+  rows_.clear();
+  done_ = false;
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<Step> SortOp::Next(SimTime now) {
+  while (!done_) {
+    DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
+    switch (step.kind) {
+      case Step::Kind::kTuple:
+        ++stats_.consumed_left;
+        rows_.push_back(std::move(step.tuple));
+        break;
+      case Step::Kind::kNotReady:
+        return step;
+      case Step::Kind::kEnd: {
+        done_ = true;
+        size_t col = column_;
+        bool asc = ascending_;
+        std::stable_sort(rows_.begin(), rows_.end(),
+                         [col, asc](const Tuple& a, const Tuple& b) {
+                           int c = CompareValues(a.at(col), b.at(col));
+                           return asc ? c < 0 : c > 0;
+                         });
+        break;
+      }
+    }
+  }
+  if (pos_ >= rows_.size()) return Step::End();
+  return Emit(rows_[pos_++], now);
+}
+
+Status SortOp::Close() { return child_->Close(); }
+
+}  // namespace dbm::query

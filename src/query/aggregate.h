@@ -1,0 +1,76 @@
+// Aggregation and sorting.
+
+#ifndef DBM_QUERY_AGGREGATE_H_
+#define DBM_QUERY_AGGREGATE_H_
+
+#include <map>
+#include <vector>
+
+#include "query/operator.h"
+
+namespace dbm::query {
+
+enum class AggFunc : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+const char* AggFuncName(AggFunc f);
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  size_t column = 0;  // ignored for COUNT(*)
+  std::string out_name;
+};
+
+/// Hash aggregation with optional GROUP BY columns. Blocking: consumes
+/// the whole input before emitting groups (deterministic group order).
+class HashAggregate : public Operator {
+ public:
+  HashAggregate(OperatorPtr child, std::vector<size_t> group_by,
+                std::vector<AggSpec> aggs);
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "aggregate"; }
+  Status Open() override;
+  Result<Step> Next(SimTime now) override;
+  Status Close() override;
+
+ private:
+  struct GroupState {
+    std::vector<double> sums;
+    std::vector<double> mins;
+    std::vector<double> maxs;
+    std::vector<uint64_t> counts;
+  };
+
+  Status Fold(const Tuple& tuple);
+  Tuple Finish(const Tuple& key, const GroupState& gs) const;
+
+  OperatorPtr child_;
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  // Key tuples compared via their string form for deterministic ordering.
+  std::map<std::string, std::pair<Tuple, GroupState>> groups_;
+  bool input_done_ = false;
+  std::map<std::string, std::pair<Tuple, GroupState>>::const_iterator emit_;
+};
+
+/// Full sort by a column (blocking).
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, size_t column, bool ascending = true);
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "sort"; }
+  Status Open() override;
+  Result<Step> Next(SimTime now) override;
+  Status Close() override;
+
+ private:
+  OperatorPtr child_;
+  size_t column_;
+  bool ascending_;
+  std::vector<Tuple> rows_;
+  bool done_ = false;
+  size_t pos_ = 0;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_AGGREGATE_H_

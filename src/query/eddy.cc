@@ -1,0 +1,94 @@
+#include "query/eddy.h"
+
+namespace dbm::query {
+
+Eddy::Eddy(OperatorPtr source, std::vector<EddyPredicate> predicates,
+           uint64_t seed, uint64_t decay_every)
+    : source_(std::move(source)),
+      predicates_(std::move(predicates)),
+      rng_(seed),
+      decay_every_(decay_every) {
+  tickets_.assign(predicates_.size(), 1.0);
+  eddy_stats_.evaluations.assign(predicates_.size(), 0);
+  eddy_stats_.passes.assign(predicates_.size(), 0);
+}
+
+Status Eddy::Open() { return source_->Open(); }
+
+Result<Step> Eddy::Next(SimTime now) {
+  while (true) {
+    DBM_ASSIGN_OR_RETURN(Step step, source_->Next(now));
+    if (step.kind != Step::Kind::kTuple) return step;
+    ++stats_.consumed_left;
+
+    std::vector<bool> done(predicates_.size(), false);
+    size_t remaining = predicates_.size();
+    bool rejected = false;
+    while (remaining > 0 && !rejected) {
+      // Lottery draw over undone predicates, weight = tickets/cost so
+      // cheap AND selective predicates run early.
+      double total = 0;
+      for (size_t i = 0; i < predicates_.size(); ++i) {
+        if (!done[i]) total += tickets_[i] / predicates_[i].cost;
+      }
+      double draw = rng_.UniformDouble() * total;
+      size_t pick = 0;
+      for (size_t i = 0; i < predicates_.size(); ++i) {
+        if (done[i]) continue;
+        draw -= tickets_[i] / predicates_[i].cost;
+        pick = i;
+        if (draw <= 0) break;
+      }
+
+      ++eddy_stats_.evaluations[pick];
+      eddy_stats_.total_cost += predicates_[pick].cost;
+      tickets_[pick] += 1.0;  // consumed a tuple
+      DBM_ASSIGN_OR_RETURN(bool pass, predicates_[pick].expr->Test(step.tuple));
+      if (pass) {
+        ++eddy_stats_.passes[pick];
+        tickets_[pick] = std::max(0.1, tickets_[pick] - 1.0);  // returned it
+        done[pick] = true;
+        --remaining;
+      } else {
+        rejected = true;
+      }
+    }
+
+    if (++routed_ % decay_every_ == 0) {
+      for (double& t : tickets_) t = 1.0 + (t - 1.0) * 0.5;
+    }
+    if (!rejected) return Emit(std::move(step.tuple), now);
+  }
+}
+
+Status Eddy::Close() { return source_->Close(); }
+
+Result<double> Eddy::RunStatic(Operator* source,
+                               const std::vector<EddyPredicate>& preds,
+                               std::vector<Tuple>* out) {
+  DBM_RETURN_NOT_OK(source->Open());
+  double cost = 0;
+  SimTime now = 0;
+  while (true) {
+    DBM_ASSIGN_OR_RETURN(Step step, source->Next(now));
+    if (step.kind == Step::Kind::kNotReady) {
+      now = step.ready_at;
+      continue;
+    }
+    if (step.kind == Step::Kind::kEnd) break;
+    bool pass = true;
+    for (const EddyPredicate& p : preds) {
+      cost += p.cost;
+      DBM_ASSIGN_OR_RETURN(bool ok, p.expr->Test(step.tuple));
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass && out != nullptr) out->push_back(std::move(step.tuple));
+  }
+  DBM_RETURN_NOT_OK(source->Close());
+  return cost;
+}
+
+}  // namespace dbm::query

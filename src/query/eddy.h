@@ -1,0 +1,67 @@
+// Eddy: continuously adaptive predicate routing (Avnur & Hellerstein),
+// cited by §2 as the "continuously adaptive query processing" line of
+// work. The eddy holds a set of commutative predicates and routes each
+// tuple through them in an order chosen by lottery scheduling: a
+// predicate earns a ticket when it consumes a tuple and pays one back
+// when the tuple survives, so selective (and cheap) predicates
+// accumulate tickets and are visited first. Ticket counts decay
+// periodically, letting the routing re-adapt when the data distribution
+// shifts mid-stream — the behaviour the eddies bench (A1) demonstrates.
+
+#ifndef DBM_QUERY_EDDY_H_
+#define DBM_QUERY_EDDY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/operator.h"
+
+namespace dbm::query {
+
+struct EddyPredicate {
+  std::string name;
+  ExprPtr expr;
+  /// Simulated evaluation cost (abstract units charged per evaluation).
+  double cost = 1.0;
+};
+
+struct EddyStats {
+  std::vector<uint64_t> evaluations;  // per predicate
+  std::vector<uint64_t> passes;       // per predicate
+  double total_cost = 0;
+};
+
+class Eddy : public Operator {
+ public:
+  Eddy(OperatorPtr source, std::vector<EddyPredicate> predicates,
+       uint64_t seed = 23, uint64_t decay_every = 256);
+
+  const Schema& schema() const override { return source_->schema(); }
+  std::string name() const override { return "eddy"; }
+  Status Open() override;
+  Result<Step> Next(SimTime now) override;
+  Status Close() override;
+
+  const EddyStats& eddy_stats() const { return eddy_stats_; }
+  const std::vector<double>& tickets() const { return tickets_; }
+
+  /// Evaluates predicates in the FIXED given order (the static baseline
+  /// for the ablation). Returns total cost spent.
+  static Result<double> RunStatic(Operator* source,
+                                  const std::vector<EddyPredicate>& preds,
+                                  std::vector<Tuple>* out);
+
+ private:
+  OperatorPtr source_;
+  std::vector<EddyPredicate> predicates_;
+  Rng rng_;
+  std::vector<double> tickets_;
+  EddyStats eddy_stats_;
+  uint64_t decay_every_;
+  uint64_t routed_ = 0;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_EDDY_H_

@@ -1,0 +1,147 @@
+#include "query/executor.h"
+
+#include "common/strings.h"
+
+namespace dbm::query {
+
+Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
+                          const ExecOptions& options) {
+  ExecStats stats;
+  stats.started_at = options.start_time;
+  SimTime now = options.start_time;
+  DBM_RETURN_NOT_OK(root->Open());
+  uint64_t pulls = 0;
+  while (true) {
+    DBM_ASSIGN_OR_RETURN(Step step, root->Next(now));
+    ++pulls;
+    switch (step.kind) {
+      case Step::Kind::kTuple:
+        now += options.cpu_per_tuple;
+        ++stats.rows;
+        if (stats.first_row_at < 0) stats.first_row_at = now;
+        if (out != nullptr) out->push_back(std::move(step.tuple));
+        break;
+      case Step::Kind::kNotReady:
+        now = std::max(now + 1, step.ready_at);  // wait for the source
+        break;
+      case Step::Kind::kEnd:
+        stats.finished_at = now;
+        DBM_RETURN_NOT_OK(root->Close());
+        return stats;
+    }
+    if (options.safe_point_every > 0 &&
+        pulls % options.safe_point_every == 0) {
+      ++stats.safe_points;
+      if (options.on_safe_point && !options.on_safe_point(stats)) {
+        stats.finished_at = now;
+        DBM_RETURN_NOT_OK(root->Close());
+        return stats;
+      }
+    }
+  }
+}
+
+Result<ExecStats> AdaptiveJoinExecutor::Run(const JoinQuery& query,
+                                            std::vector<Tuple>* out,
+                                            const Options& options) {
+  DBM_ASSIGN_OR_RETURN(JoinPlan plan, optimizer_.Plan(query));
+
+  ExecStats total;
+  total.started_at = 0;
+  SimTime now = 0;
+  int attempt = 0;
+
+  while (true) {
+    ++attempt;
+    OperatorPtr root = plan.Build(query);
+    auto* hj = dynamic_cast<HashJoin*>(root.get());
+    bool build_left = plan.algorithm == JoinAlgorithm::kHashBuildLeft;
+
+    // Install the safe-point hook inside the build: when the actual build
+    // cardinality diverges past the threshold AND the corrected plan
+    // differs, the hook checkpoints the consistent state with the State
+    // Manager and aborts the build so the executor can restart better.
+    std::optional<JoinPlan> corrected_plan;
+    if (hj != nullptr && options.allow_reoptimization &&
+        total.reoptimizations < 2) {
+      double est_build = plan.estimated_build_rows;
+      hj->set_build_monitor(
+          [&, est_build, build_left](uint64_t build_rows) -> Status {
+            ++total.safe_points;
+            double actual = static_cast<double>(build_rows);
+            double other = build_left ? query.right.EstimatedRows()
+                                      : query.left.EstimatedRows();
+            if (actual <= est_build * options.divergence_threshold ||
+                actual <= other) {
+              return Status::OK();
+            }
+            double left_rows =
+                build_left ? actual : query.left.EstimatedRows();
+            double right_rows =
+                build_left ? query.right.EstimatedRows() : actual;
+            auto corrected = optimizer_.PlanWithCardinalities(
+                query, left_rows, right_rows);
+            if (!corrected.ok()) return corrected.status();
+            if (corrected->algorithm == plan.algorithm) return Status::OK();
+            if (state_mgr_ != nullptr) {
+              component::StateBlob blob;
+              blob.type = "join-progress";
+              blob.words = {static_cast<int64_t>(build_rows),
+                            static_cast<int64_t>(now)};
+              DBM_RETURN_NOT_OK(
+                  state_mgr_->Save("adaptive-join", std::move(blob)));
+            }
+            corrected_plan = *corrected;
+            return Status::Aborted("re-optimise");
+          },
+          options.safe_point_every);
+    }
+
+    DBM_RETURN_NOT_OK(root->Open());
+    SimTime attempt_start = now;
+    bool restarted = false;
+
+    while (true) {
+      auto step = root->Next(now);
+      if (!step.ok()) {
+        if (step.status().IsAborted() && corrected_plan.has_value()) {
+          // Mid-query re-optimisation: charge the abandoned work, switch
+          // to the corrected plan and restart.
+          (void)root->Close();
+          // Charge simulated build time for the abandoned rows.
+          now += static_cast<SimTime>(hj->build_rows()) *
+                 options.cpu_per_tuple;
+          total.wasted_time += (now - attempt_start);
+          ++total.reoptimizations;
+          plan = *corrected_plan;
+          restarted = true;
+          break;
+        }
+        return step.status();
+      }
+      if (step->kind == Step::Kind::kTuple) {
+        now += options.cpu_per_tuple;
+        ++total.rows;
+        if (total.first_row_at < 0) total.first_row_at = now;
+        if (out != nullptr) out->push_back(std::move(step->tuple));
+      } else if (step->kind == Step::Kind::kNotReady) {
+        now = std::max(now + 1, step->ready_at);
+      } else {
+        // Charge build cost so plan quality shows up in simulated time.
+        if (hj != nullptr) {
+          now += static_cast<SimTime>(hj->build_rows()) *
+                 options.cpu_per_tuple;
+        }
+        total.finished_at = now;
+        total.final_plan = JoinAlgorithmName(plan.algorithm);
+        DBM_RETURN_NOT_OK(root->Close());
+        return total;
+      }
+    }
+    if (!restarted) {
+      return Status::Internal("adaptive executor left its loop unexpectedly");
+    }
+  }
+}
+
+}  // namespace dbm::query

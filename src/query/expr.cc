@@ -1,0 +1,190 @@
+#include "query/expr.h"
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace dbm::query {
+
+using data::CompareValues;
+using data::IsNull;
+using data::TypeOf;
+using data::ValueType;
+
+Result<Value> Expr::Eval(const Tuple& tuple) const {
+  switch (kind) {
+    case ExprKind::kColumn:
+      if (column >= tuple.size()) {
+        return Status::OutOfRange(
+            StrFormat("column %zu beyond tuple arity %zu", column,
+                      tuple.size()));
+      }
+      return tuple.at(column);
+    case ExprKind::kLiteral:
+      return literal;
+    case ExprKind::kCompare: {
+      DBM_ASSIGN_OR_RETURN(Value l, left->Eval(tuple));
+      DBM_ASSIGN_OR_RETURN(Value r, right->Eval(tuple));
+      if (IsNull(l) || IsNull(r)) return Value{};  // null propagates
+      int c = CompareValues(l, r);
+      bool v = false;
+      switch (cmp) {
+        case CmpOp::kEq: v = c == 0; break;
+        case CmpOp::kNe: v = c != 0; break;
+        case CmpOp::kLt: v = c < 0; break;
+        case CmpOp::kLe: v = c <= 0; break;
+        case CmpOp::kGt: v = c > 0; break;
+        case CmpOp::kGe: v = c >= 0; break;
+      }
+      return Value{static_cast<int64_t>(v)};
+    }
+    case ExprKind::kAnd: {
+      DBM_ASSIGN_OR_RETURN(bool l, left->Test(tuple));
+      if (!l) return Value{static_cast<int64_t>(0)};
+      DBM_ASSIGN_OR_RETURN(bool r, right->Test(tuple));
+      return Value{static_cast<int64_t>(r)};
+    }
+    case ExprKind::kOr: {
+      DBM_ASSIGN_OR_RETURN(bool l, left->Test(tuple));
+      if (l) return Value{static_cast<int64_t>(1)};
+      DBM_ASSIGN_OR_RETURN(bool r, right->Test(tuple));
+      return Value{static_cast<int64_t>(r)};
+    }
+    case ExprKind::kNot: {
+      DBM_ASSIGN_OR_RETURN(bool l, left->Test(tuple));
+      return Value{static_cast<int64_t>(!l)};
+    }
+    case ExprKind::kArith: {
+      DBM_ASSIGN_OR_RETURN(Value l, left->Eval(tuple));
+      DBM_ASSIGN_OR_RETURN(Value r, right->Eval(tuple));
+      if (IsNull(l) || IsNull(r)) return Value{};
+      bool as_double = TypeOf(l) == ValueType::kDouble ||
+                       TypeOf(r) == ValueType::kDouble;
+      auto num = [](const Value& v) {
+        return TypeOf(v) == ValueType::kInt
+                   ? static_cast<double>(std::get<int64_t>(v))
+                   : std::get<double>(v);
+      };
+      if (TypeOf(l) == ValueType::kString || TypeOf(r) == ValueType::kString) {
+        return Status::InvalidArgument("arithmetic on string value");
+      }
+      double a = num(l), b = num(r), out = 0;
+      switch (arith) {
+        case ArithOp::kAdd: out = a + b; break;
+        case ArithOp::kSub: out = a - b; break;
+        case ArithOp::kMul: out = a * b; break;
+        case ArithOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          out = a / b;
+          break;
+      }
+      if (as_double || arith == ArithOp::kDiv) return Value{out};
+      return Value{static_cast<int64_t>(out)};
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> Expr::Test(const Tuple& tuple) const {
+  DBM_ASSIGN_OR_RETURN(Value v, Eval(tuple));
+  if (IsNull(v)) return false;
+  switch (TypeOf(v)) {
+    case ValueType::kInt: return std::get<int64_t>(v) != 0;
+    case ValueType::kDouble: return std::get<double>(v) != 0.0;
+    case ValueType::kString: return !std::get<std::string>(v).empty();
+    default: return false;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumn:
+      return column_name.empty() ? StrFormat("$%zu", column) : column_name;
+    case ExprKind::kLiteral:
+      return data::ValueToString(literal);
+    case ExprKind::kCompare: {
+      const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+      return "(" + left->ToString() + " " + ops[static_cast<int>(cmp)] + " " +
+             right->ToString() + ")";
+    }
+    case ExprKind::kAnd:
+      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT " + left->ToString();
+    case ExprKind::kArith: {
+      const char* ops[] = {"+", "-", "*", "/"};
+      return "(" + left->ToString() + " " + ops[static_cast<int>(arith)] +
+             " " + right->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Expr> Make(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr Col(size_t index, std::string name) {
+  auto e = Make(ExprKind::kColumn);
+  e->column = index;
+  e->column_name = std::move(name);
+  return e;
+}
+
+Result<ExprPtr> Col(const Schema& schema, const std::string& name) {
+  DBM_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
+  return Col(idx, name);
+}
+
+ExprPtr Lit(Value v) {
+  auto e = Make(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Compare(CmpOp op, ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kCompare);
+  e->cmp = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return Compare(CmpOp::kEq, std::move(l), std::move(r)); }
+ExprPtr Lt(ExprPtr l, ExprPtr r) { return Compare(CmpOp::kLt, std::move(l), std::move(r)); }
+ExprPtr Gt(ExprPtr l, ExprPtr r) { return Compare(CmpOp::kGt, std::move(l), std::move(r)); }
+ExprPtr Le(ExprPtr l, ExprPtr r) { return Compare(CmpOp::kLe, std::move(l), std::move(r)); }
+ExprPtr Ge(ExprPtr l, ExprPtr r) { return Compare(CmpOp::kGe, std::move(l), std::move(r)); }
+ExprPtr Ne(ExprPtr l, ExprPtr r) { return Compare(CmpOp::kNe, std::move(l), std::move(r)); }
+
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kAnd);
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kOr);
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+ExprPtr Not(ExprPtr inner) {
+  auto e = Make(ExprKind::kNot);
+  e->left = std::move(inner);
+  return e;
+}
+ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kArith);
+  e->arith = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+}  // namespace dbm::query

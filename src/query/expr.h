@@ -1,0 +1,75 @@
+// Scalar expressions over tuples.
+
+#ifndef DBM_QUERY_EXPR_H_
+#define DBM_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value.h"
+
+namespace dbm::query {
+
+using data::Schema;
+using data::Tuple;
+using data::Value;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  kColumn,   // by index (bound) — build with Col()
+  kLiteral,
+  kCompare,  // =, !=, <, <=, >, >=
+  kAnd,
+  kOr,
+  kNot,
+  kArith,    // +, -, *, /
+};
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// An immutable expression tree.
+class Expr {
+ public:
+  ExprKind kind;
+  size_t column = 0;        // kColumn
+  std::string column_name;  // diagnostic
+  Value literal;            // kLiteral
+  CmpOp cmp = CmpOp::kEq;
+  ArithOp arith = ArithOp::kAdd;
+  ExprPtr left, right;      // children (kNot uses left only)
+
+  /// Evaluates against a tuple; comparison/logic yields int 0/1.
+  Result<Value> Eval(const Tuple& tuple) const;
+
+  /// Truthiness for predicates: non-null, non-zero.
+  Result<bool> Test(const Tuple& tuple) const;
+
+  std::string ToString() const;
+};
+
+// --- builders ---
+ExprPtr Col(size_t index, std::string name = "");
+/// Resolves a column by name against a schema.
+Result<ExprPtr> Col(const Schema& schema, const std::string& name);
+ExprPtr Lit(Value v);
+ExprPtr Compare(CmpOp op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr Le(ExprPtr l, ExprPtr r);
+ExprPtr Ge(ExprPtr l, ExprPtr r);
+ExprPtr Ne(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr e);
+ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_EXPR_H_

@@ -1,0 +1,86 @@
+#include "query/index_join.h"
+
+#include "data/value.h"
+
+namespace dbm::query {
+
+Result<std::unique_ptr<RelationIndex>> RelationIndex::Build(
+    const Relation* relation, size_t column, size_t buffer_frames) {
+  if (relation == nullptr || column >= relation->schema().size()) {
+    return Status::InvalidArgument("bad relation/column for index");
+  }
+  if (relation->schema().field(column).type != data::ValueType::kInt) {
+    return Status::InvalidArgument(
+        "indexes support integer join columns (column '" +
+        relation->schema().field(column).name + "' is " +
+        data::ValueTypeName(relation->schema().field(column).type) + ")");
+  }
+  auto index = std::unique_ptr<RelationIndex>(new RelationIndex());
+  index->relation_ = relation;
+  index->column_ = column;
+  index->disk_ = std::make_shared<storage::DiskComponent>("idx-disk");
+  index->policy_ = std::make_shared<storage::LruPolicy>("idx-policy");
+  index->buffer_ =
+      std::make_shared<storage::BufferManager>("idx-buf", buffer_frames);
+  index->buffer_->FindPort("disk")->SetTarget(index->disk_);
+  index->buffer_->FindPort("policy")->SetTarget(index->policy_);
+  DBM_ASSIGN_OR_RETURN(
+      storage::BPlusTree tree,
+      storage::BPlusTree::Create(index->buffer_.get(), index->disk_.get()));
+  index->tree_ = std::make_unique<storage::BPlusTree>(std::move(tree));
+  for (size_t row = 0; row < relation->rows().size(); ++row) {
+    const Value& v = relation->rows()[row].at(column);
+    if (data::IsNull(v)) continue;  // nulls never match an equi-join
+    DBM_RETURN_NOT_OK(
+        index->tree_->Insert(std::get<int64_t>(v), row));
+  }
+  return index;
+}
+
+Status RelationIndex::Range(
+    int64_t lo, int64_t hi,
+    const std::function<bool(uint64_t row)>& visitor) {
+  return tree_->Scan(lo, hi,
+                     [&](int64_t, uint64_t row) { return visitor(row); });
+}
+
+IndexNestedLoopJoin::IndexNestedLoopJoin(OperatorPtr outer,
+                                         RelationIndex* index,
+                                         size_t outer_col)
+    : outer_(std::move(outer)),
+      index_(index),
+      outer_col_(outer_col),
+      schema_(Schema::Join(outer_->schema(), index->relation()->schema())) {}
+
+Status IndexNestedLoopJoin::Open() {
+  pending_.clear();
+  probes_ = 0;
+  return outer_->Open();
+}
+
+Result<Step> IndexNestedLoopJoin::Next(SimTime now) {
+  while (pending_.empty()) {
+    DBM_ASSIGN_OR_RETURN(Step step, outer_->Next(now));
+    if (step.kind != Step::Kind::kTuple) return step;
+    ++stats_.consumed_left;
+    const Value& key = step.tuple.at(outer_col_);
+    if (data::IsNull(key) ||
+        data::TypeOf(key) != data::ValueType::kInt) {
+      continue;  // no integer key: no match
+    }
+    ++probes_;
+    DBM_ASSIGN_OR_RETURN(std::vector<uint64_t> rows,
+                         index_->Probe(std::get<int64_t>(key)));
+    for (uint64_t row : rows) {
+      pending_.push_back(
+          Tuple::Concat(step.tuple, index_->relation()->rows()[row]));
+    }
+  }
+  Tuple out = std::move(pending_.front());
+  pending_.pop_front();
+  return Emit(std::move(out), now);
+}
+
+Status IndexNestedLoopJoin::Close() { return outer_->Close(); }
+
+}  // namespace dbm::query

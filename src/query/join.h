@@ -1,0 +1,162 @@
+// Join operators: the classic blocking ones and the adaptive ones the
+// paper points at in §2 ("pipelined hash join [31] ... and the XJoin
+// [29]").
+//
+//  * NestedLoopJoin   — the baseline; inner side materialised.
+//  * HashJoin         — classic blocking build→probe.
+//  * SymmetricHashJoin— the pipelined (dataflow) hash join of Wilschut &
+//                       Apers: hash tables on both sides, every arriving
+//                       tuple probes the opposite table, so results flow
+//                       as soon as matches exist.
+//  * XJoin            — symmetric hash join under a memory budget that
+//                       spills partitions and uses *input stalls* to join
+//                       spilled data (Urhan & Franklin). Duplicate pairs
+//                       across phases are suppressed with an emitted-pair
+//                       set (stand-in for XJoin's timestamp check).
+
+#ifndef DBM_QUERY_JOIN_H_
+#define DBM_QUERY_JOIN_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "query/operator.h"
+
+namespace dbm::query {
+
+/// Equi-join specification: left.column == right.column.
+struct JoinSpec {
+  size_t left_col = 0;
+  size_t right_col = 0;
+};
+
+/// Nested-loop join; the right (inner) input is fully materialised first.
+class NestedLoopJoin : public Operator {
+ public:
+  NestedLoopJoin(OperatorPtr left, OperatorPtr right, JoinSpec spec);
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "nlj"; }
+  Status Open() override;
+  Result<Step> Next(SimTime now) override;
+  Status Close() override;
+
+ private:
+  OperatorPtr left_, right_;
+  JoinSpec spec_;
+  Schema schema_;
+  std::vector<Tuple> inner_;
+  bool inner_done_ = false;
+  bool have_outer_ = false;
+  Tuple outer_;
+  size_t inner_pos_ = 0;
+};
+
+/// Classic blocking hash join: build the left input entirely, then probe
+/// with the right. A delayed build side stalls all output.
+class HashJoin : public Operator {
+ public:
+  HashJoin(OperatorPtr build, OperatorPtr probe, JoinSpec spec);
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "hash-join"; }
+  Status Open() override;
+  Result<Step> Next(SimTime now) override;
+  Status Close() override;
+
+  uint64_t build_rows() const { return build_rows_; }
+
+  /// Installs a safe-point hook invoked every `every` build rows. A
+  /// non-OK return aborts the build and surfaces from Next() — the
+  /// mid-query re-optimiser uses this to interrupt a runaway build.
+  using BuildMonitor = std::function<Status(uint64_t build_rows)>;
+  void set_build_monitor(BuildMonitor monitor, uint64_t every) {
+    monitor_ = std::move(monitor);
+    monitor_every_ = every == 0 ? 1 : every;
+  }
+
+ private:
+  BuildMonitor monitor_;
+  uint64_t monitor_every_ = 128;
+  OperatorPtr build_, probe_;
+  JoinSpec spec_;  // left_col = build column, right_col = probe column
+  Schema schema_;
+  std::unordered_multimap<uint64_t, Tuple> table_;
+  bool build_done_ = false;
+  uint64_t build_rows_ = 0;
+  std::deque<Tuple> pending_;
+};
+
+/// Symmetric (pipelined) hash join.
+class SymmetricHashJoin : public Operator {
+ public:
+  SymmetricHashJoin(OperatorPtr left, OperatorPtr right, JoinSpec spec);
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "sym-hash-join"; }
+  Status Open() override;
+  Result<Step> Next(SimTime now) override;
+  Status Close() override;
+
+ private:
+  Result<Step> PullSide(bool left_side, SimTime now);
+
+  OperatorPtr left_, right_;
+  JoinSpec spec_;
+  Schema schema_;
+  std::unordered_multimap<uint64_t, Tuple> left_table_, right_table_;
+  bool left_done_ = false, right_done_ = false;
+  bool prefer_left_ = true;  // alternate to stay fair
+  std::deque<Tuple> pending_;
+};
+
+/// XJoin: symmetric hash join with a bounded in-memory tuple budget.
+/// Overflow tuples go to per-side spill partitions; when BOTH inputs are
+/// stalled the reactive phase joins spilled partitions, turning dead time
+/// into output. A final phase joins remaining spilled data at end of
+/// input. The emitted-pair set keeps the output duplicate-free.
+class XJoin : public Operator {
+ public:
+  XJoin(OperatorPtr left, OperatorPtr right, JoinSpec spec,
+        size_t memory_tuples);
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "xjoin"; }
+  Status Open() override;
+  Result<Step> Next(SimTime now) override;
+  Status Close() override;
+
+  uint64_t spilled() const { return spilled_; }
+  uint64_t reactive_outputs() const { return reactive_outputs_; }
+
+ private:
+  struct Stored {
+    Tuple tuple;
+    uint64_t seq;  // identity for duplicate suppression
+  };
+
+  Result<Step> PullSide(bool left_side, SimTime now);
+  void ProbeMemory(bool left_side, const Stored& s);
+  void RunSpillPhase(bool final_phase);
+  uint64_t PairKey(uint64_t l, uint64_t r) const { return l * 1000003 + r; }
+
+  OperatorPtr left_, right_;
+  JoinSpec spec_;
+  Schema schema_;
+  size_t memory_budget_;  // max resident tuples per side
+  std::unordered_multimap<uint64_t, Stored> mem_left_, mem_right_;
+  std::vector<Stored> disk_left_, disk_right_;
+  std::unordered_set<uint64_t> emitted_;
+  bool left_done_ = false, right_done_ = false;
+  bool prefer_left_ = true;
+  bool final_ran_ = false;
+  size_t disk_left_done_ = 0, disk_right_done_ = 0;  // disk-disk watermark
+  uint64_t next_seq_ = 0;
+  uint64_t spilled_ = 0;
+  uint64_t reactive_outputs_ = 0;
+  bool in_reactive_ = false;
+  std::deque<Tuple> pending_;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_JOIN_H_

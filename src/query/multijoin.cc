@@ -1,0 +1,166 @@
+#include "query/multijoin.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace dbm::query {
+
+std::string MultiJoinPlan::ToString(const MultiJoinQuery& query) const {
+  std::vector<std::string> names;
+  for (size_t t : order) {
+    names.push_back(query.tables[t].relation != nullptr
+                        ? query.tables[t].relation->name()
+                        : "?");
+  }
+  return Join(names, " |x| ");
+}
+
+double MultiJoinOptimizer::EstimateEdgeOutput(const MultiJoinQuery& query,
+                                              double left_rows,
+                                              double right_rows,
+                                              const JoinEdge& edge) const {
+  auto distinct = [&](size_t table, const std::string& column) -> double {
+    const auto* stats = query.tables[table].stats;
+    if (stats == nullptr) return 1;
+    auto it = stats->columns.find(column);
+    if (it == stats->columns.end()) return 1;
+    return std::max<double>(
+        1, static_cast<double>(it->second.distinct_estimate));
+  };
+  double v = std::max(distinct(edge.left_table, edge.left_column),
+                      distinct(edge.right_table, edge.right_column));
+  return left_rows * right_rows / v;
+}
+
+Result<MultiJoinPlan> MultiJoinOptimizer::Plan(
+    const MultiJoinQuery& query) const {
+  const size_t n = query.tables.size();
+  if (n < 2) {
+    return Status::InvalidArgument("multi-join needs at least two tables");
+  }
+  for (const JoinEdge& e : query.edges) {
+    if (e.left_table >= n || e.right_table >= n) {
+      return Status::OutOfRange("join edge references unknown table");
+    }
+  }
+
+  std::vector<double> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (query.tables[i].relation == nullptr) {
+      return Status::InvalidArgument("table input missing relation");
+    }
+    rows[i] = query.tables[i].EstimatedRows();
+  }
+
+  // Seed: the edge with the smallest estimated output.
+  if (query.edges.empty()) {
+    return Status::NotImplemented(
+        "disconnected join graphs (pure cross products) are not planned");
+  }
+  MultiJoinPlan plan;
+  double best_seed = -1;
+  size_t seed_edge = 0;
+  for (size_t i = 0; i < query.edges.size(); ++i) {
+    const JoinEdge& e = query.edges[i];
+    double est = EstimateEdgeOutput(query, rows[e.left_table],
+                                    rows[e.right_table], e);
+    if (best_seed < 0 || est < best_seed) {
+      best_seed = est;
+      seed_edge = i;
+    }
+  }
+  const JoinEdge& seed = query.edges[seed_edge];
+  std::set<size_t> joined{seed.left_table, seed.right_table};
+  plan.order = {seed.left_table, seed.right_table};
+  plan.step_estimates.push_back(best_seed);
+  double current = best_seed;
+  plan.total_cost = best_seed;
+
+  while (joined.size() < n) {
+    double best_est = -1;
+    size_t best_table = SIZE_MAX;
+    for (const JoinEdge& e : query.edges) {
+      bool l_in = joined.count(e.left_table) > 0;
+      bool r_in = joined.count(e.right_table) > 0;
+      if (l_in == r_in) continue;  // both joined or both not
+      size_t incoming = l_in ? e.right_table : e.left_table;
+      double est = EstimateEdgeOutput(query, current, rows[incoming], e);
+      if (best_est < 0 || est < best_est) {
+        best_est = est;
+        best_table = incoming;
+      }
+    }
+    if (best_table == SIZE_MAX) {
+      return Status::NotImplemented(
+          "join graph is disconnected; cross products are not planned");
+    }
+    joined.insert(best_table);
+    plan.order.push_back(best_table);
+    plan.step_estimates.push_back(best_est);
+    current = best_est;
+    plan.total_cost += best_est;
+  }
+  return plan;
+}
+
+Result<OperatorPtr> MultiJoinOptimizer::Build(
+    const MultiJoinQuery& query, const MultiJoinPlan& plan) const {
+  if (plan.order.size() != query.tables.size() || plan.order.size() < 2) {
+    return Status::InvalidArgument("plan does not cover the query's tables");
+  }
+  // Column offsets of each table within the accumulated (left-deep) row.
+  std::vector<size_t> offset(query.tables.size(), SIZE_MAX);
+  auto col_index = [&](size_t table, const std::string& column)
+      -> Result<size_t> {
+    DBM_ASSIGN_OR_RETURN(
+        size_t idx, query.tables[table].relation->schema().IndexOf(column));
+    return idx;
+  };
+
+  size_t first = plan.order[0];
+  offset[first] = 0;
+  size_t width = query.tables[first].relation->schema().size();
+  OperatorPtr acc = query.tables[first].MakeSource();
+
+  for (size_t k = 1; k < plan.order.size(); ++k) {
+    size_t incoming = plan.order[k];
+    // Find an edge connecting `incoming` to any already-placed table.
+    const JoinEdge* edge = nullptr;
+    bool incoming_is_right = true;
+    for (const JoinEdge& e : query.edges) {
+      if (e.right_table == incoming && offset[e.left_table] != SIZE_MAX) {
+        edge = &e;
+        incoming_is_right = true;
+        break;
+      }
+      if (e.left_table == incoming && offset[e.right_table] != SIZE_MAX) {
+        edge = &e;
+        incoming_is_right = false;
+        break;
+      }
+    }
+    if (edge == nullptr) {
+      return Status::NotImplemented("no connecting edge for table " +
+                                    query.tables[incoming].relation->name());
+    }
+    size_t placed = incoming_is_right ? edge->left_table : edge->right_table;
+    const std::string& placed_col =
+        incoming_is_right ? edge->left_column : edge->right_column;
+    const std::string& incoming_col =
+        incoming_is_right ? edge->right_column : edge->left_column;
+    DBM_ASSIGN_OR_RETURN(size_t placed_idx, col_index(placed, placed_col));
+    DBM_ASSIGN_OR_RETURN(size_t incoming_idx,
+                         col_index(incoming, incoming_col));
+
+    JoinSpec spec{offset[placed] + placed_idx, incoming_idx};
+    acc = std::make_unique<SymmetricHashJoin>(
+        std::move(acc), query.tables[incoming].MakeSource(), spec);
+    offset[incoming] = width;
+    width += query.tables[incoming].relation->schema().size();
+  }
+  return acc;
+}
+
+}  // namespace dbm::query

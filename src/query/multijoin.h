@@ -1,0 +1,68 @@
+// Multi-way join ordering.
+//
+// Extends the two-way optimiser to N tables with a greedy
+// smallest-intermediate heuristic producing a left-deep hash-join tree —
+// the classical approach whose estimate-sensitivity motivates the paper's
+// runtime adaptation (a wrong ordering here is exactly what scenario 3's
+// machinery corrects at the two-way level).
+
+#ifndef DBM_QUERY_MULTIJOIN_H_
+#define DBM_QUERY_MULTIJOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "query/optimizer.h"
+
+namespace dbm::query {
+
+/// An equi-join edge between two tables of a MultiJoinQuery.
+struct JoinEdge {
+  size_t left_table = 0;
+  std::string left_column;
+  size_t right_table = 0;
+  std::string right_column;
+};
+
+struct MultiJoinQuery {
+  std::vector<TableInput> tables;
+  std::vector<JoinEdge> edges;
+};
+
+/// A left-deep join order with per-step estimates.
+struct MultiJoinPlan {
+  /// Table indices in join order (first two feed the bottom join).
+  std::vector<size_t> order;
+  /// Estimated cardinality after each join step (order.size()-1 entries).
+  std::vector<double> step_estimates;
+  double total_cost = 0;
+  std::string ToString(const MultiJoinQuery& query) const;
+};
+
+class MultiJoinOptimizer {
+ public:
+  explicit MultiJoinOptimizer(Optimizer::CostModel model = {})
+      : optimizer_(model) {}
+
+  /// Greedy ordering: start from the cheapest edge, then repeatedly join
+  /// the connected table yielding the smallest estimated intermediate.
+  /// Cross products are used only when the join graph is disconnected.
+  Result<MultiJoinPlan> Plan(const MultiJoinQuery& query) const;
+
+  /// Builds the left-deep operator tree for `plan` and returns it with
+  /// the mapping from output columns to (table, column) — callers locate
+  /// join columns through the per-table schemas.
+  Result<OperatorPtr> Build(const MultiJoinQuery& query,
+                            const MultiJoinPlan& plan) const;
+
+ private:
+  /// |L ⋈ R| with the standard distinct-value formula over `edge`.
+  double EstimateEdgeOutput(const MultiJoinQuery& query, double left_rows,
+                            double right_rows, const JoinEdge& edge) const;
+
+  Optimizer optimizer_;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_MULTIJOIN_H_

@@ -1,0 +1,235 @@
+// The operator protocol and basic operators.
+//
+// Operators use a pull model extended with NOT-READY: a source whose next
+// tuple has not yet *arrived* (wide-area / sensor inputs, §2) reports the
+// simulated time at which it will be available instead of blocking. This
+// is what separates the adaptive operators (symmetric hash join, XJoin,
+// ripple join, eddies) from the classic blocking ones: the adaptive
+// operators do useful work with whichever input has data, so delayed or
+// bursty sources do not stall the pipeline.
+
+#ifndef DBM_QUERY_OPERATOR_H_
+#define DBM_QUERY_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "data/relation.h"
+#include "query/expr.h"
+
+namespace dbm::query {
+
+using data::Relation;
+
+/// What an operator returns from Next().
+struct Step {
+  enum class Kind : uint8_t { kTuple, kEnd, kNotReady } kind = Kind::kEnd;
+  Tuple tuple;          // kTuple
+  SimTime ready_at = 0; // kNotReady: earliest time to retry
+
+  static Step Of(Tuple t) {
+    Step s;
+    s.kind = Kind::kTuple;
+    s.tuple = std::move(t);
+    return s;
+  }
+  static Step End() { return Step{}; }
+  static Step NotReady(SimTime at) {
+    Step s;
+    s.kind = Kind::kNotReady;
+    s.ready_at = at;
+    return s;
+  }
+};
+
+/// Per-operator instrumentation.
+struct OperatorStats {
+  uint64_t produced = 0;
+  uint64_t consumed_left = 0;
+  uint64_t consumed_right = 0;
+  SimTime first_output_at = -1;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual const Schema& schema() const = 0;
+  virtual std::string name() const = 0;
+  virtual Status Open() = 0;
+  /// `now` is the executor's simulated clock at the moment of the pull.
+  virtual Result<Step> Next(SimTime now) = 0;
+  virtual Status Close() = 0;
+
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  Step Emit(Tuple t, SimTime now) {
+    ++stats_.produced;
+    if (stats_.first_output_at < 0) stats_.first_output_at = now;
+    return Step::Of(std::move(t));
+  }
+  OperatorStats stats_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// In-memory source: all tuples available immediately.
+class MemSource : public Operator {
+ public:
+  explicit MemSource(const Relation* rel) : rel_(rel) {}
+  const Schema& schema() const override { return rel_->schema(); }
+  std::string name() const override { return "scan(" + rel_->name() + ")"; }
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<Step> Next(SimTime now) override {
+    if (pos_ >= rel_->rows().size()) return Step::End();
+    return Emit(rel_->rows()[pos_++], now);
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  const Relation* rel_;
+  size_t pos_ = 0;
+};
+
+/// A source whose tuples arrive over simulated time: an initial delay
+/// then a fixed inter-arrival gap, with optional periodic stalls (bursty
+/// wide-area behaviour). Tuple i is available at
+///   initial_delay + i * interarrival + (i / burst_every) * stall
+/// (stall applied between bursts when burst_every > 0).
+class DelayedSource : public Operator {
+ public:
+  struct Timing {
+    SimTime initial_delay = 0;
+    SimTime interarrival = 0;
+    size_t burst_every = 0;  // 0 = no stalls
+    SimTime stall = 0;
+  };
+
+  DelayedSource(const Relation* rel, Timing timing)
+      : rel_(rel), timing_(timing) {}
+
+  const Schema& schema() const override { return rel_->schema(); }
+  std::string name() const override {
+    return "delayed(" + rel_->name() + ")";
+  }
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<Step> Next(SimTime now) override {
+    if (pos_ >= rel_->rows().size()) return Step::End();
+    SimTime at = AvailableAt(pos_);
+    if (now < at) return Step::NotReady(at);
+    return Emit(rel_->rows()[pos_++], now);
+  }
+  Status Close() override { return Status::OK(); }
+
+  SimTime AvailableAt(size_t i) const {
+    SimTime at = timing_.initial_delay +
+                 static_cast<SimTime>(i) * timing_.interarrival;
+    if (timing_.burst_every > 0) {
+      at += static_cast<SimTime>(i / timing_.burst_every) * timing_.stall;
+    }
+    return at;
+  }
+
+ private:
+  const Relation* rel_;
+  Timing timing_;
+  size_t pos_ = 0;
+};
+
+/// σ: filter by predicate.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override {
+    return "filter(" + predicate_->ToString() + ")";
+  }
+  Status Open() override { return child_->Open(); }
+  Result<Step> Next(SimTime now) override {
+    while (true) {
+      DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
+      if (step.kind != Step::Kind::kTuple) return step;
+      DBM_ASSIGN_OR_RETURN(bool pass, predicate_->Test(step.tuple));
+      if (pass) return Emit(std::move(step.tuple), now);
+    }
+  }
+  Status Close() override { return child_->Close(); }
+
+  /// Observed selectivity so far (for eddies and re-optimisation).
+  double ObservedSelectivity() const {
+    uint64_t in = child_->stats().produced;
+    return in == 0 ? 1.0
+                   : static_cast<double>(stats_.produced) /
+                         static_cast<double>(in);
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// π: project expressions into a new schema.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs, Schema out_schema)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        schema_(std::move(out_schema)) {}
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "project"; }
+  Status Open() override { return child_->Open(); }
+  Result<Step> Next(SimTime now) override {
+    DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
+    if (step.kind != Step::Kind::kTuple) return step;
+    Tuple out;
+    out.values.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      DBM_ASSIGN_OR_RETURN(Value v, e->Eval(step.tuple));
+      out.values.push_back(std::move(v));
+    }
+    return Emit(std::move(out), now);
+  }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// LIMIT n.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override {
+    return "limit(" + std::to_string(limit_) + ")";
+  }
+  Status Open() override { return child_->Open(); }
+  Result<Step> Next(SimTime now) override {
+    if (stats_.produced >= limit_) return Step::End();
+    DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
+    if (step.kind != Step::Kind::kTuple) return step;
+    return Emit(std::move(step.tuple), now);
+  }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  uint64_t limit_;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_OPERATOR_H_

@@ -1,0 +1,151 @@
+#include "query/optimizer.h"
+
+#include <algorithm>
+
+namespace dbm::query {
+
+const char* JoinAlgorithmName(JoinAlgorithm a) {
+  switch (a) {
+    case JoinAlgorithm::kNestedLoop: return "nested-loop";
+    case JoinAlgorithm::kHashBuildLeft: return "hash(build=left)";
+    case JoinAlgorithm::kHashBuildRight: return "hash(build=right)";
+    case JoinAlgorithm::kIndexInnerLeft: return "index-nlj(inner=left)";
+    case JoinAlgorithm::kIndexInnerRight: return "index-nlj(inner=right)";
+  }
+  return "?";
+}
+
+OperatorPtr TableInput::MakeSource() const {
+  OperatorPtr src;
+  if (timing.has_value()) {
+    src = std::make_unique<DelayedSource>(relation, *timing);
+  } else {
+    src = std::make_unique<MemSource>(relation);
+  }
+  if (filter != nullptr) {
+    src = std::make_unique<FilterOp>(std::move(src), filter);
+  }
+  return src;
+}
+
+OperatorPtr JoinPlan::Build(const JoinQuery& query) const {
+  OperatorPtr left = query.left.MakeSource();
+  OperatorPtr right = query.right.MakeSource();
+  switch (algorithm) {
+    case JoinAlgorithm::kNestedLoop:
+      // Inner (materialised) side is the right child.
+      return std::make_unique<NestedLoopJoin>(std::move(left),
+                                              std::move(right), query.spec);
+    case JoinAlgorithm::kHashBuildLeft:
+      return std::make_unique<HashJoin>(std::move(left), std::move(right),
+                                        query.spec);
+    case JoinAlgorithm::kHashBuildRight: {
+      // Build on the right input: flip children and the spec; the output
+      // schema flips too (right columns first) — callers that care about
+      // column order use the plan's schema.
+      JoinSpec flipped{query.spec.right_col, query.spec.left_col};
+      return std::make_unique<HashJoin>(std::move(right), std::move(left),
+                                        flipped);
+    }
+    case JoinAlgorithm::kIndexInnerRight:
+      // Outer = left source, inner = right index.
+      return std::make_unique<IndexNestedLoopJoin>(
+          std::move(left), query.right.index, query.spec.left_col);
+    case JoinAlgorithm::kIndexInnerLeft:
+      // Outer = right source, inner = left index (schema flips).
+      return std::make_unique<IndexNestedLoopJoin>(
+          std::move(right), query.left.index, query.spec.right_col);
+  }
+  return nullptr;
+}
+
+double Optimizer::EstimateJoinOutput(const JoinQuery& query) const {
+  double l = query.left.EstimatedRows();
+  double r = query.right.EstimatedRows();
+  double vl = 1, vr = 1;
+  if (query.left.stats != nullptr) {
+    auto it = query.left.stats->columns.find(query.left_join_column);
+    if (it != query.left.stats->columns.end()) {
+      vl = std::max<double>(1, static_cast<double>(it->second.distinct_estimate));
+    }
+  }
+  if (query.right.stats != nullptr) {
+    auto it = query.right.stats->columns.find(query.right_join_column);
+    if (it != query.right.stats->columns.end()) {
+      vr = std::max<double>(1, static_cast<double>(it->second.distinct_estimate));
+    }
+  }
+  return l * r / std::max(vl, vr);
+}
+
+Result<JoinPlan> Optimizer::Plan(const JoinQuery& query) const {
+  return PlanWithCardinalities(query, query.left.EstimatedRows(),
+                               query.right.EstimatedRows());
+}
+
+Result<JoinPlan> Optimizer::PlanWithCardinalities(const JoinQuery& query,
+                                                  double left_rows,
+                                                  double right_rows) const {
+  if (query.left.relation == nullptr || query.right.relation == nullptr) {
+    return Status::InvalidArgument("join query missing an input relation");
+  }
+  JoinPlan plan;
+  plan.estimated_output = EstimateJoinOutput(query);
+  double out_cost = plan.estimated_output * model_.output_cost_per_row;
+
+  // Candidate costs; the cheapest applicable algorithm wins.
+  struct Candidate {
+    JoinAlgorithm algorithm;
+    double cost;
+    double build_rows;
+  };
+  std::vector<Candidate> candidates;
+
+  // Nested loop is a candidate only when the materialised inner is tiny
+  // (beyond that its quadratic term always loses anyway and the small-
+  // table constant factors the model ignores would dominate).
+  if (std::min(left_rows, right_rows) <= model_.nlj_threshold) {
+    candidates.push_back(
+        {JoinAlgorithm::kNestedLoop,
+         left_rows * right_rows * model_.nlj_cost_per_pair + out_cost,
+         right_rows});
+  }
+  candidates.push_back({JoinAlgorithm::kHashBuildLeft,
+                        left_rows * model_.build_cost_per_row +
+                            right_rows * model_.probe_cost_per_row + out_cost,
+                        left_rows});
+  candidates.push_back({JoinAlgorithm::kHashBuildRight,
+                        right_rows * model_.build_cost_per_row +
+                            left_rows * model_.probe_cost_per_row + out_cost,
+                        right_rows});
+
+  // Index alternatives: no build phase at all; cost = probes. Usable only
+  // when the index is on the join column and the indexed table carries no
+  // pushed-down filter (the index reaches unfiltered rows).
+  auto index_usable = [](const TableInput& t, size_t join_col) {
+    return t.index != nullptr && t.filter == nullptr &&
+           t.index->relation() == t.relation &&
+           t.index->column() == join_col;
+  };
+  if (index_usable(query.right, query.spec.right_col)) {
+    candidates.push_back(
+        {JoinAlgorithm::kIndexInnerRight,
+         left_rows * model_.index_probe_cost_per_row + out_cost, 0});
+  }
+  if (index_usable(query.left, query.spec.left_col)) {
+    candidates.push_back(
+        {JoinAlgorithm::kIndexInnerLeft,
+         right_rows * model_.index_probe_cost_per_row + out_cost, 0});
+  }
+
+  const Candidate* best = &candidates.front();
+  for (const Candidate& c : candidates) {
+    if (c.cost < best->cost) best = &c;
+  }
+  plan.algorithm = best->algorithm;
+  plan.estimated_cost = best->cost;
+  plan.estimated_build_rows = best->build_rows;
+  return plan;
+}
+
+}  // namespace dbm::query

@@ -1,0 +1,78 @@
+// Ripple join for online aggregation (Haas & Hellerstein).
+//
+// §2: adaptive query processing "has entailed examination of incremental
+// updates, query materialisation points for data reuse, and result
+// approximation. Examples ... are pipelined hash join, hash ripple join
+// and the XJoin." The ripple join here estimates SUM/COUNT/AVG of an
+// expression over an equi-join by sampling both inputs in a growing
+// rectangle and maintaining a running estimate with a confidence
+// interval, so an approximate answer (and its error bar) is available
+// long before the join completes.
+
+#ifndef DBM_QUERY_RIPPLE_H_
+#define DBM_QUERY_RIPPLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/aggregate.h"
+#include "query/join.h"
+#include "query/operator.h"
+
+namespace dbm::query {
+
+/// A running online-aggregation estimate.
+struct OnlineEstimate {
+  double estimate = 0;        // scaled to the full join
+  double half_width = 0;      // ~95% confidence half-interval
+  uint64_t left_seen = 0;
+  uint64_t right_seen = 0;
+  uint64_t pairs_joined = 0;  // matching pairs found so far
+  bool exact = false;         // both inputs exhausted
+};
+
+/// Hash ripple join over two relations (materialised inputs; sampling
+/// order is a random permutation so the CLT-based interval is valid).
+class RippleJoin {
+ public:
+  /// Estimates `func` of `value_col` (a column of the LEFT input; pass
+  /// kCount for COUNT(*)) over the equi-join left.lc == right.rc.
+  RippleJoin(const Relation* left, const Relation* right, JoinSpec spec,
+             AggFunc func, size_t value_col, uint64_t seed = 17);
+
+  /// Draws the next sample step (one tuple from the smaller-seen side)
+  /// and updates the estimate. Returns the current estimate.
+  Result<OnlineEstimate> Step();
+
+  /// Runs until `steps` samples or input exhaustion.
+  Result<OnlineEstimate> Run(uint64_t steps);
+
+  const OnlineEstimate& estimate() const { return est_; }
+  bool Done() const;
+
+ private:
+  void Ingest(bool left_side);
+  void Recompute();
+
+  const Relation* left_;
+  const Relation* right_;
+  JoinSpec spec_;
+  AggFunc func_;
+  size_t value_col_;
+
+  std::vector<size_t> left_order_, right_order_;
+  size_t left_pos_ = 0, right_pos_ = 0;
+  std::unordered_multimap<uint64_t, size_t> left_table_, right_table_;
+
+  // Sufficient statistics over sampled pairs.
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  uint64_t pairs_ = 0;
+
+  OnlineEstimate est_;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_RIPPLE_H_

@@ -1,0 +1,28 @@
+#include "query/spj_component.h"
+
+namespace dbm::query {
+
+Result<JoinPlan> SpjProcessor::Plan(const JoinQuery& query) {
+  DBM_ASSIGN_OR_RETURN(OptimizerComponent * opt,
+                       Require<OptimizerComponent>("optimiser"));
+  return opt->Plan(query);
+}
+
+Result<ExecStats> SpjProcessor::Run(const JoinQuery& query,
+                                    std::vector<Tuple>* out,
+                                    const Options& options) {
+  DBM_ASSIGN_OR_RETURN(OptimizerComponent * opt,
+                       Require<OptimizerComponent>("optimiser"));
+  adapt::StateManager* state = nullptr;
+  if (FindPort("state")->bound()) {
+    DBM_ASSIGN_OR_RETURN(state, Require<adapt::StateManager>("state"));
+  }
+  AdaptiveJoinExecutor exec{opt->optimizer(), state};
+  AdaptiveJoinExecutor::Options exec_options;
+  exec_options.allow_reoptimization = options.allow_reoptimization;
+  exec_options.safe_point_every = options.safe_point_every;
+  ++queries_;
+  return exec.Run(query, out, exec_options);
+}
+
+}  // namespace dbm::query

@@ -1,0 +1,89 @@
+// The SPJ processor as a fine-grained component.
+//
+// §1.2 contrasts this architecture with Chaudhuri & Weikum's RISC-style
+// proposal: "they too suggest that the DBMS processing be broken down
+// into specific functions such as a select-project-join processor (SPJ)
+// ... however our suggested components are targeted at a finer grain".
+// Here the SPJ processor itself is a component whose *optimiser* is a
+// separately swappable component behind a port — so scenario 2's
+// "wireless optimisor must activate and amend the query plan" is a
+// one-op Rebind/Swap, not a rebuild.
+
+#ifndef DBM_QUERY_SPJ_COMPONENT_H_
+#define DBM_QUERY_SPJ_COMPONENT_H_
+
+#include <string>
+
+#include "adapt/session.h"
+#include "component/component.h"
+#include "query/executor.h"
+
+namespace dbm::query {
+
+/// A pluggable optimiser. Different instances carry different cost
+/// models — e.g. the "wireless" optimiser charges heavily for large
+/// intermediate results (every byte crosses a slow radio).
+class OptimizerComponent : public component::Component {
+ public:
+  OptimizerComponent(std::string name, Optimizer::CostModel model)
+      : Component(std::move(name), "optimiser"), optimizer_(model) {}
+
+  const Optimizer& optimizer() const { return optimizer_; }
+  Result<JoinPlan> Plan(const JoinQuery& query) const {
+    return optimizer_.Plan(query);
+  }
+
+  /// The docked/default cost model.
+  static Optimizer::CostModel DockedModel() { return {}; }
+
+  /// The wireless cost model: output rows (transfers) dominate; prefer
+  /// plans that minimise intermediate size even at higher CPU cost.
+  static Optimizer::CostModel WirelessModel() {
+    Optimizer::CostModel m;
+    m.output_cost_per_row = 50.0;  // every result row crosses the radio
+    m.build_cost_per_row = 1.0;
+    m.probe_cost_per_row = 0.5;
+    m.nlj_threshold = 8;  // memory-frugal: avoid big hash tables
+    return m;
+  }
+
+ private:
+  Optimizer optimizer_;
+};
+
+/// The select-project-join processor component: plans through whatever
+/// optimiser its port is currently bound to, executes with the adaptive
+/// executor, and checkpoints through an optional state-manager port.
+class SpjProcessor : public component::Component {
+ public:
+  explicit SpjProcessor(std::string name)
+      : Component(std::move(name), "spj-processor") {
+    DeclarePort("optimiser", "optimiser");
+    DeclarePort("state", "state-manager", /*optional=*/true);
+  }
+
+  struct Options {
+    bool allow_reoptimization = true;
+    uint64_t safe_point_every = 128;
+  };
+
+  /// Plans via the bound optimiser (fails Unavailable while the port is
+  /// blocked for reconfiguration — callers retry at the next safe point).
+  Result<JoinPlan> Plan(const JoinQuery& query);
+
+  /// Plans and executes; statistics come back in ExecStats.
+  Result<ExecStats> Run(const JoinQuery& query, std::vector<Tuple>* out,
+                        const Options& options);
+  Result<ExecStats> Run(const JoinQuery& query, std::vector<Tuple>* out) {
+    return Run(query, out, Options{});
+  }
+
+  uint64_t queries_run() const { return queries_; }
+
+ private:
+  uint64_t queries_ = 0;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_SPJ_COMPONENT_H_

@@ -1,0 +1,329 @@
+#include "storage/btree.h"
+
+#include <cstring>
+
+namespace dbm::storage {
+
+namespace {
+
+constexpr size_t kHeader = 12;
+constexpr size_t kLeafEntry = 16;      // i64 key + u64 value
+constexpr size_t kInternalEntry = 12;  // i64 key + u32 child
+constexpr size_t kLeafCapacity = (kPageSize - kHeader) / kLeafEntry;
+constexpr size_t kInternalCapacity = (kPageSize - kHeader) / kInternalEntry;
+
+uint16_t GetU16(const Page& p, size_t off) {
+  uint16_t v;
+  std::memcpy(&v, p.bytes.data() + off, 2);
+  return v;
+}
+void PutU16(Page* p, size_t off, uint16_t v) {
+  std::memcpy(p->bytes.data() + off, &v, 2);
+}
+uint32_t GetU32(const Page& p, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, p.bytes.data() + off, 4);
+  return v;
+}
+void PutU32(Page* p, size_t off, uint32_t v) {
+  std::memcpy(p->bytes.data() + off, &v, 4);
+}
+int64_t GetI64(const Page& p, size_t off) {
+  int64_t v;
+  std::memcpy(&v, p.bytes.data() + off, 8);
+  return v;
+}
+void PutI64(Page* p, size_t off, int64_t v) {
+  std::memcpy(p->bytes.data() + off, &v, 8);
+}
+uint64_t GetU64(const Page& p, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, p.bytes.data() + off, 8);
+  return v;
+}
+void PutU64(Page* p, size_t off, uint64_t v) {
+  std::memcpy(p->bytes.data() + off, &v, 8);
+}
+
+bool IsLeaf(const Page& p) { return GetU16(p, 0) == 0; }
+uint16_t Count(const Page& p) { return GetU16(p, 2); }
+
+int64_t LeafKey(const Page& p, size_t i) {
+  return GetI64(p, kHeader + i * kLeafEntry);
+}
+uint64_t LeafValue(const Page& p, size_t i) {
+  return GetU64(p, kHeader + i * kLeafEntry + 8);
+}
+int64_t NodeKey(const Page& p, size_t i) {
+  return GetI64(p, kHeader + i * kInternalEntry);
+}
+PageId NodeChild(const Page& p, size_t i) {
+  // child i is right of key i; child "-1" is first_child.
+  return GetU32(p, kHeader + i * kInternalEntry + 8);
+}
+
+void InitNode(Page* p, bool leaf) {
+  p->bytes.fill(0);
+  PutU16(p, 0, leaf ? 0 : 1);
+  PutU16(p, 2, 0);
+  PutU32(p, 4, kInvalidPage);
+  PutU32(p, 8, kInvalidPage);
+}
+
+/// First index in the leaf with key >= `key`.
+size_t LeafLowerBound(const Page& p, int64_t key) {
+  size_t lo = 0, hi = Count(p);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKey(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Insert descent: the child right of the last key <= key (new duplicates
+/// append after existing ones).
+PageId DescendChild(const Page& p, int64_t key) {
+  size_t n = Count(p);
+  size_t lo = 0, hi = n;
+  while (lo < hi) {  // first key > key
+    size_t mid = (lo + hi) / 2;
+    if (NodeKey(p, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? GetU32(p, 8) : NodeChild(p, lo - 1);
+}
+
+/// Search descent: the child LEFT of the first key >= key. On separator
+/// equality this lands on the leftmost leaf that can hold duplicates of
+/// `key`; the leaf chain covers the rest.
+PageId DescendChildLeftmost(const Page& p, int64_t key) {
+  size_t n = Count(p);
+  size_t lo = 0, hi = n;
+  while (lo < hi) {  // first key >= key
+    size_t mid = (lo + hi) / 2;
+    if (NodeKey(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? GetU32(p, 8) : NodeChild(p, lo - 1);
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferManager* buffer,
+                                    DiskComponent* disk) {
+  PageId root = disk->Allocate();
+  DBM_ASSIGN_OR_RETURN(Page * page, buffer->GetPage(root));
+  InitNode(page, /*leaf=*/true);
+  DBM_RETURN_NOT_OK(buffer->Unpin(root, /*dirty=*/true));
+  return BPlusTree(buffer, disk, root);
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertInto(PageId node_id,
+                                                     int64_t key,
+                                                     uint64_t value) {
+  DBM_ASSIGN_OR_RETURN(Page * node, buffer_->GetPage(node_id));
+  SplitResult out;
+
+  if (IsLeaf(*node)) {
+    size_t n = Count(*node);
+    // Insert after existing duplicates (stable for Search order).
+    size_t pos = LeafLowerBound(*node, key);
+    while (pos < n && LeafKey(*node, pos) == key) ++pos;
+    std::memmove(node->bytes.data() + kHeader + (pos + 1) * kLeafEntry,
+                 node->bytes.data() + kHeader + pos * kLeafEntry,
+                 (n - pos) * kLeafEntry);
+    PutI64(node, kHeader + pos * kLeafEntry, key);
+    PutU64(node, kHeader + pos * kLeafEntry + 8, value);
+    PutU16(node, 2, static_cast<uint16_t>(n + 1));
+    n += 1;
+
+    if (n > kLeafCapacity - 1) {
+      // Split: move the upper half to a new right sibling.
+      PageId right_id = disk_->Allocate();
+      auto right_res = buffer_->GetPage(right_id);
+      if (!right_res.ok()) {
+        (void)buffer_->Unpin(node_id, true);
+        return right_res.status();
+      }
+      Page* right = *right_res;
+      InitNode(right, /*leaf=*/true);
+      size_t keep = n / 2;
+      size_t moved = n - keep;
+      std::memcpy(right->bytes.data() + kHeader,
+                  node->bytes.data() + kHeader + keep * kLeafEntry,
+                  moved * kLeafEntry);
+      PutU16(right, 2, static_cast<uint16_t>(moved));
+      PutU32(right, 4, GetU32(*node, 4));  // chain: right takes old next
+      PutU16(node, 2, static_cast<uint16_t>(keep));
+      PutU32(node, 4, right_id);
+      out.split = true;
+      out.sep_key = LeafKey(*right, 0);
+      out.right = right_id;
+      DBM_RETURN_NOT_OK(buffer_->Unpin(right_id, true));
+    }
+    DBM_RETURN_NOT_OK(buffer_->Unpin(node_id, true));
+    return out;
+  }
+
+  // Internal: descend, then absorb a child split if one happened.
+  PageId child = DescendChild(*node, key);
+  DBM_RETURN_NOT_OK(buffer_->Unpin(node_id, false));
+  DBM_ASSIGN_OR_RETURN(SplitResult child_split,
+                       InsertInto(child, key, value));
+  if (!child_split.split) return out;
+
+  DBM_ASSIGN_OR_RETURN(node, buffer_->GetPage(node_id));
+  size_t n = Count(*node);
+  // Position of the new separator: first key > sep_key.
+  size_t pos = 0;
+  while (pos < n && NodeKey(*node, pos) <= child_split.sep_key) ++pos;
+  std::memmove(node->bytes.data() + kHeader + (pos + 1) * kInternalEntry,
+               node->bytes.data() + kHeader + pos * kInternalEntry,
+               (n - pos) * kInternalEntry);
+  PutI64(node, kHeader + pos * kInternalEntry, child_split.sep_key);
+  PutU32(node, kHeader + pos * kInternalEntry + 8, child_split.right);
+  PutU16(node, 2, static_cast<uint16_t>(n + 1));
+  n += 1;
+
+  if (n > kInternalCapacity - 1) {
+    PageId right_id = disk_->Allocate();
+    auto right_res = buffer_->GetPage(right_id);
+    if (!right_res.ok()) {
+      (void)buffer_->Unpin(node_id, true);
+      return right_res.status();
+    }
+    Page* right = *right_res;
+    InitNode(right, /*leaf=*/false);
+    size_t mid = n / 2;  // key at mid moves UP
+    int64_t up_key = NodeKey(*node, mid);
+    // Right sibling: keys after mid; its first_child = child right of mid.
+    size_t moved = n - mid - 1;
+    PutU32(right, 8, NodeChild(*node, mid));
+    std::memcpy(right->bytes.data() + kHeader,
+                node->bytes.data() + kHeader + (mid + 1) * kInternalEntry,
+                moved * kInternalEntry);
+    PutU16(right, 2, static_cast<uint16_t>(moved));
+    PutU16(node, 2, static_cast<uint16_t>(mid));
+    out.split = true;
+    out.sep_key = up_key;
+    out.right = right_id;
+    DBM_RETURN_NOT_OK(buffer_->Unpin(right_id, true));
+  }
+  DBM_RETURN_NOT_OK(buffer_->Unpin(node_id, true));
+  return out;
+}
+
+Status BPlusTree::Insert(int64_t key, uint64_t value) {
+  DBM_ASSIGN_OR_RETURN(SplitResult split, InsertInto(root_, key, value));
+  if (split.split) {
+    // Grow a new root.
+    PageId new_root = disk_->Allocate();
+    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(new_root));
+    InitNode(page, /*leaf=*/false);
+    PutU32(page, 8, root_);  // first child = old root
+    PutI64(page, kHeader, split.sep_key);
+    PutU32(page, kHeader + 8, split.right);
+    PutU16(page, 2, 1);
+    DBM_RETURN_NOT_OK(buffer_->Unpin(new_root, true));
+    root_ = new_root;
+    ++height_;
+  }
+  ++entries_;
+  return Status::OK();
+}
+
+Result<PageId> BPlusTree::FindLeaf(int64_t key) {
+  PageId current = root_;
+  while (true) {
+    DBM_ASSIGN_OR_RETURN(Page * node, buffer_->GetPage(current));
+    if (IsLeaf(*node)) {
+      DBM_RETURN_NOT_OK(buffer_->Unpin(current, false));
+      return current;
+    }
+    PageId next = DescendChildLeftmost(*node, key);
+    DBM_RETURN_NOT_OK(buffer_->Unpin(current, false));
+    current = next;
+  }
+}
+
+Result<std::vector<uint64_t>> BPlusTree::Search(int64_t key) {
+  std::vector<uint64_t> out;
+  DBM_RETURN_NOT_OK(Scan(key, key, [&](int64_t, uint64_t v) {
+    out.push_back(v);
+    return true;
+  }));
+  return out;
+}
+
+Status BPlusTree::Scan(int64_t lo, int64_t hi,
+                       const std::function<bool(int64_t, uint64_t)>& visitor) {
+  DBM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo));
+  while (leaf_id != kInvalidPage) {
+    DBM_ASSIGN_OR_RETURN(Page * leaf, buffer_->GetPage(leaf_id));
+    size_t n = Count(*leaf);
+    size_t i = LeafLowerBound(*leaf, lo);
+    bool stop = false;
+    for (; i < n && !stop; ++i) {
+      int64_t k = LeafKey(*leaf, i);
+      if (k > hi) {
+        stop = true;
+        break;
+      }
+      if (!visitor(k, LeafValue(*leaf, i))) stop = true;
+    }
+    PageId next = GetU32(*leaf, 4);
+    bool exhausted = n > 0 && LeafKey(*leaf, n - 1) > hi;
+    DBM_RETURN_NOT_OK(buffer_->Unpin(leaf_id, false));
+    if (stop || exhausted) break;
+    leaf_id = next;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() {
+  // Walk every leaf via the chain from the leftmost leaf; verify global
+  // key ordering and per-node counts.
+  DBM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(INT64_MIN));
+  int64_t prev = INT64_MIN;
+  uint64_t seen = 0;
+  while (leaf_id != kInvalidPage) {
+    DBM_ASSIGN_OR_RETURN(Page * leaf, buffer_->GetPage(leaf_id));
+    if (!IsLeaf(*leaf)) {
+      (void)buffer_->Unpin(leaf_id, false);
+      return Status::Internal("leaf chain reached an internal node");
+    }
+    size_t n = Count(*leaf);
+    if (n > kLeafCapacity) {
+      (void)buffer_->Unpin(leaf_id, false);
+      return Status::Internal("leaf over capacity");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      int64_t k = LeafKey(*leaf, i);
+      if (k < prev) {
+        (void)buffer_->Unpin(leaf_id, false);
+        return Status::Internal("keys out of order in leaf chain");
+      }
+      prev = k;
+      ++seen;
+    }
+    PageId next = GetU32(*leaf, 4);
+    DBM_RETURN_NOT_OK(buffer_->Unpin(leaf_id, false));
+    leaf_id = next;
+  }
+  if (seen != entries_) {
+    return Status::Internal("leaf chain entry count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbm::storage

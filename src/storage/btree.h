@@ -1,0 +1,77 @@
+// A page-based B+tree over the buffer manager.
+//
+// Keys are int64, values uint64 (row positions or packed record ids);
+// duplicate keys are allowed. Leaves are chained for range scans.
+// Insert-only (the workloads that need deletion rebuild, as the paper's
+// data components republish versions). Every node is one 4 KiB page
+// obtained through the getpage component, so index traffic exercises the
+// same replacement machinery as heap traffic.
+//
+// Page layout (little-endian u16/u32/u64 fields):
+//   [0]  u16  kind        0 = leaf, 1 = internal
+//   [2]  u16  count       number of keys
+//   [4]  u32  next        leaf chain (kInvalidPage when none / internal)
+//   [8]  u32  first_child internal only: child left of the first key
+//   [12.. ]   entries     leaf:     (i64 key, u64 value)  16 B each
+//                         internal: (i64 key, u32 child)  12 B each
+
+#ifndef DBM_STORAGE_BTREE_H_
+#define DBM_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer.h"
+
+namespace dbm::storage {
+
+class BPlusTree {
+ public:
+  /// Creates an empty tree (allocates the root leaf).
+  static Result<BPlusTree> Create(BufferManager* buffer,
+                                  DiskComponent* disk);
+
+  /// Inserts key → value (duplicates allowed).
+  Status Insert(int64_t key, uint64_t value);
+
+  /// All values for `key`, in insertion order.
+  Result<std::vector<uint64_t>> Search(int64_t key);
+
+  /// Visits every (key, value) with lo <= key <= hi in key order; the
+  /// visitor returns false to stop early.
+  Status Scan(int64_t lo, int64_t hi,
+              const std::function<bool(int64_t, uint64_t)>& visitor);
+
+  uint64_t size() const { return entries_; }
+  uint32_t height() const { return height_; }
+  PageId root() const { return root_; }
+
+  /// Structural invariants: key ordering within and across nodes, counts
+  /// within capacity, leaf chain consistency. For property tests.
+  Status CheckInvariants();
+
+ private:
+  BPlusTree(BufferManager* buffer, DiskComponent* disk, PageId root)
+      : buffer_(buffer), disk_(disk), root_(root) {}
+
+  struct SplitResult {
+    bool split = false;
+    int64_t sep_key = 0;   // first key of the new right sibling
+    PageId right = kInvalidPage;
+  };
+
+  Result<SplitResult> InsertInto(PageId node, int64_t key, uint64_t value);
+  Result<PageId> FindLeaf(int64_t key);
+
+  BufferManager* buffer_;
+  DiskComponent* disk_;
+  PageId root_;
+  uint64_t entries_ = 0;
+  uint32_t height_ = 1;
+};
+
+}  // namespace dbm::storage
+
+#endif  // DBM_STORAGE_BTREE_H_

@@ -1,0 +1,116 @@
+#include "storage/buffer.h"
+
+namespace dbm::storage {
+
+Result<Page*> BufferManager::GetPage(PageId id) {
+  ++stats_.gets;
+  DBM_ASSIGN_OR_RETURN(ReplacementPolicy * policy,
+                       Require<ReplacementPolicy>("policy"));
+  auto it = where_.find(id);
+  if (it != where_.end()) {
+    ++stats_.hits;
+    size_t frame = it->second;
+    policy->OnAccess(frame);
+    ++pin_count_[id];
+    pinned_[frame] = true;
+    return &pool_[frame];
+  }
+
+  ++stats_.misses;
+  DBM_ASSIGN_OR_RETURN(size_t frame, FindFreeOrEvict());
+  DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
+  DBM_RETURN_NOT_OK(disk->Read(id, &pool_[frame]));
+  resident_[frame] = id;
+  where_[id] = frame;
+  dirty_[frame] = false;
+  pin_count_[id] = 1;
+  pinned_[frame] = true;
+  policy->OnLoad(frame);
+  return &pool_[frame];
+}
+
+Status BufferManager::Unpin(PageId id, bool dirty) {
+  auto it = where_.find(id);
+  if (it == where_.end()) {
+    return Status::NotFound("unpin of non-resident page " +
+                            std::to_string(id));
+  }
+  auto pc = pin_count_.find(id);
+  if (pc == pin_count_.end() || pc->second <= 0) {
+    return Status::FailedPrecondition("unpin of unpinned page " +
+                                      std::to_string(id));
+  }
+  size_t frame = it->second;
+  if (dirty) dirty_[frame] = true;
+  if (--pc->second == 0) pinned_[frame] = false;
+  return Status::OK();
+}
+
+Status BufferManager::FlushAll() {
+  DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
+  for (size_t f = 0; f < frames_; ++f) {
+    if (resident_[f] != kInvalidPage && dirty_[f]) {
+      DBM_RETURN_NOT_OK(disk->Write(resident_[f], pool_[f]));
+      dirty_[f] = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferManager::FindFreeOrEvict() {
+  for (size_t f = 0; f < frames_; ++f) {
+    if (resident_[f] == kInvalidPage) return f;
+  }
+  DBM_ASSIGN_OR_RETURN(ReplacementPolicy * policy,
+                       Require<ReplacementPolicy>("policy"));
+  DBM_ASSIGN_OR_RETURN(size_t victim, policy->PickVictim(pinned_));
+  if (pinned_[victim]) {
+    return Status::Internal("policy picked a pinned victim");
+  }
+  PageId old = resident_[victim];
+  if (dirty_[victim]) {
+    DBM_ASSIGN_OR_RETURN(DiskComponent * disk,
+                         Require<DiskComponent>("disk"));
+    DBM_RETURN_NOT_OK(disk->Write(old, pool_[victim]));
+    ++stats_.dirty_writebacks;
+  }
+  policy->OnEvict(victim);
+  where_.erase(old);
+  pin_count_.erase(old);
+  resident_[victim] = kInvalidPage;
+  dirty_[victim] = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+int BufferManager::PinCount(PageId id) const {
+  auto it = pin_count_.find(id);
+  return it == pin_count_.end() ? 0 : it->second;
+}
+
+Status BufferManager::CheckInvariants() const {
+  size_t resident = 0;
+  for (size_t f = 0; f < frames_; ++f) {
+    PageId id = resident_[f];
+    if (id == kInvalidPage) continue;
+    ++resident;
+    auto it = where_.find(id);
+    if (it == where_.end() || it->second != f) {
+      return Status::Internal("resident/where mismatch at frame " +
+                              std::to_string(f));
+    }
+    auto pc = pin_count_.find(id);
+    int pins = pc == pin_count_.end() ? 0 : pc->second;
+    if (pins < 0) return Status::Internal("negative pin count");
+    if ((pins > 0) != static_cast<bool>(pinned_[f])) {
+      return Status::Internal("pinned bit inconsistent with pin count");
+    }
+  }
+  if (resident != where_.size()) {
+    return Status::Internal("where map size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbm::storage

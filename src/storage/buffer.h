@@ -1,0 +1,78 @@
+// The buffer manager: the getpage component.
+
+#ifndef DBM_STORAGE_BUFFER_H_
+#define DBM_STORAGE_BUFFER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "component/component.h"
+#include "storage/page.h"
+#include "storage/replacement.h"
+
+namespace dbm::storage {
+
+struct BufferStats {
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+};
+
+/// Fixed-size frame pool over a disk component with a pluggable
+/// replacement policy. Pages are pinned while in use; eviction only
+/// considers unpinned frames; dirty pages are written back on eviction
+/// and on FlushAll.
+class BufferManager : public component::Component {
+ public:
+  BufferManager(std::string name, size_t frames)
+      : Component(std::move(name), "getpage"),
+        frames_(frames),
+        pinned_(frames, false),
+        dirty_(frames, false),
+        resident_(frames, kInvalidPage) {
+    DeclarePort("disk", "disk");
+    DeclarePort("policy", "replacement-policy");
+    pool_.resize(frames);
+  }
+
+  /// Pins and returns the page. The pointer stays valid until Unpin.
+  Result<Page*> GetPage(PageId id);
+
+  /// Releases a pin; `dirty` marks the frame for writeback.
+  Status Unpin(PageId id, bool dirty);
+
+  /// Writes back every dirty frame (pinned ones included).
+  Status FlushAll();
+
+  const BufferStats& stats() const { return stats_; }
+  size_t frame_count() const { return frames_; }
+  int PinCount(PageId id) const;
+
+  /// Invariant check used by property tests: every resident entry maps
+  /// back to its frame, pin counts are consistent.
+  Status CheckInvariants() const;
+
+ private:
+  Result<size_t> FindFreeOrEvict();
+
+  size_t frames_;
+  std::vector<Page> pool_;
+  std::vector<bool> pinned_;   // derived: pin_count_ > 0
+  std::vector<bool> dirty_;
+  std::vector<PageId> resident_;
+  std::unordered_map<PageId, size_t> where_;
+  std::unordered_map<PageId, int> pin_count_;
+  BufferStats stats_;
+};
+
+}  // namespace dbm::storage
+
+#endif  // DBM_STORAGE_BUFFER_H_

@@ -1,0 +1,68 @@
+// Relations materialised onto buffer-managed pages.
+//
+// The in-memory Relation is the convenient form; PagedRelation is the
+// same data living in a RecordFile, so scans exercise the getpage path —
+// queries run against the fine-grained storage components rather than a
+// vector. Tuples are encoded per-row with the same tagged-value format
+// the Relation serialiser uses.
+
+#ifndef DBM_STORAGE_PAGED_RELATION_H_
+#define DBM_STORAGE_PAGED_RELATION_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "data/relation.h"
+#include "storage/record_file.h"
+
+namespace dbm::storage {
+
+/// Encodes one tuple (schema-less tagged values).
+std::vector<uint8_t> EncodeTuple(const data::Tuple& tuple);
+/// Decodes a tuple with `arity` values.
+Result<data::Tuple> DecodeTuple(const std::vector<uint8_t>& bytes,
+                                size_t arity);
+
+class PagedRelation {
+ public:
+  /// Bulk-loads `rel` into a fresh record file over `buffer`/`disk`.
+  static Result<std::unique_ptr<PagedRelation>> Load(
+      const data::Relation& rel, BufferManager* buffer,
+      DiskComponent* disk);
+
+  const std::string& name() const { return name_; }
+  const data::Schema& schema() const { return schema_; }
+  size_t rows() const { return file_->record_count(); }
+  size_t pages() const { return file_->pages().size(); }
+
+  /// Appends one (type-checked) tuple.
+  Status Append(const data::Tuple& tuple);
+
+  /// Visits every tuple in order; visitor returns false to stop.
+  Status Scan(const std::function<bool(const data::Tuple&)>& visitor) const;
+
+  /// Cursor read for pull-based operators: the tuple at (page ordinal,
+  /// slot), or nullopt when the slot is past the page's record count
+  /// (advance to the next page). Errors on malformed data only.
+  Result<std::optional<data::Tuple>> ReadAt(size_t page_ordinal,
+                                            uint16_t slot) const;
+
+  /// Materialises back into an in-memory Relation.
+  Result<data::Relation> ToRelation() const;
+
+ private:
+  PagedRelation(std::string name, data::Schema schema,
+                std::unique_ptr<RecordFile> file)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        file_(std::move(file)) {}
+
+  std::string name_;
+  data::Schema schema_;
+  std::unique_ptr<RecordFile> file_;
+};
+
+}  // namespace dbm::storage
+
+#endif  // DBM_STORAGE_PAGED_RELATION_H_

@@ -1,0 +1,100 @@
+#include "storage/record_file.h"
+
+#include <cstring>
+
+namespace dbm::storage {
+
+namespace {
+
+uint16_t GetU16(const Page& page, size_t off) {
+  return static_cast<uint16_t>(page.bytes[off] |
+                               (page.bytes[off + 1] << 8));
+}
+void PutU16(Page* page, size_t off, uint16_t v) {
+  page->bytes[off] = static_cast<uint8_t>(v & 0xFF);
+  page->bytes[off + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+constexpr size_t kHeader = 4;  // count + free offset
+
+}  // namespace
+
+Result<RecordId> RecordFile::Append(const std::vector<uint8_t>& record) {
+  if (record.size() > kMaxRecord) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+  const size_t need = 2 + record.size();
+
+  PageId target = kInvalidPage;
+  if (!pages_.empty()) {
+    PageId tail = pages_.back();
+    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(tail));
+    uint16_t free_off = GetU16(*page, 2);
+    bool fits = free_off + need <= kPageSize;
+    DBM_RETURN_NOT_OK(buffer_->Unpin(tail, false));
+    if (fits) target = tail;
+  }
+  if (target == kInvalidPage) {
+    target = disk_->Allocate();
+    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(target));
+    PutU16(page, 0, 0);
+    PutU16(page, 2, kHeader);
+    DBM_RETURN_NOT_OK(buffer_->Unpin(target, true));
+    pages_.push_back(target);
+  }
+
+  DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(target));
+  uint16_t count = GetU16(*page, 0);
+  uint16_t free_off = GetU16(*page, 2);
+  PutU16(page, free_off, static_cast<uint16_t>(record.size()));
+  std::memcpy(page->bytes.data() + free_off + 2, record.data(),
+              record.size());
+  PutU16(page, 0, static_cast<uint16_t>(count + 1));
+  PutU16(page, 2, static_cast<uint16_t>(free_off + need));
+  DBM_RETURN_NOT_OK(buffer_->Unpin(target, true));
+  ++record_count_;
+  return RecordId{target, count};
+}
+
+Result<std::vector<uint8_t>> RecordFile::Read(const RecordId& id) {
+  DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(id.page));
+  uint16_t count = GetU16(*page, 0);
+  if (id.slot >= count) {
+    (void)buffer_->Unpin(id.page, false);
+    return Status::NotFound("slot out of range");
+  }
+  size_t off = kHeader;
+  for (uint16_t s = 0; s < id.slot; ++s) {
+    off += 2 + GetU16(*page, off);
+  }
+  uint16_t len = GetU16(*page, off);
+  std::vector<uint8_t> out(page->bytes.begin() + static_cast<long>(off + 2),
+                           page->bytes.begin() +
+                               static_cast<long>(off + 2 + len));
+  DBM_RETURN_NOT_OK(buffer_->Unpin(id.page, false));
+  return out;
+}
+
+Status RecordFile::Scan(
+    const std::function<bool(const RecordId&, const std::vector<uint8_t>&)>&
+        visitor) {
+  for (PageId pid : pages_) {
+    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(pid));
+    uint16_t count = GetU16(*page, 0);
+    size_t off = kHeader;
+    bool stop = false;
+    for (uint16_t s = 0; s < count && !stop; ++s) {
+      uint16_t len = GetU16(*page, off);
+      std::vector<uint8_t> rec(
+          page->bytes.begin() + static_cast<long>(off + 2),
+          page->bytes.begin() + static_cast<long>(off + 2 + len));
+      stop = !visitor(RecordId{pid, s}, rec);
+      off += 2 + len;
+    }
+    DBM_RETURN_NOT_OK(buffer_->Unpin(pid, false));
+    if (stop) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace dbm::storage

@@ -1,0 +1,61 @@
+// A heap file of variable-length records over buffer-managed pages.
+//
+// Page layout: [u16 record_count][u16 free_offset][records...], each
+// record prefixed with a u16 length. Records never span pages; a record
+// larger than the page payload is rejected.
+
+#ifndef DBM_STORAGE_RECORD_FILE_H_
+#define DBM_STORAGE_RECORD_FILE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer.h"
+
+namespace dbm::storage {
+
+/// Address of a record: page + slot index within the page.
+struct RecordId {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+  bool operator==(const RecordId& other) const {
+    return page == other.page && slot == other.slot;
+  }
+};
+
+class RecordFile {
+ public:
+  /// `buffer` must have its disk/policy ports bound; `disk` allocates the
+  /// file's pages.
+  RecordFile(BufferManager* buffer, DiskComponent* disk)
+      : buffer_(buffer), disk_(disk) {}
+
+  /// Appends a record, allocating a new page when the tail page is full.
+  Result<RecordId> Append(const std::vector<uint8_t>& record);
+
+  /// Reads one record.
+  Result<std::vector<uint8_t>> Read(const RecordId& id);
+
+  /// Visits every record in file order. The visitor may return false to
+  /// stop early.
+  Status Scan(
+      const std::function<bool(const RecordId&, const std::vector<uint8_t>&)>&
+          visitor);
+
+  size_t record_count() const { return record_count_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  /// Maximum record payload a page can hold.
+  static constexpr size_t kMaxRecord = kPageSize - 4 - 2;
+
+ private:
+  BufferManager* buffer_;
+  DiskComponent* disk_;
+  std::vector<PageId> pages_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace dbm::storage
+
+#endif  // DBM_STORAGE_RECORD_FILE_H_

@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include "adapt/metrics.h"
+#include "adapt/rules.h"
+#include "adapt/session.h"
+
+namespace dbm::adapt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric bus, monitors, gauges
+// ---------------------------------------------------------------------------
+
+TEST(MetricBusTest, PublishAndGet) {
+  MetricBus bus;
+  bus.Publish("cpu", 42.0, 10);
+  auto v = bus.Get("cpu");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 42.0);
+  EXPECT_TRUE(bus.Get("mem").status().IsNotFound());
+  EXPECT_DOUBLE_EQ(bus.GetOr("mem", 7.0), 7.0);
+  auto age = bus.Age("cpu", 25);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(*age, 15);
+}
+
+std::shared_ptr<CallbackMonitor> MakeSeqMonitor(
+    const std::string& metric, std::vector<double> samples) {
+  auto it = std::make_shared<size_t>(0);
+  auto data = std::make_shared<std::vector<double>>(std::move(samples));
+  return std::make_shared<CallbackMonitor>(
+      metric + "-mon", metric, [it, data] {
+        double v = (*data)[std::min(*it, data->size() - 1)];
+        ++*it;
+        return v;
+      });
+}
+
+TEST(GaugeTest, LastKindPassesThrough) {
+  MetricBus bus;
+  auto mon = MakeSeqMonitor("cpu", {10, 20, 30});
+  Gauge g("g", GaugeKind::kLast, &bus);
+  g.FindPort("source")->SetTarget(mon);
+  ASSERT_TRUE(g.Sample(1).ok());
+  EXPECT_DOUBLE_EQ(bus.GetOr("cpu", -1), 10);
+  ASSERT_TRUE(g.Sample(2).ok());
+  EXPECT_DOUBLE_EQ(bus.GetOr("cpu", -1), 20);
+}
+
+TEST(GaugeTest, EwmaSmooths) {
+  MetricBus bus;
+  auto mon = MakeSeqMonitor("cpu", {100, 0, 0, 0});
+  Gauge g("g", GaugeKind::kEwma, &bus, /*alpha=*/0.5);
+  g.FindPort("source")->SetTarget(mon);
+  ASSERT_TRUE(g.Sample(1).ok());
+  EXPECT_DOUBLE_EQ(g.value(), 100);  // primed with first sample
+  ASSERT_TRUE(g.Sample(2).ok());
+  EXPECT_DOUBLE_EQ(g.value(), 50);
+  ASSERT_TRUE(g.Sample(3).ok());
+  EXPECT_DOUBLE_EQ(g.value(), 25);
+}
+
+TEST(GaugeTest, WindowMeanAndMax) {
+  MetricBus bus;
+  auto mon1 = MakeSeqMonitor("a", {1, 2, 3, 4});
+  Gauge mean("gm", GaugeKind::kWindowMean, &bus, 0.3, /*window=*/2);
+  mean.FindPort("source")->SetTarget(mon1);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(mean.Sample(i).ok());
+  EXPECT_DOUBLE_EQ(mean.value(), 3.5);  // mean of {3,4}
+
+  auto mon2 = MakeSeqMonitor("b", {5, 9, 2, 1});
+  Gauge mx("gx", GaugeKind::kWindowMax, &bus, 0.3, /*window=*/3);
+  mx.FindPort("source")->SetTarget(mon2);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(mx.Sample(i).ok());
+  EXPECT_DOUBLE_EQ(mx.value(), 9);  // max of {9,2,1}
+}
+
+TEST(GaugeTest, UnboundSourceFails) {
+  MetricBus bus;
+  Gauge g("g", GaugeKind::kLast, &bus);
+  EXPECT_TRUE(g.Sample(0).IsUnavailable());
+}
+
+// ---------------------------------------------------------------------------
+// Rule language
+// ---------------------------------------------------------------------------
+
+TEST(RuleParseTest, SelectBest) {
+  auto rule = ParseRule("Select BEST (PDA, Laptop)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_FALSE(rule->trigger.has_value());
+  EXPECT_EQ(rule->action.kind, ActionKind::kBest);
+  ASSERT_EQ(rule->action.targets.size(), 2u);
+  EXPECT_EQ(rule->action.targets[0].node(), "PDA");
+}
+
+TEST(RuleParseTest, SelectNearest) {
+  auto rule = ParseRule("Select NEAREST (PDA, Laptop)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->action.kind, ActionKind::kNearest);
+}
+
+TEST(RuleParseTest, Table2Constraint450) {
+  auto rule = ParseRule(
+      "Select BEST (node1.Page1.html, node2.Page1.html)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->action.kind, ActionKind::kBest);
+  EXPECT_EQ(rule->action.targets[0].node(), "node1");
+  EXPECT_EQ(rule->action.targets[0].resource(), "Page1.html");
+}
+
+TEST(RuleParseTest, Table2Constraint455WithDoubledParen) {
+  // Verbatim from the paper, including its doubled '(' typo.
+  auto rule = ParseRule(
+      "If processor-util > 90% then SWITCH ((node1.Page1.html, "
+      "node2.Page1.html)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_TRUE(rule->trigger.has_value());
+  const Comparison& c = rule->trigger->comparisons[0];
+  EXPECT_EQ(c.metric, "processor-util");
+  EXPECT_EQ(c.op, Cmp::kGt);
+  EXPECT_DOUBLE_EQ(c.value, 90);
+  EXPECT_EQ(rule->action.kind, ActionKind::kSwitch);
+}
+
+TEST(RuleParseTest, Table2Constraint595BandedWithElse) {
+  auto rule = ParseRule(
+      "If bandwidth > 30 < 100 Kbps then BEST ("
+      "node1.videohalf.ram(time parms), node2.videohalf.ram(time parms), "
+      "node3.videohalf.ram(time parms)) else node3.videosmall.ram(time "
+      "parms).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const Comparison& c = rule->trigger->comparisons[0];
+  EXPECT_EQ(c.metric, "bandwidth");
+  ASSERT_TRUE(c.op2.has_value());
+  EXPECT_EQ(*c.op2, Cmp::kLt);
+  EXPECT_DOUBLE_EQ(*c.value2, 100);
+  EXPECT_EQ(rule->action.targets.size(), 3u);
+  EXPECT_EQ(rule->action.targets[0].args,
+            (std::vector<std::string>{"time", "parms"}));
+  ASSERT_TRUE(rule->else_action.has_value());
+  EXPECT_EQ(rule->else_action->kind, ActionKind::kPick);
+  EXPECT_EQ(rule->else_action->targets[0].resource(), "videosmall.ram");
+}
+
+TEST(RuleParseTest, CompoundConditions) {
+  auto rule = ParseRule(
+      "If cpu > 80 and battery < 20 then SWITCH(a, b)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->trigger->comparisons.size(), 2u);
+  EXPECT_EQ(rule->trigger->ops[0], BoolOp::kAnd);
+}
+
+TEST(RuleParseTest, Errors) {
+  EXPECT_FALSE(ParseRule("").ok());
+  EXPECT_FALSE(ParseRule("Whenever x > 3 then y").ok());
+  EXPECT_FALSE(ParseRule("If cpu then SWITCH(a,b)").ok());
+  EXPECT_FALSE(ParseRule("If cpu > then SWITCH(a,b)").ok());
+  EXPECT_FALSE(ParseRule("Select BEST").ok());
+  EXPECT_FALSE(ParseRule("Select BEST(a) trailing").ok());
+  for (const char* bad : {"If cpu > 90 then", "Select BEST(a,"}) {
+    EXPECT_FALSE(ParseRule(bad).ok()) << bad;
+  }
+}
+
+TEST(RuleParseTest, RoundTripToString) {
+  const char* texts[] = {
+      "Select BEST(PDA, Laptop)",
+      "If processor-util > 90 then SWITCH(node1.Page1.html, "
+      "node2.Page1.html)",
+      "If bandwidth > 30 < 100 then BEST(a, b) else c",
+  };
+  for (const char* text : texts) {
+    auto rule = ParseRule(text);
+    ASSERT_TRUE(rule.ok()) << text;
+    auto again = ParseRule(rule->ToString());
+    ASSERT_TRUE(again.ok()) << rule->ToString();
+    EXPECT_EQ(again->ToString(), rule->ToString());
+  }
+}
+
+TEST(RuleEvalTest, ConditionAgainstBus) {
+  MetricBus bus;
+  bus.Publish("cpu", 95, 0);
+  auto rule = ParseRule("If cpu > 90 then SWITCH(a, b)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(Evaluate(*rule->trigger, bus));
+  bus.Publish("cpu", 50, 1);
+  EXPECT_FALSE(Evaluate(*rule->trigger, bus));
+}
+
+TEST(RuleEvalTest, MissingMetricIsFalse) {
+  MetricBus bus;
+  auto rule = ParseRule("If ghost > 1 then SWITCH(a, b)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(Evaluate(*rule->trigger, bus));
+}
+
+TEST(RuleEvalTest, BandSemantics) {
+  MetricBus bus;
+  auto rule = ParseRule("If bw > 30 < 100 then BEST(a, b) else c");
+  ASSERT_TRUE(rule.ok());
+  TargetScorer scorer;
+  for (auto [bw, expect_else] :
+       std::vector<std::pair<double, bool>>{{10, true},
+                                            {30, true},
+                                            {65, false},
+                                            {100, true},
+                                            {500, true}}) {
+    bus.Publish("bw", bw, 0);
+    auto d = Evaluate(*rule, bus, scorer);
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(d->fired);
+    EXPECT_EQ(d->from_else, expect_else) << "bw=" << bw;
+  }
+}
+
+class MapScorer : public TargetScorer {
+ public:
+  std::map<std::string, double> scores;
+  std::map<std::string, double> distances;
+  std::optional<Target> current;
+  double Score(const Target& t) const override {
+    auto it = scores.find(t.ToString());
+    return it == scores.end() ? 0 : it->second;
+  }
+  double Distance(const Target& t) const override {
+    auto it = distances.find(t.ToString());
+    return it == distances.end() ? 0 : it->second;
+  }
+  std::optional<Target> Current() const override { return current; }
+};
+
+TEST(RuleEvalTest, BestPicksHighestScore) {
+  MetricBus bus;
+  MapScorer scorer;
+  scorer.scores["PDA"] = 1;
+  scorer.scores["Laptop"] = 10;
+  auto rule = ParseRule("Select BEST(PDA, Laptop)");
+  ASSERT_TRUE(rule.ok());
+  auto d = Evaluate(*rule, bus, scorer);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->chosen->node(), "Laptop");
+  EXPECT_FALSE(d->migrate_state);
+}
+
+TEST(RuleEvalTest, NearestPicksSmallestDistance) {
+  MetricBus bus;
+  MapScorer scorer;
+  scorer.distances["PDA"] = 0.5;
+  scorer.distances["Laptop"] = 3;
+  auto rule = ParseRule("Select NEAREST(PDA, Laptop)");
+  ASSERT_TRUE(rule.ok());
+  auto d = Evaluate(*rule, bus, scorer);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->chosen->node(), "PDA");
+}
+
+TEST(RuleEvalTest, SwitchAvoidsCurrentAndMigratesState) {
+  MetricBus bus;
+  bus.Publish("cpu", 95, 0);
+  MapScorer scorer;
+  scorer.scores["node1.Page1.html"] = 100;  // best, but current
+  scorer.scores["node2.Page1.html"] = 5;
+  scorer.current = ParseRule("Select node1.Page1.html")->action.targets[0];
+  auto rule = ParseRule(
+      "If cpu > 90 then SWITCH(node1.Page1.html, node2.Page1.html)");
+  ASSERT_TRUE(rule.ok());
+  auto d = Evaluate(*rule, bus, scorer);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->fired);
+  EXPECT_TRUE(d->migrate_state);
+  EXPECT_EQ(d->chosen->node(), "node2");
+}
+
+TEST(RuleEvalTest, UnfiredTriggerNoChoice) {
+  MetricBus bus;
+  bus.Publish("cpu", 10, 0);
+  TargetScorer scorer;
+  auto rule = ParseRule("If cpu > 90 then SWITCH(a, b)");
+  auto d = Evaluate(*rule, bus, scorer);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->fired);
+  EXPECT_FALSE(d->chosen.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Constraint table + session manager + adaptivity manager
+// ---------------------------------------------------------------------------
+
+TEST(ConstraintTableTest, AddFindRemovePriority) {
+  ConstraintTable table;
+  ASSERT_TRUE(table.Add(455, "atom123",
+                        "If processor-util > 90 then SWITCH(n1.p, n2.p)",
+                        /*priority=*/1)
+                  .ok());
+  ASSERT_TRUE(table.Add(450, "atom123", "Select BEST(n1.p, n2.p)", 0).ok());
+  EXPECT_TRUE(table.Add(450, "x", "Select BEST(a, b)").code() ==
+              StatusCode::kAlreadyExists);
+  auto rows = table.ForSubject("atom123");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->id, 450);  // priority 0 first
+  ASSERT_TRUE(table.Remove(450).ok());
+  EXPECT_TRUE(table.Remove(450).IsNotFound());
+}
+
+TEST(ConstraintTableTest, RejectsBadRuleText) {
+  ConstraintTable table;
+  EXPECT_TRUE(table.Add(1, "s", "gibberish here").code() ==
+              StatusCode::kParseError);
+}
+
+struct SessionRig {
+  MetricBus bus;
+  ConstraintTable table;
+  std::shared_ptr<AdaptivityManager> am =
+      std::make_shared<AdaptivityManager>();
+  std::shared_ptr<SessionManager> sm =
+      std::make_shared<SessionManager>("sm", &bus, &table);
+  MapScorer scorer;
+  std::vector<AdaptationRequest> seen;
+
+  SessionRig() {
+    sm->FindPort("adaptivity")->SetTarget(am);
+    sm->SetScorer("", &scorer);
+    am->RegisterHandler("", [this](const AdaptationRequest& r) {
+      seen.push_back(r);
+      return Status::OK();
+    });
+  }
+};
+
+TEST(SessionManagerTest, FlashCrowdConstraintFires) {
+  SessionRig rig;
+  ASSERT_TRUE(rig.table
+                  .Add(455, "atom123",
+                       "If processor-util > 90 then SWITCH(node1.Page1.html, "
+                       "node2.Page1.html)")
+                  .ok());
+  rig.scorer.scores["node2.Page1.html"] = 3;
+  rig.scorer.current =
+      ParseRule("Select node1.Page1.html")->action.targets[0];
+
+  rig.bus.Publish("processor-util", 50, 0);
+  auto n = rig.sm->CheckConstraints(0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+
+  rig.bus.Publish("processor-util", 95, 1);
+  n = rig.sm->CheckConstraints(1);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  ASSERT_EQ(rig.seen.size(), 1u);
+  EXPECT_EQ(rig.seen[0].constraint_id, 455);
+  EXPECT_TRUE(rig.seen[0].decision.migrate_state);
+  EXPECT_EQ(rig.seen[0].decision.chosen->node(), "node2");
+}
+
+TEST(SessionManagerTest, DebouncesRepeatedDecision) {
+  SessionRig rig;
+  ASSERT_TRUE(
+      rig.table.Add(1, "s", "If cpu > 90 then SWITCH(a, b)").ok());
+  rig.bus.Publish("cpu", 95, 0);
+  ASSERT_TRUE(rig.sm->CheckConstraints(0).ok());
+  ASSERT_TRUE(rig.sm->CheckConstraints(1).ok());
+  ASSERT_TRUE(rig.sm->CheckConstraints(2).ok());
+  // Same remedy chosen every time: enacted once.
+  EXPECT_EQ(rig.seen.size(), 1u);
+}
+
+TEST(SessionManagerTest, SelectRulesAnsweredOnDemandNotOnTick) {
+  SessionRig rig;
+  ASSERT_TRUE(rig.table.Add(450, "page", "Select BEST(n1, n2)").ok());
+  rig.scorer.scores["n2"] = 9;
+  ASSERT_TRUE(rig.sm->CheckConstraints(0).ok());
+  EXPECT_TRUE(rig.seen.empty());  // Select rules don't fire on ticks
+  auto d = rig.sm->Decide("page");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->chosen->node(), "n2");
+  EXPECT_TRUE(rig.sm->Decide("ghost").status().IsNotFound());
+}
+
+TEST(SessionManagerTest, HandlerFailureCountsAndRetries) {
+  SessionRig rig;
+  ASSERT_TRUE(rig.table.Add(1, "s", "If cpu > 90 then SWITCH(a, b)").ok());
+  rig.am->RegisterHandler("", [](const AdaptationRequest&) {
+    return Status::Unavailable("target down");
+  });
+  rig.bus.Publish("cpu", 95, 0);
+  ASSERT_TRUE(rig.sm->CheckConstraints(0).ok());
+  EXPECT_EQ(rig.am->failed(), 1u);
+  // Not recorded as enacted → retried on the next tick.
+  ASSERT_TRUE(rig.sm->CheckConstraints(1).ok());
+  EXPECT_EQ(rig.am->failed(), 2u);
+}
+
+TEST(SessionManagerTest, PerSubjectHandlerPreferred) {
+  SessionRig rig;
+  int specific = 0, generic = 0;
+  rig.am->RegisterHandler("special", [&](const AdaptationRequest&) {
+    ++specific;
+    return Status::OK();
+  });
+  rig.am->RegisterHandler("", [&](const AdaptationRequest&) {
+    ++generic;
+    return Status::OK();
+  });
+  ASSERT_TRUE(
+      rig.table.Add(1, "special", "If cpu > 1 then SWITCH(a, b)").ok());
+  ASSERT_TRUE(rig.table.Add(2, "other", "If cpu > 1 then SWITCH(c, d)").ok());
+  rig.bus.Publish("cpu", 50, 0);
+  ASSERT_TRUE(rig.sm->CheckConstraints(0).ok());
+  EXPECT_EQ(specific, 1);
+  EXPECT_EQ(generic, 1);
+}
+
+TEST(StateManagerTest, SaveLoadDrop) {
+  StateManager sm;
+  component::StateBlob blob;
+  blob.type = "query";
+  blob.words = {1, 2, 3};
+  ASSERT_TRUE(sm.Save("q1", blob).ok());
+  auto loaded = sm.Load("q1");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->words, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_TRUE(sm.Load("q2").status().IsNotFound());
+  ASSERT_TRUE(sm.Drop("q1").ok());
+  EXPECT_TRUE(sm.Drop("q1").IsNotFound());
+}
+
+}  // namespace
+}  // namespace dbm::adapt

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "adl/architecture.h"
+#include "adl/parser.h"
+
+namespace dbm::adl {
+namespace {
+
+constexpr const char* kMobileCbms = R"(
+// Fig 4: mobile component-based management system within the Laptop.
+component QueryOptimiser {
+  provide plan : optimiser;
+  require net : netdriver;
+  require stats : statistics;
+}
+component WirelessOptimiser {
+  provide plan : optimiser;
+  require net : netdriver;
+  require stats : statistics;
+}
+component EthernetDriver {
+  provide eth : netdriver;
+}
+component WirelessDriver {
+  provide wifi : netdriver;
+}
+component StatsGatherer {
+  provide s : statistics;
+}
+component SessionManager {
+  provide session;
+  require optimiser : optimiser;
+}
+
+configuration DockedSession {
+  inst sm : SessionManager;
+  inst opt : QueryOptimiser;
+  inst eth : EthernetDriver;
+  inst stats : StatsGatherer;
+  bind sm.optimiser -- opt;
+  bind opt.net -- eth;
+  bind opt.stats -- stats;
+}
+
+configuration WirelessSession {
+  inst sm : SessionManager;
+  inst opt : WirelessOptimiser;
+  inst wifi : WirelessDriver;
+  inst stats : StatsGatherer;
+  bind sm.optimiser -- opt;
+  bind opt.net -- wifi;
+  bind opt.stats -- stats;
+}
+)";
+
+TEST(AdlParserTest, ParsesFig4Document) {
+  auto doc = Parse(kMobileCbms);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->types.size(), 6u);
+  EXPECT_EQ(doc->configurations.size(), 2u);
+  const ComponentTypeDecl& opt = doc->types.at("QueryOptimiser");
+  ASSERT_EQ(opt.provides.size(), 1u);
+  EXPECT_EQ(opt.provides[0].type, "optimiser");
+  ASSERT_EQ(opt.required.size(), 2u);
+  EXPECT_EQ(opt.required[0].type, "netdriver");
+}
+
+TEST(AdlParserTest, DefaultProvideTypeIsName) {
+  auto doc = Parse("component C { provide svc; }");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->types.at("C").provides[0].type, "svc");
+}
+
+TEST(AdlParserTest, OptionalPorts) {
+  auto doc = Parse("component C { require x : t optional; }");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->types.at("C").required[0].optional);
+}
+
+TEST(AdlParserTest, SyntaxErrorCarriesLine) {
+  auto doc = Parse("component C {\n provide ; }");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(AdlParserTest, RejectsDuplicateType) {
+  auto doc = Parse("component C { provide a; } component C { provide b; }");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(AdlParserTest, RejectsUnknownKeyword) {
+  EXPECT_FALSE(Parse("blob C { }").ok());
+  EXPECT_FALSE(Parse("configuration C { frob x; }").ok());
+}
+
+TEST(AdlParserTest, RoundTripsThroughToSource) {
+  auto doc = Parse(kMobileCbms);
+  ASSERT_TRUE(doc.ok());
+  auto doc2 = Parse(ToSource(*doc));
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString();
+  EXPECT_EQ(doc2->types.size(), doc->types.size());
+  EXPECT_EQ(doc2->configurations.size(), doc->configurations.size());
+  EXPECT_EQ(ToSource(*doc2), ToSource(*doc));
+}
+
+TEST(AdlValidateTest, Fig4ConfigurationsValidate) {
+  auto doc = Parse(kMobileCbms);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(Validate(*doc, doc->configurations.at("DockedSession")).ok());
+  EXPECT_TRUE(Validate(*doc, doc->configurations.at("WirelessSession")).ok());
+}
+
+TEST(AdlValidateTest, RejectsTypeMismatchBinding) {
+  auto doc = Parse(R"(
+component A { require p : alpha; }
+component B { provide b : beta; }
+configuration Bad { inst a : A; inst b : B; bind a.p -- b; }
+)");
+  ASSERT_TRUE(doc.ok());
+  Status s = Validate(*doc, doc->configurations.at("Bad"));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(AdlValidateTest, RejectsUnboundMandatoryPort) {
+  auto doc = Parse(R"(
+component A { require p : t; }
+component B { provide x : t; }
+configuration Bad { inst a : A; inst b : B; }
+)");
+  ASSERT_TRUE(doc.ok());
+  Status s = Validate(*doc, doc->configurations.at("Bad"));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+TEST(AdlValidateTest, AcceptsUnboundOptionalPort) {
+  auto doc = Parse(R"(
+component A { require p : t optional; }
+configuration Ok { inst a : A; }
+)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(Validate(*doc, doc->configurations.at("Ok")).ok());
+}
+
+TEST(AdlValidateTest, RejectsDoubleBoundPort) {
+  auto doc = Parse(R"(
+component A { require p : t; }
+component B { provide x : t; }
+configuration Bad {
+  inst a : A; inst b : B; inst c : B;
+  bind a.p -- b; bind a.p -- c;
+}
+)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(Validate(*doc, doc->configurations.at("Bad")).ok());
+}
+
+TEST(AdlDiffTest, DockedToWirelessMatchesFig5) {
+  auto doc = Parse(kMobileCbms);
+  ASSERT_TRUE(doc.ok());
+  auto diff = Diff(*doc, doc->configurations.at("DockedSession"),
+                   doc->configurations.at("WirelessSession"));
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  // New: the wireless driver. Replaced in place: the optimiser (the
+  // instance keeps its name, its component type changes). Gone: ethernet.
+  ASSERT_EQ(diff->added_instances.size(), 1u);
+  EXPECT_EQ(diff->added_instances[0].type, "WirelessDriver");
+  ASSERT_EQ(diff->replaced_instances.size(), 1u);
+  EXPECT_EQ(diff->replaced_instances[0].name, "opt");
+  EXPECT_EQ(diff->replaced_instances[0].type, "WirelessOptimiser");
+  EXPECT_EQ(diff->removed_instances,
+            (std::vector<std::string>{"eth"}));
+  // The fresh optimiser's outbound ports must be rebound per the target
+  // configuration.
+  std::set<std::string> rebinds;
+  for (const BindDecl& b : diff->bindings_to_apply) {
+    rebinds.insert(b.from_instance + "." + b.from_port + "--" +
+                   b.to_instance);
+  }
+  EXPECT_TRUE(rebinds.count("opt.net--wifi"));
+  EXPECT_TRUE(rebinds.count("opt.stats--stats"));
+}
+
+TEST(AdlDiffTest, IdenticalConfigsYieldEmptyDiff) {
+  auto doc = Parse(kMobileCbms);
+  ASSERT_TRUE(doc.ok());
+  auto diff = Diff(*doc, doc->configurations.at("DockedSession"),
+                   doc->configurations.at("DockedSession"));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->empty());
+}
+
+// A trivial runtime component whose provided types mirror its ADL type.
+class Generic : public component::Component {
+ public:
+  Generic(const std::string& name, const ComponentTypeDecl& type)
+      : Component(name, type.name) {
+    for (const ProvideDecl& p : type.provides) AddProvided(p.type);
+    for (const RequireDecl& r : type.required) {
+      DeclarePort(r.name, r.type, r.optional);
+    }
+  }
+};
+
+ComponentFactory MakeFactory(const Document& doc) {
+  return [&doc](const InstanceDecl& inst)
+             -> Result<component::ComponentPtr> {
+    auto it = doc.types.find(inst.type);
+    if (it == doc.types.end()) {
+      return Status::NotFound("no type " + inst.type);
+    }
+    return component::ComponentPtr(
+        std::make_shared<Generic>(inst.name, it->second));
+  };
+}
+
+TEST(AdlLowerTest, InstantiateThenConform) {
+  auto doc = Parse(kMobileCbms);
+  ASSERT_TRUE(doc.ok());
+  component::Registry reg;
+  ASSERT_TRUE(Instantiate(*doc, doc->configurations.at("DockedSession"),
+                          MakeFactory(*doc), &reg)
+                  .ok());
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_TRUE(Conforms(*doc, doc->configurations.at("DockedSession"),
+                       reg.Snapshot())
+                  .ok());
+  Status s = Conforms(*doc, doc->configurations.at("WirelessSession"),
+                      reg.Snapshot());
+  EXPECT_TRUE(s.IsConstraintBroken()) << s.ToString();
+}
+
+TEST(AdlLowerTest, DiffLowersAndExecutesSwitchover) {
+  auto doc = Parse(kMobileCbms);
+  ASSERT_TRUE(doc.ok());
+  component::Registry reg;
+  auto factory = MakeFactory(*doc);
+  ASSERT_TRUE(Instantiate(*doc, doc->configurations.at("DockedSession"),
+                          factory, &reg)
+                  .ok());
+  ASSERT_TRUE(reg.StartAll().ok());
+
+  auto diff = Diff(*doc, doc->configurations.at("DockedSession"),
+                   doc->configurations.at("WirelessSession"));
+  ASSERT_TRUE(diff.ok());
+  auto plan = LowerDiff(*diff, factory);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  component::Reconfigurer rc(&reg);
+  Status s = rc.Execute(*plan);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  // The running system now conforms to the wireless description.
+  EXPECT_TRUE(Conforms(*doc, doc->configurations.at("WirelessSession"),
+                       reg.Snapshot())
+                  .ok());
+  EXPECT_FALSE(reg.Contains("eth"));
+  EXPECT_TRUE(reg.Contains("wifi"));
+}
+
+}  // namespace
+}  // namespace dbm::adl

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "component/component.h"
+#include "component/reconfigure.h"
+#include "component/registry.h"
+
+namespace dbm::component {
+namespace {
+
+// A counter service used as a stateful provider.
+class Counter : public Component {
+ public:
+  explicit Counter(std::string name, int64_t start = 0)
+      : Component(std::move(name), "counter"), value_(start) {}
+
+  int64_t Increment() { return ++value_; }
+  int64_t value() const { return value_; }
+
+  bool HasState() const override { return true; }
+  Status Checkpoint(StateBlob* out) const override {
+    out->type = "counter";
+    out->words = {value_};
+    return Status::OK();
+  }
+  Status Restore(const StateBlob& blob) override {
+    if (blob.type != "counter" || blob.words.size() != 1) {
+      return Status::InvalidArgument("bad counter state blob");
+    }
+    value_ = blob.words[0];
+    return Status::OK();
+  }
+
+ private:
+  int64_t value_;
+};
+
+// A client with one required "backend" port of type "counter".
+class Client : public Component {
+ public:
+  explicit Client(std::string name) : Component(std::move(name), "client") {
+    DeclarePort("backend", "counter");
+  }
+  Result<int64_t> Poke() {
+    DBM_ASSIGN_OR_RETURN(Counter * c, Require<Counter>("backend"));
+    return c->Increment();
+  }
+};
+
+// Components with injectable lifecycle failures.
+class Flaky : public Component {
+ public:
+  Flaky(std::string name, bool fail_init, bool fail_start,
+        bool fail_stop = false)
+      : Component(std::move(name), "counter"),
+        fail_init_(fail_init),
+        fail_start_(fail_start),
+        fail_stop_(fail_stop) {}
+  Status Init() override {
+    return fail_init_ ? Status::Internal("init exploded") : Status::OK();
+  }
+  Status Start() override {
+    return fail_start_ ? Status::Internal("start exploded") : Status::OK();
+  }
+  Status Stop() override {
+    return fail_stop_ ? Status::Internal("stop exploded") : Status::OK();
+  }
+
+ private:
+  bool fail_init_, fail_start_, fail_stop_;
+};
+
+class RestoreRejector : public Counter {
+ public:
+  explicit RestoreRejector(std::string name) : Counter(std::move(name)) {}
+  Status Restore(const StateBlob&) override {
+    return Status::Internal("refuse state");
+  }
+};
+
+TEST(ComponentTest, LifecycleProgression) {
+  auto c = std::make_shared<Counter>("c1");
+  EXPECT_EQ(c->lifecycle(), Lifecycle::kCreated);
+  ASSERT_TRUE(c->DriveInit().ok());
+  EXPECT_EQ(c->lifecycle(), Lifecycle::kInitialised);
+  ASSERT_TRUE(c->DriveStart().ok());
+  EXPECT_EQ(c->lifecycle(), Lifecycle::kActive);
+  ASSERT_TRUE(c->DriveStop().ok());
+  EXPECT_EQ(c->lifecycle(), Lifecycle::kQuiesced);
+  ASSERT_TRUE(c->DriveStart().ok());  // restartable after quiesce
+  EXPECT_EQ(c->lifecycle(), Lifecycle::kActive);
+}
+
+TEST(ComponentTest, InitRequiresBoundMandatoryPorts) {
+  auto client = std::make_shared<Client>("cl");
+  Status s = client->DriveInit();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+TEST(ComponentTest, StopIsIdempotent) {
+  auto c = std::make_shared<Counter>("c");
+  ASSERT_TRUE(c->DriveInit().ok());
+  ASSERT_TRUE(c->DriveStart().ok());
+  ASSERT_TRUE(c->DriveStop().ok());
+  EXPECT_TRUE(c->DriveStop().ok());
+}
+
+TEST(RegistryTest, AddGetRemove) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("a")).ok());
+  EXPECT_TRUE(reg.Add(std::make_shared<Counter>("a")).code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(reg.Get("a").ok());
+  EXPECT_TRUE(reg.Get("b").status().IsNotFound());
+  ASSERT_TRUE(reg.Remove("a").ok());
+  EXPECT_FALSE(reg.Contains("a"));
+}
+
+TEST(RegistryTest, BindTypeChecked) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("ctr")).ok());
+  ASSERT_TRUE(reg.Add(std::make_shared<Client>("cl")).ok());
+  EXPECT_TRUE(reg.Bind("cl", "backend", "ctr").ok());
+  // A client does not provide "counter": binding to it must fail.
+  ASSERT_TRUE(reg.Add(std::make_shared<Client>("cl2")).ok());
+  EXPECT_TRUE(reg.Bind("cl", "backend", "cl2").IsInvalidArgument());
+  EXPECT_TRUE(reg.Bind("cl", "nope", "ctr").IsNotFound());
+}
+
+TEST(RegistryTest, CallThroughPort) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("ctr", 10)).ok());
+  auto client = std::make_shared<Client>("cl");
+  ASSERT_TRUE(reg.Add(client).ok());
+  ASSERT_TRUE(reg.Bind("cl", "backend", "ctr").ok());
+  auto v = client->Poke();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 11);
+}
+
+TEST(RegistryTest, BlockedPortIsUnavailable) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("ctr")).ok());
+  auto client = std::make_shared<Client>("cl");
+  ASSERT_TRUE(reg.Add(client).ok());
+  ASSERT_TRUE(reg.Bind("cl", "backend", "ctr").ok());
+  client->FindPort("backend")->Block();
+  EXPECT_TRUE(client->Poke().status().IsUnavailable());
+  client->FindPort("backend")->Unblock();
+  EXPECT_TRUE(client->Poke().ok());
+}
+
+TEST(RegistryTest, RemoveRefusesWhileBound) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("ctr")).ok());
+  auto client = std::make_shared<Client>("cl");
+  ASSERT_TRUE(reg.Add(client).ok());
+  ASSERT_TRUE(reg.Bind("cl", "backend", "ctr").ok());
+  EXPECT_EQ(reg.Remove("ctr").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(reg.Unbind("cl", "backend").ok());
+  EXPECT_TRUE(reg.Remove("ctr").ok());
+}
+
+TEST(RegistryTest, ProvidersByType) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("a")).ok());
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("b")).ok());
+  ASSERT_TRUE(reg.Add(std::make_shared<Client>("c")).ok());
+  EXPECT_EQ(reg.Providers("counter").size(), 2u);
+  EXPECT_EQ(reg.Providers("client").size(), 1u);
+  EXPECT_TRUE(reg.Providers("nothing").empty());
+}
+
+TEST(RegistryTest, SnapshotReflectsStructure) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("ctr")).ok());
+  ASSERT_TRUE(reg.Add(std::make_shared<Client>("cl")).ok());
+  ASSERT_TRUE(reg.Bind("cl", "backend", "ctr").ok());
+  ArchitectureSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.components, (std::vector<std::string>{"cl", "ctr"}));
+  ASSERT_EQ(snap.bindings.size(), 1u);
+  EXPECT_EQ(snap.bindings[0].from_component, "cl");
+  EXPECT_EQ(snap.bindings[0].to_component, "ctr");
+  EXPECT_EQ(snap.bindings[0].type, "counter");
+}
+
+TEST(RegistryTest, StartAllStopAll) {
+  Registry reg;
+  ASSERT_TRUE(reg.Add(std::make_shared<Counter>("ctr")).ok());
+  auto client = std::make_shared<Client>("cl");
+  ASSERT_TRUE(reg.Add(client).ok());
+  ASSERT_TRUE(reg.Bind("cl", "backend", "ctr").ok());
+  ASSERT_TRUE(reg.StartAll().ok());
+  EXPECT_EQ(client->lifecycle(), Lifecycle::kActive);
+  ASSERT_TRUE(reg.StopAll().ok());
+  EXPECT_EQ(client->lifecycle(), Lifecycle::kQuiesced);
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration
+// ---------------------------------------------------------------------------
+
+struct Rig {
+  Registry reg;
+  Reconfigurer rc{&reg};
+  std::shared_ptr<Counter> ctr = std::make_shared<Counter>("ctr", 100);
+  std::shared_ptr<Client> cl = std::make_shared<Client>("cl");
+  Rig() {
+    EXPECT_TRUE(reg.Add(ctr).ok());
+    EXPECT_TRUE(reg.Add(cl).ok());
+    EXPECT_TRUE(reg.Bind("cl", "backend", "ctr").ok());
+    EXPECT_TRUE(reg.StartAll().ok());
+  }
+};
+
+TEST(ReconfigureTest, RebindSwitchesProvider) {
+  Rig rig;
+  ReconfigurationPlan plan;
+  plan.Add(std::make_shared<Counter>("ctr2", 500))
+      .Rebind("cl", "backend", "ctr2");
+  ASSERT_TRUE(rig.rc.Execute(plan).ok());
+  auto v = rig.cl->Poke();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 501);
+  EXPECT_EQ(rig.rc.stats().committed, 1u);
+}
+
+TEST(ReconfigureTest, SwapMigratesStateAndRetargetsPorts) {
+  Rig rig;
+  ASSERT_EQ(*rig.cl->Poke(), 101);  // state now 101
+  ReconfigurationPlan plan;
+  plan.Swap("ctr", std::make_shared<Counter>("ctr-v2"));
+  ASSERT_TRUE(rig.rc.Execute(plan).ok());
+  EXPECT_FALSE(rig.reg.Contains("ctr"));
+  EXPECT_TRUE(rig.reg.Contains("ctr-v2"));
+  auto v = rig.cl->Poke();  // port followed the swap, state followed too
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 102);
+  EXPECT_EQ(rig.rc.stats().state_migrations, 1u);
+}
+
+TEST(ReconfigureTest, ValidationRejectsUnknownNames) {
+  Rig rig;
+  ReconfigurationPlan plan;
+  plan.Rebind("cl", "backend", "ghost");
+  Status s = rig.rc.Execute(plan);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  // Nothing changed.
+  EXPECT_TRUE(rig.cl->Poke().ok());
+}
+
+TEST(ReconfigureTest, FailedAddRollsBackWholePlan) {
+  Rig rig;
+  ReconfigurationPlan plan;
+  plan.Add(std::make_shared<Counter>("ctr2", 7))
+      .Rebind("cl", "backend", "ctr2")
+      .Add(std::make_shared<Flaky>("boom", /*fail_init=*/true, false));
+  Status s = rig.rc.Execute(plan);
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  // Rolled back: ctr2 gone, client bound to the original counter again.
+  EXPECT_FALSE(rig.reg.Contains("ctr2"));
+  EXPECT_FALSE(rig.reg.Contains("boom"));
+  auto v = rig.cl->Poke();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 101);  // original state intact
+  EXPECT_EQ(rig.rc.stats().rolled_back, 1u);
+}
+
+TEST(ReconfigureTest, SwapFailingRestoreBacksOff) {
+  Rig rig;
+  ReconfigurationPlan plan;
+  plan.Swap("ctr", std::make_shared<RestoreRejector>("ctr-v2"));
+  Status s = rig.rc.Execute(plan);
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  EXPECT_TRUE(rig.reg.Contains("ctr"));
+  EXPECT_FALSE(rig.reg.Contains("ctr-v2"));
+  auto v = rig.cl->Poke();  // old provider restarted and still serving
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 101);
+}
+
+TEST(ReconfigureTest, RemoveThenAddInOnePlan) {
+  Rig rig;
+  ReconfigurationPlan plan;
+  plan.Rebind("cl", "backend", "ctr")  // no-op rebind keeps port valid
+      .Add(std::make_shared<Counter>("spare", 1));
+  ASSERT_TRUE(rig.rc.Execute(plan).ok());
+  ReconfigurationPlan plan2;
+  plan2.Rebind("cl", "backend", "spare").Remove("ctr");
+  ASSERT_TRUE(rig.rc.Execute(plan2).ok());
+  EXPECT_FALSE(rig.reg.Contains("ctr"));
+  EXPECT_EQ(*rig.cl->Poke(), 2);
+}
+
+TEST(ReconfigureTest, ValidationSeesPlanLocalAdds) {
+  Rig rig;
+  ReconfigurationPlan plan;
+  plan.Add(std::make_shared<Counter>("new", 0))
+      .Rebind("cl", "backend", "new");
+  // "new" does not exist yet in the registry but is added by the plan:
+  // validation must accept it.
+  EXPECT_TRUE(rig.rc.Execute(plan).ok());
+}
+
+TEST(ReconfigureTest, EmptyPlanCommitsTrivially) {
+  Rig rig;
+  EXPECT_TRUE(rig.rc.Execute(ReconfigurationPlan{}).ok());
+}
+
+TEST(ReconfigureTest, SwapFailedStopAborts) {
+  Registry reg;
+  Reconfigurer rc(&reg);
+  auto flaky = std::make_shared<Flaky>("f", false, false, /*fail_stop=*/true);
+  ASSERT_TRUE(reg.Add(flaky).ok());
+  ASSERT_TRUE(reg.StartAll().ok());
+  ReconfigurationPlan plan;
+  plan.Swap("f", std::make_shared<Counter>("f2"));
+  Status s = rc.Execute(plan);
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_TRUE(reg.Contains("f"));
+  EXPECT_FALSE(reg.Contains("f2"));
+}
+
+}  // namespace
+}  // namespace dbm::component

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "component/composite.h"
+#include "component/reconfigure.h"
+
+namespace dbm::component {
+namespace {
+
+class Engine : public Component {
+ public:
+  Engine(std::string name, int gen) : Component(std::move(name), "engine"),
+                                      gen_(gen) {}
+  int generation() const { return gen_; }
+
+ private:
+  int gen_;
+};
+
+class Cache : public Component {
+ public:
+  explicit Cache(std::string name) : Component(std::move(name), "cache") {
+    DeclarePort("engine", "engine");
+  }
+};
+
+std::shared_ptr<Composite> MakeDbms() {
+  auto dbms = std::make_shared<Composite>("mini-dbms", "dbms");
+  EXPECT_TRUE(dbms->AddChild(std::make_shared<Engine>("engine", 1)).ok());
+  EXPECT_TRUE(dbms->AddChild(std::make_shared<Cache>("cache")).ok());
+  EXPECT_TRUE(dbms->BindInternal("cache", "engine", "engine").ok());
+  return dbms;
+}
+
+TEST(CompositeTest, ExportMakesTypeVisible) {
+  auto dbms = MakeDbms();
+  EXPECT_FALSE(dbms->Provides("query-engine"));
+  ASSERT_TRUE(dbms->Export("engine", "engine", "query-engine").ok());
+  EXPECT_TRUE(dbms->Provides("query-engine"));
+  auto delegate = dbms->Delegate("query-engine");
+  ASSERT_TRUE(delegate.ok());
+  EXPECT_EQ((*delegate)->name(), "engine");
+}
+
+TEST(CompositeTest, ExportValidation) {
+  auto dbms = MakeDbms();
+  EXPECT_TRUE(dbms->Export("ghost", "engine", "x").IsNotFound());
+  EXPECT_TRUE(
+      dbms->Export("cache", "engine", "x").IsInvalidArgument());
+  ASSERT_TRUE(dbms->Export("engine", "engine", "x").ok());
+  EXPECT_TRUE(dbms->Export("engine", "engine", "x").code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(dbms->Delegate("nope").status().IsNotFound());
+}
+
+TEST(CompositeTest, LifecycleCascades) {
+  auto dbms = MakeDbms();
+  ASSERT_TRUE(dbms->DriveInit().ok());
+  ASSERT_TRUE(dbms->DriveStart().ok());
+  EXPECT_EQ(dbms->children().Get("engine").value()->lifecycle(),
+            Lifecycle::kActive);
+  ASSERT_TRUE(dbms->DriveStop().ok());
+  EXPECT_EQ(dbms->children().Get("cache").value()->lifecycle(),
+            Lifecycle::kQuiesced);
+}
+
+TEST(CompositeTest, SelfDescriptionReflectsInternals) {
+  auto dbms = MakeDbms();
+  ArchitectureSnapshot desc = dbms->SelfDescription();
+  EXPECT_EQ(desc.components,
+            (std::vector<std::string>{"cache", "engine"}));
+  ASSERT_EQ(desc.bindings.size(), 1u);
+  EXPECT_EQ(desc.bindings[0].from_component, "cache");
+  EXPECT_EQ(desc.bindings[0].to_component, "engine");
+}
+
+TEST(CompositeTest, InternalReconfigurationInvisibleOutside) {
+  auto dbms = MakeDbms();
+  ASSERT_TRUE(dbms->Export("engine", "engine", "query-engine").ok());
+  ASSERT_TRUE(dbms->DriveInit().ok());
+  ASSERT_TRUE(dbms->DriveStart().ok());
+
+  // The outside view: a registry holding only the composite.
+  Registry outer;
+  ASSERT_TRUE(outer.Add(dbms).ok());
+  size_t outer_size = outer.Snapshot().components.size();
+
+  // Swap the engine inside the composite via its own reconfigurer.
+  Reconfigurer inner(&dbms->children());
+  ReconfigurationPlan plan;
+  plan.Swap("engine", std::make_shared<Engine>("engine", 2));
+  ASSERT_TRUE(inner.Execute(plan).ok());
+
+  // Outside structure unchanged; delegate resolves to the new engine.
+  EXPECT_EQ(outer.Snapshot().components.size(), outer_size);
+  auto delegate = dbms->Delegate("query-engine");
+  ASSERT_TRUE(delegate.ok());
+  EXPECT_EQ(std::dynamic_pointer_cast<Engine>(*delegate)->generation(), 2);
+  // The internal cache port followed the swap too.
+  EXPECT_EQ(dbms->children()
+                .Get("cache")
+                .value()
+                ->FindPort("engine")
+                ->Peek()
+                ->name(),
+            "engine");
+}
+
+TEST(CompositeTest, NestedComposites) {
+  auto inner = std::make_shared<Composite>("storage", "storage-subsystem");
+  ASSERT_TRUE(inner->AddChild(std::make_shared<Engine>("pager", 1)).ok());
+  ASSERT_TRUE(inner->Export("pager", "engine", "pager-service").ok());
+
+  auto outer = std::make_shared<Composite>("dbms", "dbms");
+  ASSERT_TRUE(outer->AddChild(inner).ok());
+  ASSERT_TRUE(
+      outer->Export("storage", "pager-service", "storage-api").ok());
+  auto delegate = outer->Delegate("storage-api");
+  ASSERT_TRUE(delegate.ok());
+  EXPECT_EQ((*delegate)->name(), "storage");
+  // Drill through two levels.
+  auto leaf = std::dynamic_pointer_cast<Composite>(*delegate)
+                  ->Delegate("pager-service");
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ((*leaf)->name(), "pager");
+}
+
+}  // namespace
+}  // namespace dbm::component

@@ -1,0 +1,156 @@
+// Tests for the learned oscillation damper (§6 extension).
+
+#include <gtest/gtest.h>
+
+#include "adapt/session.h"
+
+namespace dbm::adapt {
+namespace {
+
+// A scorer whose BEST answer flips every call — the worst-case feedback
+// loop (moving the load moves the problem).
+class FlipScorer : public TargetScorer {
+ public:
+  double Score(const Target& t) const override {
+    bool favour_a = (calls_ / 2) % 2 == 0;  // flips between evaluations
+    ++calls_;
+    if (t.node() == "a") return favour_a ? 1.0 : 0.0;
+    return favour_a ? 0.0 : 1.0;
+  }
+
+ private:
+  mutable uint64_t calls_ = 0;
+};
+
+struct Rig {
+  MetricBus bus;
+  ConstraintTable table;
+  std::shared_ptr<AdaptivityManager> am =
+      std::make_shared<AdaptivityManager>();
+  std::shared_ptr<SessionManager> sm =
+      std::make_shared<SessionManager>("sm", &bus, &table);
+  FlipScorer scorer;
+  int enactments = 0;
+
+  Rig() {
+    sm->FindPort("adaptivity")->SetTarget(am);
+    sm->SetScorer("", &scorer);
+    am->RegisterHandler("", [this](const AdaptationRequest&) {
+      ++enactments;
+      return Status::OK();
+    });
+    EXPECT_TRUE(table.Add(1, "s", "If cpu > 90 then SWITCH(a, b)").ok());
+    bus.Publish("cpu", 95, 0);  // permanently broken constraint
+  }
+};
+
+TEST(HysteresisTest, UndampedSystemOscillates) {
+  Rig rig;
+  for (SimTime t = 0; t < 100; ++t) {
+    ASSERT_TRUE(rig.sm->CheckConstraints(t).ok());
+  }
+  // The remedy flips every tick: every tick enacts.
+  EXPECT_GT(rig.enactments, 50);
+}
+
+TEST(HysteresisTest, DamperLearnsAndSuppresses) {
+  Rig rig;
+  HysteresisOptions h;
+  h.enabled = true;
+  h.oscillation_window = 4;
+  h.initial_cooldown = 10;  // µs, small for the test's tick scale
+  h.backoff_factor = 2.0;
+  h.max_cooldown = 200;
+  h.decay_after = 1000000;  // no decay within this test
+  rig.sm->EnableHysteresis(h);
+  for (SimTime t = 0; t < 400; ++t) {
+    ASSERT_TRUE(rig.sm->CheckConstraints(t).ok());
+  }
+  // The damper learned a cooldown and suppressed most flips.
+  EXPECT_GT(rig.sm->LearnedCooldown(1), 0);
+  EXPECT_GT(rig.sm->suppressed(), 100u);
+  EXPECT_LT(rig.enactments, 100);
+}
+
+TEST(HysteresisTest, CooldownGrowsGeometricallyToCap) {
+  Rig rig;
+  HysteresisOptions h;
+  h.enabled = true;
+  h.oscillation_window = 2;  // react to the first A/B flip
+  h.initial_cooldown = 8;
+  h.backoff_factor = 2.0;
+  h.max_cooldown = 64;
+  h.decay_after = 1000000;
+  rig.sm->EnableHysteresis(h);
+  SimTime t = 0;
+  SimTime last = -1;
+  for (int i = 0; i < 2000 && rig.sm->LearnedCooldown(1) < 64; ++i) {
+    ASSERT_TRUE(rig.sm->CheckConstraints(t++).ok());
+    SimTime cd = rig.sm->LearnedCooldown(1);
+    if (last >= 0 && cd != last) {
+      // Growth is geometric: each change doubles (8, 16, 32, 64).
+      EXPECT_TRUE(cd == last * 2 || (last == 0 && cd == 8))
+          << last << " -> " << cd;
+    }
+    last = cd;
+  }
+  EXPECT_EQ(rig.sm->LearnedCooldown(1), 64);  // capped
+}
+
+TEST(HysteresisTest, QuietPeriodDecaysCooldown) {
+  Rig rig;
+  HysteresisOptions h;
+  h.enabled = true;
+  h.oscillation_window = 2;
+  h.initial_cooldown = 40;
+  h.decay_after = 100;
+  // Gentle growth so one post-quiet enactment cannot undo the halving.
+  h.backoff_factor = 1.2;
+  rig.sm->EnableHysteresis(h);
+  SimTime t = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(rig.sm->CheckConstraints(t++).ok());
+  }
+  SimTime learned = rig.sm->LearnedCooldown(1);
+  ASSERT_GT(learned, 0);
+  // Calm the system down (constraint no longer broken) for a long time.
+  rig.bus.Publish("cpu", 10, t);
+  t += 500;
+  // Re-break it: the first re-check whose decision differs from the last
+  // remedy decays the stale cooldown (a few ticks, since the flip scorer
+  // may initially repeat the debounced choice).
+  rig.bus.Publish("cpu", 95, t);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rig.sm->CheckConstraints(t + i).ok());
+  }
+  EXPECT_LT(rig.sm->LearnedCooldown(1), learned);
+}
+
+TEST(HysteresisTest, StableDecisionsNeverSuppressed) {
+  // A scorer with a fixed answer: the debounce handles it; the damper
+  // must not add latency to genuinely new decisions.
+  MetricBus bus;
+  ConstraintTable table;
+  auto am = std::make_shared<AdaptivityManager>();
+  auto sm = std::make_shared<SessionManager>("sm", &bus, &table);
+  sm->FindPort("adaptivity")->SetTarget(am);
+  int enactments = 0;
+  am->RegisterHandler("", [&](const AdaptationRequest&) {
+    ++enactments;
+    return Status::OK();
+  });
+  ASSERT_TRUE(table.Add(1, "s", "If cpu > 90 then SWITCH(a, b)").ok());
+  HysteresisOptions h;
+  h.enabled = true;
+  sm->EnableHysteresis(h);
+  bus.Publish("cpu", 95, 0);
+  for (SimTime t = 0; t < 100; ++t) {
+    ASSERT_TRUE(sm->CheckConstraints(t).ok());
+  }
+  EXPECT_EQ(enactments, 1);          // one remedy, applied once
+  EXPECT_EQ(sm->suppressed(), 0u);   // nothing was damped
+  EXPECT_EQ(sm->LearnedCooldown(1), 0);
+}
+
+}  // namespace
+}  // namespace dbm::adapt

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "kendra/kendra.h"
+
+namespace dbm::kendra {
+namespace {
+
+struct Rig {
+  EventLoop loop;
+  net::Network net{&loop};
+  net::Link* link;
+
+  explicit Rig(double bw_kbps = 300) {
+    net.AddDevice({"server", net::DeviceClass::kServer, 1, -1, 0, 0});
+    net.AddDevice({"client", net::DeviceClass::kPda, 0.2, 60, 5, 0});
+    link = net.Connect("server", "client", {bw_kbps, Millis(5), "wireless"});
+  }
+};
+
+TEST(KendraTest, FixedCodecOnAmplLinkNeverStalls) {
+  Rig rig(1000);
+  AudioServer server(&rig.net, "server", "client");
+  auto r = server.StreamFixed(DefaultLadder()[1], Seconds(10), {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stalls, 0u);
+  EXPECT_EQ(r->chunks, 20u);
+  EXPECT_DOUBLE_EQ(r->mean_quality, DefaultLadder()[1].quality);
+}
+
+TEST(KendraTest, GreedyCodecStallsOnSlowLink) {
+  Rig rig(64);  // below pcm-256's bitrate
+  AudioServer server(&rig.net, "server", "client");
+  auto r = server.StreamFixed(DefaultLadder()[0], Seconds(10), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stalls, 5u);
+  EXPECT_GT(r->total_stall, Seconds(1));
+}
+
+TEST(KendraTest, AdaptiveAvoidsStallsOnSlowLink) {
+  Rig rig(64);
+  AudioServer server(&rig.net, "server", "client");
+  auto r = server.StreamAdaptive(DefaultLadder(), Seconds(10), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->stalls, 3u);  // converges to a sustainable codec quickly
+  EXPECT_GT(r->mean_quality, 0.4);
+}
+
+TEST(KendraTest, AdaptiveSwitchesDownOnBandwidthDrop) {
+  Rig rig(400);
+  AudioServer server(&rig.net, "server", "client");
+  // Bandwidth collapses mid-stream, then recovers.
+  std::vector<BandwidthEvent> trace = {
+      {Seconds(3), 40},
+      {Seconds(7), 400},
+  };
+  auto r = server.StreamAdaptive(DefaultLadder(), Seconds(12), trace);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->codec_switches, 2u);  // down during the trough, back up after
+  // The trough forced a low-bitrate rung into the decision trace.
+  bool saw_low = false, saw_high = false;
+  for (const std::string& d : r->decisions) {
+    if (d == "gsm-13" || d == "mp3-64") saw_low = true;
+    if (d == "pcm-256" || d == "mp3-128") saw_high = true;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(KendraTest, AdaptiveBeatsBothFixedExtremesOnVaryingLink) {
+  std::vector<BandwidthEvent> trace = {
+      {Seconds(2), 30},
+      {Seconds(5), 500},
+      {Seconds(8), 80},
+  };
+  auto run_fixed = [&](const AudioCodec& codec) {
+    Rig rig(500);
+    AudioServer server(&rig.net, "server", "client");
+    return *server.StreamFixed(codec, Seconds(12), trace);
+  };
+  auto run_adaptive = [&] {
+    Rig rig(500);
+    AudioServer server(&rig.net, "server", "client");
+    return *server.StreamAdaptive(DefaultLadder(), Seconds(12), trace);
+  };
+  StreamResult greedy = run_fixed(DefaultLadder()[0]);   // stalls
+  StreamResult timid = run_fixed(DefaultLadder().back());  // low quality
+  StreamResult adaptive = run_adaptive();
+  EXPECT_LT(adaptive.total_stall, greedy.total_stall / 2);
+  EXPECT_GT(adaptive.mean_quality, timid.mean_quality + 0.1);
+}
+
+TEST(KendraTest, EmptyLadderRejected) {
+  Rig rig;
+  AudioServer server(&rig.net, "server", "client");
+  EXPECT_FALSE(server.StreamAdaptive({}, Seconds(1), {}).ok());
+}
+
+TEST(KendraTest, MissingRouteRejected) {
+  EventLoop loop;
+  net::Network net(&loop);
+  net.AddDevice({"server", net::DeviceClass::kServer, 1, -1, 0, 0});
+  net.AddDevice({"client", net::DeviceClass::kPda, 0.2, 60, 5, 0});
+  AudioServer server(&net, "server", "client");
+  EXPECT_FALSE(server.StreamFixed(DefaultLadder()[0], Seconds(1), {}).ok());
+}
+
+}  // namespace
+}  // namespace dbm::kendra

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "dbmachine/machine.h"
+#include "dbmachine/scenarios.h"
+
+namespace dbm::machine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DatabaseMachine integration
+// ---------------------------------------------------------------------------
+
+struct MachineRig {
+  EventLoop loop;
+  net::Network net{&loop};
+  std::unique_ptr<DatabaseMachine> machine;
+
+  MachineRig() {
+    net.AddDevice({"pda", net::DeviceClass::kPda, 0.2, 60, 0, 0});
+    net.AddDevice({"laptop", net::DeviceClass::kLaptop, 1.0, 90, 3, 0});
+    net.Connect("pda", "laptop", {2000, Millis(2), "wireless"});
+    machine = std::make_unique<DatabaseMachine>(&net);
+  }
+};
+
+TEST(DatabaseMachineTest, InstrumentationPublishesMetrics) {
+  MachineRig rig;
+  ASSERT_TRUE(rig.machine->InstrumentDevice("laptop").ok());
+  ASSERT_TRUE(rig.machine->InstrumentLink("pda", "laptop").ok());
+  (*rig.net.GetDevice("laptop"))->set_load(0.6);
+  ASSERT_TRUE(rig.machine->SampleAll().ok());
+  EXPECT_NEAR(rig.machine->bus().GetOr("laptop.processor-util", -1), 60, 1);
+  EXPECT_DOUBLE_EQ(rig.machine->bus().GetOr("bandwidth", -1), 2000);
+  EXPECT_TRUE(rig.machine->InstrumentDevice("ghost").IsNotFound());
+}
+
+TEST(DatabaseMachineTest, QueryDataFollowsBestRule) {
+  MachineRig rig;
+  ASSERT_TRUE(rig.machine->InstrumentDevice("laptop").ok());
+  auto dc = std::make_shared<data::DataComponent>(
+      "personal-data", data::gen::People(300, 1), "laptop");
+  ASSERT_TRUE(
+      dc->PublishVersion(data::VersionKind::kReplica, "laptop", 0).ok());
+  ASSERT_TRUE(
+      dc->PublishVersion(data::VersionKind::kSummary, "pda", 0, 0.2).ok());
+  ASSERT_TRUE(
+      dc->rules().Add(1, "personal-data", "Select BEST (pda, laptop)").ok());
+  ASSERT_TRUE(rig.machine->AttachData(dc, "pda").ok());
+
+  // Laptop idle → it wins BEST; data is transferred over.
+  bool done = false;
+  ASSERT_TRUE(rig.machine
+                  ->QueryData("personal-data", "pda",
+                              [&](const DataQueryResult& r) {
+                                done = true;
+                                EXPECT_EQ(r.served_from, "laptop");
+                                EXPECT_EQ(r.kind,
+                                          data::VersionKind::kReplica);
+                                EXPECT_GT(r.Latency(), 0);
+                              })
+                  .ok());
+  rig.loop.RunUntil();
+  ASSERT_TRUE(done);
+
+  // Load the laptop: the PDA's local summary wins, with near-zero latency.
+  (*rig.net.GetDevice("laptop"))->set_load(0.99);
+  done = false;
+  ASSERT_TRUE(rig.machine
+                  ->QueryData("personal-data", "pda",
+                              [&](const DataQueryResult& r) {
+                                done = true;
+                                EXPECT_EQ(r.served_from, "pda");
+                                EXPECT_EQ(r.kind,
+                                          data::VersionKind::kSummary);
+                              })
+                  .ok());
+  rig.loop.RunUntil();
+  EXPECT_TRUE(done);
+}
+
+TEST(DatabaseMachineTest, QueryUnknownSubjectFails) {
+  MachineRig rig;
+  EXPECT_TRUE(
+      rig.machine->QueryData("ghost", "pda", nullptr).IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1
+// ---------------------------------------------------------------------------
+
+TEST(Scenario1Test, IdleLaptopServesFullVersion) {
+  Scenario1Config config;
+  config.laptop_load = 0.0;
+  auto report = RunScenario1(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->query.served_from, "laptop");
+  EXPECT_DOUBLE_EQ(report->quality, 1.0);
+}
+
+TEST(Scenario1Test, LoadedLaptopFallsBackToPdaSummary) {
+  Scenario1Config config;
+  config.laptop_load = 0.97;
+  auto report = RunScenario1(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->query.served_from, "pda");
+  EXPECT_LT(report->quality, 1.0);
+  // Local access: far faster than the network fetch.
+  Scenario1Config remote = config;
+  remote.adaptive = false;  // pinned to the laptop
+  auto baseline = RunScenario1(remote);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_LT(report->query.Latency(), baseline->query.Latency() / 10);
+}
+
+TEST(Scenario1Test, NearestRulePicksPda) {
+  Scenario1Config config;
+  config.rule = "Select NEAREST (pda, laptop)";
+  auto report = RunScenario1(config);
+  ASSERT_TRUE(report.ok());
+  // The PDA is its own nearest node.
+  EXPECT_EQ(report->query.served_from, "pda");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2
+// ---------------------------------------------------------------------------
+
+TEST(Scenario2Test, AdaptiveSwitchoverReconfiguresAndCompresses) {
+  Scenario2Config config;
+  config.rows = 800;
+  auto report = RunScenario2(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->reconfigured);
+  EXPECT_TRUE(report->conforms_wireless);
+  EXPECT_EQ(report->adaptation_events, 1u);
+  EXPECT_EQ(report->stream.codec_switches, 1u);
+  EXPECT_LT(report->stream.wire_bytes, report->stream.raw_bytes);
+  EXPECT_EQ(report->stream.rows_delivered, 800u);
+}
+
+TEST(Scenario2Test, AdaptiveBeatsNonAdaptiveAfterUndock) {
+  Scenario2Config adaptive;
+  adaptive.rows = 800;
+  Scenario2Config fixed = adaptive;
+  fixed.adaptive = false;
+  auto a = RunScenario2(adaptive);
+  auto f = RunScenario2(fixed);
+  ASSERT_TRUE(a.ok() && f.ok());
+  EXPECT_EQ(f->stream.codec_switches, 0u);
+  EXPECT_FALSE(f->conforms_wireless);
+  // Compressed remainder finishes sooner on the collapsed link.
+  EXPECT_LT(a->delivery_time, f->delivery_time);
+}
+
+TEST(Scenario2Test, NoUndockNoAdaptation) {
+  Scenario2Config config;
+  config.rows = 400;
+  config.undock_at = Seconds(100000);  // never within the stream
+  auto report = RunScenario2(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->adaptation_events, 0u);
+  EXPECT_FALSE(report->reconfigured);
+  EXPECT_EQ(report->stream.codec_switches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3
+// ---------------------------------------------------------------------------
+
+TEST(Scenario3Test, AdaptiveReoptimisesAndMatchesStaticResult) {
+  Scenario3Config config;
+  config.orders = 8000;
+  config.people = 200;
+  auto adaptive = RunScenario3(config);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+  EXPECT_EQ(adaptive->exec.reoptimizations, 1u);
+  EXPECT_EQ(adaptive->exec.final_plan, "hash(build=right)");
+
+  Scenario3Config fixed = config;
+  fixed.adaptive = false;
+  auto baseline = RunScenario3(fixed);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->exec.reoptimizations, 0u);
+  EXPECT_EQ(adaptive->result_rows, baseline->result_rows);
+  // Every order matches exactly one person.
+  EXPECT_EQ(adaptive->result_rows, config.orders);
+}
+
+TEST(Scenario3Test, AccurateStatsNoReoptimisation) {
+  Scenario3Config config;
+  config.orders = 5000;
+  config.stats_error = 1.0;
+  auto report = RunScenario3(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->exec.reoptimizations, 0u);
+}
+
+}  // namespace
+}  // namespace dbm::machine

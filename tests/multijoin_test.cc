@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "query/multijoin.h"
+
+namespace dbm::query {
+namespace {
+
+using data::Relation;
+using data::RelationStats;
+using data::ValueType;
+
+// Star schema: orders(person_id, city_id), people(id), cities(id).
+struct Star {
+  Relation people = data::gen::People(100, 1);
+  Relation cities;
+  Relation orders;
+  RelationStats people_stats, cities_stats, orders_stats;
+
+  Star() {
+    cities = Relation("cities", data::Schema({{"id", ValueType::kInt},
+                                              {"name", ValueType::kString}}));
+    for (int64_t i = 0; i < 10; ++i) {
+      cities.InsertUnchecked(
+          data::Tuple({i, std::string("city-") + std::to_string(i)}));
+    }
+    orders = Relation("orders",
+                      data::Schema({{"id", ValueType::kInt},
+                                    {"person_id", ValueType::kInt},
+                                    {"city_id", ValueType::kInt}}));
+    Rng rng(7);
+    for (int64_t i = 0; i < 2000; ++i) {
+      orders.InsertUnchecked(data::Tuple(
+          {i, static_cast<int64_t>(rng.Uniform(100)),
+           static_cast<int64_t>(rng.Uniform(10))}));
+    }
+    people_stats = people.ComputeStatistics();
+    cities_stats = cities.ComputeStatistics();
+    orders_stats = orders.ComputeStatistics();
+  }
+
+  MultiJoinQuery Query() {
+    MultiJoinQuery q;
+    q.tables = {
+        TableInput{&orders, &orders_stats, std::nullopt, nullptr, 1.0},
+        TableInput{&people, &people_stats, std::nullopt, nullptr, 1.0},
+        TableInput{&cities, &cities_stats, std::nullopt, nullptr, 1.0},
+    };
+    q.edges = {
+        JoinEdge{0, "person_id", 1, "id"},
+        JoinEdge{0, "city_id", 2, "id"},
+    };
+    return q;
+  }
+};
+
+TEST(MultiJoinTest, PlanCoversAllTablesConnected) {
+  Star star;
+  MultiJoinOptimizer opt;
+  auto plan = opt.Plan(star.Query());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->order.size(), 3u);
+  EXPECT_EQ(plan->step_estimates.size(), 2u);
+  // Each join preserves orders' cardinality (FK joins): ~2000 both steps.
+  for (double est : plan->step_estimates) {
+    EXPECT_NEAR(est, 2000, 400);
+  }
+}
+
+TEST(MultiJoinTest, ExecutesToCorrectCardinality) {
+  Star star;
+  MultiJoinOptimizer opt;
+  MultiJoinQuery q = star.Query();
+  auto plan = opt.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  auto root = opt.Build(q, *plan);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  std::vector<Tuple> out;
+  auto stats = Execute(root->get(), &out, {});
+  ASSERT_TRUE(stats.ok());
+  // Every order joins exactly one person and one city.
+  EXPECT_EQ(out.size(), 2000u);
+  // Output width = sum of the three schemas.
+  EXPECT_EQ(out[0].size(), 3u + 4u + 2u);
+}
+
+TEST(MultiJoinTest, MatchesTwoWayReferenceOnChain) {
+  // Chain a -(x)- b -(y)- c with duplicates; compare against a
+  // brute-force triple loop.
+  auto make = [](const std::string& name, std::vector<int64_t> keys) {
+    Relation rel(name, data::Schema({{"k", ValueType::kInt}}));
+    for (int64_t k : keys) rel.InsertUnchecked(data::Tuple({k}));
+    return rel;
+  };
+  Relation a = make("a", {1, 2, 2, 3});
+  Relation b = make("b", {2, 2, 3, 4});
+  Relation c = make("c", {3, 2, 2});
+  auto sa = a.ComputeStatistics();
+  auto sb = b.ComputeStatistics();
+  auto sc = c.ComputeStatistics();
+  MultiJoinQuery q;
+  q.tables = {TableInput{&a, &sa, std::nullopt, nullptr, 1.0},
+              TableInput{&b, &sb, std::nullopt, nullptr, 1.0},
+              TableInput{&c, &sc, std::nullopt, nullptr, 1.0}};
+  q.edges = {JoinEdge{0, "k", 1, "k"}, JoinEdge{1, "k", 2, "k"}};
+
+  size_t expected = 0;
+  for (const auto& ra : a.rows())
+    for (const auto& rb : b.rows())
+      for (const auto& rc : c.rows())
+        if (data::CompareValues(ra.at(0), rb.at(0)) == 0 &&
+            data::CompareValues(rb.at(0), rc.at(0)) == 0)
+          ++expected;
+
+  MultiJoinOptimizer opt;
+  auto plan = opt.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  auto root = opt.Build(q, *plan);
+  ASSERT_TRUE(root.ok());
+  std::vector<Tuple> out;
+  ASSERT_TRUE(Execute(root->get(), &out, {}).ok());
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST(MultiJoinTest, GreedyPrefersSelectiveEdgeFirst) {
+  // orders-people (V=100) is more selective than orders-cities (V=10):
+  // greedy should seed with the people edge.
+  Star star;
+  MultiJoinOptimizer opt;
+  auto plan = opt.Plan(star.Query());
+  ASSERT_TRUE(plan.ok());
+  // Seed pair is {orders(0), people(1)} in edge order.
+  EXPECT_TRUE((plan->order[0] == 0 && plan->order[1] == 1) ||
+              (plan->order[0] == 1 && plan->order[1] == 0))
+      << plan->ToString(star.Query());
+}
+
+TEST(MultiJoinTest, ErrorsOnBadQueries) {
+  Star star;
+  MultiJoinOptimizer opt;
+  MultiJoinQuery q = star.Query();
+  q.edges.clear();
+  EXPECT_EQ(opt.Plan(q).status().code(), StatusCode::kNotImplemented);
+
+  MultiJoinQuery disconnected = star.Query();
+  disconnected.edges.pop_back();  // cities no longer reachable
+  EXPECT_EQ(opt.Plan(disconnected).status().code(),
+            StatusCode::kNotImplemented);
+
+  MultiJoinQuery one;
+  one.tables.push_back(star.Query().tables[0]);
+  EXPECT_TRUE(opt.Plan(one).status().IsInvalidArgument());
+
+  MultiJoinQuery bad_edge = star.Query();
+  bad_edge.edges[0].right_table = 99;
+  EXPECT_EQ(opt.Plan(bad_edge).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MultiJoinTest, FiltersPushedIntoSources) {
+  Star star;
+  MultiJoinQuery q = star.Query();
+  // orders.city_id < 3: keeps ~30% of orders.
+  q.tables[0].filter = Lt(Col(2), Lit(int64_t{3}));
+  q.tables[0].filter_selectivity = 0.3;
+  MultiJoinOptimizer opt;
+  auto plan = opt.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  auto root = opt.Build(q, *plan);
+  ASSERT_TRUE(root.ok());
+  std::vector<Tuple> out;
+  ASSERT_TRUE(Execute(root->get(), &out, {}).ok());
+  EXPECT_GT(out.size(), 200u);
+  EXPECT_LT(out.size(), 900u);
+  // Every surviving row's order.city_id < 3 (column 2 of the output).
+  for (const Tuple& t : out) {
+    EXPECT_LT(std::get<int64_t>(t.at(2)), 3);
+  }
+}
+
+}  // namespace
+}  // namespace dbm::query

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/sensor_stream.h"
+
+namespace dbm::net {
+namespace {
+
+struct World {
+  EventLoop loop;
+  Network net{&loop};
+  Device* sensor;
+  Device* pda;
+  Device* laptop;
+
+  World() {
+    sensor = net.AddDevice({"sensor", DeviceClass::kSensor, 0.05, 80, 0, 0});
+    pda = net.AddDevice({"pda", DeviceClass::kPda, 0.2, 60, 1, 0});
+    laptop = net.AddDevice({"laptop", DeviceClass::kLaptop, 1.0, 90, 5, 5});
+    net.Connect("sensor", "laptop", {500, Millis(5), "wireless"});
+    net.Connect("pda", "laptop", {2000, Millis(2), "wireless"});
+    net.Connect("sensor", "pda", {250, Millis(8), "wireless"});
+  }
+};
+
+TEST(NetworkTest, DevicesAndLinks) {
+  World w;
+  ASSERT_TRUE(w.net.GetDevice("pda").ok());
+  EXPECT_TRUE(w.net.GetDevice("ghost").status().IsNotFound());
+  auto link = w.net.GetLink("laptop", "pda");  // order-insensitive
+  ASSERT_TRUE(link.ok());
+  EXPECT_DOUBLE_EQ((*link)->bandwidth_kbps(), 2000);
+  EXPECT_TRUE(w.net.GetLink("sensor", "ghost").status().IsNotFound());
+}
+
+TEST(NetworkTest, TransferTimeMatchesBandwidth) {
+  World w;
+  // 2000 kbps link: 25000 bytes = 200000 bits → 100 ms + latency.
+  SimTime done_at = -1;
+  ASSERT_TRUE(w.net
+                  .Transfer("pda", "laptop", 25000,
+                            [&](SimTime t) { done_at = t; },
+                            /*chunk=*/25000)
+                  .ok());
+  w.loop.RunUntil();
+  EXPECT_EQ(done_at, Millis(100) + Millis(2));
+}
+
+TEST(NetworkTest, ChunkedTransferReactsToBandwidthChange) {
+  World w;
+  Link* link = *w.net.GetLink("pda", "laptop");
+  SimTime done_fast = -1;
+  ASSERT_TRUE(w.net
+                  .Transfer("pda", "laptop", 100000,
+                            [&](SimTime t) { done_fast = t; }, 10000)
+                  .ok());
+  w.loop.RunUntil();
+
+  // Second run: bandwidth collapses mid-transfer.
+  EventLoop loop2;
+  Network net2(&loop2);
+  net2.AddDevice({"a", DeviceClass::kServer, 1, 0, 0, 0});
+  net2.AddDevice({"b", DeviceClass::kServer, 1, 0, 0, 0});
+  Link* l2 = net2.Connect("a", "b", {2000, Millis(2), "wired"});
+  SimTime done_slow = -1;
+  ASSERT_TRUE(net2
+                  .Transfer("a", "b", 100000,
+                            [&](SimTime t) { done_slow = t; }, 10000)
+                  .ok());
+  loop2.ScheduleAt(Millis(100), [&] { l2->set_bandwidth(100); });
+  loop2.RunUntil();
+  EXPECT_GT(done_slow, done_fast * 3);
+  (void)link;
+}
+
+TEST(NetworkTest, DistanceAndScorer) {
+  World w;
+  w.pda->MoveTo(0, 0);
+  w.laptop->MoveTo(3, 4);
+  EXPECT_DOUBLE_EQ(w.net.Distance("pda", "laptop"), 5.0);
+
+  NetworkScorer scorer(&w.net, "pda");
+  adapt::Target t_laptop{{"laptop"}, {}};
+  adapt::Target t_pda{{"pda"}, {}};
+  // Laptop idle, far; PDA loaded, at the vantage point.
+  w.laptop->set_load(0.0);
+  w.pda->set_load(0.9);
+  EXPECT_GT(scorer.Score(t_laptop), scorer.Score(t_pda));
+  EXPECT_LT(scorer.Distance(t_pda), scorer.Distance(t_laptop));
+}
+
+TEST(NetworkTest, SpareCapacityPenalisesBattery) {
+  World w;
+  w.laptop->set_load(0.0);
+  w.laptop->set_docked(true);
+  double docked = w.laptop->SpareCapacity();
+  w.laptop->set_docked(false);  // now on battery
+  double undocked = w.laptop->SpareCapacity();
+  EXPECT_GT(docked, undocked);
+}
+
+TEST(NetworkTest, ScorerDrivesBestRule) {
+  // Scenario 1 end-to-end at the rule level: "Select BEST (PDA, Laptop)".
+  World w;
+  w.laptop->set_docked(true);
+  w.laptop->set_load(0.1);
+  w.pda->set_load(0.7);
+  adapt::MetricBus bus;
+  NetworkScorer scorer(&w.net, "pda");
+  auto rule = adapt::ParseRule("Select BEST (pda, laptop)");
+  ASSERT_TRUE(rule.ok());
+  auto d = adapt::Evaluate(*rule, bus, scorer);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->chosen->node(), "laptop");
+
+  // Load the laptop heavily: the PDA wins despite lower capacity.
+  w.laptop->set_load(0.99);
+  w.laptop->set_docked(false);
+  d = adapt::Evaluate(*rule, bus, scorer);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->chosen->node(), "pda");
+}
+
+TEST(NetworkTest, MonitorsReadLiveState) {
+  World w;
+  auto load_mon = MakeLoadMonitor(&w.net, "laptop");
+  auto bw_mon = MakeBandwidthMonitor(&w.net, "sensor", "laptop");
+  w.laptop->set_load(0.42);
+  EXPECT_DOUBLE_EQ(load_mon->Read(), 42.0);
+  EXPECT_DOUBLE_EQ(bw_mon->Read(), 500.0);
+  (*w.net.GetLink("sensor", "laptop"))->set_up(false);
+  EXPECT_DOUBLE_EQ(bw_mon->Read(), 0.0);
+}
+
+TEST(SensorStreamTest, DeliversAllRows) {
+  World w;
+  data::Relation readings = data::gen::SensorReadings(100, 3);
+  SensorStream stream(&w.net, "sensor", "laptop", &readings, {});
+  bool completed = false;
+  ASSERT_TRUE(stream
+                  .Start([&](const SensorStream::Stats& s) {
+                    completed = true;
+                    EXPECT_EQ(s.rows_delivered, 100u);
+                  })
+                  .ok());
+  w.loop.RunUntil();
+  EXPECT_TRUE(completed);
+  EXPECT_GT(stream.stats().chunks, 5u);
+  EXPECT_EQ(stream.stats().wire_bytes, stream.stats().raw_bytes);  // identity
+}
+
+TEST(SensorStreamTest, CompressionTradesCpuForBandwidth) {
+  data::Relation readings = data::gen::SensorReadings(400, 5);
+  auto run = [&](const std::string& codec, double bw_kbps) {
+    EventLoop loop;
+    Network net(&loop);
+    net.AddDevice({"sensor", DeviceClass::kSensor, 0.05, 0, 0, 0});
+    net.AddDevice({"laptop", DeviceClass::kLaptop, 1.0, 0, 0, 0});
+    net.Connect("sensor", "laptop", {bw_kbps, Millis(5), "wireless"});
+    SensorStream::Options options;
+    options.codec = codec;
+    SensorStream stream(&net, "sensor", "laptop", &readings, options);
+    SimTime done = -1;
+    EXPECT_TRUE(stream.Start([&](const SensorStream::Stats& s) {
+                        done = s.completed_at;
+                      })
+                    .ok());
+    loop.RunUntil();
+    return std::make_pair(done, stream.stats());
+  };
+  // On a slow wireless link, compression wins despite CPU cost.
+  auto [t_raw, s_raw] = run("identity", 100);
+  auto [t_rle, s_rle] = run("lz", 100);
+  EXPECT_LT(s_rle.wire_bytes, s_raw.wire_bytes);
+  EXPECT_LT(t_rle, t_raw);
+  EXPECT_GT(s_rle.cpu_time, s_raw.cpu_time);
+}
+
+TEST(SensorStreamTest, CodecSwitchAtSafePoint) {
+  World w;
+  data::Relation readings = data::gen::SensorReadings(200, 7);
+  SensorStream::Options options;
+  options.chunk_rows = 20;
+  SensorStream stream(&w.net, "sensor", "laptop", &readings, options);
+  bool completed = false;
+  ASSERT_TRUE(stream
+                  .Start([&](const SensorStream::Stats& s) {
+                    completed = true;
+                    EXPECT_EQ(s.rows_delivered, 200u);
+                    EXPECT_EQ(s.codec_switches, 1u);
+                  })
+                  .ok());
+  // Mid-stream: request the compressed version (the undock scenario).
+  w.loop.ScheduleAt(Millis(50), [&] { stream.RequestCodecSwitch("lz"); });
+  w.loop.RunUntil();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(stream.current_codec(), "lz");
+  // Some of the stream was compressed: wire < raw, but not as small as a
+  // fully compressed run.
+  EXPECT_LT(stream.stats().wire_bytes, stream.stats().raw_bytes);
+}
+
+TEST(SensorStreamTest, InvalidCodecOrRouteRejected) {
+  World w;
+  data::Relation readings = data::gen::SensorReadings(10, 7);
+  SensorStream::Options bad_codec;
+  bad_codec.codec = "nope";
+  SensorStream s1(&w.net, "sensor", "laptop", &readings, bad_codec);
+  EXPECT_FALSE(s1.Start(nullptr).ok());
+  SensorStream s2(&w.net, "sensor", "ghost", &readings, {});
+  EXPECT_FALSE(s2.Start(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dbm::net

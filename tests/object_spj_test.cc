@@ -1,0 +1,227 @@
+// Tests for the OO data face (data/object.h) and the SPJ processor
+// component (query/spj_component.h).
+
+#include <gtest/gtest.h>
+
+#include "component/reconfigure.h"
+#include "component/registry.h"
+#include "data/object.h"
+#include "query/spj_component.h"
+
+namespace dbm {
+namespace {
+
+using data::ClassDef;
+using data::Field;
+using data::ObjectStore;
+using data::Value;
+using data::ValueType;
+
+ObjectStore PersonWorld() {
+  ObjectStore store;
+  EXPECT_TRUE(store
+                  .DefineClass(ClassDef{"Address",
+                                        {{"city", ValueType::kString},
+                                         {"zip", ValueType::kInt}},
+                                        {}})
+                  .ok());
+  EXPECT_TRUE(store
+                  .DefineClass(ClassDef{"Person",
+                                        {{"name", ValueType::kString},
+                                         {"age", ValueType::kInt}},
+                                        {"address", "friend"}})
+                  .ok());
+  return store;
+}
+
+TEST(ObjectStoreTest, CreateAndTypeCheck) {
+  ObjectStore store = PersonWorld();
+  auto p = store.Create("Person", {{"name", Value{std::string("ada")}},
+                                   {"age", Value{int64_t{36}}}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(store.Create("Ghost").status().IsNotFound());
+  EXPECT_TRUE(store.Create("Person", {{"nope", Value{int64_t{1}}}})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(store.Create("Person", {{"age", Value{std::string("x")}}})
+                  .status()
+                  .IsInvalidArgument());
+  auto obj = store.Get(*p);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ((*obj)->class_name, "Person");
+  EXPECT_TRUE(data::IsNull((*obj)->scalars.at("age")) == false);
+}
+
+TEST(ObjectStoreTest, ReferencesAndNavigation) {
+  ObjectStore store = PersonWorld();
+  auto addr = store.Create("Address", {{"city", Value{std::string("london")}},
+                                       {"zip", Value{int64_t{123}}}});
+  auto person = store.Create("Person", {{"name", Value{std::string("alan")}}});
+  ASSERT_TRUE(addr.ok() && person.ok());
+  ASSERT_TRUE(store.SetReference(*person, "address", *addr).ok());
+
+  auto city = store.Navigate(*person, "address.city");
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ(std::get<std::string>(*city), "london");
+  auto name = store.Navigate(*person, "name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(std::get<std::string>(*name), "alan");
+  // Null reference navigates to null, not an error.
+  auto friend_city = store.Navigate(*person, "friend.name");
+  ASSERT_TRUE(friend_city.ok());
+  EXPECT_TRUE(data::IsNull(*friend_city));
+  // Bad paths.
+  EXPECT_FALSE(store.Navigate(*person, "name.city").ok());
+  EXPECT_FALSE(store.Navigate(*person, "ghost").ok());
+  // Dangling target rejected at set time.
+  EXPECT_TRUE(store.SetReference(*person, "friend", 9999).IsNotFound());
+}
+
+TEST(ObjectStoreTest, CyclesAreSafe) {
+  ObjectStore store = PersonWorld();
+  auto a = store.Create("Person", {{"name", Value{std::string("a")}}});
+  auto b = store.Create("Person", {{"name", Value{std::string("b")}}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(store.SetReference(*a, "friend", *b).ok());
+  ASSERT_TRUE(store.SetReference(*b, "friend", *a).ok());
+  // Navigation through the cycle terminates (finite path).
+  auto n = store.Navigate(*a, "friend.friend.friend.name");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::get<std::string>(*n), "b");
+  // XML serialisation is reference-by-id: no infinite recursion.
+  auto xml = store.ToXml(*a);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml->tag, "Person");
+  const data::XmlNode* fr = xml->FindChild("friend");
+  ASSERT_NE(fr, nullptr);
+  EXPECT_EQ(fr->Attr("ref"), std::to_string(*b));
+}
+
+TEST(ObjectStoreTest, FlattenToRelationJoinsWithQueryLayer) {
+  ObjectStore store = PersonWorld();
+  auto addr = store.Create("Address", {{"city", Value{std::string("oslo")}},
+                                       {"zip", Value{int64_t{99}}}});
+  ASSERT_TRUE(addr.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto p = store.Create(
+        "Person", {{"name", Value{std::string("p") + std::to_string(i)}},
+                   {"age", Value{int64_t{20 + i}}}});
+    ASSERT_TRUE(p.ok());
+    if (i % 2 == 0) ASSERT_TRUE(store.SetReference(*p, "address", *addr).ok());
+  }
+  auto people = store.Flatten("Person");
+  ASSERT_TRUE(people.ok());
+  EXPECT_EQ(people->size(), 5u);
+  // Columns: id, name, age, address_id, friend_id.
+  EXPECT_EQ(people->schema().size(), 5u);
+  auto addresses = store.Flatten("Address");
+  ASSERT_TRUE(addresses.ok());
+  EXPECT_EQ(addresses->size(), 1u);
+
+  // The flattened relations join on the reference column.
+  size_t with_address = 0;
+  auto addr_idx = people->schema().IndexOf("address_id");
+  ASSERT_TRUE(addr_idx.ok());
+  for (const auto& row : people->rows()) {
+    if (!data::IsNull(row.at(*addr_idx))) ++with_address;
+  }
+  EXPECT_EQ(with_address, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// SPJ processor component
+// ---------------------------------------------------------------------------
+
+struct SpjRig {
+  data::Relation orders = data::gen::Orders(3000, 200, 0.4, 21);
+  data::Relation people = data::gen::People(200, 22);
+  data::RelationStats orders_stats = orders.ComputeStatistics();
+  data::RelationStats people_stats = people.ComputeStatistics();
+  component::Registry reg;
+  std::shared_ptr<query::SpjProcessor> spj =
+      std::make_shared<query::SpjProcessor>("spj");
+
+  SpjRig() {
+    EXPECT_TRUE(reg.Add(std::make_shared<query::OptimizerComponent>(
+                            "opt", query::OptimizerComponent::DockedModel()))
+                    .ok());
+    EXPECT_TRUE(reg.Add(std::make_shared<adapt::StateManager>("state")).ok());
+    EXPECT_TRUE(reg.Add(spj).ok());
+    EXPECT_TRUE(reg.Bind("spj", "optimiser", "opt").ok());
+    EXPECT_TRUE(reg.Bind("spj", "state", "state").ok());
+  }
+
+  query::JoinQuery Query() {
+    query::JoinQuery q;
+    q.left = query::TableInput{&orders, &orders_stats, std::nullopt, nullptr,
+                               1.0};
+    q.right = query::TableInput{&people, &people_stats, std::nullopt,
+                                nullptr, 1.0};
+    q.spec = query::JoinSpec{1, 0};
+    q.left_join_column = "person_id";
+    q.right_join_column = "id";
+    return q;
+  }
+};
+
+TEST(SpjProcessorTest, RunsQueryThroughBoundOptimiser) {
+  SpjRig rig;
+  std::vector<query::Tuple> out;
+  auto stats = rig.spj->Run(rig.Query(), &out);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(out.size(), 3000u);
+  EXPECT_EQ(rig.spj->queries_run(), 1u);
+}
+
+TEST(SpjProcessorTest, UnboundOptimiserIsUnavailable) {
+  query::SpjProcessor spj("spj");
+  std::vector<query::Tuple> out;
+  SpjRig rig;  // only for the query definition
+  EXPECT_TRUE(spj.Run(rig.Query(), &out).status().IsUnavailable());
+}
+
+TEST(SpjProcessorTest, BlockedPortDuringReconfiguration) {
+  SpjRig rig;
+  rig.spj->FindPort("optimiser")->Block();
+  std::vector<query::Tuple> out;
+  EXPECT_TRUE(rig.spj->Run(rig.Query(), &out).status().IsUnavailable());
+  rig.spj->FindPort("optimiser")->Unblock();
+  EXPECT_TRUE(rig.spj->Run(rig.Query(), &out).ok());
+}
+
+TEST(SpjProcessorTest, WirelessOptimiserSwapChangesPlan) {
+  SpjRig rig;
+  // Docked model on small inputs: nested loop below its threshold? Use a
+  // small query where the models disagree: docked nlj_threshold=64,
+  // wireless=8.
+  data::Relation small_l = data::gen::People(20, 1);
+  data::Relation small_r = data::gen::People(20, 2);
+  auto sl = small_l.ComputeStatistics();
+  auto sr = small_r.ComputeStatistics();
+  query::JoinQuery q;
+  q.left = query::TableInput{&small_l, &sl, std::nullopt, nullptr, 1.0};
+  q.right = query::TableInput{&small_r, &sr, std::nullopt, nullptr, 1.0};
+  q.spec = query::JoinSpec{0, 0};
+  q.left_join_column = q.right_join_column = "id";
+
+  auto docked_plan = rig.spj->Plan(q);
+  ASSERT_TRUE(docked_plan.ok());
+  EXPECT_EQ(docked_plan->algorithm, query::JoinAlgorithm::kNestedLoop);
+
+  // Scenario 2's architectural move: swap in the wireless optimiser.
+  component::Reconfigurer rc(&rig.reg);
+  component::ReconfigurationPlan plan;
+  plan.Swap("opt", std::make_shared<query::OptimizerComponent>(
+                       "opt", query::OptimizerComponent::WirelessModel()));
+  ASSERT_TRUE(rc.Execute(plan).ok());
+
+  auto wireless_plan = rig.spj->Plan(q);
+  ASSERT_TRUE(wireless_plan.ok());
+  EXPECT_NE(wireless_plan->algorithm, query::JoinAlgorithm::kNestedLoop);
+  // Execution still works after the swap.
+  std::vector<query::Tuple> out;
+  EXPECT_TRUE(rig.spj->Run(q, &out).ok());
+}
+
+}  // namespace
+}  // namespace dbm

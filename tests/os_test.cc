@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "os/go_system.h"
+#include "os/ipc_models.h"
+#include "os/memory.h"
+#include "os/scanner.h"
+
+namespace dbm::os {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Segment memory
+// ---------------------------------------------------------------------------
+
+TEST(SegmentMemoryTest, AllocateReadWrite) {
+  SegmentMemory mem(1024);
+  auto sel = mem.Allocate(16, SegmentKind::kData);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_TRUE(mem.Write(*sel, 3, 99).ok());
+  auto v = mem.Read(*sel, 3);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 99);
+}
+
+TEST(SegmentMemoryTest, OutOfBoundsFaults) {
+  SegmentMemory mem(1024);
+  auto sel = mem.Allocate(16, SegmentKind::kData);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(mem.Read(*sel, 16).status().IsProtectionFault());
+  EXPECT_TRUE(mem.Write(*sel, 100, 1).IsProtectionFault());
+}
+
+TEST(SegmentMemoryTest, SegmentsAreIsolated) {
+  SegmentMemory mem(1024);
+  auto a = mem.Allocate(8, SegmentKind::kData);
+  auto b = mem.Allocate(8, SegmentKind::kData);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(mem.Write(*a, 0, 1).ok());
+  ASSERT_TRUE(mem.Write(*b, 0, 2).ok());
+  EXPECT_EQ(*mem.Read(*a, 0), 1);
+  EXPECT_EQ(*mem.Read(*b, 0), 2);
+}
+
+TEST(SegmentMemoryTest, CodeSegmentIsReadOnly) {
+  SegmentMemory mem(1024);
+  auto sel = mem.Allocate(8, SegmentKind::kCode);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(mem.Write(*sel, 0, 1).IsProtectionFault());
+}
+
+TEST(SegmentMemoryTest, FreeInvalidatesSelector) {
+  SegmentMemory mem(1024);
+  auto sel = mem.Allocate(8, SegmentKind::kData);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_TRUE(mem.Free(*sel).ok());
+  EXPECT_TRUE(mem.Read(*sel, 0).status().IsProtectionFault());
+  EXPECT_TRUE(mem.Free(*sel).IsNotFound());
+}
+
+TEST(SegmentMemoryTest, NullSelectorFaults) {
+  SegmentMemory mem(128);
+  EXPECT_TRUE(mem.Read(kNullSelector, 0).status().IsProtectionFault());
+}
+
+TEST(SegmentMemoryTest, ExhaustionReported) {
+  SegmentMemory mem(16);
+  EXPECT_TRUE(mem.Allocate(8, SegmentKind::kData).ok());
+  EXPECT_EQ(mem.Allocate(16, SegmentKind::kData).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(SegmentMemoryTest, MetadataIsEightBytesPerDescriptor) {
+  SegmentMemory mem(1024);
+  size_t before = mem.MetadataBytes();
+  ASSERT_TRUE(mem.Allocate(8, SegmentKind::kData).ok());
+  EXPECT_EQ(mem.MetadataBytes() - before, 8u * 1 + (before == 0 ? 8u : 0u));
+}
+
+TEST(PageMemoryModelTest, MetadataScalesWithMappedBytes) {
+  PageMemoryModel pm;
+  auto small = pm.CreateAddressSpace(64 * 1024);        // 16 pages
+  auto large = pm.CreateAddressSpace(16 * 1024 * 1024); // 4096 pages
+  EXPECT_LT(pm.MetadataBytesFor(small), pm.MetadataBytesFor(large));
+  // At minimum a page-directory page: far more than a segment descriptor.
+  EXPECT_GE(pm.MetadataBytesFor(small), 4096u);
+}
+
+TEST(PageMemoryModelTest, SwitchCostIncludesTlbRefill) {
+  PageMemoryModel pm;
+  const MachineCosts& mc = DefaultMachineCosts();
+  EXPECT_EQ(pm.SwitchCost(0), mc.tlb_flush);
+  EXPECT_EQ(pm.SwitchCost(10), mc.tlb_flush + 10 * mc.tlb_refill_per_page);
+}
+
+// ---------------------------------------------------------------------------
+// SISR scanner
+// ---------------------------------------------------------------------------
+
+TEST(ScannerTest, AcceptsCleanImage) {
+  SisrScanner scanner;
+  ScanReport r = scanner.Scan(images::Adder());
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.scan_cycles, 2u * SisrScanner::kCyclesPerInstruction);
+}
+
+TEST(ScannerTest, RejectsPrivilegedInstruction) {
+  SisrScanner scanner;
+  ScanReport r = scanner.Scan(images::Malicious());
+  ASSERT_FALSE(r.accepted);
+  EXPECT_NE(r.violations[0].reason.find("privileged"), std::string::npos);
+}
+
+TEST(ScannerTest, TrustedImageMayBePrivileged) {
+  SisrScanner scanner;
+  ComponentImage img = images::Malicious();
+  img.trusted = true;
+  EXPECT_TRUE(scanner.Scan(img).accepted);
+}
+
+TEST(ScannerTest, RejectsWildJump) {
+  SisrScanner scanner;
+  ComponentImage img;
+  img.name = "wild";
+  img.text = {Instr{Op::kJmp, 0, 0, 0, 99}, Instr{Op::kRet, 0, 0, 0, 0}};
+  img.provides = {InterfaceDecl{"f", 0, 1}};
+  EXPECT_FALSE(scanner.Scan(img).accepted);
+}
+
+TEST(ScannerTest, RejectsUndeclaredPort) {
+  SisrScanner scanner;
+  ComponentImage img;
+  img.name = "no-port";
+  img.text = {Instr{Op::kCallPort, 0, 0, 0, 0}, Instr{Op::kRet, 0, 0, 0, 0}};
+  img.provides = {InterfaceDecl{"f", 0, 1}};
+  // No required ports declared: port 0 is undeclared.
+  EXPECT_FALSE(scanner.Scan(img).accepted);
+}
+
+TEST(ScannerTest, RejectsFallThroughEnd) {
+  SisrScanner scanner;
+  ComponentImage img;
+  img.name = "fall";
+  img.text = {Instr{Op::kNop, 0, 0, 0, 0}};
+  img.provides = {InterfaceDecl{"f", 0, 1}};
+  EXPECT_FALSE(scanner.Scan(img).accepted);
+}
+
+TEST(ScannerTest, RejectsEntryOutsideText) {
+  SisrScanner scanner;
+  ComponentImage img;
+  img.name = "bad-entry";
+  img.text = {Instr{Op::kRet, 0, 0, 0, 0}};
+  img.provides = {InterfaceDecl{"f", 5, 1}};
+  EXPECT_FALSE(scanner.Scan(img).accepted);
+}
+
+TEST(ScannerTest, RejectsEmptyText) {
+  SisrScanner scanner;
+  ComponentImage img;
+  img.name = "empty";
+  EXPECT_FALSE(scanner.Scan(img).accepted);
+}
+
+TEST(ScannerTest, RejectsBadRegister) {
+  SisrScanner scanner;
+  ComponentImage img;
+  img.name = "badreg";
+  img.text = {Instr{Op::kMov, 9, 0, 0, 0}, Instr{Op::kRet, 0, 0, 0, 0}};
+  img.provides = {InterfaceDecl{"f", 0, 1}};
+  EXPECT_FALSE(scanner.Scan(img).accepted);
+}
+
+// Property: any program the scanner accepts never trips the VCPU's
+// privileged-instruction runtime check — the SISR soundness claim.
+class ScannerSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScannerSoundnessTest, AcceptedProgramsNeverFaultPrivileged) {
+  Rng rng(GetParam());
+  SisrScanner scanner;
+  GoSystem sys;
+  int accepted = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    ComponentImage img;
+    img.name = "random";
+    size_t len = 2 + rng.Uniform(20);
+    const int64_t text_size = static_cast<int64_t>(len) + 1;  // + final ret
+    for (size_t i = 0; i < len; ++i) {
+      Instr ins;
+      // Mostly-valid programs with occasional violations of every kind, so
+      // both the accept and reject paths are exercised.
+      if (rng.Bernoulli(0.05)) {
+        ins.op = static_cast<Op>(13 + rng.Uniform(4));  // privileged subset
+      } else {
+        ins.op = static_cast<Op>(rng.Uniform(13));      // unprivileged
+      }
+      ins.a = static_cast<uint8_t>(rng.Bernoulli(0.05) ? 8 + rng.Uniform(2)
+                                                       : rng.Uniform(8));
+      ins.b = static_cast<uint8_t>(rng.Uniform(8));
+      ins.c = static_cast<uint8_t>(rng.Uniform(8));
+      switch (ins.op) {
+        case Op::kJmp:
+        case Op::kJz:
+          ins.imm = rng.Bernoulli(0.05)
+                        ? text_size + 3
+                        : static_cast<int64_t>(
+                              rng.Uniform(static_cast<uint64_t>(text_size)));
+          break;
+        case Op::kCallPort:
+          ins.imm = rng.Bernoulli(0.05) ? 2 : 0;  // one declared port
+          break;
+        default:
+          ins.imm = static_cast<int64_t>(rng.Uniform(32));
+      }
+      img.text.push_back(ins);
+    }
+    img.text.push_back(Instr{Op::kRet, 0, 0, 0, 0});
+    img.provides = {InterfaceDecl{"f", 0, HashInterfaceType("rand")}};
+    img.required = {RequiredPortDecl{"p", HashInterfaceType("rand")}};
+    if (!scanner.Scan(img).accepted) continue;
+    ++accepted;
+    auto loaded = sys.LoadWithService(img);
+    ASSERT_TRUE(loaded.ok());
+    Status s = sys.orb().Call(loaded->second);
+    // Bounded execution may exhaust its budget or fault on data bounds,
+    // but never on a privileged instruction: the scanner guaranteed that.
+    EXPECT_FALSE(s.IsProtectionFault() &&
+                 s.message().find("privileged") != std::string::npos)
+        << s.ToString();
+    ASSERT_TRUE(sys.loader().Unload(loaded->first).ok());
+  }
+  // The generator must exercise the accept path for the property to mean
+  // anything.
+  EXPECT_GT(accepted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScannerSoundnessTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// ORB + loader
+// ---------------------------------------------------------------------------
+
+TEST(OrbTest, LoadRejectsMaliciousImage) {
+  GoSystem sys;
+  auto r = sys.loader().Load(images::Malicious());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsProtectionFault());
+}
+
+TEST(OrbTest, NullRpcRuns) {
+  GoSystem sys;
+  auto server = sys.LoadWithService(images::NullServer());
+  ASSERT_TRUE(server.ok());
+  EXPECT_TRUE(sys.orb().Call(server->second).ok());
+}
+
+TEST(OrbTest, AdderPassesArgsAndReturnsValue) {
+  GoSystem sys;
+  auto adder = sys.LoadWithService(images::Adder());
+  ASSERT_TRUE(adder.ok());
+  ASSERT_TRUE(sys.orb().Call(adder->second, 19, 23).ok());
+  EXPECT_EQ(sys.vcpu().reg(0), 42);
+}
+
+TEST(OrbTest, BindTypeMismatchRejected) {
+  GoSystem sys;
+  auto adder = sys.LoadWithService(images::Adder());
+  ASSERT_TRUE(adder.ok());
+  // Forwarder requires "null-service" but we bind an "adder".
+  auto fwd = sys.LoadWithService(
+      images::Forwarder("f", HashInterfaceType("null-service")));
+  ASSERT_TRUE(fwd.ok());
+  Status s = sys.BindPort(fwd->first, 0, adder->second);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(OrbTest, UnboundPortIsUnavailable) {
+  GoSystem sys;
+  auto fwd = sys.LoadWithService(
+      images::Forwarder("f", HashInterfaceType("null-service")));
+  ASSERT_TRUE(fwd.ok());
+  Status s = sys.orb().Call(fwd->second);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+TEST(OrbTest, ThreadMigratesThroughChain) {
+  GoSystem sys;
+  auto server = sys.LoadWithService(images::NullServer());
+  ASSERT_TRUE(server.ok());
+  // Chain of forwarders: f1 -> f2 -> f3 -> null server.
+  TypeHash null_t = HashInterfaceType("null-service");
+  TypeHash fwd_t = HashInterfaceType("forwarder");
+  auto f3 = sys.LoadWithService(images::Forwarder("f3", null_t));
+  ASSERT_TRUE(f3.ok());
+  ASSERT_TRUE(sys.BindPort(f3->first, 0, server->second).ok());
+  auto f2 = sys.LoadWithService(images::Forwarder("f2", fwd_t));
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(sys.BindPort(f2->first, 0, f3->second).ok());
+  auto f1 = sys.LoadWithService(images::Forwarder("f1", fwd_t));
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(sys.BindPort(f1->first, 0, f2->second).ok());
+  EXPECT_TRUE(sys.orb().Call(f1->second).ok());
+  EXPECT_EQ(sys.orb().invocation_count(), 4u);  // host->f1 + 3 migrations
+}
+
+TEST(OrbTest, RevokedInterfaceUnavailableAndRebindRestores) {
+  GoSystem sys;
+  auto s1 = sys.LoadWithService(images::NullServer("s1"));
+  auto s2 = sys.LoadWithService(images::NullServer("s2"));
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  auto fwd = sys.LoadWithService(
+      images::Forwarder("f", HashInterfaceType("null-service")));
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_TRUE(sys.BindPort(fwd->first, 0, s1->second).ok());
+  ASSERT_TRUE(sys.orb().Call(fwd->second).ok());
+
+  ASSERT_TRUE(sys.orb().RevokeInterface(s1->second).ok());
+  EXPECT_TRUE(sys.orb().Call(fwd->second).IsUnavailable());
+
+  // Adaptation: rebind the same port to the replacement implementation.
+  ASSERT_TRUE(sys.BindPort(fwd->first, 0, s2->second).ok());
+  EXPECT_TRUE(sys.orb().Call(fwd->second).ok());
+}
+
+TEST(OrbTest, UnloadFreesEverything) {
+  GoSystem sys;
+  size_t seg0 = sys.memory().segment_count();
+  size_t if0 = sys.orb().interface_count();
+  auto server = sys.LoadWithService(images::NullServer());
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(sys.memory().segment_count(), seg0 + 3);
+  EXPECT_EQ(sys.orb().interface_count(), if0 + 1);
+  ASSERT_TRUE(sys.loader().Unload(server->first).ok());
+  EXPECT_EQ(sys.memory().segment_count(), seg0);
+  EXPECT_EQ(sys.orb().interface_count(), if0);
+  EXPECT_TRUE(sys.orb().Call(server->second).IsUnavailable());
+}
+
+TEST(OrbTest, RepeatCallerLoops) {
+  GoSystem sys;
+  auto server = sys.LoadWithService(images::NullServer());
+  ASSERT_TRUE(server.ok());
+  auto rep = sys.LoadWithService(
+      images::RepeatCaller("rep", HashInterfaceType("null-service"), 10));
+  ASSERT_TRUE(rep.ok());
+  ASSERT_TRUE(sys.BindPort(rep->first, 0, server->second).ok());
+  uint64_t before = sys.orb().invocation_count();
+  ASSERT_TRUE(sys.orb().Call(rep->second).ok());
+  EXPECT_EQ(sys.orb().invocation_count() - before, 11u);  // 1 outer + 10
+}
+
+TEST(OrbTest, InterfaceRecordIs32Bytes) {
+  // The paper's §5.1 memory claim, enforced at compile time and here.
+  EXPECT_EQ(sizeof(InterfaceRecord), 32u);
+  GoSystem sys;
+  size_t before = sys.orb().MetadataBytes();
+  auto server = sys.LoadWithService(images::NullServer());
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(sys.orb().MetadataBytes() - before, 32u);
+}
+
+TEST(OrbTest, CallDepthBounded) {
+  GoSystem sys;
+  // A forwarder bound to itself recurses until the depth limit.
+  TypeHash fwd_t = HashInterfaceType("forwarder");
+  auto f = sys.LoadWithService(images::Forwarder("loop", fwd_t));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(sys.BindPort(f->first, 0, f->second).ok());
+  Status s = sys.orb().Call(f->second);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 models
+// ---------------------------------------------------------------------------
+
+TEST(IpcModelsTest, BreakdownsSumToPublishedFigures) {
+  for (const auto& model : MakeTable1Models()) {
+    EXPECT_EQ(model->ModelledCycles(), model->PublishedCycles())
+        << model->name();
+  }
+}
+
+TEST(IpcModelsTest, GoLiveNullRpcMatchesBreakdown) {
+  GoIpcModel go;
+  auto cycles = go.NullRpc();
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(*cycles, 73u);
+  EXPECT_EQ(go.ModelledCycles(), 73u);
+}
+
+TEST(IpcModelsTest, Table1OrderingHolds) {
+  auto models = MakeTable1Models();
+  ASSERT_EQ(models.size(), 4u);
+  for (size_t i = 1; i < models.size(); ++i) {
+    auto prev = models[i - 1]->NullRpc();
+    auto cur = models[i]->NullRpc();
+    ASSERT_TRUE(prev.ok() && cur.ok());
+    EXPECT_GT(*prev, *cur) << models[i]->name();
+  }
+}
+
+TEST(IpcModelsTest, GoRpcIsStableAcrossCalls) {
+  GoIpcModel go;
+  auto a = go.NullRpc();
+  auto b = go.NullRpc();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace dbm::os
