@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_joins.dir/bench_adaptive_joins.cc.o"
+  "CMakeFiles/bench_adaptive_joins.dir/bench_adaptive_joins.cc.o.d"
+  "bench_adaptive_joins"
+  "bench_adaptive_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

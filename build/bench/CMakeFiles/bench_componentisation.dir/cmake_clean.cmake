@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_componentisation.dir/bench_componentisation.cc.o"
+  "CMakeFiles/bench_componentisation.dir/bench_componentisation.cc.o.d"
+  "bench_componentisation"
+  "bench_componentisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_componentisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

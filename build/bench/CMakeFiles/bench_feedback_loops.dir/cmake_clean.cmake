@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feedback_loops.dir/bench_feedback_loops.cc.o"
+  "CMakeFiles/bench_feedback_loops.dir/bench_feedback_loops.cc.o.d"
+  "bench_feedback_loops"
+  "bench_feedback_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feedback_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_loop.dir/bench_fig1_loop.cc.o"
+  "CMakeFiles/bench_fig1_loop.dir/bench_fig1_loop.cc.o.d"
+  "bench_fig1_loop"
+  "bench_fig1_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_orb.dir/bench_fig6_orb.cc.o"
+  "CMakeFiles/bench_fig6_orb.dir/bench_fig6_orb.cc.o.d"
+  "bench_fig6_orb"
+  "bench_fig6_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_patia.dir/bench_fig7_patia.cc.o"
+  "CMakeFiles/bench_fig7_patia.dir/bench_fig7_patia.cc.o.d"
+  "bench_fig7_patia"
+  "bench_fig7_patia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_patia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kendra_codec.dir/bench_kendra_codec.cc.o"
+  "CMakeFiles/bench_kendra_codec.dir/bench_kendra_codec.cc.o.d"
+  "bench_kendra_codec"
+  "bench_kendra_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kendra_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario1_interquery.dir/bench_scenario1_interquery.cc.o"
+  "CMakeFiles/bench_scenario1_interquery.dir/bench_scenario1_interquery.cc.o.d"
+  "bench_scenario1_interquery"
+  "bench_scenario1_interquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario1_interquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario2_switchover.dir/bench_scenario2_switchover.cc.o"
+  "CMakeFiles/bench_scenario2_switchover.dir/bench_scenario2_switchover.cc.o.d"
+  "bench_scenario2_switchover"
+  "bench_scenario2_switchover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario2_switchover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

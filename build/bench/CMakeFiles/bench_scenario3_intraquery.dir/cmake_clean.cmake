@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario3_intraquery.dir/bench_scenario3_intraquery.cc.o"
+  "CMakeFiles/bench_scenario3_intraquery.dir/bench_scenario3_intraquery.cc.o.d"
+  "bench_scenario3_intraquery"
+  "bench_scenario3_intraquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario3_intraquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

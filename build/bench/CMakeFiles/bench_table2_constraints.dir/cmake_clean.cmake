@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_constraints.dir/bench_table2_constraints.cc.o"
+  "CMakeFiles/bench_table2_constraints.dir/bench_table2_constraints.cc.o.d"
+  "bench_table2_constraints"
+  "bench_table2_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zero_kernel.dir/bench_zero_kernel.cc.o"
+  "CMakeFiles/bench_zero_kernel.dir/bench_zero_kernel.cc.o.d"
+  "bench_zero_kernel"
+  "bench_zero_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zero_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

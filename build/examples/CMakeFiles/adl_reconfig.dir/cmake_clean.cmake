@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_reconfig.dir/adl_reconfig.cpp.o"
+  "CMakeFiles/adl_reconfig.dir/adl_reconfig.cpp.o.d"
+  "adl_reconfig"
+  "adl_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

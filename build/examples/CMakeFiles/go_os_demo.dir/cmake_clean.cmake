@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/go_os_demo.dir/go_os_demo.cpp.o"
+  "CMakeFiles/go_os_demo.dir/go_os_demo.cpp.o.d"
+  "go_os_demo"
+  "go_os_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/go_os_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for go_os_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kendra_audio.dir/kendra_audio.cpp.o"
+  "CMakeFiles/kendra_audio.dir/kendra_audio.cpp.o.d"
+  "kendra_audio"
+  "kendra_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kendra_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

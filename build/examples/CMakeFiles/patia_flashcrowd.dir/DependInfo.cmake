@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/patia_flashcrowd.cpp" "examples/CMakeFiles/patia_flashcrowd.dir/patia_flashcrowd.cpp.o" "gcc" "examples/CMakeFiles/patia_flashcrowd.dir/patia_flashcrowd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/patia/CMakeFiles/dbm_patia.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/dbm_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dbm_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patia_flashcrowd.dir/patia_flashcrowd.cpp.o"
+  "CMakeFiles/patia_flashcrowd.dir/patia_flashcrowd.cpp.o.d"
+  "patia_flashcrowd"
+  "patia_flashcrowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patia_flashcrowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

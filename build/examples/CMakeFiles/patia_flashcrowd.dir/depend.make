@@ -1,0 +1,2 @@
+# Empty dependencies file for patia_flashcrowd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubiquitous_scenarios.dir/ubiquitous_scenarios.cpp.o"
+  "CMakeFiles/ubiquitous_scenarios.dir/ubiquitous_scenarios.cpp.o.d"
+  "ubiquitous_scenarios"
+  "ubiquitous_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubiquitous_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/metrics.cc" "src/adapt/CMakeFiles/dbm_adapt.dir/metrics.cc.o" "gcc" "src/adapt/CMakeFiles/dbm_adapt.dir/metrics.cc.o.d"
+  "/root/repo/src/adapt/rules.cc" "src/adapt/CMakeFiles/dbm_adapt.dir/rules.cc.o" "gcc" "src/adapt/CMakeFiles/dbm_adapt.dir/rules.cc.o.d"
+  "/root/repo/src/adapt/session.cc" "src/adapt/CMakeFiles/dbm_adapt.dir/session.cc.o" "gcc" "src/adapt/CMakeFiles/dbm_adapt.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dbm_component.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

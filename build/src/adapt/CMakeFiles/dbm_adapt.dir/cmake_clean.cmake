@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_adapt.dir/metrics.cc.o"
+  "CMakeFiles/dbm_adapt.dir/metrics.cc.o.d"
+  "CMakeFiles/dbm_adapt.dir/rules.cc.o"
+  "CMakeFiles/dbm_adapt.dir/rules.cc.o.d"
+  "CMakeFiles/dbm_adapt.dir/session.cc.o"
+  "CMakeFiles/dbm_adapt.dir/session.cc.o.d"
+  "libdbm_adapt.a"
+  "libdbm_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

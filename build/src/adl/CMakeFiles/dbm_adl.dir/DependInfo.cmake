@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/architecture.cc" "src/adl/CMakeFiles/dbm_adl.dir/architecture.cc.o" "gcc" "src/adl/CMakeFiles/dbm_adl.dir/architecture.cc.o.d"
+  "/root/repo/src/adl/parser.cc" "src/adl/CMakeFiles/dbm_adl.dir/parser.cc.o" "gcc" "src/adl/CMakeFiles/dbm_adl.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dbm_component.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_adl.dir/architecture.cc.o"
+  "CMakeFiles/dbm_adl.dir/architecture.cc.o.d"
+  "CMakeFiles/dbm_adl.dir/parser.cc.o"
+  "CMakeFiles/dbm_adl.dir/parser.cc.o.d"
+  "libdbm_adl.a"
+  "libdbm_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_common.dir/event_loop.cc.o"
+  "CMakeFiles/dbm_common.dir/event_loop.cc.o.d"
+  "CMakeFiles/dbm_common.dir/logging.cc.o"
+  "CMakeFiles/dbm_common.dir/logging.cc.o.d"
+  "CMakeFiles/dbm_common.dir/status.cc.o"
+  "CMakeFiles/dbm_common.dir/status.cc.o.d"
+  "CMakeFiles/dbm_common.dir/strings.cc.o"
+  "CMakeFiles/dbm_common.dir/strings.cc.o.d"
+  "libdbm_common.a"
+  "libdbm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

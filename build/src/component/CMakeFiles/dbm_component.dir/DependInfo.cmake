@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/component/component.cc" "src/component/CMakeFiles/dbm_component.dir/component.cc.o" "gcc" "src/component/CMakeFiles/dbm_component.dir/component.cc.o.d"
+  "/root/repo/src/component/composite.cc" "src/component/CMakeFiles/dbm_component.dir/composite.cc.o" "gcc" "src/component/CMakeFiles/dbm_component.dir/composite.cc.o.d"
+  "/root/repo/src/component/reconfigure.cc" "src/component/CMakeFiles/dbm_component.dir/reconfigure.cc.o" "gcc" "src/component/CMakeFiles/dbm_component.dir/reconfigure.cc.o.d"
+  "/root/repo/src/component/registry.cc" "src/component/CMakeFiles/dbm_component.dir/registry.cc.o" "gcc" "src/component/CMakeFiles/dbm_component.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_component.dir/component.cc.o"
+  "CMakeFiles/dbm_component.dir/component.cc.o.d"
+  "CMakeFiles/dbm_component.dir/composite.cc.o"
+  "CMakeFiles/dbm_component.dir/composite.cc.o.d"
+  "CMakeFiles/dbm_component.dir/reconfigure.cc.o"
+  "CMakeFiles/dbm_component.dir/reconfigure.cc.o.d"
+  "CMakeFiles/dbm_component.dir/registry.cc.o"
+  "CMakeFiles/dbm_component.dir/registry.cc.o.d"
+  "libdbm_component.a"
+  "libdbm_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

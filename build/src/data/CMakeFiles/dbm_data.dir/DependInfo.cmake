@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/codec.cc" "src/data/CMakeFiles/dbm_data.dir/codec.cc.o" "gcc" "src/data/CMakeFiles/dbm_data.dir/codec.cc.o.d"
+  "/root/repo/src/data/data_component.cc" "src/data/CMakeFiles/dbm_data.dir/data_component.cc.o" "gcc" "src/data/CMakeFiles/dbm_data.dir/data_component.cc.o.d"
+  "/root/repo/src/data/object.cc" "src/data/CMakeFiles/dbm_data.dir/object.cc.o" "gcc" "src/data/CMakeFiles/dbm_data.dir/object.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/data/CMakeFiles/dbm_data.dir/relation.cc.o" "gcc" "src/data/CMakeFiles/dbm_data.dir/relation.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/data/CMakeFiles/dbm_data.dir/value.cc.o" "gcc" "src/data/CMakeFiles/dbm_data.dir/value.cc.o.d"
+  "/root/repo/src/data/version.cc" "src/data/CMakeFiles/dbm_data.dir/version.cc.o" "gcc" "src/data/CMakeFiles/dbm_data.dir/version.cc.o.d"
+  "/root/repo/src/data/xml.cc" "src/data/CMakeFiles/dbm_data.dir/xml.cc.o" "gcc" "src/data/CMakeFiles/dbm_data.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dbm_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/dbm_adapt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_data.dir/codec.cc.o"
+  "CMakeFiles/dbm_data.dir/codec.cc.o.d"
+  "CMakeFiles/dbm_data.dir/data_component.cc.o"
+  "CMakeFiles/dbm_data.dir/data_component.cc.o.d"
+  "CMakeFiles/dbm_data.dir/object.cc.o"
+  "CMakeFiles/dbm_data.dir/object.cc.o.d"
+  "CMakeFiles/dbm_data.dir/relation.cc.o"
+  "CMakeFiles/dbm_data.dir/relation.cc.o.d"
+  "CMakeFiles/dbm_data.dir/value.cc.o"
+  "CMakeFiles/dbm_data.dir/value.cc.o.d"
+  "CMakeFiles/dbm_data.dir/version.cc.o"
+  "CMakeFiles/dbm_data.dir/version.cc.o.d"
+  "CMakeFiles/dbm_data.dir/xml.cc.o"
+  "CMakeFiles/dbm_data.dir/xml.cc.o.d"
+  "libdbm_data.a"
+  "libdbm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

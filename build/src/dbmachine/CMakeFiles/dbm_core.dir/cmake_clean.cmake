@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_core.dir/machine.cc.o"
+  "CMakeFiles/dbm_core.dir/machine.cc.o.d"
+  "CMakeFiles/dbm_core.dir/scenarios.cc.o"
+  "CMakeFiles/dbm_core.dir/scenarios.cc.o.d"
+  "libdbm_core.a"
+  "libdbm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

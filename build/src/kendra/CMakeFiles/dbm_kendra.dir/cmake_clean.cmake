@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_kendra.dir/kendra.cc.o"
+  "CMakeFiles/dbm_kendra.dir/kendra.cc.o.d"
+  "libdbm_kendra.a"
+  "libdbm_kendra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_kendra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_net.dir/network.cc.o"
+  "CMakeFiles/dbm_net.dir/network.cc.o.d"
+  "CMakeFiles/dbm_net.dir/sensor_stream.cc.o"
+  "CMakeFiles/dbm_net.dir/sensor_stream.cc.o.d"
+  "libdbm_net.a"
+  "libdbm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

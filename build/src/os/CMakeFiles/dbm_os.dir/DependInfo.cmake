@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/go_system.cc" "src/os/CMakeFiles/dbm_os.dir/go_system.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/go_system.cc.o.d"
+  "/root/repo/src/os/interrupts.cc" "src/os/CMakeFiles/dbm_os.dir/interrupts.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/interrupts.cc.o.d"
+  "/root/repo/src/os/ipc_models.cc" "src/os/CMakeFiles/dbm_os.dir/ipc_models.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/ipc_models.cc.o.d"
+  "/root/repo/src/os/isa.cc" "src/os/CMakeFiles/dbm_os.dir/isa.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/isa.cc.o.d"
+  "/root/repo/src/os/loader.cc" "src/os/CMakeFiles/dbm_os.dir/loader.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/loader.cc.o.d"
+  "/root/repo/src/os/memory.cc" "src/os/CMakeFiles/dbm_os.dir/memory.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/memory.cc.o.d"
+  "/root/repo/src/os/orb.cc" "src/os/CMakeFiles/dbm_os.dir/orb.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/orb.cc.o.d"
+  "/root/repo/src/os/scanner.cc" "src/os/CMakeFiles/dbm_os.dir/scanner.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/scanner.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/dbm_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/scheduler.cc.o.d"
+  "/root/repo/src/os/vcpu.cc" "src/os/CMakeFiles/dbm_os.dir/vcpu.cc.o" "gcc" "src/os/CMakeFiles/dbm_os.dir/vcpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_os.dir/go_system.cc.o"
+  "CMakeFiles/dbm_os.dir/go_system.cc.o.d"
+  "CMakeFiles/dbm_os.dir/interrupts.cc.o"
+  "CMakeFiles/dbm_os.dir/interrupts.cc.o.d"
+  "CMakeFiles/dbm_os.dir/ipc_models.cc.o"
+  "CMakeFiles/dbm_os.dir/ipc_models.cc.o.d"
+  "CMakeFiles/dbm_os.dir/isa.cc.o"
+  "CMakeFiles/dbm_os.dir/isa.cc.o.d"
+  "CMakeFiles/dbm_os.dir/loader.cc.o"
+  "CMakeFiles/dbm_os.dir/loader.cc.o.d"
+  "CMakeFiles/dbm_os.dir/memory.cc.o"
+  "CMakeFiles/dbm_os.dir/memory.cc.o.d"
+  "CMakeFiles/dbm_os.dir/orb.cc.o"
+  "CMakeFiles/dbm_os.dir/orb.cc.o.d"
+  "CMakeFiles/dbm_os.dir/scanner.cc.o"
+  "CMakeFiles/dbm_os.dir/scanner.cc.o.d"
+  "CMakeFiles/dbm_os.dir/scheduler.cc.o"
+  "CMakeFiles/dbm_os.dir/scheduler.cc.o.d"
+  "CMakeFiles/dbm_os.dir/vcpu.cc.o"
+  "CMakeFiles/dbm_os.dir/vcpu.cc.o.d"
+  "libdbm_os.a"
+  "libdbm_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

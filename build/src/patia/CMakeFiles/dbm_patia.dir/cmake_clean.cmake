@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_patia.dir/patia.cc.o"
+  "CMakeFiles/dbm_patia.dir/patia.cc.o.d"
+  "libdbm_patia.a"
+  "libdbm_patia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_patia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/dbm_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/eddy.cc" "src/query/CMakeFiles/dbm_query.dir/eddy.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/eddy.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/dbm_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/dbm_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/index_join.cc" "src/query/CMakeFiles/dbm_query.dir/index_join.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/index_join.cc.o.d"
+  "/root/repo/src/query/join.cc" "src/query/CMakeFiles/dbm_query.dir/join.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/join.cc.o.d"
+  "/root/repo/src/query/multijoin.cc" "src/query/CMakeFiles/dbm_query.dir/multijoin.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/multijoin.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/query/CMakeFiles/dbm_query.dir/optimizer.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/optimizer.cc.o.d"
+  "/root/repo/src/query/ripple.cc" "src/query/CMakeFiles/dbm_query.dir/ripple.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/ripple.cc.o.d"
+  "/root/repo/src/query/spj_component.cc" "src/query/CMakeFiles/dbm_query.dir/spj_component.cc.o" "gcc" "src/query/CMakeFiles/dbm_query.dir/spj_component.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/dbm_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dbm_component.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_query.dir/aggregate.cc.o"
+  "CMakeFiles/dbm_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/dbm_query.dir/eddy.cc.o"
+  "CMakeFiles/dbm_query.dir/eddy.cc.o.d"
+  "CMakeFiles/dbm_query.dir/executor.cc.o"
+  "CMakeFiles/dbm_query.dir/executor.cc.o.d"
+  "CMakeFiles/dbm_query.dir/expr.cc.o"
+  "CMakeFiles/dbm_query.dir/expr.cc.o.d"
+  "CMakeFiles/dbm_query.dir/index_join.cc.o"
+  "CMakeFiles/dbm_query.dir/index_join.cc.o.d"
+  "CMakeFiles/dbm_query.dir/join.cc.o"
+  "CMakeFiles/dbm_query.dir/join.cc.o.d"
+  "CMakeFiles/dbm_query.dir/multijoin.cc.o"
+  "CMakeFiles/dbm_query.dir/multijoin.cc.o.d"
+  "CMakeFiles/dbm_query.dir/optimizer.cc.o"
+  "CMakeFiles/dbm_query.dir/optimizer.cc.o.d"
+  "CMakeFiles/dbm_query.dir/ripple.cc.o"
+  "CMakeFiles/dbm_query.dir/ripple.cc.o.d"
+  "CMakeFiles/dbm_query.dir/spj_component.cc.o"
+  "CMakeFiles/dbm_query.dir/spj_component.cc.o.d"
+  "libdbm_query.a"
+  "libdbm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

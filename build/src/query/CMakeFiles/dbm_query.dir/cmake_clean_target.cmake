@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbm_query.a"
+)

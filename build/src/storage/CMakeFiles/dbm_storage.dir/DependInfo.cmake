@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/dbm_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/dbm_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/buffer.cc" "src/storage/CMakeFiles/dbm_storage.dir/buffer.cc.o" "gcc" "src/storage/CMakeFiles/dbm_storage.dir/buffer.cc.o.d"
+  "/root/repo/src/storage/paged_relation.cc" "src/storage/CMakeFiles/dbm_storage.dir/paged_relation.cc.o" "gcc" "src/storage/CMakeFiles/dbm_storage.dir/paged_relation.cc.o.d"
+  "/root/repo/src/storage/record_file.cc" "src/storage/CMakeFiles/dbm_storage.dir/record_file.cc.o" "gcc" "src/storage/CMakeFiles/dbm_storage.dir/record_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dbm_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/dbm_adapt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_storage.dir/btree.cc.o"
+  "CMakeFiles/dbm_storage.dir/btree.cc.o.d"
+  "CMakeFiles/dbm_storage.dir/buffer.cc.o"
+  "CMakeFiles/dbm_storage.dir/buffer.cc.o.d"
+  "CMakeFiles/dbm_storage.dir/paged_relation.cc.o"
+  "CMakeFiles/dbm_storage.dir/paged_relation.cc.o.d"
+  "CMakeFiles/dbm_storage.dir/record_file.cc.o"
+  "CMakeFiles/dbm_storage.dir/record_file.cc.o.d"
+  "libdbm_storage.a"
+  "libdbm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_test.dir/adl_test.cc.o"
+  "CMakeFiles/adl_test.dir/adl_test.cc.o.d"
+  "adl_test"
+  "adl_test.pdb"
+  "adl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hysteresis_test.dir/hysteresis_test.cc.o"
+  "CMakeFiles/hysteresis_test.dir/hysteresis_test.cc.o.d"
+  "hysteresis_test"
+  "hysteresis_test.pdb"
+  "hysteresis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hysteresis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

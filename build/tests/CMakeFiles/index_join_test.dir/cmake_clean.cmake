@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_join_test.dir/index_join_test.cc.o"
+  "CMakeFiles/index_join_test.dir/index_join_test.cc.o.d"
+  "index_join_test"
+  "index_join_test.pdb"
+  "index_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

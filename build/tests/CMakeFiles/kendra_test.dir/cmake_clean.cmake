@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kendra_test.dir/kendra_test.cc.o"
+  "CMakeFiles/kendra_test.dir/kendra_test.cc.o.d"
+  "kendra_test"
+  "kendra_test.pdb"
+  "kendra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kendra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multijoin_test.dir/multijoin_test.cc.o"
+  "CMakeFiles/multijoin_test.dir/multijoin_test.cc.o.d"
+  "multijoin_test"
+  "multijoin_test.pdb"
+  "multijoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multijoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_spj_test.dir/object_spj_test.cc.o"
+  "CMakeFiles/object_spj_test.dir/object_spj_test.cc.o.d"
+  "object_spj_test"
+  "object_spj_test.pdb"
+  "object_spj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_spj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

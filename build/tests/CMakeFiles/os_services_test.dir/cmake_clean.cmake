@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_services_test.dir/os_services_test.cc.o"
+  "CMakeFiles/os_services_test.dir/os_services_test.cc.o.d"
+  "os_services_test"
+  "os_services_test.pdb"
+  "os_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_relation_test.dir/paged_relation_test.cc.o"
+  "CMakeFiles/paged_relation_test.dir/paged_relation_test.cc.o.d"
+  "paged_relation_test"
+  "paged_relation_test.pdb"
+  "paged_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patia_test.dir/patia_test.cc.o"
+  "CMakeFiles/patia_test.dir/patia_test.cc.o.d"
+  "patia_test"
+  "patia_test.pdb"
+  "patia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/component_test[1]_include.cmake")
+include("/root/repo/build/tests/adl_test[1]_include.cmake")
+include("/root/repo/build/tests/adapt_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/patia_test[1]_include.cmake")
+include("/root/repo/build/tests/kendra_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/os_services_test[1]_include.cmake")
+include("/root/repo/build/tests/composite_test[1]_include.cmake")
+include("/root/repo/build/tests/multijoin_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/object_spj_test[1]_include.cmake")
+include("/root/repo/build/tests/hysteresis_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/index_join_test[1]_include.cmake")
+include("/root/repo/build/tests/paged_relation_test[1]_include.cmake")
+include("/root/repo/build/tests/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
