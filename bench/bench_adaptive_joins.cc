@@ -137,5 +137,6 @@ int main() {
               "ripple CI shrinks as samples grow and collapses to the "
               "exact answer; the eddy tracks the selectivity shift that "
               "defeats any static order.");
+  bench::MetricsSidecar("bench_adaptive_joins");
   return 0;
 }

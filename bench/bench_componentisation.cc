@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "component/registry.h"
 #include "os/go_system.h"
 #include "storage/buffer.h"
@@ -132,4 +134,12 @@ BENCHMARK(BM_SisrScanAmortisation)->Arg(10)->Arg(1000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run can write its metrics sidecar.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbm::bench::MetricsSidecar("bench_componentisation");
+  return 0;
+}

@@ -123,5 +123,6 @@ int main() {
               "describes. The learned per-constraint cooldown cuts "
               "migrations by an order of magnitude without giving back "
               "the latency win.");
+  bench::MetricsSidecar("bench_feedback_loops");
   return 0;
 }

@@ -105,5 +105,6 @@ int main() {
   bench::Note("a full adaptation tick costs single-digit microseconds and "
               "scales linearly in constraints; the gauge stage eliminates "
               "spurious single-spike adaptations.");
+  bench::MetricsSidecar("bench_fig1_loop");
   return 0;
 }

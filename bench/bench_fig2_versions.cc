@@ -80,5 +80,6 @@ int main() {
               "the wireless link); summaries shrink super-linearly with "
               "quality — exactly the alternatives the version list exists "
               "to offer.");
+  bench::MetricsSidecar("bench_fig2_versions");
   return 0;
 }

@@ -62,5 +62,6 @@ int main() {
   }
   bench::Note("per-hop cost is flat at 73 cycles regardless of depth: "
               "thread migration composes without mode switches or copies.");
+  bench::MetricsSidecar("bench_fig6_orb");
   return 0;
 }

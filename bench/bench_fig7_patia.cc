@@ -123,5 +123,6 @@ int main() {
   bench::Note("constraint 455 fires as utilisation crosses 90%; the agent "
               "(with its state) moves to the spare node and flash-window "
               "latency drops sharply versus the static deployment.");
+  bench::MetricsSidecar("bench_fig7_patia");
   return 0;
 }

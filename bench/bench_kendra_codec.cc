@@ -69,5 +69,6 @@ int main() {
               "best sustainable rung with a fraction of the greedy "
               "codec's stall time — the intra-request adaptation Kendra "
               "demonstrated.");
+  bench::MetricsSidecar("bench_kendra_codec");
   return 0;
 }

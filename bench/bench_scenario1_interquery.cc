@@ -53,5 +53,6 @@ int main() {
               "full replica; past ~0.9 utilisation the PDA's local summary "
               "wins on latency at reduced fidelity — the rule-driven "
               "tradeoff of scenario 1.");
+  bench::MetricsSidecar("bench_scenario1_interquery");
   return 0;
 }

@@ -68,5 +68,6 @@ int main() {
               "remainder at a safe point recovers most of the loss, and "
               "the running architecture verifiably matches the Fig 5 "
               "wireless description afterwards.");
+  bench::MetricsSidecar("bench_scenario2_switchover");
   return 0;
 }

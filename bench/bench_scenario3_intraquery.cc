@@ -57,5 +57,6 @@ int main() {
   bench::Note("the wronger the statistics, the bigger the adaptive win; "
               "re-optimisation cost (the wasted partial build) is bounded "
               "by one safe-point interval plus the restart.");
+  bench::MetricsSidecar("bench_scenario3_intraquery");
   return 0;
 }

@@ -61,5 +61,6 @@ int main() {
                 static_cast<unsigned long long>(ws),
                 static_cast<unsigned long long>(pages.SwitchCost(ws)));
   }
+  bench::MetricsSidecar("bench_table1_memory");
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
   bench::Note("shape check: BSD >> Mach >> L4 >> Go!, spanning ~3 orders "
               "of magnitude, with Go! within a few cycles of the paper's "
               "73.");
+  bench::MetricsSidecar("bench_table1_rpc");
   return 0;
 }

@@ -108,5 +108,6 @@ int main() {
   bench::Note("all three Table 2 rows parse verbatim (including the "
               "paper's doubled paren) and produce the intended decisions; "
               "evaluation is cheap enough to run per request.");
+  bench::MetricsSidecar("bench_table2_constraints");
   return 0;
 }

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+
 namespace dbm::bench {
 
 inline void Header(const std::string& id, const std::string& title) {
@@ -49,6 +51,20 @@ inline std::string FmtU(uint64_t v) { return std::to_string(v); }
 
 inline void Note(const std::string& text) {
   std::printf("  -> %s\n", text.c_str());
+}
+
+/// Writes the machine-readable metrics sidecar `<id>.metrics.json` into
+/// the working directory: a JSON snapshot of every counter, gauge and
+/// histogram the run touched (format: docs/OBSERVABILITY.md). Call it
+/// once, at the end of main, after all work has completed.
+inline void MetricsSidecar(const std::string& id) {
+  const std::string path = id + ".metrics.json";
+  Status s = obs::WriteJsonFile(path);
+  if (s.ok()) {
+    std::printf("  [metrics sidecar: %s]\n", path.c_str());
+  } else {
+    std::printf("  [metrics sidecar failed: %s]\n", s.ToString().c_str());
+  }
 }
 
 }  // namespace dbm::bench

@@ -90,5 +90,6 @@ int main() {
               "third of one trap-based kernel entry/exit; stride shares "
               "track the 8:4:2:1 tickets. Kernel services survive outside "
               "the core at component prices — the §5.1 design point.");
+  bench::MetricsSidecar("bench_zero_kernel");
   return 0;
 }

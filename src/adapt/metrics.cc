@@ -41,7 +41,7 @@ Status Gauge::Sample(SimTime t) {
     }
   }
   bus_->Publish(mon->metric(), value_, t);
-  ++publishes_;
+  publishes_->Add(1);
   return Status::OK();
 }
 

@@ -6,6 +6,13 @@
 // metric bus, the snapshot of the world the session manager evaluates
 // constraints against. All three are themselves components, so the
 // adaptation machinery can be reconfigured like everything else.
+//
+// Bookkeeping is a thin adapter over the obs registry (src/obs): each
+// monitor's sample count and gauge's publish count is a registry counter
+// ("adapt.monitor.<name>.samples" / "adapt.gauge.<name>.publishes"), and
+// every bus value is mirrored into the registry gauge "bus.<metric>" —
+// so the whole Fig 1 blackboard shows up in obs::MetricsRelation() and
+// the bench sidecars without any extra plumbing.
 
 #ifndef DBM_ADAPT_METRICS_H_
 #define DBM_ADAPT_METRICS_H_
@@ -18,6 +25,7 @@
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "component/component.h"
+#include "obs/metrics.h"
 
 namespace dbm::adapt {
 
@@ -28,7 +36,13 @@ using MetricName = std::string;
 class MetricBus {
  public:
   void Publish(const MetricName& metric, double value, SimTime at) {
-    values_[metric] = Entry{value, at};
+    Entry& e = values_[metric];
+    if (e.mirror == nullptr) {
+      e.mirror = &obs::Registry::Default().GetGauge("bus." + metric);
+    }
+    e.value = value;
+    e.at = at;
+    e.mirror->Set(value);
   }
 
   Result<double> Get(const MetricName& metric) const {
@@ -61,8 +75,9 @@ class MetricBus {
 
  private:
   struct Entry {
-    double value;
-    SimTime at;
+    double value = 0;
+    SimTime at = 0;
+    obs::Gauge* mirror = nullptr;  // registry gauge "bus.<metric>"
   };
   std::map<MetricName, Entry> values_;
 };
@@ -71,20 +86,28 @@ class MetricBus {
 class Monitor : public component::Component {
  public:
   Monitor(std::string name, MetricName metric)
-      : Component(std::move(name), "monitor"), metric_(std::move(metric)) {}
+      : Component(std::move(name), "monitor"), metric_(std::move(metric)) {
+    samples_ = &obs::Registry::Default().GetCounter(
+        "adapt.monitor." + this->name() + ".samples");
+    samples_base_ = samples_->value();
+  }
 
   const MetricName& metric() const { return metric_; }
 
   /// One raw sample of the monitored quantity.
   virtual double Read() = 0;
 
-  uint64_t sample_count() const { return samples_; }
+  /// Samples taken by THIS instance (the registry counter is shared by
+  /// same-named instances; the construction-time baseline isolates us).
+  uint64_t sample_count() const { return samples_->value() - samples_base_; }
 
  protected:
-  uint64_t samples_ = 0;
+  void CountSample() { samples_->Add(1); }
 
  private:
   MetricName metric_;
+  obs::Counter* samples_;
+  uint64_t samples_base_ = 0;
 };
 
 /// Monitor backed by a sampling function (the usual adapter onto the
@@ -96,7 +119,7 @@ class CallbackMonitor : public Monitor {
       : Monitor(std::move(name), std::move(metric)), fn_(std::move(fn)) {}
 
   double Read() override {
-    ++samples_;
+    CountSample();
     return fn_();
   }
 
@@ -125,6 +148,9 @@ class Gauge : public component::Component {
         alpha_(ewma_alpha),
         window_(window) {
     DeclarePort("source", "monitor");
+    publishes_ = &obs::Registry::Default().GetCounter(
+        "adapt.gauge." + this->name() + ".publishes");
+    publishes_base_ = publishes_->value();
   }
 
   /// Samples the monitor, folds into the aggregate, publishes at time `t`.
@@ -132,7 +158,9 @@ class Gauge : public component::Component {
 
   double value() const { return value_; }
   GaugeKind kind() const { return kind_; }
-  uint64_t publish_count() const { return publishes_; }
+  uint64_t publish_count() const {
+    return publishes_->value() - publishes_base_;
+  }
 
  private:
   GaugeKind kind_;
@@ -142,7 +170,8 @@ class Gauge : public component::Component {
   std::deque<double> samples_;
   double value_ = 0.0;
   bool primed_ = false;
-  uint64_t publishes_ = 0;
+  obs::Counter* publishes_;
+  uint64_t publishes_base_ = 0;
 };
 
 }  // namespace dbm::adapt

@@ -78,8 +78,10 @@ Status AdaptivityManager::Enact(const AdaptationRequest& request) {
   log_.push_back(AdaptationEvent{request, outcome});
   if (outcome.ok()) {
     ++enacted_;
+    obs_enacted_->Add(1);
   } else {
     ++failed_;
+    obs_failed_->Add(1);
   }
   return outcome;
 }
@@ -105,6 +107,7 @@ Result<int> SessionManager::CheckConstraints(SimTime now) {
   for (const Constraint* c : table_->All()) {
     if (!c->rule.trigger.has_value()) continue;  // Select rules: on demand
     ++evaluations_;
+    obs_evaluations_->Add(1);
     DBM_ASSIGN_OR_RETURN(Decision d,
                          Evaluate(c->rule, *bus_, ScorerFor(c->subject)));
     if (!d.fired || !d.chosen.has_value()) continue;
@@ -125,11 +128,13 @@ Result<int> SessionManager::CheckConstraints(SimTime now) {
           std::max(hysteresis_.base_cooldown, damper.cooldown);
       if (gap < effective) {
         ++suppressed_;
+        obs_suppressed_->Add(1);
         continue;  // damped: hold the current remedy a little longer
       }
     }
 
     ++triggers_;
+    obs_firings_->Add(1);
     AdaptationRequest req{c->id, c->subject, d, now};
     Status s = am->Enact(req);
     if (s.ok()) {
@@ -172,6 +177,7 @@ Result<Decision> SessionManager::Decide(const std::string& subject) {
   for (const Constraint* c : table_->ForSubject(subject)) {
     if (c->rule.trigger.has_value()) continue;
     ++evaluations_;
+    obs_evaluations_->Add(1);
     return Evaluate(c->rule, *bus_, ScorerFor(subject));
   }
   return Status::NotFound("no Select rule for subject '" + subject + "'");

@@ -108,7 +108,11 @@ class AdaptivityManager : public component::Component {
   using Handler = std::function<Status(const AdaptationRequest&)>;
 
   explicit AdaptivityManager(std::string name = "adaptivity-manager")
-      : Component(std::move(name), "adaptivity-manager") {}
+      : Component(std::move(name), "adaptivity-manager") {
+    obs::Registry& reg = obs::Registry::Default();
+    obs_enacted_ = &reg.GetCounter("adapt.adaptivity.switchovers");
+    obs_failed_ = &reg.GetCounter("adapt.adaptivity.failed");
+  }
 
   void RegisterHandler(const std::string& subject, Handler handler) {
     handlers_[subject] = std::move(handler);
@@ -126,6 +130,8 @@ class AdaptivityManager : public component::Component {
   std::vector<AdaptationEvent> log_;
   uint64_t enacted_ = 0;
   uint64_t failed_ = 0;
+  obs::Counter* obs_enacted_;
+  obs::Counter* obs_failed_;
 };
 
 /// Learned per-constraint hysteresis (§6 open issue: "systems that learn
@@ -159,6 +165,10 @@ class SessionManager : public component::Component {
         table_(table) {
     DeclarePort("adaptivity", "adaptivity-manager");
     DeclarePort("state", "state-manager", /*optional=*/true);
+    obs::Registry& reg = obs::Registry::Default();
+    obs_evaluations_ = &reg.GetCounter("adapt.session.evaluations");
+    obs_firings_ = &reg.GetCounter("adapt.session.rule_firings");
+    obs_suppressed_ = &reg.GetCounter("adapt.session.suppressed");
   }
 
   void EnableHysteresis(HysteresisOptions options) {
@@ -209,6 +219,9 @@ class SessionManager : public component::Component {
 
   uint64_t evaluations_ = 0;
   uint64_t triggers_ = 0;
+  obs::Counter* obs_evaluations_;
+  obs::Counter* obs_firings_;
+  obs::Counter* obs_suppressed_;
 };
 
 }  // namespace dbm::adapt

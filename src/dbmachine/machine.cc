@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/metrics_table.h"
+
 namespace dbm::machine {
 
 DatabaseMachine::DatabaseMachine(net::Network* network) : network_(network) {
@@ -192,6 +194,10 @@ Status DatabaseMachine::CheckConforms(const adl::Document& doc,
     }
   }
   return adl::Conforms(doc, cfg->second, filtered);
+}
+
+data::Relation DatabaseMachine::MetricsRelation() const {
+  return obs::MetricsRelation();
 }
 
 }  // namespace dbm::machine

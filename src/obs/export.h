@@ -1,0 +1,32 @@
+// Text and JSON exporters over a Registry snapshot.
+//
+// The JSON form is the "metrics sidecar" every bench binary writes next
+// to its console table (bench::MetricsSidecar): one object per metric,
+// histograms carrying their nonzero log2 buckets as [lower_bound, count]
+// pairs. docs/OBSERVABILITY.md documents the format.
+
+#ifndef DBM_OBS_EXPORT_H_
+#define DBM_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace dbm::obs {
+
+/// JSON document for a snapshot: {"metrics":[{...}, ...]}.
+std::string ToJson(const std::vector<MetricSnapshot>& snapshot);
+
+/// Human-readable dump, one metric per line, for console debugging.
+void TextDump(std::FILE* out, const std::vector<MetricSnapshot>& snapshot);
+
+/// Snapshots `registry` and writes the JSON document to `path`.
+Status WriteJsonFile(const std::string& path,
+                     const Registry& registry = Registry::Default());
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_EXPORT_H_

@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace dbm::obs {
+
+const char* MetricKindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t c = count();
+  if (c == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (0-based), then walk buckets cumulatively.
+  double target = q * static_cast<double>(c - 1);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) > target) {
+      if (b == 0) return 0.0;
+      double lo = static_cast<double>(BucketLowerBound(b));
+      double hi = lo * 2.0;  // exclusive upper bound
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      double est = lo + (hi - lo) * frac;
+      // The true extremes are tracked exactly; never estimate past them.
+      est = std::max(est, static_cast<double>(min()));
+      est = std::min(est, static_cast<double>(max()));
+      return est;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();  // leaked: outlive all users
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.count = c->value();
+    s.value = static_cast<double>(s.count);
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = h->count();
+    s.value = static_cast<double>(s.count);
+    s.sum = static_cast<double>(h->sum());
+    s.mean = h->mean();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->Quantile(0.50);
+    s.p90 = h->Quantile(0.90);
+    s.p99 = h->Quantile(0.99);
+    s.buckets = h->BucketCounts();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::ZeroAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, g] : gauges_) g->Reset();
+  for (auto& [_, h] : histograms_) h->Reset();
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace dbm::obs

@@ -1,0 +1,42 @@
+#include "obs/metrics_table.h"
+
+namespace dbm::obs {
+
+using data::Field;
+using data::Schema;
+using data::Tuple;
+using data::Value;
+using data::ValueType;
+
+Schema MetricsSchema() {
+  return Schema({Field{"name", ValueType::kString},
+                 Field{"kind", ValueType::kString},
+                 Field{"value", ValueType::kDouble},
+                 Field{"count", ValueType::kInt},
+                 Field{"mean", ValueType::kDouble},
+                 Field{"min", ValueType::kInt},
+                 Field{"max", ValueType::kInt},
+                 Field{"p50", ValueType::kDouble},
+                 Field{"p99", ValueType::kDouble}});
+}
+
+data::Relation MetricsRelation(const Registry& registry,
+                               const std::string& relation_name) {
+  data::Relation rel(relation_name, MetricsSchema());
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    Tuple row;
+    row.values = {Value{m.name},
+                  Value{std::string(MetricKindName(m.kind))},
+                  Value{m.value},
+                  Value{static_cast<int64_t>(m.count)},
+                  Value{m.mean},
+                  Value{static_cast<int64_t>(m.min)},
+                  Value{static_cast<int64_t>(m.max)},
+                  Value{m.p50},
+                  Value{m.p99}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace dbm::obs

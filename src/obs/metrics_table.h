@@ -1,0 +1,34 @@
+// MetricsTable: the registry as a relation.
+//
+// The DBOS/TabulaROSA slant on the paper's gauges: system state should
+// not just be observable, it should be *queryable by the system's own
+// query engine*. MetricsRelation() freezes a Registry snapshot into a
+// data::Relation with the schema
+//
+//   metrics(name:string, kind:string, value:double, count:int,
+//           mean:double, min:int, max:int, p50:double, p99:double)
+//
+// so a query::MemSource over it composes with filters, joins and
+// aggregates like any other table (tests/obs_test.cc proves the round
+// trip through query::Execute).
+
+#ifndef DBM_OBS_METRICS_TABLE_H_
+#define DBM_OBS_METRICS_TABLE_H_
+
+#include <string>
+
+#include "data/relation.h"
+#include "obs/metrics.h"
+
+namespace dbm::obs {
+
+/// The schema of MetricsRelation() (shared so callers can bind columns).
+data::Schema MetricsSchema();
+
+/// Snapshots `registry` into a relation named `relation_name`.
+data::Relation MetricsRelation(const Registry& registry = Registry::Default(),
+                               const std::string& relation_name = "metrics");
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_METRICS_TABLE_H_

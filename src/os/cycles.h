@@ -19,6 +19,11 @@ namespace dbm::os {
 using Cycles = uint64_t;
 
 /// Accumulates cycles, optionally tracking a labelled breakdown.
+///
+/// Labels are expected to be string literals: the hot path aggregates by
+/// pointer over a short flat array (no hashing, no string construction —
+/// this sits under every ORB invocation). Distinct pointers with equal
+/// text are merged when breakdown() materialises the sorted view.
 class CycleLedger {
  public:
   explicit CycleLedger(bool track_breakdown = true)
@@ -26,26 +31,39 @@ class CycleLedger {
 
   void Charge(Cycles c, const char* label) {
     total_ += c;
-    if (track_breakdown_) breakdown_[label] += c;
+    if (!track_breakdown_) return;
+    for (Item& item : items_) {
+      if (item.label == label) {
+        item.cycles += c;
+        return;
+      }
+    }
+    items_.push_back(Item{label, c});
   }
   void Charge(Cycles c) { total_ += c; }
 
   Cycles total() const { return total_; }
 
   /// Labelled cycle totals, insertion-independent (sorted by label).
-  const std::map<std::string, Cycles>& breakdown() const {
-    return breakdown_;
+  std::map<std::string, Cycles> breakdown() const {
+    std::map<std::string, Cycles> out;
+    for (const Item& item : items_) out[item.label] += item.cycles;
+    return out;
   }
 
   void Reset() {
     total_ = 0;
-    breakdown_.clear();
+    items_.clear();
   }
 
  private:
+  struct Item {
+    const char* label;
+    Cycles cycles;
+  };
   bool track_breakdown_;
   Cycles total_ = 0;
-  std::map<std::string, Cycles> breakdown_;
+  std::vector<Item> items_;  // one entry per distinct charge site
 };
 
 /// Architectural cost constants for the simulated IA32-like machine.

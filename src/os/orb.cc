@@ -140,6 +140,9 @@ Status Orb::Call(InterfaceId iface, int64_t a1, int64_t a2, int64_t a3) {
 Status Orb::InvokeRecord(const InterfaceRecord& rec) {
   CycleLedger* ledger = vcpu_->ledger();
   ++invocations_;
+  obs_invocations_->Add(1);
+  obs_segment_reloads_->Add(6);  // 3 selectors out, 3 back
+  Cycles call_start = ledger->total();
 
   // --- call path ---
   ledger->Charge(costs_.iface_lookup, "orb:iface-lookup");
@@ -147,6 +150,7 @@ Status Orb::InvokeRecord(const InterfaceRecord& rec) {
   ledger->Charge(costs_.save_context, "orb:save-context");
   ledger->Charge(3 * machine_.segment_register_load, "orb:segment-loads");
   ledger->Charge(costs_.arg_setup, "orb:arg-setup");
+  Cycles call_end = ledger->total();
 
   ThreadContext callee;
   callee.code = rec.code_seg;
@@ -160,9 +164,12 @@ Status Orb::InvokeRecord(const InterfaceRecord& rec) {
 
   // --- return path (runs even if the callee faulted: the ORB restores the
   // caller's context before propagating the fault) ---
+  Cycles ret_start = ledger->total();
   ledger->Charge(3 * machine_.segment_register_load, "orb:segment-loads");
   ledger->Charge(costs_.restore_context, "orb:restore-context");
   ledger->Charge(costs_.orb_exit, "orb:exit");
+  obs_hop_cycles_->Record((call_end - call_start) +
+                          (ledger->total() - ret_start));
   return body;
 }
 

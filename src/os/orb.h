@@ -22,6 +22,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "os/cycles.h"
 #include "os/image.h"
 #include "os/vcpu.h"
@@ -65,6 +66,11 @@ class Orb {
     // Slot 0 is the invalid interface.
     table_.push_back(InterfaceRecord{});
     names_.push_back("<invalid>");
+    // Metric handles resolve once here; InvokeRecord only touches atomics.
+    obs::Registry& reg = obs::Registry::Default();
+    obs_invocations_ = &reg.GetCounter("os.orb.invocations");
+    obs_segment_reloads_ = &reg.GetCounter("os.orb.segment_reloads");
+    obs_hop_cycles_ = &reg.GetHistogram("os.orb.hop_cycles");
   }
 
   /// Registers a provided interface; returns its id.
@@ -128,6 +134,14 @@ class Orb {
   std::unordered_map<ComponentId, std::vector<InterfaceId>> port_tables_;
   size_t live_interfaces_ = 0;
   uint64_t invocations_ = 0;
+
+  // Observability handles (owned by the global registry; see orb ctor).
+  // The hop histogram records the ORB's *own* per-hop cycles — dispatch +
+  // both segment-load legs, callee excluded — so chained calls (Fig 6)
+  // contribute one flat sample per hop rather than nested totals.
+  obs::Counter* obs_invocations_;
+  obs::Counter* obs_segment_reloads_;
+  obs::Histogram* obs_hop_cycles_;
 };
 
 }  // namespace dbm::os

@@ -6,6 +6,10 @@ namespace dbm::patia {
 
 PatiaServer::PatiaServer(net::Network* network, adapt::MetricBus* bus)
     : network_(network), bus_(bus) {
+  obs::Registry& reg = obs::Registry::Default();
+  obs_requests_ = &reg.GetCounter("patia.requests");
+  obs_migrations_ = &reg.GetCounter("patia.agent.migrations");
+  obs_latency_us_ = &reg.GetHistogram("patia.request.latency_us");
   adaptivity_ = std::make_shared<adapt::AdaptivityManager>("patia-am");
   state_ = std::make_shared<adapt::StateManager>("patia-state");
   session_ =
@@ -40,6 +44,7 @@ PatiaServer::PatiaServer(net::Network* network, adapt::MetricBus* bus)
           DBM_RETURN_NOT_OK(state_->Save(agent.name(), std::move(blob)));
         }
         agent.MigrateTo(target_node);
+        obs_migrations_->Add(1);
         // The scorer's notion of "current" follows the agent.
         auto scorer_it = scorers_.find(atom_id);
         if (scorer_it != scorers_.end()) {
@@ -86,6 +91,13 @@ Status PatiaServer::RegisterAtom(Atom atom,
   atoms_by_name_[name] = id;
   replicas_[id] = nodes;
   agents_[id] = std::make_shared<ServiceAgent>("agent-" + name, id, nodes[0]);
+  // Resolve the per-variant selection counters now so serving stays
+  // string-free ("patia.atom.<name>.variant.<resource>").
+  std::map<std::string, obs::Counter*>& counters = variant_counters_[id];
+  for (const AtomVariant& v : atom.variants) {
+    counters[v.resource] = &obs::Registry::Default().GetCounter(
+        "patia.atom." + name + ".variant." + v.resource);
+  }
   auto scorer = std::make_unique<net::NetworkScorer>(network_, nodes[0]);
   scorer->set_current(adapt::Target{{nodes[0], name}, {}});
   session_->SetScorer(name, scorer.get());
@@ -211,6 +223,12 @@ Status PatiaServer::Request(
   DBM_ASSIGN_OR_RETURN(std::string resource,
                        ChooseVariant(*atom, client, node));
   const AtomVariant* variant = atom->FindVariant(resource);
+  obs_requests_->Add(1);
+  auto atom_counters = variant_counters_.find(atom->id);
+  if (atom_counters != variant_counters_.end()) {
+    auto vc = atom_counters->second.find(resource);
+    if (vc != atom_counters->second.end()) vc->second->Add(1);
+  }
 
   SimTime issued = network_->loop()->Now();
   int atom_id = atom->id;
@@ -236,6 +254,7 @@ Status PatiaServer::Request(
             served.completed_at = done_at;
             ++stats_.completed;
             ++stats_.served_by_node[node];
+            obs_latency_us_->Record(static_cast<uint64_t>(served.Latency()));
             stats_.log.push_back(served);
             auto agent = AgentFor(atom_id);
             if (agent.ok()) (*agent)->RecordServe();

@@ -21,6 +21,7 @@
 #include "adapt/session.h"
 #include "common/rng.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace dbm::patia {
 
@@ -192,6 +193,13 @@ class PatiaServer {
   std::map<int, std::unique_ptr<net::NetworkScorer>> scorers_;
   Stats stats_;
   bool ticking_ = false;
+
+  // Per-atom variant-selection counters ("patia.atom.<name>.variant.<res>"),
+  // registered with the atom so serving stays string-free.
+  std::map<int, std::map<std::string, obs::Counter*>> variant_counters_;
+  obs::Counter* obs_requests_;
+  obs::Counter* obs_migrations_;
+  obs::Histogram* obs_latency_us_;
 };
 
 /// Poisson request generator with a flash-crowd window during which the

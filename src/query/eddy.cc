@@ -1,5 +1,7 @@
 #include "query/eddy.h"
 
+#include "obs/metrics.h"
+
 namespace dbm::query {
 
 Eddy::Eddy(OperatorPtr source, std::vector<EddyPredicate> predicates,
@@ -61,7 +63,21 @@ Result<Step> Eddy::Next(SimTime now) {
   }
 }
 
-Status Eddy::Close() { return source_->Close(); }
+Status Eddy::Close() {
+  // Flush run totals into the registry (handles resolved once; Close is
+  // the eddy's natural epoch boundary).
+  static obs::Counter* routed =
+      &obs::Registry::Default().GetCounter("query.eddy.tuples_routed");
+  static obs::Counter* evals =
+      &obs::Registry::Default().GetCounter("query.eddy.evaluations");
+  routed->Add(routed_ - flushed_routed_);
+  uint64_t total_evals = 0;
+  for (uint64_t e : eddy_stats_.evaluations) total_evals += e;
+  evals->Add(total_evals - flushed_evals_);
+  flushed_routed_ = routed_;
+  flushed_evals_ = total_evals;
+  return source_->Close();
+}
 
 Result<double> Eddy::RunStatic(Operator* source,
                                const std::vector<EddyPredicate>& preds,

@@ -60,6 +60,9 @@ class Eddy : public Operator {
   EddyStats eddy_stats_;
   uint64_t decay_every_;
   uint64_t routed_ = 0;
+  // What Close() already flushed to the registry (Close can run twice).
+  uint64_t flushed_routed_ = 0;
+  uint64_t flushed_evals_ = 0;
 };
 
 }  // namespace dbm::query

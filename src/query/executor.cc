@@ -1,11 +1,52 @@
 #include "query/executor.h"
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace dbm::query {
 
+namespace {
+
+// Handles resolved once per process; the executor's per-tuple loop stays
+// string-free (counts are flushed from ExecStats at end of run).
+struct ExecObs {
+  obs::Counter& runs;
+  obs::Counter& rows;
+  obs::Counter& safe_points;
+  obs::Counter& reopt_events;
+  obs::Counter& reopt_wasted_us;
+  obs::Histogram& latency_us;
+  obs::Histogram& host_ticks;
+
+  static ExecObs& Get() {
+    static ExecObs* m = [] {
+      obs::Registry& reg = obs::Registry::Default();
+      return new ExecObs{reg.GetCounter("query.exec.runs"),
+                         reg.GetCounter("query.exec.rows"),
+                         reg.GetCounter("query.exec.safe_points"),
+                         reg.GetCounter("query.reopt.events"),
+                         reg.GetCounter("query.reopt.wasted_us"),
+                         reg.GetHistogram("query.exec.latency_us"),
+                         reg.GetHistogram("query.exec.host_ticks")};
+    }();
+    return *m;
+  }
+
+  void RecordRun(const ExecStats& stats) {
+    runs.Add(1);
+    rows.Add(stats.rows);
+    safe_points.Add(stats.safe_points);
+    reopt_events.Add(stats.reoptimizations);
+    reopt_wasted_us.Add(static_cast<uint64_t>(stats.wasted_time));
+    latency_us.Record(static_cast<uint64_t>(stats.Latency()));
+  }
+};
+
+}  // namespace
+
 Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
                           const ExecOptions& options) {
+  obs::TraceSpan span(&ExecObs::Get().host_ticks);
   ExecStats stats;
   stats.started_at = options.start_time;
   SimTime now = options.start_time;
@@ -27,6 +68,7 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
       case Step::Kind::kEnd:
         stats.finished_at = now;
         DBM_RETURN_NOT_OK(root->Close());
+        ExecObs::Get().RecordRun(stats);
         return stats;
     }
     if (options.safe_point_every > 0 &&
@@ -35,6 +77,7 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
       if (options.on_safe_point && !options.on_safe_point(stats)) {
         stats.finished_at = now;
         DBM_RETURN_NOT_OK(root->Close());
+        ExecObs::Get().RecordRun(stats);
         return stats;
       }
     }
@@ -44,6 +87,7 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
 Result<ExecStats> AdaptiveJoinExecutor::Run(const JoinQuery& query,
                                             std::vector<Tuple>* out,
                                             const Options& options) {
+  obs::TraceSpan span(&ExecObs::Get().host_ticks);
   DBM_ASSIGN_OR_RETURN(JoinPlan plan, optimizer_.Plan(query));
 
   ExecStats total;
@@ -135,6 +179,7 @@ Result<ExecStats> AdaptiveJoinExecutor::Run(const JoinQuery& query,
         total.finished_at = now;
         total.final_plan = JoinAlgorithmName(plan.algorithm);
         DBM_RETURN_NOT_OK(root->Close());
+        ExecObs::Get().RecordRun(total);
         return total;
       }
     }

@@ -4,11 +4,14 @@ namespace dbm::storage {
 
 Result<Page*> BufferManager::GetPage(PageId id) {
   ++stats_.gets;
+  obs_gets_->Add(1);
   DBM_ASSIGN_OR_RETURN(ReplacementPolicy * policy,
                        Require<ReplacementPolicy>("policy"));
   auto it = where_.find(id);
   if (it != where_.end()) {
     ++stats_.hits;
+    obs_hits_->Add(1);
+    obs_hit_rate_->Set(stats_.HitRate());
     size_t frame = it->second;
     policy->OnAccess(frame);
     ++pin_count_[id];
@@ -17,6 +20,8 @@ Result<Page*> BufferManager::GetPage(PageId id) {
   }
 
   ++stats_.misses;
+  obs_misses_->Add(1);
+  obs_hit_rate_->Set(stats_.HitRate());
   DBM_ASSIGN_OR_RETURN(size_t frame, FindFreeOrEvict());
   DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
   DBM_RETURN_NOT_OK(disk->Read(id, &pool_[frame]));
@@ -53,6 +58,7 @@ Status BufferManager::FlushAll() {
       DBM_RETURN_NOT_OK(disk->Write(resident_[f], pool_[f]));
       dirty_[f] = false;
       ++stats_.dirty_writebacks;
+      obs_writebacks_->Add(1);
     }
   }
   return Status::OK();
@@ -74,6 +80,7 @@ Result<size_t> BufferManager::FindFreeOrEvict() {
                          Require<DiskComponent>("disk"));
     DBM_RETURN_NOT_OK(disk->Write(old, pool_[victim]));
     ++stats_.dirty_writebacks;
+    obs_writebacks_->Add(1);
   }
   policy->OnEvict(victim);
   where_.erase(old);
@@ -81,6 +88,7 @@ Result<size_t> BufferManager::FindFreeOrEvict() {
   resident_[victim] = kInvalidPage;
   dirty_[victim] = false;
   ++stats_.evictions;
+  obs_evictions_->Add(1);
   return victim;
 }
 

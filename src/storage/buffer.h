@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "component/component.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/replacement.h"
 
@@ -41,6 +42,13 @@ class BufferManager : public component::Component {
     DeclarePort("disk", "disk");
     DeclarePort("policy", "replacement-policy");
     pool_.resize(frames);
+    obs::Registry& reg = obs::Registry::Default();
+    obs_gets_ = &reg.GetCounter("storage.buffer.gets");
+    obs_hits_ = &reg.GetCounter("storage.buffer.hits");
+    obs_misses_ = &reg.GetCounter("storage.buffer.misses");
+    obs_evictions_ = &reg.GetCounter("storage.buffer.evictions");
+    obs_writebacks_ = &reg.GetCounter("storage.buffer.dirty_writebacks");
+    obs_hit_rate_ = &reg.GetGauge("storage.buffer.hit_rate");
   }
 
   /// Pins and returns the page. The pointer stays valid until Unpin.
@@ -71,6 +79,14 @@ class BufferManager : public component::Component {
   std::unordered_map<PageId, size_t> where_;
   std::unordered_map<PageId, int> pin_count_;
   BufferStats stats_;
+
+  // Registry mirrors of stats_ (all BufferManager instances aggregate).
+  obs::Counter* obs_gets_;
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_evictions_;
+  obs::Counter* obs_writebacks_;
+  obs::Gauge* obs_hit_rate_;
 };
 
 }  // namespace dbm::storage
