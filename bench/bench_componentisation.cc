@@ -136,6 +136,7 @@ BENCHMARK(BM_SisrScanAmortisation)->Arg(10)->Arg(1000)->Arg(100000);
 
 // Expanded BENCHMARK_MAIN so the run can write its metrics sidecar.
 int main(int argc, char** argv) {
+  dbm::bench::Init(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -97,7 +97,8 @@ Outcome Run(bool hysteresis) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   bench::Header("F8 / section 6",
                 "Feedback-loop oscillation and the learned damper");
 

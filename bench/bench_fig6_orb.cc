@@ -9,7 +9,8 @@
 #include "bench/bench_util.h"
 #include "os/go_system.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("Fig 6", "ORB thread migration: call-chain scaling");

@@ -95,7 +95,8 @@ RunResult RunPatia(bool adaptive) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   bench::Header("Fig 7", "Patia flash crowd: SWITCH fail-over vs static");
 
   RunResult adaptive = RunPatia(true);

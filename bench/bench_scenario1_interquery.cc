@@ -9,7 +9,8 @@
 #include "bench/bench_util.h"
 #include "dbmachine/scenarios.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::machine;
   bench::Header("Scenario 1", "Inter-query adaptation: BEST(PDA, Laptop)");

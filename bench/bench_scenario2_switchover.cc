@@ -8,7 +8,8 @@
 #include "bench/bench_util.h"
 #include "dbmachine/scenarios.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::machine;
   bench::Header("Scenario 2", "Docked->wireless switchover (Figs 4-5)");

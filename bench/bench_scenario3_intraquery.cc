@@ -10,7 +10,8 @@
 #include "bench/bench_util.h"
 #include "dbmachine/scenarios.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::machine;
   bench::Header("Scenario 3", "Intra-query re-optimisation under bad stats");
@@ -50,6 +51,27 @@ int main() {
                                        static_cast<double>(a->exec.Latency()))});
   }
   table.Rule();
+
+  // The Fig-1 feedback-loop variant: the request arrives through an ORB
+  // hop and the plan switch is decided by the session manager's Table-2
+  // rule over the published build-divergence gauge. With --trace, the
+  // trace sidecar links ORB hop → executor operators → rule firing →
+  // reconfiguration in one causal tree.
+  Scenario3Config fig1;
+  fig1.stats_error = 0.02;
+  fig1.fig1_loop = true;
+  auto traced = RunScenario3(fig1);
+  if (!traced.ok()) {
+    std::printf("fig1-loop run failed: %s\n",
+                traced.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fig1 loop: %llu rule firing(s), %llu re-opt(s)%s%s\n",
+              static_cast<unsigned long long>(traced->rule_firings),
+              static_cast<unsigned long long>(traced->exec.reoptimizations),
+              traced->trace_id.empty() ? "" : ", trace ",
+              traced->trace_id.c_str());
+
   std::printf("final plans: adaptive ends at the oracle's choice "
               "(hash build on the small side); result cardinality "
               "identical in all runs (%llu rows).\n",

@@ -10,7 +10,8 @@
 #include "os/go_system.h"
 #include "os/memory.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("Table 1b",

@@ -10,7 +10,8 @@
 #include "bench/bench_util.h"
 #include "os/ipc_models.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("Table 1", "Relative RPC performance (cycles per null RPC)");

@@ -10,7 +10,8 @@
 #include "adapt/session.h"
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::adapt;
   bench::Header("Table 2", "Patia atom constraints, replayed");

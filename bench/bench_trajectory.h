@@ -1,0 +1,69 @@
+// BENCH_trajectory.json: the append-only performance trajectory.
+//
+// Every bench run appends ONE newline-delimited JSON record — bench id,
+// wall-clock stamp, and a flattened name→value map of the run's metrics
+// (histograms contribute .count/.mean/.p50/.p99 entries). The file
+// accumulates across runs next to the binaries, so a working tree keeps
+// its own local history of how the numbers moved as the code changed;
+// tools/bench_diff compares any two *.metrics.json sidecars from it or
+// from CI artifacts.
+
+#ifndef DBM_BENCH_BENCH_TRAJECTORY_H_
+#define DBM_BENCH_BENCH_TRAJECTORY_H_
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace dbm::bench {
+
+inline std::string TrajectoryRecord(const std::string& bench_id) {
+  std::string out = "{\"bench\":\"" + JsonEscape(bench_id) + "\"";
+  out += ",\"at_unix\":" + std::to_string(std::time(nullptr));
+  out += ",\"metrics\":{";
+  bool first = true;
+  auto add = [&out, &first](const std::string& name, double v) {
+    if (!first) out += ",";
+    first = false;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += "\"" + JsonEscape(name) + "\":" + buf;
+  };
+  for (const obs::MetricSnapshot& m : obs::Registry::Default().Snapshot()) {
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+      case obs::MetricKind::kGauge:
+        add(m.name, m.value);
+        break;
+      case obs::MetricKind::kHistogram:
+        add(m.name + ".count", static_cast<double>(m.count));
+        add(m.name + ".mean", m.mean);
+        add(m.name + ".p50", m.p50);
+        add(m.name + ".p99", m.p99);
+        break;
+    }
+  }
+  out += "}}\n";
+  return out;
+}
+
+/// Appends this run's record to `path` (JSONL; created on first use).
+inline void AppendTrajectory(const std::string& path,
+                             const std::string& bench_id) {
+  std::string record = TrajectoryRecord(bench_id);
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::printf("  [trajectory append failed: cannot open %s]\n",
+                path.c_str());
+    return;
+  }
+  std::fwrite(record.data(), 1, record.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace dbm::bench
+
+#endif  // DBM_BENCH_BENCH_TRAJECTORY_H_

@@ -7,12 +7,69 @@
 #define DBM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench/bench_trajectory.h"
 #include "obs/export.h"
+#include "obs/trace_export.h"
+#include "obs/tracectx.h"
 
 namespace dbm::bench {
+
+/// Harness state shared by Init and MetricsSidecar.
+struct BenchContext {
+  std::string out_dir;  // argv[0]'s directory ("" = working directory)
+  bool trace = false;
+  double trace_sample = 1.0;
+};
+
+inline BenchContext& Context() {
+  static BenchContext ctx;
+  return ctx;
+}
+
+/// Call first in every bench main. Derives the sidecar directory from
+/// argv[0] — outputs land next to the binary, not in whatever directory
+/// the bench happened to be launched from — and handles the tracing
+/// flags:
+///   --trace               sample every root span (rate 1.0)
+///   --trace-sample=<rate> sample this fraction of root spans
+/// With tracing on, MetricsSidecar additionally writes
+/// `<id>.trace.json` (Chrome/Perfetto trace_event format).
+///
+/// Consumed flags are removed from argv (argc passed by pointer), so a
+/// bench can hand the remainder to another flag parser (google-benchmark
+/// in bench_componentisation rejects flags it does not know).
+inline void Init(int* argc, char** argv) {
+  BenchContext& ctx = Context();
+  if (*argc > 0 && argv[0] != nullptr) {
+    std::string argv0 = argv[0];
+    size_t slash = argv0.find_last_of('/');
+    if (slash != std::string::npos) ctx.out_dir = argv0.substr(0, slash + 1);
+  }
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace") {
+      ctx.trace = true;
+    } else if (arg.rfind("--trace-sample=", 0) == 0) {
+      ctx.trace = true;
+      ctx.trace_sample = std::atof(arg.c_str() + 15);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  if (ctx.trace) {
+    obs::TracerOptions topt;
+    topt.sample_rate = ctx.trace_sample;
+    obs::Tracer::Default().Configure(topt);
+  }
+}
+
+inline void Init(int argc, char** argv) { Init(&argc, argv); }
 
 inline void Header(const std::string& id, const std::string& title) {
   std::printf("\n==============================================================\n");
@@ -53,17 +110,32 @@ inline void Note(const std::string& text) {
   std::printf("  -> %s\n", text.c_str());
 }
 
-/// Writes the machine-readable metrics sidecar `<id>.metrics.json` into
-/// the working directory: a JSON snapshot of every counter, gauge and
-/// histogram the run touched (format: docs/OBSERVABILITY.md). Call it
-/// once, at the end of main, after all work has completed.
+/// Writes the machine-readable metrics sidecar `<id>.metrics.json` next
+/// to the bench binary (argv[0]'s directory, captured by Init — NOT the
+/// launch directory): a JSON snapshot of every counter, gauge and
+/// histogram the run touched (format: docs/OBSERVABILITY.md). Also
+/// appends this run's record to BENCH_trajectory.json, and — when Init
+/// saw --trace — dumps `<id>.trace.json`. Call it once, at the end of
+/// main, after all work has completed.
 inline void MetricsSidecar(const std::string& id) {
-  const std::string path = id + ".metrics.json";
+  const BenchContext& ctx = Context();
+  const std::string path = ctx.out_dir + id + ".metrics.json";
   Status s = obs::WriteJsonFile(path);
   if (s.ok()) {
     std::printf("  [metrics sidecar: %s]\n", path.c_str());
   } else {
     std::printf("  [metrics sidecar failed: %s]\n", s.ToString().c_str());
+  }
+  AppendTrajectory(ctx.out_dir + "BENCH_trajectory.json", id);
+  if (ctx.trace) {
+    const std::string trace_path = ctx.out_dir + id + ".trace.json";
+    Status t = obs::WriteChromeTraceFile(trace_path);
+    if (t.ok()) {
+      std::printf("  [trace sidecar: %s — open in ui.perfetto.dev]\n",
+                  trace_path.c_str());
+    } else {
+      std::printf("  [trace sidecar failed: %s]\n", t.ToString().c_str());
+    }
   }
 }
 

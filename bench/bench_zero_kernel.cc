@@ -12,7 +12,8 @@
 #include "os/interrupts.h"
 #include "os/scheduler.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dbm::bench::Init(argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("A4", "Zero-kernel interrupt + scheduler cost (cycles)");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracectx.h"
+
 namespace dbm::adapt {
 
 Status ConstraintTable::Add(int id, const std::string& subject,
@@ -60,6 +62,10 @@ const Constraint* ConstraintTable::Find(int id) const {
 }
 
 Status AdaptivityManager::Enact(const AdaptationRequest& request) {
+  // The reconfiguration leg of the Fig-1 loop: nested under the rule
+  // firing that requested it when one is open on this thread.
+  obs::SpanScope enact_span("adapt.enact", "adapt");
+  enact_span.SetSimRange(static_cast<uint64_t>(request.at), 0);
   Handler* handler = nullptr;
   auto it = handlers_.find(request.subject);
   if (it != handlers_.end()) {
@@ -135,6 +141,30 @@ Result<int> SessionManager::CheckConstraints(SimTime now) {
 
     ++triggers_;
     obs_firings_->Add(1);
+    // The decision leg of the Fig-1 loop. The span joins the firing to
+    // the triggering request's trace; the DecisionRecord is the audit row
+    // — rule text, the gauge readings the evaluation consumed, and the
+    // chosen remedy — and is logged even outside any sampled trace
+    // (firings are rare; the decision log must not depend on sampling).
+    obs::SpanScope firing_span("rule_firing", "adapt.session");
+    firing_span.SetSimRange(static_cast<uint64_t>(now), 0);
+    obs::DecisionRecord decision_rec;
+    const obs::TraceContext& trace_ctx = firing_span.active()
+                                             ? firing_span.context()
+                                             : obs::CurrentContext();
+    decision_rec.trace_id = trace_ctx.trace_id;
+    decision_rec.span_id = trace_ctx.span_id;
+    decision_rec.at_host_ns = obs::NowHostNs();
+    decision_rec.at_sim_us = now;
+    decision_rec.constraint_id = c->id;
+    decision_rec.SetSubject(c->subject);
+    decision_rec.SetRule(c->rule.ToString());
+    decision_rec.SetAction(std::string(ActionKindName(d.kind)) + " -> " +
+                           d.chosen->ToString());
+    for (const Comparison& cmp : c->rule.trigger->comparisons) {
+      decision_rec.AddGauge(cmp.metric, bus_->GetOr(cmp.metric, 0));
+    }
+    obs::Tracer::Default().Emit(decision_rec);
     AdaptationRequest req{c->id, c->subject, d, now};
     Status s = am->Enact(req);
     if (s.ok()) {

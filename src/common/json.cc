@@ -1,0 +1,231 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace dbm {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;  // last duplicate wins
+  }
+  return found;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    DBM_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) return Err("nesting too deep");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't':
+        if (ConsumeWord("true")) return Bool(true);
+        return Err("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) return Bool(false);
+        return Err("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue{};
+        return Err("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a value");
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("malformed number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  Result<JsonValue> ParseString() {
+    if (!Consume('"')) return Err("expected '\"'");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.str += '"'; break;
+        case '\\': v.str += '\\'; break;
+        case '/': v.str += '/'; break;
+        case 'b': v.str += '\b'; break;
+        case 'f': v.str += '\f'; break;
+        case 'n': v.str += '\n'; break;
+        case 'r': v.str += '\r'; break;
+        case 't': v.str += '\t'; break;
+        case 'u': {
+          // Decode BMP escapes; anything outside Latin-1 (or a surrogate)
+          // degrades to '?' — our own emitters only escape control chars.
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Err("bad \\u escape");
+          }
+          v.str += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return Err("bad escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Err("expected '['");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    while (true) {
+      DBM_ASSIGN_OR_RETURN(JsonValue elem, ParseValue());
+      v.array.push_back(std::move(elem));
+      SkipWhitespace();
+      if (Consume(']')) return v;
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Err("expected '{'");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      DBM_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Err("expected ':'");
+      DBM_ASSIGN_OR_RETURN(JsonValue val, ParseValue());
+      v.object.emplace_back(std::move(key.str), std::move(val));
+      SkipWhitespace();
+      if (Consume('}')) return v;
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  static constexpr int kMaxDepth = 96;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbm

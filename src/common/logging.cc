@@ -7,6 +7,7 @@ namespace dbm {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogPrefixProvider g_prefix_provider = nullptr;
 const char* LevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -20,12 +21,16 @@ const char* LevelName(LogLevel l) {
 
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogPrefixProvider(LogPrefixProvider provider) {
+  g_prefix_provider = provider;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  if (g_prefix_provider != nullptr) g_prefix_provider(stream_);
 }
 
 LogMessage::~LogMessage() {

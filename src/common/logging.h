@@ -16,6 +16,13 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Optional hook writing a per-message prefix after the level/site tag.
+/// The tracing layer (obs/tracectx) installs one that prefixes
+/// "[trace=<id> span=<id>] " whenever the calling thread is inside an
+/// active span; with no provider (or no active span) output is unchanged.
+using LogPrefixProvider = void (*)(std::ostream& os);
+void SetLogPrefixProvider(LogPrefixProvider provider);
+
 namespace internal {
 
 class LogMessage {

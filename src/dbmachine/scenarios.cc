@@ -1,6 +1,8 @@
 #include "dbmachine/scenarios.h"
 
 #include "adl/parser.h"
+#include "obs/tracectx.h"
+#include "os/go_system.h"
 
 namespace dbm::machine {
 
@@ -222,11 +224,69 @@ Result<Scenario3Report> RunScenario3(const Scenario3Config& config) {
   query::AdaptiveJoinExecutor::Options options;
   options.allow_reoptimization = config.adaptive;
 
+  Scenario3Report report;
+
+  // One request, one root span: everything below — the ORB delivery hop,
+  // the executor's operator tree, the rule firing and the enactment —
+  // hangs off this context.
+  obs::SpanScope request_span("scenario3.request", "scenario");
+  if (request_span.active()) {
+    report.trace_id = request_span.context().trace_id.ToHex();
+  }
+
+  // Fig-1 rig: gauges feed the session manager, whose Table-2 rule
+  // decides the plan switch; the adaptivity manager enacts it.
+  adapt::MetricBus bus;
+  adapt::ConstraintTable rules;
+  auto sm = std::make_shared<adapt::SessionManager>("session-manager", &bus,
+                                                    &rules);
+  auto am = std::make_shared<adapt::AdaptivityManager>();
+  if (config.fig1_loop) {
+    // The request is delivered through the ORB (Table 1's Go! RPC): load
+    // a null query-entry service and hop into it. The trace context rides
+    // the migrating thread.
+    os::GoSystem sys;
+    DBM_ASSIGN_OR_RETURN(auto server,
+                         sys.LoadWithService(os::images::NullServer(
+                             "query-entry")));
+    DBM_RETURN_NOT_OK(sys.orb().Call(server.second));
+
+    DBM_RETURN_NOT_OK(rules.Add(
+        1, "plan",
+        "If build-divergence > " +
+            std::to_string(options.divergence_threshold) +
+            " then SWITCH(plan.hash_build_left, plan.hash_build_right)"));
+    sm->FindPort("adaptivity")->SetTarget(am);
+
+    bool approved = false;
+    am->RegisterHandler("plan",
+                        [&approved](const adapt::AdaptationRequest&) {
+                          approved = true;
+                          return Status::OK();
+                        });
+    // The executor's divergence detection stays, but the *decision* to
+    // re-optimise moves into the session manager: publish the observed
+    // divergence as a gauge, check constraints, re-plan only if the rule
+    // fired and the adaptivity manager enacted the switch.
+    options.reopt_arbiter = [&](uint64_t actual_build_rows,
+                                double estimated_build_rows,
+                                const query::JoinPlan&) {
+      approved = false;
+      double divergence =
+          estimated_build_rows > 0
+              ? static_cast<double>(actual_build_rows) / estimated_build_rows
+              : 0;
+      bus.Publish("build-divergence", divergence, 0);
+      auto enacted = sm->CheckConstraints(0);
+      return enacted.ok() && *enacted > 0 && approved;
+    };
+  }
+
   std::vector<query::Tuple> out;
   DBM_ASSIGN_OR_RETURN(query::ExecStats stats, exec.Run(q, &out, options));
-  Scenario3Report report;
   report.exec = stats;
   report.result_rows = out.size();
+  report.rule_firings = sm->triggers();
   return report;
 }
 

@@ -85,11 +85,22 @@ struct Scenario3Config {
   double stats_error = 0.02;
   bool adaptive = true;
   uint64_t seed = 21;
+  /// Full Fig-1 feedback loop, traced end to end: the request enters
+  /// through an ORB hop, and the mid-query re-optimisation is arbitrated
+  /// by the session manager — the executor publishes the observed
+  /// build divergence as a gauge, a Table-2 rule decides the plan SWITCH,
+  /// and the adaptivity manager enacts it. With tracing sampled on, one
+  /// trace links ORB hop → executor operators → rule firing →
+  /// reconfiguration (the causal-tracing acceptance path).
+  bool fig1_loop = false;
 };
 
 struct Scenario3Report {
   query::ExecStats exec;
   uint64_t result_rows = 0;
+  /// fig1_loop mode only:
+  uint64_t rule_firings = 0;      // session-manager firings observed
+  std::string trace_id;           // root trace id (hex), "" if unsampled
 };
 
 Result<Scenario3Report> RunScenario3(const Scenario3Config& config);

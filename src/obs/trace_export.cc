@@ -1,0 +1,253 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace dbm::obs {
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+bool ParseHexU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<uint64_t>(c - 'A' + 10);
+    else return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Doubles that survive a JSON round trip bit-for-bit.
+std::string NumExact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Host-ns offset from the trace origin, as trace_event microseconds.
+std::string TsUs(uint64_t ns, uint64_t origin_ns) {
+  uint64_t rel = ns >= origin_ns ? ns - origin_ns : 0;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", rel / 1000,
+                static_cast<unsigned>(rel % 1000));
+  return buf;
+}
+
+void AppendKV(std::string* out, const char* key, const std::string& hex) {
+  *out += "\"";
+  *out += key;
+  *out += "\":\"" + hex + "\"";
+}
+
+uint64_t TimelineOrigin(const std::vector<SpanRecord>& spans,
+                        const std::vector<DecisionRecord>& decisions) {
+  uint64_t origin = UINT64_MAX;
+  for (const SpanRecord& s : spans) {
+    origin = std::min(origin, s.start_host_ns);
+  }
+  for (const DecisionRecord& d : decisions) {
+    origin = std::min(origin, d.at_host_ns);
+  }
+  return origin == UINT64_MAX ? 0 : origin;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans,
+                              const std::vector<DecisionRecord>& decisions) {
+  const uint64_t origin = TimelineOrigin(spans, decisions);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(s.thread);
+    out += ",\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"cat\":\"" + JsonEscape(s.category) + "\"";
+    out += ",\"ts\":" + TsUs(s.start_host_ns, origin);
+    out += ",\"dur\":" + TsUs(origin + s.dur_host_ns, origin);
+    out += ",\"args\":{";
+    AppendKV(&out, "trace_id", s.trace_id.ToHex());
+    out += ",";
+    AppendKV(&out, "span_id", HexU64(s.span_id));
+    out += ",";
+    AppendKV(&out, "parent_span_id", HexU64(s.parent_span_id));
+    out += ",";
+    AppendKV(&out, "start_host_ns", HexU64(s.start_host_ns));
+    out += ",";
+    AppendKV(&out, "dur_host_ns", HexU64(s.dur_host_ns));
+    out += ",";
+    AppendKV(&out, "sim_begin", HexU64(s.sim_begin));
+    out += ",";
+    AppendKV(&out, "sim_dur", HexU64(s.sim_dur));
+    out += "}}";
+  }
+  for (const DecisionRecord& d : decisions) {
+    if (!first) out += ",\n";
+    first = false;
+    // Instant events: Perfetto renders them as markers on the decision
+    // thread's track; "s":"p" scopes the marker to the process.
+    out += "{\"ph\":\"i\",\"s\":\"p\",\"pid\":1,\"tid\":0";
+    out += ",\"name\":\"decision:" + JsonEscape(d.subject) + "\"";
+    out += ",\"cat\":\"adapt.decision\"";
+    out += ",\"ts\":" + TsUs(d.at_host_ns, origin);
+    out += ",\"args\":{";
+    AppendKV(&out, "trace_id", d.trace_id.ToHex());
+    out += ",";
+    AppendKV(&out, "span_id", HexU64(d.span_id));
+    out += ",";
+    AppendKV(&out, "at_host_ns", HexU64(d.at_host_ns));
+    out += ",";
+    AppendKV(&out, "at_sim_us", HexU64(static_cast<uint64_t>(d.at_sim_us)));
+    out += ",\"constraint_id\":" + std::to_string(d.constraint_id);
+    out += ",\"subject\":\"" + JsonEscape(d.subject) + "\"";
+    out += ",\"rule\":\"" + JsonEscape(d.rule) + "\"";
+    out += ",\"action\":\"" + JsonEscape(d.action) + "\"";
+    out += ",\"gauges\":[";
+    for (int32_t i = 0; i < d.gauge_count; ++i) {
+      if (i > 0) out += ",";
+      out += "{\"metric\":\"" + JsonEscape(d.gauges[i].metric) + "\"";
+      out += ",\"value\":" + NumExact(d.gauges[i].value) + "}";
+    }
+    out += "]}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTraceFile(const std::string& path, const Tracer& tracer) {
+  std::string doc = ToChromeTraceJson(tracer.Spans(), tracer.Decisions());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != doc.size() || close_rc != 0) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status BadTrace(const std::string& what) {
+  return Status::ParseError("chrome trace: " + what);
+}
+
+Result<uint64_t> HexField(const JsonValue& args, const char* key) {
+  const JsonValue* v = args.Find(key);
+  if (v == nullptr || !v->IsString()) {
+    return BadTrace(StrFormat("missing hex arg '%s'", key));
+  }
+  uint64_t out = 0;
+  if (!ParseHexU64(v->str, &out)) {
+    return BadTrace(StrFormat("bad hex arg '%s'", key));
+  }
+  return out;
+}
+
+Result<SpanRecord> SpanFromEvent(const JsonValue& ev, const JsonValue& args) {
+  SpanRecord s;
+  const JsonValue* name = ev.Find("name");
+  const JsonValue* cat = ev.Find("cat");
+  if (name == nullptr || !name->IsString() || cat == nullptr ||
+      !cat->IsString()) {
+    return BadTrace("span event without name/cat");
+  }
+  s.SetName(name->str);
+  s.SetCategory(cat->str);
+  const JsonValue* tid = ev.Find("tid");
+  s.thread = static_cast<uint32_t>(tid == nullptr ? 0 : tid->NumberOr(0));
+  const JsonValue* trace_id = args.Find("trace_id");
+  if (trace_id == nullptr || !trace_id->IsString()) {
+    return BadTrace("span event without trace_id");
+  }
+  s.trace_id = TraceId::FromHex(trace_id->str);
+  DBM_ASSIGN_OR_RETURN(s.span_id, HexField(args, "span_id"));
+  DBM_ASSIGN_OR_RETURN(s.parent_span_id, HexField(args, "parent_span_id"));
+  DBM_ASSIGN_OR_RETURN(s.start_host_ns, HexField(args, "start_host_ns"));
+  DBM_ASSIGN_OR_RETURN(s.dur_host_ns, HexField(args, "dur_host_ns"));
+  DBM_ASSIGN_OR_RETURN(s.sim_begin, HexField(args, "sim_begin"));
+  DBM_ASSIGN_OR_RETURN(s.sim_dur, HexField(args, "sim_dur"));
+  return s;
+}
+
+Result<DecisionRecord> DecisionFromEvent(const JsonValue& args) {
+  DecisionRecord d;
+  const JsonValue* trace_id = args.Find("trace_id");
+  if (trace_id == nullptr || !trace_id->IsString()) {
+    return BadTrace("decision event without trace_id");
+  }
+  d.trace_id = TraceId::FromHex(trace_id->str);
+  DBM_ASSIGN_OR_RETURN(d.span_id, HexField(args, "span_id"));
+  DBM_ASSIGN_OR_RETURN(d.at_host_ns, HexField(args, "at_host_ns"));
+  DBM_ASSIGN_OR_RETURN(uint64_t sim_bits, HexField(args, "at_sim_us"));
+  d.at_sim_us = static_cast<int64_t>(sim_bits);
+  const JsonValue* cid = args.Find("constraint_id");
+  d.constraint_id =
+      static_cast<int32_t>(cid == nullptr ? 0 : cid->NumberOr(0));
+  const JsonValue* subject = args.Find("subject");
+  const JsonValue* rule = args.Find("rule");
+  const JsonValue* action = args.Find("action");
+  if (subject != nullptr) d.SetSubject(subject->StringOr(""));
+  if (rule != nullptr) d.SetRule(rule->StringOr(""));
+  if (action != nullptr) d.SetAction(action->StringOr(""));
+  const JsonValue* gauges = args.Find("gauges");
+  if (gauges != nullptr && gauges->IsArray()) {
+    for (const JsonValue& g : gauges->array) {
+      const JsonValue* metric = g.Find("metric");
+      const JsonValue* value = g.Find("value");
+      if (metric == nullptr || value == nullptr) {
+        return BadTrace("malformed gauge entry");
+      }
+      d.AddGauge(metric->StringOr(""), value->NumberOr(0));
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Result<ParsedTrace> ParseChromeTraceJson(const std::string& json) {
+  DBM_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    return BadTrace("no traceEvents array");
+  }
+  ParsedTrace out;
+  for (const JsonValue& ev : events->array) {
+    const JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || !ph->IsString()) return BadTrace("event without ph");
+    const JsonValue* args = ev.Find("args");
+    if (args == nullptr || !args->IsObject()) {
+      return BadTrace("event without args");
+    }
+    if (ph->str == "X") {
+      DBM_ASSIGN_OR_RETURN(SpanRecord s, SpanFromEvent(ev, *args));
+      out.spans.push_back(s);
+    } else if (ph->str == "i") {
+      DBM_ASSIGN_OR_RETURN(DecisionRecord d, DecisionFromEvent(*args));
+      out.decisions.push_back(d);
+    } else {
+      return BadTrace("unknown event phase '" + ph->str + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace dbm::obs

@@ -1,0 +1,48 @@
+// Trace exporters: Chrome/Perfetto trace_event JSON, both directions.
+//
+// The forward direction renders a Tracer epoch as the Trace Event Format
+// ("X" complete events for spans, "i" instant events for adaptation
+// decisions) that chrome://tracing and https://ui.perfetto.dev open
+// directly. Timestamps are host microseconds relative to the earliest
+// span; the deterministic simulated range (cycles or SimTime µs,
+// identified by the span category) and the full 64/128-bit ids ride in
+// `args` as hex strings, so nothing is lost to double precision.
+//
+// The reverse direction re-parses a document this exporter wrote back
+// into SpanRecords/DecisionRecords — the round-trip keeps the exporter
+// honest (tests/trace_test.cc) and lets tools re-import a trace sidecar.
+
+#ifndef DBM_OBS_TRACE_EXPORT_H_
+#define DBM_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/tracectx.h"
+
+namespace dbm::obs {
+
+/// Chrome trace_event JSON for the given records.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans,
+                              const std::vector<DecisionRecord>& decisions);
+
+/// Snapshots `tracer` and writes the Chrome trace document to `path`.
+Status WriteChromeTraceFile(const std::string& path,
+                            const Tracer& tracer = Tracer::Default());
+
+/// Everything a Chrome trace document written by ToChromeTraceJson holds.
+struct ParsedTrace {
+  std::vector<SpanRecord> spans;
+  std::vector<DecisionRecord> decisions;
+};
+
+/// Re-parses a ToChromeTraceJson document. Spans/decisions come back
+/// bit-identical to the exported records (the lossless fields live in
+/// `args`).
+Result<ParsedTrace> ParseChromeTraceJson(const std::string& json);
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,80 @@
+#include "obs/trace_table.h"
+
+#include "common/strings.h"
+
+namespace dbm::obs {
+
+using data::Field;
+using data::Schema;
+using data::Tuple;
+using data::Value;
+using data::ValueType;
+
+Schema SpansSchema() {
+  return Schema({Field{"trace_id", ValueType::kString},
+                 Field{"span_id", ValueType::kInt},
+                 Field{"parent_span_id", ValueType::kInt},
+                 Field{"name", ValueType::kString},
+                 Field{"category", ValueType::kString},
+                 Field{"thread", ValueType::kInt},
+                 Field{"start_host_ns", ValueType::kInt},
+                 Field{"dur_host_ns", ValueType::kInt},
+                 Field{"sim_begin", ValueType::kInt},
+                 Field{"sim_dur", ValueType::kInt}});
+}
+
+data::Relation SpansRelation(const Tracer& tracer,
+                             const std::string& relation_name) {
+  data::Relation rel(relation_name, SpansSchema());
+  for (const SpanRecord& s : tracer.Spans()) {
+    Tuple row;
+    row.values = {Value{s.trace_id.ToHex()},
+                  Value{static_cast<int64_t>(s.span_id)},
+                  Value{static_cast<int64_t>(s.parent_span_id)},
+                  Value{std::string(s.name)},
+                  Value{std::string(s.category)},
+                  Value{static_cast<int64_t>(s.thread)},
+                  Value{static_cast<int64_t>(s.start_host_ns)},
+                  Value{static_cast<int64_t>(s.dur_host_ns)},
+                  Value{static_cast<int64_t>(s.sim_begin)},
+                  Value{static_cast<int64_t>(s.sim_dur)}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+Schema DecisionsSchema() {
+  return Schema({Field{"trace_id", ValueType::kString},
+                 Field{"span_id", ValueType::kInt},
+                 Field{"at_sim_us", ValueType::kInt},
+                 Field{"constraint_id", ValueType::kInt},
+                 Field{"subject", ValueType::kString},
+                 Field{"rule", ValueType::kString},
+                 Field{"action", ValueType::kString},
+                 Field{"gauges", ValueType::kString}});
+}
+
+data::Relation DecisionsRelation(const Tracer& tracer,
+                                 const std::string& relation_name) {
+  data::Relation rel(relation_name, DecisionsSchema());
+  for (const DecisionRecord& d : tracer.Decisions()) {
+    std::string gauges;
+    for (int32_t i = 0; i < d.gauge_count; ++i) {
+      if (i > 0) gauges += ",";
+      gauges += StrFormat("%s=%.6g", d.gauges[i].metric, d.gauges[i].value);
+    }
+    Tuple row;
+    row.values = {Value{d.trace_id.ToHex()},
+                  Value{static_cast<int64_t>(d.span_id)},
+                  Value{d.at_sim_us},
+                  Value{static_cast<int64_t>(d.constraint_id)},
+                  Value{std::string(d.subject)},
+                  Value{std::string(d.rule)},
+                  Value{std::string(d.action)},
+                  Value{gauges}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace dbm::obs

@@ -1,0 +1,51 @@
+// TraceTable: the tracer's rings as relations.
+//
+// Same slant as metrics_table.h, applied to causality: a finished trace
+// should be queryable by the machine's own query engine. SpansRelation()
+// freezes the span ring into
+//
+//   spans(trace_id:string, span_id:int, parent_span_id:int, name:string,
+//         category:string, thread:int, start_host_ns:int, dur_host_ns:int,
+//         sim_begin:int, sim_dur:int)
+//
+// and DecisionsRelation() freezes the adaptation decision log into
+//
+//   decisions(trace_id:string, span_id:int, at_sim_us:int,
+//             constraint_id:int, subject:string, rule:string,
+//             action:string, gauges:string)
+//
+// (`gauges` renders "metric=value" pairs, comma-separated, since the
+// relational layer has no nested type). Trace ids stay strings — 128 bits
+// do not fit an int64 — while span ids are stored as int64 bit patterns,
+// joinable across the two relations and against parent_span_id for
+// tree-walking queries. tests/trace_test.cc drives both through
+// query::Execute.
+
+#ifndef DBM_OBS_TRACE_TABLE_H_
+#define DBM_OBS_TRACE_TABLE_H_
+
+#include <string>
+
+#include "data/relation.h"
+#include "obs/tracectx.h"
+
+namespace dbm::obs {
+
+/// The schema of SpansRelation() (shared so callers can bind columns).
+data::Schema SpansSchema();
+
+/// Snapshots `tracer`'s span ring into a relation named `relation_name`.
+data::Relation SpansRelation(const Tracer& tracer = Tracer::Default(),
+                             const std::string& relation_name = "spans");
+
+/// The schema of DecisionsRelation().
+data::Schema DecisionsSchema();
+
+/// Snapshots `tracer`'s decision ring into a relation.
+data::Relation DecisionsRelation(
+    const Tracer& tracer = Tracer::Default(),
+    const std::string& relation_name = "decisions");
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_TRACE_TABLE_H_

@@ -1,0 +1,176 @@
+#include "obs/tracectx.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dbm::obs {
+
+namespace {
+
+thread_local TraceContext t_current;
+
+/// Stable small index per thread (mirrors Counter::ShardIndex's idiom,
+/// but unbounded: it identifies, it does not shard).
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+/// splitmix64: the id/sampling mixer (deterministic given the seed).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void TraceLogPrefix(std::ostream& os) {
+  if (!t_current.valid()) return;
+  os << "[trace=" << t_current.trace_id.ToHex() << " span=" << std::hex
+     << t_current.span_id << std::dec << "] ";
+}
+
+/// Installs the logging hook as soon as any binary links the tracer.
+[[maybe_unused]] const bool g_log_hook_installed = [] {
+  SetLogPrefixProvider(&TraceLogPrefix);
+  return true;
+}();
+
+}  // namespace
+
+std::string TraceId::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+TraceId TraceId::FromHex(std::string_view hex) {
+  if (hex.size() != 32) return TraceId{};
+  TraceId id;
+  uint64_t parts[2] = {0, 0};
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 16; ++i) {
+      char c = hex[static_cast<size_t>(p * 16 + i)];
+      uint64_t digit;
+      if (c >= '0' && c <= '9') digit = static_cast<uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') digit = static_cast<uint64_t>(c - 'A' + 10);
+      else return TraceId{};
+      parts[p] = (parts[p] << 4) | digit;
+    }
+  }
+  id.hi = parts[0];
+  id.lo = parts[1];
+  return id;
+}
+
+uint64_t NowHostNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const TraceContext& CurrentContext() { return t_current; }
+
+std::string CurrentTraceLogPrefix() {
+  if (!t_current.valid()) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[trace=%s span=%llx] ",
+                t_current.trace_id.ToHex().c_str(),
+                static_cast<unsigned long long>(t_current.span_id));
+  return buf;
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Configure(const TracerOptions& options) {
+  options_ = options;
+  spans_ = std::make_unique<TraceRing<SpanRecord>>(options.span_capacity);
+  decisions_ =
+      std::make_unique<TraceRing<DecisionRecord>>(options.decision_capacity);
+  double rate = options.sample_rate;
+  if (rate < 0) rate = 0;
+  if (rate > 1) rate = 1;
+  // Map the rate onto the full u64 range; rate 1 must admit everything.
+  sample_threshold_ =
+      rate >= 1.0 ? UINT64_MAX
+                  : static_cast<uint64_t>(
+                        rate * 18446744073709551615.0);  // 2^64 - 1
+  sample_state_.store(options.seed, std::memory_order_relaxed);
+  enabled_.store(rate > 0, std::memory_order_relaxed);
+}
+
+TraceId Tracer::SampleNewTrace() {
+  if (!enabled()) return TraceId{};
+  uint64_t state = sample_state_.fetch_add(1, std::memory_order_relaxed);
+  if (sample_threshold_ != UINT64_MAX && Mix(state) > sample_threshold_) {
+    return TraceId{};
+  }
+  uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  TraceId id;
+  id.hi = Mix(options_.seed ^ seq);
+  id.lo = Mix(seq + 0x5bf03635u);
+  if (!id.valid()) id.lo = 1;  // astronomically unlikely; keep the contract
+  return id;
+}
+
+SpanScope::SpanScope(std::string_view name, std::string_view category,
+                     const os::CycleLedger* ledger, Tracer* tracer) {
+  tracer_ = tracer != nullptr ? tracer : &Tracer::Default();
+  const TraceContext& parent = t_current;
+  if (parent.valid()) {
+    ctx_.trace_id = parent.trace_id;
+    ctx_.parent_span_id = parent.span_id;
+  } else {
+    if (!tracer_->enabled()) return;  // the common fast path when off
+    TraceId id = tracer_->SampleNewTrace();
+    if (!id.valid()) return;  // not sampled: the whole tree stays dark
+    ctx_.trace_id = id;
+    ctx_.parent_span_id = 0;
+  }
+  ctx_.span_id = tracer_->NextSpanId();
+  active_ = true;
+  prev_ = parent;
+  t_current = ctx_;
+
+  rec_.trace_id = ctx_.trace_id;
+  rec_.span_id = ctx_.span_id;
+  rec_.parent_span_id = ctx_.parent_span_id;
+  rec_.thread = ThreadIndex();
+  rec_.SetName(name);
+  rec_.SetCategory(category);
+  rec_.start_host_ns = NowHostNs();
+  if (ledger != nullptr) {
+    ledger_ = ledger;
+    ledger_start_ = ledger->total();
+  }
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) return;
+  t_current = prev_;
+  rec_.dur_host_ns = NowHostNs() - rec_.start_host_ns;
+  if (ledger_ != nullptr) {
+    rec_.sim_begin = ledger_start_;
+    rec_.sim_dur = ledger_->total() - ledger_start_;
+  }
+  tracer_->Emit(rec_);
+}
+
+ContextGuard::ContextGuard(const TraceContext& ctx) : prev_(t_current) {
+  t_current = ctx;
+}
+
+ContextGuard::~ContextGuard() { t_current = prev_; }
+
+}  // namespace dbm::obs

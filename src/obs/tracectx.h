@@ -1,0 +1,370 @@
+// Causal trace propagation: follow ONE request through ORB hops, the
+// query engine, and the Fig-1 adaptation loop.
+//
+// PR 1's metrics registry answers "how much, in aggregate"; this module
+// answers "which request, through which hops, triggered what". The design
+// is Dapper-shaped: a TraceContext (128-bit trace id, span id, parent
+// span id) rides the current thread — and therefore rides the ORB's
+// thread-migrating RPC for free, charged zero simulated cycles, because
+// context propagation is observability of the simulator, not work of the
+// simulated machine. Each instrumented scope is a SpanScope; completed
+// spans, and the adaptation layer's DecisionRecords (one per rule firing,
+// with the gauge inputs read at decision time), land in lock-free bounded
+// rings on the process-wide Tracer.
+//
+// Volume control is head-based sampling: the sampling decision is made
+// once, when a ROOT span would start; descendants inherit it by
+// construction (they only exist when a live context is on the thread).
+// With sampling off (rate 0, the default) a SpanScope costs one
+// thread-local read and one relaxed atomic load — cheap enough to leave
+// in the ORB's 73-cycle hop path.
+//
+// The rings are bounded and head-keeping: the first `capacity` records of
+// an epoch are stored, later ones are counted in dropped(). Publication
+// is wait-free (fetch_add slot claim + release store); Snapshot() sees
+// only fully written records, so readers never observe a torn record.
+// Clear() starts a new epoch and must run at a quiescent point (no
+// concurrent writers) — bench/test epoch boundaries, like ZeroAll().
+
+#ifndef DBM_OBS_TRACECTX_H_
+#define DBM_OBS_TRACECTX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/cycles.h"
+
+namespace dbm::obs {
+
+// ---------------------------------------------------------------------------
+// Identifiers and records
+// ---------------------------------------------------------------------------
+
+/// 128-bit trace identifier. {0,0} means "not traced".
+struct TraceId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  /// 32 lowercase hex chars (no 0x prefix), e.g. for log prefixes.
+  std::string ToHex() const;
+  static TraceId FromHex(std::string_view hex);  // invalid id on bad input
+
+  friend bool operator==(const TraceId& a, const TraceId& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+/// The propagated context: which trace this thread is currently inside,
+/// and which span is the innermost open one.
+struct TraceContext {
+  TraceId trace_id;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id.valid() && span_id != 0; }
+};
+
+/// Fixed-size text fields keep the records POD, so ring publication can
+/// never tear a heap pointer. Longer strings truncate.
+inline constexpr size_t kTraceNameMax = 48;
+inline constexpr size_t kTraceTextMax = 160;
+inline constexpr size_t kDecisionGaugesMax = 4;
+
+namespace internal {
+inline void CopyTruncated(char* dst, size_t cap, std::string_view src) {
+  size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+}  // namespace internal
+
+/// One completed span. Host time is steady-clock nanoseconds (exporter
+/// timestamps); the simulated range is whatever time base the emitting
+/// layer lives in — CPU cycles for ORB hops, simulated µs for the query
+/// engine — identified by the category.
+struct SpanRecord {
+  TraceId trace_id;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root
+  uint64_t start_host_ns = 0;
+  uint64_t dur_host_ns = 0;
+  uint64_t sim_begin = 0;
+  uint64_t sim_dur = 0;
+  uint32_t thread = 0;          // small per-process thread index
+  char name[kTraceNameMax] = {};
+  char category[kTraceNameMax] = {};
+
+  void SetName(std::string_view n) {
+    internal::CopyTruncated(name, sizeof(name), n);
+  }
+  void SetCategory(std::string_view c) {
+    internal::CopyTruncated(category, sizeof(category), c);
+  }
+};
+
+/// One gauge input a rule evaluation consumed, with its value at
+/// decision time.
+struct DecisionGauge {
+  char metric[kTraceNameMax] = {};
+  double value = 0;
+};
+
+/// One adaptation decision: which constraint fired, over which gauge
+/// readings, choosing what — and which trace triggered the evaluation
+/// (invalid trace id when the firing happened outside any sampled
+/// request).
+struct DecisionRecord {
+  TraceId trace_id;
+  uint64_t span_id = 0;     // the rule-firing span, when one was open
+  uint64_t at_host_ns = 0;  // emission time (exporter timeline placement)
+  int64_t at_sim_us = 0;    // SimTime of the CheckConstraints pass
+  int32_t constraint_id = 0;
+  int32_t gauge_count = 0;
+  DecisionGauge gauges[kDecisionGaugesMax] = {};
+  char subject[kTraceNameMax] = {};
+  char rule[kTraceTextMax] = {};     // Table 2 notation, as parsed
+  char action[kTraceTextMax] = {};   // e.g. "SWITCH -> node2.Page1.html"
+
+  void SetSubject(std::string_view s) {
+    internal::CopyTruncated(subject, sizeof(subject), s);
+  }
+  void SetRule(std::string_view s) {
+    internal::CopyTruncated(rule, sizeof(rule), s);
+  }
+  void SetAction(std::string_view s) {
+    internal::CopyTruncated(action, sizeof(action), s);
+  }
+  void AddGauge(std::string_view metric, double value) {
+    if (gauge_count >= static_cast<int32_t>(kDecisionGaugesMax)) return;
+    internal::CopyTruncated(gauges[gauge_count].metric,
+                            sizeof(gauges[gauge_count].metric), metric);
+    gauges[gauge_count].value = value;
+    ++gauge_count;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The ring
+// ---------------------------------------------------------------------------
+
+/// Lock-free bounded ring with head-keeping overflow: writers claim a
+/// slot with one fetch_add; claims past the capacity are counted as
+/// dropped (head-based sampling means the kept prefix is a coherent set
+/// of whole traces, not a random suffix). Records must be trivially
+/// copyable.
+template <typename T>
+class TraceRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring records must be POD so publication cannot tear");
+
+ public:
+  explicit TraceRing(size_t capacity)
+      : capacity_(capacity), slots_(new Slot[capacity]) {}
+
+  /// Wait-free. Returns false when the epoch's capacity is exhausted.
+  bool Append(const T& rec) {
+    uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Slot& s = slots_[idx];
+    s.rec = rec;
+    s.ready.store(1, std::memory_order_release);
+    return true;
+  }
+
+  /// All fully published records, in claim order. Safe concurrently with
+  /// writers (unfinished slots are skipped).
+  std::vector<T> Snapshot() const {
+    uint64_t n = cursor_.load(std::memory_order_relaxed);
+    if (n > capacity_) n = capacity_;
+    std::vector<T> out;
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (slots_[i].ready.load(std::memory_order_acquire) != 0) {
+        out.push_back(slots_[i].rec);
+      }
+    }
+    return out;
+  }
+
+  /// New epoch. Callers must guarantee no concurrent Append.
+  void Clear() {
+    uint64_t n = cursor_.load(std::memory_order_relaxed);
+    if (n > capacity_) n = capacity_;
+    for (uint64_t i = 0; i < n; ++i) {
+      slots_[i].ready.store(0, std::memory_order_relaxed);
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+    cursor_.store(0, std::memory_order_release);
+  }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t size() const {
+    uint64_t n = cursor_.load(std::memory_order_relaxed);
+    return n > capacity_ ? capacity_ : n;
+  }
+
+ private:
+  struct Slot {
+    T rec{};
+    std::atomic<uint32_t> ready{0};
+  };
+  size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// ---------------------------------------------------------------------------
+// The tracer
+// ---------------------------------------------------------------------------
+
+struct TracerOptions {
+  size_t span_capacity = 1 << 14;      // 16384 spans/epoch
+  size_t decision_capacity = 1 << 11;  // 2048 decisions/epoch
+  /// Head-based sampling probability for NEW root traces in [0,1].
+  /// 0 disables tracing entirely (the default; near-zero overhead).
+  double sample_rate = 0.0;
+  /// Seed for the deterministic per-process sampling sequence.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Process-wide trace collector. All methods are thread-safe except
+/// Configure/Clear, which are epoch boundaries (quiescent points).
+class Tracer {
+ public:
+  Tracer() : Tracer(TracerOptions{}) {}
+  explicit Tracer(const TracerOptions& options) { Configure(options); }
+
+  /// The tracer every built-in instrumentation point records into.
+  static Tracer& Default();
+
+  /// Replaces the rings and sampler state. Quiescent points only.
+  void Configure(const TracerOptions& options);
+
+  /// True when sample_rate > 0 — the one branch hot paths take.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Head-based sampling decision for a new root trace: a fresh valid id
+  /// when sampled, the invalid id otherwise.
+  TraceId SampleNewTrace();
+
+  /// Allocates a span id (never 0).
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Emit(const SpanRecord& span) { spans_->Append(span); }
+  void Emit(const DecisionRecord& decision) {
+    decisions_->Append(decision);
+  }
+
+  std::vector<SpanRecord> Spans() const { return spans_->Snapshot(); }
+  std::vector<DecisionRecord> Decisions() const {
+    return decisions_->Snapshot();
+  }
+  uint64_t dropped_spans() const { return spans_->dropped(); }
+  uint64_t dropped_decisions() const { return decisions_->dropped(); }
+
+  /// New epoch: empties both rings (quiescent points only).
+  void Clear() {
+    spans_->Clear();
+    decisions_->Clear();
+  }
+
+  const TracerOptions& options() const { return options_; }
+
+ private:
+  TracerOptions options_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> trace_seq_{0};
+  std::atomic<uint64_t> sample_state_{0};
+  uint64_t sample_threshold_ = 0;  // rate mapped onto [0, 2^64)
+  std::unique_ptr<TraceRing<SpanRecord>> spans_;
+  std::unique_ptr<TraceRing<DecisionRecord>> decisions_;
+};
+
+// ---------------------------------------------------------------------------
+// Context propagation + the RAII span
+// ---------------------------------------------------------------------------
+
+/// The calling thread's innermost open trace context (invalid when the
+/// thread is not inside a sampled request). Because the ORB's RPC
+/// migrates the *thread* into the callee, the context crosses protection
+/// domains with no explicit plumbing and no simulated-cycle charge.
+const TraceContext& CurrentContext();
+
+/// Log-line prefix for the active span, "" when none — what
+/// common/logging's provider hook renders (see SetLogPrefixProvider).
+std::string CurrentTraceLogPrefix();
+
+/// RAII span. Construction resolves to one of:
+///   * child span   — the thread has a live context (always recorded:
+///                    the head-based decision was made at the root);
+///   * root span    — no live context, tracer enabled, sampler admits;
+///   * inactive     — otherwise (one TL read + one relaxed load).
+/// Destruction emits the record and restores the parent context.
+class SpanScope {
+ public:
+  /// `ledger`, when given, fills the simulated range from the ledger's
+  /// cycle total across the scope (ORB-style spans). Layers whose time
+  /// base is SimTime call SetSimRange instead.
+  explicit SpanScope(std::string_view name, std::string_view category,
+                     const os::CycleLedger* ledger = nullptr,
+                     Tracer* tracer = nullptr);
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope();
+
+  bool active() const { return active_; }
+  /// This span's context (valid only while active).
+  const TraceContext& context() const { return ctx_; }
+
+  /// Overrides the simulated range (e.g. begin/duration in SimTime µs).
+  void SetSimRange(uint64_t begin, uint64_t dur) {
+    rec_.sim_begin = begin;
+    rec_.sim_dur = dur;
+  }
+
+ private:
+  bool active_ = false;
+  Tracer* tracer_ = nullptr;
+  const os::CycleLedger* ledger_ = nullptr;
+  os::Cycles ledger_start_ = 0;
+  TraceContext ctx_;
+  TraceContext prev_;
+  SpanRecord rec_;
+};
+
+/// Adopts an explicit context as the thread's current one (RAII) without
+/// opening a span — how a root created elsewhere (e.g. by a bench driver)
+/// is continued on a worker thread in future; also used by tests.
+class ContextGuard {
+ public:
+  explicit ContextGuard(const TraceContext& ctx);
+  ~ContextGuard();
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Steady-clock nanoseconds (span timestamps; monotonic, not wall time).
+uint64_t NowHostNs();
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_TRACECTX_H_

@@ -1,6 +1,7 @@
 #include "os/orb.h"
 
 #include "common/strings.h"
+#include "obs/tracectx.h"
 
 namespace dbm::os {
 
@@ -139,6 +140,11 @@ Status Orb::Call(InterfaceId iface, int64_t a1, int64_t a2, int64_t a3) {
 
 Status Orb::InvokeRecord(const InterfaceRecord& rec) {
   CycleLedger* ledger = vcpu_->ledger();
+  // The trace context rides the migrating thread across the protection
+  // boundary — observability of the simulator, so zero cycles charged.
+  obs::SpanScope hop_span(
+      rec.name_ref < names_.size() ? names_[rec.name_ref] : "<unknown>",
+      "os.orb", ledger);
   ++invocations_;
   obs_invocations_->Add(1);
   obs_segment_reloads_->Add(6);  // 3 selectors out, 3 back

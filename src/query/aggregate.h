@@ -30,6 +30,9 @@ class HashAggregate : public Operator {
   Status Open() override;
   Result<Step> Next(SimTime now) override;
   Status Close() override;
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*child_);
+  }
 
  private:
   struct GroupState {
@@ -61,6 +64,9 @@ class SortOp : public Operator {
   Status Open() override;
   Result<Step> Next(SimTime now) override;
   Status Close() override;
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*child_);
+  }
 
  private:
   OperatorPtr child_;

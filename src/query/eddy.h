@@ -42,6 +42,9 @@ class Eddy : public Operator {
   Status Open() override;
   Result<Step> Next(SimTime now) override;
   Status Close() override;
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*source_);
+  }
 
   const EddyStats& eddy_stats() const { return eddy_stats_; }
   const std::vector<double>& tickets() const { return tickets_; }

@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "obs/trace.h"
+#include "obs/tracectx.h"
 
 namespace dbm::query {
 
@@ -42,11 +43,46 @@ struct ExecObs {
   }
 };
 
+// Emits one causal span per operator in the tree, parented along plan
+// edges. Operators run interleaved inside the executor's pull loop, so
+// per-operator timing is not separable; each span carries the whole run's
+// range and exists for its *structure* — the trace tree mirrors the plan
+// tree, hanging off `parent` (the query.execute span).
+void EmitOperatorSpans(Operator& op, const obs::TraceContext& parent,
+                       const obs::SpanRecord& range, obs::Tracer& tracer) {
+  obs::SpanRecord rec = range;
+  rec.trace_id = parent.trace_id;
+  rec.parent_span_id = parent.span_id;
+  rec.span_id = tracer.NextSpanId();
+  rec.SetName(op.name());
+  rec.SetCategory("query.operator");
+  tracer.Emit(rec);
+  obs::TraceContext child_ctx;
+  child_ctx.trace_id = rec.trace_id;
+  child_ctx.span_id = rec.span_id;
+  op.VisitChildren([&](Operator& child) {
+    EmitOperatorSpans(child, child_ctx, range, tracer);
+  });
+}
+
+// Run-range template for EmitOperatorSpans from a finished execution.
+obs::SpanRecord RunRange(uint64_t start_host_ns, SimTime sim_begin,
+                         SimTime sim_end) {
+  obs::SpanRecord range;
+  range.start_host_ns = start_host_ns;
+  range.dur_host_ns = obs::NowHostNs() - start_host_ns;
+  range.sim_begin = static_cast<uint64_t>(sim_begin);
+  range.sim_dur = static_cast<uint64_t>(sim_end - sim_begin);
+  return range;
+}
+
 }  // namespace
 
 Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
                           const ExecOptions& options) {
   obs::TraceSpan span(&ExecObs::Get().host_ticks);
+  obs::SpanScope exec_span("query.execute", "query");
+  uint64_t host_start = obs::NowHostNs();
   ExecStats stats;
   stats.started_at = options.start_time;
   SimTime now = options.start_time;
@@ -69,6 +105,14 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
         stats.finished_at = now;
         DBM_RETURN_NOT_OK(root->Close());
         ExecObs::Get().RecordRun(stats);
+        if (exec_span.active()) {
+          exec_span.SetSimRange(
+              static_cast<uint64_t>(stats.started_at),
+              static_cast<uint64_t>(stats.finished_at - stats.started_at));
+          EmitOperatorSpans(*root, exec_span.context(),
+                            RunRange(host_start, stats.started_at, now),
+                            obs::Tracer::Default());
+        }
         return stats;
     }
     if (options.safe_point_every > 0 &&
@@ -78,6 +122,14 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
         stats.finished_at = now;
         DBM_RETURN_NOT_OK(root->Close());
         ExecObs::Get().RecordRun(stats);
+        if (exec_span.active()) {
+          exec_span.SetSimRange(
+              static_cast<uint64_t>(stats.started_at),
+              static_cast<uint64_t>(stats.finished_at - stats.started_at));
+          EmitOperatorSpans(*root, exec_span.context(),
+                            RunRange(host_start, stats.started_at, now),
+                            obs::Tracer::Default());
+        }
         return stats;
       }
     }
@@ -88,6 +140,8 @@ Result<ExecStats> AdaptiveJoinExecutor::Run(const JoinQuery& query,
                                             std::vector<Tuple>* out,
                                             const Options& options) {
   obs::TraceSpan span(&ExecObs::Get().host_ticks);
+  obs::SpanScope exec_span("query.adaptive_join", "query");
+  uint64_t host_start = obs::NowHostNs();
   DBM_ASSIGN_OR_RETURN(JoinPlan plan, optimizer_.Plan(query));
 
   ExecStats total;
@@ -127,6 +181,10 @@ Result<ExecStats> AdaptiveJoinExecutor::Run(const JoinQuery& query,
                 query, left_rows, right_rows);
             if (!corrected.ok()) return corrected.status();
             if (corrected->algorithm == plan.algorithm) return Status::OK();
+            if (options.reopt_arbiter &&
+                !options.reopt_arbiter(build_rows, est_build, *corrected)) {
+              return Status::OK();
+            }
             if (state_mgr_ != nullptr) {
               component::StateBlob blob;
               blob.type = "join-progress";
@@ -157,6 +215,12 @@ Result<ExecStats> AdaptiveJoinExecutor::Run(const JoinQuery& query,
                  options.cpu_per_tuple;
           total.wasted_time += (now - attempt_start);
           ++total.reoptimizations;
+          {
+            obs::SpanScope reopt_span("query.reoptimize", "query.adapt");
+            reopt_span.SetSimRange(
+                static_cast<uint64_t>(attempt_start),
+                static_cast<uint64_t>(now - attempt_start));
+          }
           plan = *corrected_plan;
           restarted = true;
           break;
@@ -180,6 +244,12 @@ Result<ExecStats> AdaptiveJoinExecutor::Run(const JoinQuery& query,
         total.final_plan = JoinAlgorithmName(plan.algorithm);
         DBM_RETURN_NOT_OK(root->Close());
         ExecObs::Get().RecordRun(total);
+        if (exec_span.active()) {
+          exec_span.SetSimRange(0, static_cast<uint64_t>(now));
+          EmitOperatorSpans(*root, exec_span.context(),
+                            RunRange(host_start, 0, now),
+                            obs::Tracer::Default());
+        }
         return total;
       }
     }

@@ -72,6 +72,15 @@ class AdaptiveJoinExecutor {
     uint64_t safe_point_every = 128;
     SimTime cpu_per_tuple = 1;
     bool allow_reoptimization = true;  // false = static baseline
+    /// Consulted after the executor has decided a re-optimisation is
+    /// worthwhile but before it commits; returning false keeps the
+    /// current plan. Lets an external policy layer (the Fig-1 session
+    /// manager in scenario 3's traced mode) arbitrate the switch through
+    /// its rule engine instead of the executor's hard-coded heuristic.
+    std::function<bool(uint64_t actual_build_rows,
+                       double estimated_build_rows,
+                       const JoinPlan& corrected_plan)>
+        reopt_arbiter;
   };
 
   Result<ExecStats> Run(const JoinQuery& query, std::vector<Tuple>* out,

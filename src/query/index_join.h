@@ -68,6 +68,9 @@ class IndexNestedLoopJoin : public Operator {
   Status Close() override;
 
   uint64_t probes() const { return probes_; }
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*outer_);
+  }
 
  private:
   OperatorPtr outer_;

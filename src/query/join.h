@@ -42,6 +42,10 @@ class NestedLoopJoin : public Operator {
   Status Open() override;
   Result<Step> Next(SimTime now) override;
   Status Close() override;
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*left_);
+    fn(*right_);
+  }
 
  private:
   OperatorPtr left_, right_;
@@ -66,6 +70,10 @@ class HashJoin : public Operator {
   Status Close() override;
 
   uint64_t build_rows() const { return build_rows_; }
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*build_);
+    fn(*probe_);
+  }
 
   /// Installs a safe-point hook invoked every `every` build rows. A
   /// non-OK return aborts the build and surfaces from Next() — the
@@ -97,6 +105,10 @@ class SymmetricHashJoin : public Operator {
   Status Open() override;
   Result<Step> Next(SimTime now) override;
   Status Close() override;
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*left_);
+    fn(*right_);
+  }
 
  private:
   Result<Step> PullSide(bool left_side, SimTime now);
@@ -127,6 +139,10 @@ class XJoin : public Operator {
 
   uint64_t spilled() const { return spilled_; }
   uint64_t reactive_outputs() const { return reactive_outputs_; }
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*left_);
+    fn(*right_);
+  }
 
  private:
   struct Stored {

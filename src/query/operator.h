@@ -11,6 +11,7 @@
 #ifndef DBM_QUERY_OPERATOR_H_
 #define DBM_QUERY_OPERATOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,13 @@ class Operator {
   /// `now` is the executor's simulated clock at the moment of the pull.
   virtual Result<Step> Next(SimTime now) = 0;
   virtual Status Close() = 0;
+
+  /// Calls `fn` once per direct child, in plan order. Leaves (sources)
+  /// keep the default no-op. Lets the executor walk the tree without
+  /// knowing concrete operator types (e.g. to emit per-operator spans).
+  virtual void VisitChildren(const std::function<void(Operator&)>& fn) {
+    (void)fn;
+  }
 
   const OperatorStats& stats() const { return stats_; }
 
@@ -164,6 +172,9 @@ class FilterOp : public Operator {
     }
   }
   Status Close() override { return child_->Close(); }
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*child_);
+  }
 
   /// Observed selectivity so far (for eddies and re-optimisation).
   double ObservedSelectivity() const {
@@ -200,6 +211,9 @@ class ProjectOp : public Operator {
     return Emit(std::move(out), now);
   }
   Status Close() override { return child_->Close(); }
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*child_);
+  }
 
  private:
   OperatorPtr child_;
@@ -224,6 +238,9 @@ class LimitOp : public Operator {
     return Emit(std::move(step.tuple), now);
   }
   Status Close() override { return child_->Close(); }
+  void VisitChildren(const std::function<void(Operator&)>& fn) override {
+    fn(*child_);
+  }
 
  private:
   OperatorPtr child_;

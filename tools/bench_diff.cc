@@ -1,0 +1,139 @@
+// bench_diff: compares two bench metrics sidecars and flags regressions.
+//
+//   bench_diff BASELINE.metrics.json CURRENT.metrics.json \
+//       [--threshold=0.10] [--filter=cycles] [--all]
+//
+// By default only metrics whose name contains "cycles" are compared:
+// simulated-cycle counts are deterministic functions of the workload, so
+// a >threshold increase is a real cost regression, not machine noise
+// (host-time metrics vary run to run and machine to machine; compare
+// them with --all when that is understood). Counters and gauges compare
+// their value; histograms compare count and mean.
+//
+// Exit status: 0 = no regression, 1 = at least one metric regressed past
+// the threshold, 2 = usage / parse error. Improvements are reported but
+// never fail the run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace {
+
+using dbm::JsonValue;
+using dbm::Result;
+using dbm::Status;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string out;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Sidecar flattened to comparable scalars (histograms fan out into
+/// .count / .mean entries).
+Result<std::map<std::string, double>> LoadSidecar(const std::string& path) {
+  DBM_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  DBM_ASSIGN_OR_RETURN(JsonValue doc, dbm::ParseJson(text));
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->IsArray()) {
+    return Status::ParseError("'" + path + "' has no metrics array");
+  }
+  std::map<std::string, double> out;
+  for (const JsonValue& m : metrics->array) {
+    const JsonValue* name = m.Find("name");
+    const JsonValue* kind = m.Find("kind");
+    if (name == nullptr || !name->IsString() || kind == nullptr) continue;
+    if (kind->StringOr("") == "histogram") {
+      const JsonValue* count = m.Find("count");
+      const JsonValue* mean = m.Find("mean");
+      if (count != nullptr) out[name->str + ".count"] = count->NumberOr(0);
+      if (mean != nullptr) out[name->str + ".mean"] = mean->NumberOr(0);
+    } else {
+      const JsonValue* value = m.Find("value");
+      if (value != nullptr) out[name->str] = value->NumberOr(0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold = 0.10;
+  std::string filter = "cycles";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(9);
+    } else if (arg == "--all") {
+      filter.clear();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASELINE.metrics.json "
+                 "CURRENT.metrics.json [--threshold=0.10] "
+                 "[--filter=SUBSTRING] [--all]\n");
+    return 2;
+  }
+
+  auto baseline = LoadSidecar(paths[0]);
+  auto current = LoadSidecar(paths[1]);
+  if (!baseline.ok() || !current.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 (!baseline.ok() ? baseline.status() : current.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+
+  int regressions = 0, improvements = 0, compared = 0;
+  for (const auto& [name, base] : *baseline) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    auto it = current->find(name);
+    if (it == current->end()) {
+      std::printf("MISSING  %-52s (in baseline only)\n", name.c_str());
+      continue;
+    }
+    ++compared;
+    double cur = it->second;
+    double denom = base != 0 ? base : 1;
+    double delta = (cur - base) / denom;
+    if (delta > threshold) {
+      ++regressions;
+      std::printf("REGRESS  %-52s %.6g -> %.6g  (+%.1f%%)\n", name.c_str(),
+                  base, cur, delta * 100);
+    } else if (delta < -threshold) {
+      ++improvements;
+      std::printf("IMPROVE  %-52s %.6g -> %.6g  (%.1f%%)\n", name.c_str(),
+                  base, cur, delta * 100);
+    }
+  }
+  std::printf(
+      "bench_diff: %d compared (filter '%s'), %d regressed, %d improved, "
+      "threshold %.0f%%\n",
+      compared, filter.c_str(), regressions, improvements, threshold * 100);
+  return regressions > 0 ? 1 : 0;
+}
