@@ -34,7 +34,7 @@ data::Relation Keyed(const std::string& name, size_t n, uint64_t range,
 }  // namespace
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   bench::Header("A1", "Adaptive operators: joins for wide-area sources");
 
   // ---- (a) join operators under source delays ----

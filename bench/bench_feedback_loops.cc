@@ -98,7 +98,7 @@ Outcome Run(bool hysteresis) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   bench::Header("F8 / section 6",
                 "Feedback-loop oscillation and the learned damper");
 

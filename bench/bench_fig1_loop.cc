@@ -58,7 +58,7 @@ double LoopCostMicros(GaugeKind kind, int n_constraints, int iters) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   bench::Header("Fig 1", "Adaptation-loop overhead (one full tick)");
 
   constexpr int kIters = 20000;

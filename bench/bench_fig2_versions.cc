@@ -13,7 +13,7 @@
 #include "net/network.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::data;
   bench::Header("Fig 2", "Data-component versions: size/quality/cost");

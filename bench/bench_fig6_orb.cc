@@ -10,7 +10,7 @@
 #include "os/go_system.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("Fig 6", "ORB thread migration: call-chain scaling");

@@ -96,7 +96,7 @@ RunResult RunPatia(bool adaptive) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   bench::Header("Fig 7", "Patia flash crowd: SWITCH fail-over vs static");
 
   RunResult adaptive = RunPatia(true);

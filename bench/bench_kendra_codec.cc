@@ -33,7 +33,7 @@ StreamResult Run(bool adaptive, const AudioCodec* fixed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   bench::Header("A2", "Kendra audio: adaptive codec ladder vs fixed");
 
   bench::Table table({18, 10, 14, 14, 12, 12});

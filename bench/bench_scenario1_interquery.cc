@@ -10,7 +10,7 @@
 #include "dbmachine/scenarios.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::machine;
   bench::Header("Scenario 1", "Inter-query adaptation: BEST(PDA, Laptop)");

@@ -9,7 +9,7 @@
 #include "dbmachine/scenarios.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::machine;
   bench::Header("Scenario 2", "Docked->wireless switchover (Figs 4-5)");

@@ -11,7 +11,7 @@
 #include "dbmachine/scenarios.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::machine;
   bench::Header("Scenario 3", "Intra-query re-optimisation under bad stats");

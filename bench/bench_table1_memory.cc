@@ -11,7 +11,7 @@
 #include "os/memory.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("Table 1b",

@@ -11,7 +11,7 @@
 #include "os/ipc_models.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("Table 1", "Relative RPC performance (cycles per null RPC)");

@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::adapt;
   bench::Header("Table 2", "Patia atom constraints, replayed");

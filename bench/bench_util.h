@@ -69,8 +69,6 @@ inline void Init(int* argc, char** argv) {
   }
 }
 
-inline void Init(int argc, char** argv) { Init(&argc, argv); }
-
 inline void Header(const std::string& id, const std::string& title) {
   std::printf("\n==============================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());

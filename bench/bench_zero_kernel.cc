@@ -13,7 +13,7 @@
 #include "os/scheduler.h"
 
 int main(int argc, char** argv) {
-  dbm::bench::Init(argc, argv);
+  dbm::bench::Init(&argc, argv);
   using namespace dbm;
   using namespace dbm::os;
   bench::Header("A4", "Zero-kernel interrupt + scheduler cost (cycles)");

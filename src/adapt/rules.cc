@@ -363,11 +363,15 @@ Result<Rule> ParseRule(std::string_view text) {
   return rule;
 }
 
-bool Evaluate(const Condition& cond, const MetricBus& bus) {
+bool Evaluate(const Condition& cond, const MetricBus& bus,
+              std::vector<std::pair<MetricName, double>>* readings) {
   bool result = false;
   for (size_t i = 0; i < cond.comparisons.size(); ++i) {
     const Comparison& c = cond.comparisons[i];
     auto value = bus.Get(c.metric);
+    if (readings != nullptr) {
+      readings->emplace_back(c.metric, value.ok() ? *value : 0);
+    }
     bool this_one = false;
     if (value.ok()) {
       this_one = ApplyCmp(c.op, *value, c.value);
@@ -447,7 +451,8 @@ Result<Decision> Evaluate(const Rule& rule, const MetricBus& bus,
                           const TargetScorer& scorer) {
   Decision d;
   const Action* act = nullptr;
-  if (!rule.trigger.has_value() || Evaluate(*rule.trigger, bus)) {
+  if (!rule.trigger.has_value() ||
+      Evaluate(*rule.trigger, bus, &d.gauges_read)) {
     d.fired = true;
     act = &rule.action;
   } else if (rule.else_action.has_value()) {

@@ -36,6 +36,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adapt/metrics.h"
@@ -133,11 +134,22 @@ struct Decision {
   std::optional<Target> chosen;  // absent iff !fired and no else branch
   bool migrate_state = false;    // true for SWITCH (paper: save processing
                                  // state as well as data state)
+  /// The bus values the trigger evaluation consumed, one entry per
+  /// comparison in trigger order (missing metrics read as 0). Empty for
+  /// trigger-less Select rules. Audit trails (DecisionRecord) copy these
+  /// rather than re-reading the bus after the fact.
+  std::vector<std::pair<MetricName, double>> gauges_read;
 };
 
 /// Evaluates `cond` against the bus. Missing metrics make the condition
 /// false (a constraint on an unknown quantity cannot be reported broken).
-bool Evaluate(const Condition& cond, const MetricBus& bus);
+/// When `readings` is non-null, appends the value each comparison
+/// consumed (missing metrics as 0).
+bool Evaluate(const Condition& cond, const MetricBus& bus,
+              std::vector<std::pair<MetricName, double>>* readings);
+inline bool Evaluate(const Condition& cond, const MetricBus& bus) {
+  return Evaluate(cond, bus, nullptr);
+}
 
 /// Evaluates a full rule: trigger → action or else-action → target choice.
 Result<Decision> Evaluate(const Rule& rule, const MetricBus& bus,

@@ -161,8 +161,8 @@ Result<int> SessionManager::CheckConstraints(SimTime now) {
     decision_rec.SetRule(c->rule.ToString());
     decision_rec.SetAction(std::string(ActionKindName(d.kind)) + " -> " +
                            d.chosen->ToString());
-    for (const Comparison& cmp : c->rule.trigger->comparisons) {
-      decision_rec.AddGauge(cmp.metric, bus_->GetOr(cmp.metric, 0));
+    for (const auto& [metric, value] : d.gauges_read) {
+      decision_rec.AddGauge(metric, value);
     }
     obs::Tracer::Default().Emit(decision_rec);
     AdaptationRequest req{c->id, c->subject, d, now};

@@ -241,6 +241,9 @@ Result<Scenario3Report> RunScenario3(const Scenario3Config& config) {
   auto sm = std::make_shared<adapt::SessionManager>("session-manager", &bus,
                                                     &rules);
   auto am = std::make_shared<adapt::AdaptivityManager>();
+  // Outlives the fig1_loop block: both the "plan" handler and the
+  // reopt_arbiter below reference it during exec.Run.
+  bool approved = false;
   if (config.fig1_loop) {
     // The request is delivered through the ORB (Table 1's Go! RPC): load
     // a null query-entry service and hop into it. The trace context rides
