@@ -13,6 +13,7 @@
 
 #include "bench/bench_trajectory.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/trace_export.h"
 #include "obs/tracectx.h"
 
@@ -66,6 +67,17 @@ inline void Init(int* argc, char** argv) {
     obs::TracerOptions topt;
     topt.sample_rate = ctx.trace_sample;
     obs::Tracer::Default().Configure(topt);
+  }
+  // Crash forensics: a fatal signal or DBM_CHECK failure dumps spans,
+  // decisions, health verdicts and time-series tails next to the binary
+  // (same anchoring as the metrics sidecar) for CI to collect.
+  if (*argc > 0 && argv[0] != nullptr) {
+    std::string base = argv[0];
+    size_t slash = base.find_last_of('/');
+    if (slash != std::string::npos) base = base.substr(slash + 1);
+    obs::FlightRecorderOptions fopt;
+    fopt.path = ctx.out_dir + base + ".flight.json";
+    obs::InstallFlightRecorder(fopt);
   }
 }
 

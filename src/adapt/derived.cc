@@ -1,0 +1,95 @@
+#include "adapt/derived.h"
+
+namespace dbm::adapt {
+
+const char* DerivedKindName(DerivedKind k) {
+  switch (k) {
+    case DerivedKind::kRate: return "rate";
+    case DerivedKind::kEwma: return "ewma";
+    case DerivedKind::kMean: return "mean";
+    case DerivedKind::kP50: return "p50";
+    case DerivedKind::kP95: return "p95";
+    case DerivedKind::kP99: return "p99";
+  }
+  return "?";
+}
+
+namespace {
+double KindQuantile(DerivedKind k) {
+  switch (k) {
+    case DerivedKind::kP50: return 0.50;
+    case DerivedKind::kP95: return 0.95;
+    case DerivedKind::kP99: return 0.99;
+    default: return 0;
+  }
+}
+bool IsQuantile(DerivedKind k) {
+  return k == DerivedKind::kP50 || k == DerivedKind::kP95 ||
+         k == DerivedKind::kP99;
+}
+}  // namespace
+
+void DerivedPublisher::Add(const DerivedSpec& spec) {
+  Row row;
+  row.spec = spec;
+  if (row.spec.publish_as.empty()) {
+    row.spec.publish_as =
+        "derived." + spec.source + "." + DerivedKindName(spec.kind);
+  }
+  row.out = bus_->GetChannel(row.spec.publish_as);
+  if (spec.from_histogram) {
+    row.source_hist = &obs::Registry::Default().GetHistogram(spec.source);
+    row.hist_window = std::make_unique<obs::HistogramWindow>();
+  } else {
+    // Bus metrics retain history under the registry-mirror name.
+    row.source_series = &store_->Get("bus." + spec.source);
+  }
+  rows_.push_back(std::move(row));
+}
+
+void DerivedPublisher::Tick(SimTime now) {
+  ++ticks_;
+  for (Row& row : rows_) {
+    const SimTime from = now - row.spec.window;
+    double value = 0;
+    if (row.source_hist != nullptr) {
+      row.hist_window->Push(now, *row.source_hist);
+      if (IsQuantile(row.spec.kind)) {
+        value = row.hist_window->WindowQuantile(from,
+                                                KindQuantile(row.spec.kind));
+      } else if (row.spec.kind == DerivedKind::kRate) {
+        double dt_s = ToSeconds(row.spec.window);
+        value = dt_s > 0 ? static_cast<double>(
+                               row.hist_window->WindowCount(from)) /
+                               dt_s
+                         : 0;
+      } else {
+        // EWMA/mean over a histogram window are not retained per-sample;
+        // publish the windowed mean rank proxy: p50.
+        value = row.hist_window->WindowQuantile(from, 0.5);
+      }
+    } else {
+      std::vector<obs::TsSample> window = row.source_series->Window(from);
+      switch (row.spec.kind) {
+        case DerivedKind::kRate:
+          value = obs::RatePerSecond(window);
+          break;
+        case DerivedKind::kEwma:
+          value = obs::Ewma(window, row.spec.alpha);
+          break;
+        case DerivedKind::kMean:
+          value = obs::SampleMean(window);
+          break;
+        case DerivedKind::kP50:
+        case DerivedKind::kP95:
+        case DerivedKind::kP99:
+          value = obs::SampleQuantile(std::move(window),
+                                      KindQuantile(row.spec.kind));
+          break;
+      }
+    }
+    bus_->Publish(row.out, value, now);
+  }
+}
+
+}  // namespace dbm::adapt

@@ -1,0 +1,95 @@
+// Derived windowed gauges: trends published back onto the metric bus.
+//
+// Table-2 rules evaluate instantaneous bus values; the paper's gauges,
+// though, are meant to aggregate "for more lightweight processing" (§3) —
+// and a threshold on a point read is exactly the kind of trigger that
+// flaps. The DerivedPublisher computes windowed statistics over retained
+// history (obs/timeseries) and publishes them as first-class bus metrics
+// named `derived.<source>.<stat>` — e.g. "derived.serve-latency.p95",
+// "derived.patia.requests.rate" — so a rule can say
+//
+//   If derived.serve-latency.p95 > 40000 then SWITCH(...)
+//
+// and trigger on the trend. Sources are either bus metrics (rate, ewma,
+// mean and percentiles over the retained per-publish samples) or registry
+// histograms (windowed p50/p95/p99 from cumulative bucket-snapshot
+// differences, plus rate from the cumulative count).
+
+#ifndef DBM_ADAPT_DERIVED_H_
+#define DBM_ADAPT_DERIVED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/metrics.h"
+#include "obs/timeseries.h"
+
+namespace dbm::adapt {
+
+enum class DerivedKind : uint8_t {
+  kRate,  // change per simulated second over the window
+  kEwma,  // EWMA over the window's samples
+  kMean,  // mean over the window's samples
+  kP50,
+  kP95,
+  kP99,
+};
+
+const char* DerivedKindName(DerivedKind k);
+
+struct DerivedSpec {
+  /// Bus metric name ("processor-util") or, with from_histogram set, a
+  /// registry histogram name ("patia.request.latency_us").
+  std::string source;
+  DerivedKind kind = DerivedKind::kEwma;
+  /// Lookback window in simulated time.
+  SimTime window = Seconds(10);
+  double alpha = 0.3;  // kEwma only
+  /// Percentiles/rates computed from a registry histogram's cumulative
+  /// bucket snapshots instead of per-publish bus samples.
+  bool from_histogram = false;
+  /// Bus name override for the published gauge; defaults to
+  /// "derived.<source>.<stat>".
+  std::string publish_as;
+};
+
+/// Computes and publishes one derived gauge per spec on every Tick.
+/// Lives on the simulation thread (Patia's Tick, a scenario driver, or a
+/// bench loop); not thread-safe.
+class DerivedPublisher {
+ public:
+  explicit DerivedPublisher(MetricBus* bus,
+                            obs::TimeSeriesStore* store =
+                                &obs::TimeSeriesStore::Default())
+      : bus_(bus), store_(store) {}
+
+  /// Registers a derived gauge. Channels and histogram windows are
+  /// resolved here, once — Tick stays allocation-light.
+  void Add(const DerivedSpec& spec);
+
+  /// Recomputes every derived gauge over [now - window, now] and
+  /// publishes it at `now`.
+  void Tick(SimTime now);
+
+  size_t size() const { return rows_.size(); }
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  struct Row {
+    DerivedSpec spec;
+    MetricBus::Channel* out = nullptr;          // publish target
+    obs::TimeSeries* source_series = nullptr;   // bus-sourced stats
+    obs::Histogram* source_hist = nullptr;      // histogram-sourced stats
+    std::unique_ptr<obs::HistogramWindow> hist_window;
+  };
+
+  MetricBus* bus_;
+  obs::TimeSeriesStore* store_;
+  std::vector<Row> rows_;
+  uint64_t ticks_ = 0;
+};
+
+}  // namespace dbm::adapt
+
+#endif  // DBM_ADAPT_DERIVED_H_

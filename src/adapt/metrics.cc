@@ -16,6 +16,10 @@ const char* GaugeKindName(GaugeKind k) {
 
 Status Gauge::Sample(SimTime t) {
   DBM_ASSIGN_OR_RETURN(Monitor * mon, Require<Monitor>("source"));
+  if (channel_ == nullptr) {
+    channel_ = bus_->GetChannel(mon->metric());
+    health_ = &obs::LoopHealth::Default().Get(mon->metric());
+  }
   double raw = mon->Read();
   switch (kind_) {
     case GaugeKind::kLast:
@@ -40,7 +44,8 @@ Status Gauge::Sample(SimTime t) {
       break;
     }
   }
-  bus_->Publish(mon->metric(), value_, t);
+  bus_->Publish(channel_, value_, t);
+  health_->Sample(t);
   publishes_->Add(1);
   return Status::OK();
 }

@@ -25,7 +25,9 @@
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "component/component.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace dbm::adapt {
 
@@ -33,16 +35,47 @@ namespace dbm::adapt {
 using MetricName = std::string;
 
 /// The blackboard of current aggregated metric values.
+///
+/// Each metric has a Channel whose registry mirror ("bus.<metric>" gauge)
+/// and retained time series are resolved exactly once, at channel
+/// creation. Publishers that keep the Channel* (gauges cache it on first
+/// sample) publish with no string concatenation, no map lookup and no
+/// allocation — the steady-state Fig-1 loop is a handful of stores.
 class MetricBus {
  public:
-  void Publish(const MetricName& metric, double value, SimTime at) {
-    Entry& e = values_[metric];
-    if (e.mirror == nullptr) {
-      e.mirror = &obs::Registry::Default().GetGauge("bus." + metric);
+  struct Channel {
+    double value = 0;
+    SimTime at = 0;
+    uint64_t publishes = 0;
+    obs::Gauge* mirror = nullptr;        // registry gauge "bus.<metric>"
+    obs::TimeSeries* series = nullptr;   // retained history "bus.<metric>"
+  };
+
+  /// Finds or creates the channel for `metric`, resolving its mirror
+  /// gauge and time series. The pointer is stable for the bus's lifetime
+  /// (map nodes do not move); resolve once, keep it.
+  Channel* GetChannel(const MetricName& metric) {
+    auto it = values_.find(metric);
+    if (it == values_.end()) {
+      it = values_.emplace(metric, Channel{}).first;
+      const std::string mirrored = "bus." + metric;
+      it->second.mirror = &obs::Registry::Default().GetGauge(mirrored);
+      it->second.series = &obs::TimeSeriesStore::Default().Get(mirrored);
     }
-    e.value = value;
-    e.at = at;
-    e.mirror->Set(value);
+    return &it->second;
+  }
+
+  /// Allocation-free steady-state publish through a cached channel.
+  void Publish(Channel* channel, double value, SimTime at) {
+    channel->value = value;
+    channel->at = at;
+    ++channel->publishes;
+    channel->mirror->Set(value);
+    channel->series->Record(at, value);
+  }
+
+  void Publish(const MetricName& metric, double value, SimTime at) {
+    Publish(GetChannel(metric), value, at);
   }
 
   Result<double> Get(const MetricName& metric) const {
@@ -74,12 +107,7 @@ class MetricBus {
   }
 
  private:
-  struct Entry {
-    double value = 0;
-    SimTime at = 0;
-    obs::Gauge* mirror = nullptr;  // registry gauge "bus.<metric>"
-  };
-  std::map<MetricName, Entry> values_;
+  std::map<MetricName, Channel> values_;
 };
 
 /// A monitor component: produces raw samples of one metric.
@@ -172,6 +200,11 @@ class Gauge : public component::Component {
   bool primed_ = false;
   obs::Counter* publishes_;
   uint64_t publishes_base_ = 0;
+  /// Cached on the first Sample (the metric name comes from the monitor,
+  /// which binds to the "source" port after construction). Steady-state
+  /// publishes then do no string work, no map lookup and no allocation.
+  MetricBus::Channel* channel_ = nullptr;
+  obs::LoopHealth::Tracker* health_ = nullptr;
 };
 
 }  // namespace dbm::adapt

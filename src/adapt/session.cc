@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/health.h"
 #include "obs/tracectx.h"
 
 namespace dbm::adapt {
@@ -168,6 +169,22 @@ Result<int> SessionManager::CheckConstraints(SimTime now) {
     AdaptationRequest req{c->id, c->subject, d, now};
     Status s = am->Enact(req);
     if (s.ok()) {
+      // End-to-end Fig-1 loop latency for this decision: from the OLDEST
+      // gauge reading the evaluation consumed to the enactment, both in
+      // simulated time. Joinable to the DecisionRecord above by trace id.
+      SimTime latency = 0;
+      for (const auto& [metric, value] : d.gauges_read) {
+        (void)value;
+        auto age = bus_->Age(metric, now);
+        if (age.ok() && *age > latency) latency = *age;
+      }
+      obs::LoopLatencyRecord loop_rec;
+      loop_rec.trace_id = trace_ctx.trace_id;
+      loop_rec.span_id = trace_ctx.span_id;
+      loop_rec.constraint_id = c->id;
+      loop_rec.at_sim_us = now;
+      loop_rec.latency_us = latency;
+      obs::LoopHealth::Default().RecordLoopLatency(loop_rec);
       last_enacted_[c->id] = *d.chosen;
       ++enacted;
       if (hysteresis_.enabled) {

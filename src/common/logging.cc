@@ -8,6 +8,7 @@ namespace dbm {
 namespace {
 LogLevel g_level = LogLevel::kWarn;
 LogPrefixProvider g_prefix_provider = nullptr;
+CheckFailureHandler g_check_handler = nullptr;
 const char* LevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -24,6 +25,9 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 void SetLogPrefixProvider(LogPrefixProvider provider) {
   g_prefix_provider = provider;
 }
+void SetCheckFailureHandler(CheckFailureHandler handler) {
+  g_check_handler = handler;
+}
 
 namespace internal {
 
@@ -37,6 +41,21 @@ LogMessage::~LogMessage() {
   stream_ << "\n";
   std::fputs(stream_.str().c_str(), stderr);
   if (level_ == LogLevel::kError) std::fflush(stderr);
+}
+
+CheckMessage::CheckMessage(const char* file, int line,
+                           const char* condition) {
+  stream_ << "[CHECK " << file << ":" << line << "] ";
+  if (g_prefix_provider != nullptr) g_prefix_provider(stream_);
+  stream_ << "CHECK failed: " << condition << " ";
+}
+
+CheckMessage::~CheckMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fflush(stderr);
+  if (g_check_handler != nullptr) g_check_handler();
+  std::abort();
 }
 
 }  // namespace internal

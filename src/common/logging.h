@@ -23,6 +23,14 @@ void SetLogLevel(LogLevel level);
 using LogPrefixProvider = void (*)(std::ostream& os);
 void SetLogPrefixProvider(LogPrefixProvider provider);
 
+/// Optional hook run when a DBM_CHECK fails, after the message is written
+/// and before the process aborts. The flight recorder (obs/health)
+/// installs one that dumps the trace rings and time-series tails to a
+/// sidecar for post-mortem. Same provider pattern as the log prefix:
+/// common cannot depend on obs, so obs reaches down through a pointer.
+using CheckFailureHandler = void (*)();
+void SetCheckFailureHandler(CheckFailureHandler handler);
+
 namespace internal {
 
 class LogMessage {
@@ -36,6 +44,18 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Streams like LogMessage, then runs the check-failure handler and
+/// aborts. Built only by DBM_CHECK.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* condition);
+  ~CheckMessage();  // writes, runs the handler, aborts
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
 }  // namespace internal
 }  // namespace dbm
 
@@ -44,11 +64,11 @@ class LogMessage {
   ::dbm::internal::LogMessage(::dbm::LogLevel::level, __FILE__, __LINE__) \
       .stream()
 
+/// Fatal invariant check: streams the message, runs the installed
+/// check-failure handler (flight-recorder dump), then aborts.
 #define DBM_CHECK(cond)                                             \
-  if (!(cond))                                                      \
-  ::dbm::internal::LogMessage(::dbm::LogLevel::kError, __FILE__,    \
-                              __LINE__)                             \
-          .stream()                                                 \
-      << "CHECK failed: " #cond " "
+  if (cond) {                                                       \
+  } else                                                            \
+    ::dbm::internal::CheckMessage(__FILE__, __LINE__, #cond).stream()
 
 #endif  // DBM_COMMON_LOGGING_H_

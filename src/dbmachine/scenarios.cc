@@ -261,7 +261,6 @@ Result<Scenario3Report> RunScenario3(const Scenario3Config& config) {
             " then SWITCH(plan.hash_build_left, plan.hash_build_right)"));
     sm->FindPort("adaptivity")->SetTarget(am);
 
-    bool approved = false;
     am->RegisterHandler("plan",
                         [&approved](const adapt::AdaptationRequest&) {
                           approved = true;

@@ -1,0 +1,257 @@
+#include "obs/health.h"
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace dbm::obs {
+
+// ---------------------------------------------------------------------------
+// LoopHealth
+// ---------------------------------------------------------------------------
+
+LoopHealth::LoopHealth(double staleness_factor, size_t latency_capacity)
+    : staleness_factor_(staleness_factor), latencies_(latency_capacity) {
+  Registry& reg = Registry::Default();
+  latency_gauge_ = &reg.GetGauge("fig1.loop_latency_us");
+  latency_hist_ = &reg.GetHistogram("fig1.loop_latency_us.hist");
+}
+
+LoopHealth& LoopHealth::Default() {
+  static LoopHealth* health = new LoopHealth();
+  return *health;
+}
+
+LoopHealth::Tracker& LoopHealth::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = trackers_.find(name);
+  if (it == trackers_.end()) {
+    it = trackers_.emplace(name, std::make_unique<Tracker>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<LoopHealth::Verdict> LoopHealth::Verdicts(int64_t now_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Verdict> out;
+  out.reserve(trackers_.size());
+  for (const auto& [name, t] : trackers_) {
+    Verdict v;
+    v.name = name;
+    v.period_us = t->period_us.load(std::memory_order_relaxed);
+    v.samples = t->samples.load(std::memory_order_relaxed);
+    int64_t last = t->last_at_us.load(std::memory_order_relaxed);
+    v.ever_sampled = last != INT64_MIN;
+    v.age_us = v.ever_sampled ? now_us - last : -1;
+    if (v.period_us > 0) {
+      int64_t allowed = static_cast<int64_t>(
+          staleness_factor_ * static_cast<double>(v.period_us));
+      v.stale = !v.ever_sampled || v.age_us > allowed;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+bool LoopHealth::AllHealthy(int64_t now_us) const {
+  for (const Verdict& v : Verdicts(now_us)) {
+    if (v.stale) return false;
+  }
+  return true;
+}
+
+void LoopHealth::RecordLoopLatency(const LoopLatencyRecord& rec) {
+  latencies_.Append(rec);
+  latency_gauge_->Set(static_cast<double>(rec.latency_us));
+  latency_hist_->Record(
+      rec.latency_us < 0 ? 0 : static_cast<uint64_t>(rec.latency_us));
+}
+
+void LoopHealth::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trackers_.clear();
+  latencies_.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FlightState {
+  FlightRecorderOptions options;
+  bool installed = false;
+};
+
+FlightState& State() {
+  static FlightState* state = new FlightState();
+  return *state;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendSpans(std::string* out) {
+  *out += "\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& s : Tracer::Default().Spans()) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"trace_id\":\"" + s.trace_id.ToHex() + "\"";
+    *out += ",\"span_id\":" + std::to_string(s.span_id);
+    *out += ",\"parent_span_id\":" + std::to_string(s.parent_span_id);
+    *out += ",\"name\":\"" + JsonEscape(s.name) + "\"";
+    *out += ",\"category\":\"" + JsonEscape(s.category) + "\"";
+    *out += ",\"start_host_ns\":" + std::to_string(s.start_host_ns);
+    *out += ",\"dur_host_ns\":" + std::to_string(s.dur_host_ns);
+    *out += ",\"sim_begin\":" + std::to_string(s.sim_begin);
+    *out += ",\"sim_dur\":" + std::to_string(s.sim_dur) + "}";
+  }
+  *out += "]";
+}
+
+void AppendDecisions(std::string* out) {
+  *out += "\"decisions\":[";
+  bool first = true;
+  for (const DecisionRecord& d : Tracer::Default().Decisions()) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"trace_id\":\"" + d.trace_id.ToHex() + "\"";
+    *out += ",\"span_id\":" + std::to_string(d.span_id);
+    *out += ",\"at_sim_us\":" + std::to_string(d.at_sim_us);
+    *out += ",\"constraint_id\":" + std::to_string(d.constraint_id);
+    *out += ",\"subject\":\"" + JsonEscape(d.subject) + "\"";
+    *out += ",\"rule\":\"" + JsonEscape(d.rule) + "\"";
+    *out += ",\"action\":\"" + JsonEscape(d.action) + "\"";
+    *out += ",\"gauges\":[";
+    for (int32_t i = 0; i < d.gauge_count; ++i) {
+      if (i > 0) *out += ",";
+      *out += "{\"metric\":\"" + JsonEscape(d.gauges[i].metric) +
+              "\",\"value\":" + Num(d.gauges[i].value) + "}";
+    }
+    *out += "]}";
+  }
+  *out += "]";
+}
+
+void AppendLoopLatencies(std::string* out) {
+  *out += "\"loop_latency\":[";
+  bool first = true;
+  for (const LoopLatencyRecord& r : LoopHealth::Default().LoopLatencies()) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"trace_id\":\"" + r.trace_id.ToHex() + "\"";
+    *out += ",\"span_id\":" + std::to_string(r.span_id);
+    *out += ",\"constraint_id\":" + std::to_string(r.constraint_id);
+    *out += ",\"at_sim_us\":" + std::to_string(r.at_sim_us);
+    *out += ",\"latency_us\":" + std::to_string(r.latency_us) + "}";
+  }
+  *out += "]";
+}
+
+void AppendHealth(std::string* out, int64_t now_us) {
+  *out += "\"health\":[";
+  bool first = true;
+  for (const LoopHealth::Verdict& v : LoopHealth::Default().Verdicts(now_us)) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"name\":\"" + JsonEscape(v.name) + "\"";
+    *out += std::string(",\"stale\":") + (v.stale ? "true" : "false");
+    *out += ",\"age_us\":" + std::to_string(v.age_us);
+    *out += ",\"period_us\":" + std::to_string(v.period_us);
+    *out += ",\"samples\":" + std::to_string(v.samples) + "}";
+  }
+  *out += "]";
+}
+
+void AppendTimeSeries(std::string* out, size_t tail) {
+  *out += "\"timeseries\":[";
+  bool first = true;
+  for (const TimeSeries* ts : TimeSeriesStore::Default().All()) {
+    std::vector<TsSample> samples = ts->Snapshot();
+    if (samples.size() > tail) {
+      samples.erase(samples.begin(),
+                    samples.end() - static_cast<ptrdiff_t>(tail));
+    }
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"name\":\"" + JsonEscape(ts->name()) + "\",\"samples\":[";
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += "[" + std::to_string(samples[i].at_us) + "," +
+              Num(samples[i].value) + "]";
+    }
+    *out += "]}";
+  }
+  *out += "]";
+}
+
+void DumpInstalled() {
+  // A DBM_CHECK failure aborts, and SIGABRT is also trapped: dump once.
+  static std::atomic<bool> dumped{false};
+  if (dumped.exchange(true)) return;
+  FlightState& state = State();
+  if (state.options.path.empty()) return;
+  (void)DumpFlightRecord(state.options.path, state.options.now_us,
+                         state.options.timeseries_tail);
+  std::fprintf(stderr, "[flight recorder: %s]\n",
+               state.options.path.c_str());
+}
+
+void FatalSignalHandler(int sig) {
+  // Not async-signal-safe; a best-effort post-mortem is the point.
+  std::signal(sig, SIG_DFL);
+  DumpInstalled();
+  std::raise(sig);
+}
+
+}  // namespace
+
+void InstallFlightRecorder(const FlightRecorderOptions& options) {
+  FlightState& state = State();
+  state.options = options;
+  SetCheckFailureHandler(&DumpInstalled);
+  if (options.install_signal_handlers && !state.installed) {
+    std::signal(SIGSEGV, &FatalSignalHandler);
+    std::signal(SIGBUS, &FatalSignalHandler);
+    std::signal(SIGFPE, &FatalSignalHandler);
+    std::signal(SIGILL, &FatalSignalHandler);
+    std::signal(SIGABRT, &FatalSignalHandler);
+  }
+  state.installed = true;
+}
+
+const std::string& FlightRecorderPath() {
+  return State().options.path;
+}
+
+Status DumpFlightRecord(const std::string& path, int64_t now_us,
+                        size_t timeseries_tail) {
+  std::string out = "{\"flight\":{";
+  out += "\"at_us\":" + std::to_string(now_us) + ",";
+  AppendSpans(&out);
+  out += ",";
+  AppendDecisions(&out);
+  out += ",";
+  AppendLoopLatencies(&out);
+  out += ",";
+  AppendHealth(&out, now_us);
+  out += ",";
+  AppendTimeSeries(&out, timeseries_tail);
+  out += "}}";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace dbm::obs

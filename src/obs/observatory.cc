@@ -1,0 +1,321 @@
+#include "obs/observatory.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "obs/metrics_table.h"
+#include "obs/trace_table.h"
+#include "query/executor.h"
+#include "query/expr.h"
+#include "query/operator.h"
+
+namespace dbm::obs {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted/dashed names
+/// map onto '_'.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const Registry& registry) {
+  std::string out;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    const std::string name = PromName(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(m.count) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + Num(m.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + name + " summary\n";
+        out += name + "{quantile=\"0.5\"} " + Num(m.p50) + "\n";
+        out += name + "{quantile=\"0.9\"} " + Num(m.p90) + "\n";
+        out += name + "{quantile=\"0.99\"} " + Num(m.p99) + "\n";
+        out += name + "_sum " + Num(m.sum) + "\n";
+        out += name + "_count " + std::to_string(m.count) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string TimeSeriesJson(const TimeSeriesStore& store, size_t tail) {
+  std::string out = "{\"timeseries\":[";
+  bool first = true;
+  for (const TimeSeries* ts : store.All()) {
+    std::vector<TsSample> samples = ts->Snapshot();
+    if (samples.size() > tail) {
+      samples.erase(samples.begin(),
+                    samples.end() - static_cast<ptrdiff_t>(tail));
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(ts->name()) + "\"";
+    out += ",\"total\":" + std::to_string(ts->total());
+    out += ",\"samples\":[";
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "[" + std::to_string(samples[i].at_us) + "," +
+             Num(samples[i].value) + "]";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string DecisionsJson(const Tracer& tracer) {
+  std::string out = "{\"decisions\":[";
+  bool first = true;
+  for (const DecisionRecord& d : tracer.Decisions()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"trace_id\":\"" + d.trace_id.ToHex() + "\"";
+    out += ",\"span_id\":" + std::to_string(d.span_id);
+    out += ",\"at_sim_us\":" + std::to_string(d.at_sim_us);
+    out += ",\"constraint_id\":" + std::to_string(d.constraint_id);
+    out += ",\"subject\":\"" + JsonEscape(d.subject) + "\"";
+    out += ",\"rule\":\"" + JsonEscape(d.rule) + "\"";
+    out += ",\"action\":\"" + JsonEscape(d.action) + "\"";
+    out += ",\"gauges\":[";
+    for (int32_t i = 0; i < d.gauge_count; ++i) {
+      if (i > 0) out += ",";
+      out += "{\"metric\":\"" + JsonEscape(d.gauges[i].metric) +
+             "\",\"value\":" + Num(d.gauges[i].value) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string HealthJson(int64_t now_us, const LoopHealth& health) {
+  std::vector<LoopHealth::Verdict> verdicts = health.Verdicts(now_us);
+  bool healthy = true;
+  for (const LoopHealth::Verdict& v : verdicts) {
+    if (v.stale) healthy = false;
+  }
+  std::string out = "{\"health\":{";
+  out += "\"at_us\":" + std::to_string(now_us);
+  out += std::string(",\"healthy\":") + (healthy ? "true" : "false");
+  out += ",\"gauges\":[";
+  bool first = true;
+  for (const LoopHealth::Verdict& v : verdicts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(v.name) + "\"";
+    out += std::string(",\"stale\":") + (v.stale ? "true" : "false");
+    out += ",\"age_us\":" + std::to_string(v.age_us);
+    out += ",\"period_us\":" + std::to_string(v.period_us);
+    out += ",\"samples\":" + std::to_string(v.samples) + "}";
+  }
+  out += "],\"loop_latency\":{";
+  std::vector<LoopLatencyRecord> lats = health.LoopLatencies();
+  out += "\"count\":" + std::to_string(lats.size());
+  out += ",\"last_us\":" +
+         std::to_string(lats.empty() ? 0 : lats.back().latency_us);
+  out += ",\"records\":[";
+  size_t start = lats.size() > 16 ? lats.size() - 16 : 0;
+  for (size_t i = start; i < lats.size(); ++i) {
+    if (i > start) out += ",";
+    out += "{\"trace_id\":\"" + lats[i].trace_id.ToHex() + "\"";
+    out += ",\"constraint_id\":" + std::to_string(lats[i].constraint_id);
+    out += ",\"at_sim_us\":" + std::to_string(lats[i].at_sim_us);
+    out += ",\"latency_us\":" + std::to_string(lats[i].latency_us) + "}";
+  }
+  out += "]}}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// /obs/query
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<query::CmpOp> ParseOp(const std::string& op) {
+  if (op == "=") return query::CmpOp::kEq;
+  if (op == "!=") return query::CmpOp::kNe;
+  if (op == "<") return query::CmpOp::kLt;
+  if (op == "<=") return query::CmpOp::kLe;
+  if (op == ">") return query::CmpOp::kGt;
+  if (op == ">=") return query::CmpOp::kGe;
+  return Status::ParseError("unknown operator '" + op +
+                            "' (expected = != < <= > >=)");
+}
+
+/// Coerces the literal to the filtered column's declared type so the
+/// comparison never mixes a string with a number.
+Result<data::Value> CoerceLiteral(const data::Schema& schema,
+                                  const std::string& column,
+                                  const std::string& text) {
+  DBM_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column));
+  switch (schema.field(idx).type) {
+    case data::ValueType::kInt:
+      return data::Value{static_cast<int64_t>(
+          std::strtoll(text.c_str(), nullptr, 10))};
+    case data::ValueType::kDouble:
+      return data::Value{std::strtod(text.c_str(), nullptr)};
+    default:
+      return data::Value{text};
+  }
+}
+
+std::string RenderValue(const data::Value& v) {
+  switch (data::TypeOf(v)) {
+    case data::ValueType::kNull: return "null";
+    case data::ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v));
+    case data::ValueType::kDouble: return Num(std::get<double>(v));
+    case data::ValueType::kString:
+      return "\"" + JsonEscape(std::get<std::string>(v)) + "\"";
+  }
+  return "null";
+}
+
+}  // namespace
+
+Result<std::string> ObservatoryQuery(std::string_view q,
+                                     const ObservatoryOptions& options) {
+  const Registry& registry =
+      options.registry != nullptr ? *options.registry : Registry::Default();
+  const Tracer& tracer =
+      options.tracer != nullptr ? *options.tracer : Tracer::Default();
+
+  std::vector<std::string> tokens =
+      Split(std::string(Trim(q)), ' ', /*skip_empty=*/true);
+  if (tokens.empty()) {
+    return Status::ParseError(
+        "empty query (expected: <relation> [where <col> <op> <value>] "
+        "[limit N])");
+  }
+  const std::string& rel_name = tokens[0];
+  data::Relation rel;
+  if (rel_name == "metrics") {
+    rel = MetricsRelation(registry);
+  } else if (rel_name == "spans") {
+    rel = SpansRelation(tracer);
+  } else if (rel_name == "decisions") {
+    rel = DecisionsRelation(tracer);
+  } else {
+    return Status::ParseError("unknown relation '" + rel_name +
+                              "' (expected metrics|spans|decisions)");
+  }
+
+  query::OperatorPtr root = std::make_unique<query::MemSource>(&rel);
+  size_t i = 1;
+  if (i < tokens.size() && tokens[i] == "where") {
+    if (i + 3 >= tokens.size()) {
+      return Status::ParseError("where clause needs <col> <op> <value>");
+    }
+    const std::string& column = tokens[i + 1];
+    DBM_ASSIGN_OR_RETURN(query::CmpOp op, ParseOp(tokens[i + 2]));
+    DBM_ASSIGN_OR_RETURN(data::Value literal,
+                         CoerceLiteral(rel.schema(), column, tokens[i + 3]));
+    DBM_ASSIGN_OR_RETURN(query::ExprPtr col,
+                         query::Col(rel.schema(), column));
+    root = std::make_unique<query::FilterOp>(
+        std::move(root),
+        query::Compare(op, std::move(col), query::Lit(std::move(literal))));
+    i += 4;
+  }
+  if (i < tokens.size() && tokens[i] == "limit") {
+    if (i + 1 >= tokens.size()) {
+      return Status::ParseError("limit needs a row count");
+    }
+    root = std::make_unique<query::LimitOp>(
+        std::move(root),
+        static_cast<uint64_t>(std::strtoull(tokens[i + 1].c_str(), nullptr,
+                                            10)));
+    i += 2;
+  }
+  if (i < tokens.size()) {
+    return Status::ParseError("trailing tokens after '" + tokens[i - 1] +
+                              "' (query: <relation> [where <col> <op> "
+                              "<value>] [limit N])");
+  }
+
+  std::vector<data::Tuple> rows;
+  DBM_RETURN_NOT_OK(query::Execute(root.get(), &rows).status());
+
+  std::string out = "{\"relation\":\"" + JsonEscape(rel_name) + "\"";
+  out += ",\"columns\":[";
+  const data::Schema& schema = root->schema();
+  for (size_t f = 0; f < schema.size(); ++f) {
+    if (f > 0) out += ",";
+    out += "\"" + JsonEscape(schema.field(f).name) + "\"";
+  }
+  out += "],\"rows\":[";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ",";
+    out += "[";
+    for (size_t v = 0; v < rows[r].values.size(); ++v) {
+      if (v > 0) out += ",";
+      out += RenderValue(rows[r].values[v]);
+    }
+    out += "]";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<std::string> ServeObservatory(std::string_view path, int64_t now_us,
+                                     const ObservatoryOptions& options) {
+  const Registry& registry =
+      options.registry != nullptr ? *options.registry : Registry::Default();
+  const Tracer& tracer =
+      options.tracer != nullptr ? *options.tracer : Tracer::Default();
+  const TimeSeriesStore& store =
+      options.store != nullptr ? *options.store : TimeSeriesStore::Default();
+  const LoopHealth& health =
+      options.health != nullptr ? *options.health : LoopHealth::Default();
+
+  std::string_view endpoint = path;
+  std::string_view query_string;
+  size_t qpos = path.find('?');
+  if (qpos != std::string_view::npos) {
+    endpoint = path.substr(0, qpos);
+    query_string = path.substr(qpos + 1);
+  }
+  if (endpoint == "/obs/metrics") return PrometheusText(registry);
+  if (endpoint == "/obs/timeseries") {
+    return TimeSeriesJson(store, options.timeseries_tail);
+  }
+  if (endpoint == "/obs/decisions") return DecisionsJson(tracer);
+  if (endpoint == "/obs/health") return HealthJson(now_us, health);
+  if (endpoint == "/obs/query") {
+    if (query_string.rfind("q=", 0) != 0) {
+      return Status::InvalidArgument(
+          "/obs/query expects ?q=<relation> [where ...] [limit N]");
+    }
+    return ObservatoryQuery(query_string.substr(2), options);
+  }
+  return Status::NotFound("no observatory endpoint '" +
+                          std::string(endpoint) + "'");
+}
+
+}  // namespace dbm::obs

@@ -1,0 +1,83 @@
+// The Observatory: observability content served by the machine itself.
+//
+// The paper's exemplar is a webserver (Patia, Fig 7), and DBOS's slant is
+// that system state should be data you can query — so the natural way to
+// look at a *running* reproduction is to ask it over its own serving
+// path. This module renders the observability state as endpoint bodies:
+//
+//   /obs/metrics      Prometheus-style text exposition of the registry
+//   /obs/timeseries   retained sample windows, JSON
+//   /obs/decisions    the adaptation decision ring, JSON
+//   /obs/health       staleness + loop-latency verdicts, JSON
+//   /obs/query?q=...  a mini query language routed through query::Execute
+//                     over the metrics/spans/decisions relations
+//
+// Content generation lives here (target dbm_observatory: obs + the
+// relation bridges + the query engine); registering the endpoints as
+// Patia service agents lives in src/patia/observatory.h — obs cannot
+// depend on patia.
+//
+// The /obs/query language is deliberately tiny:
+//
+//   <relation> [where <column> <op> <value>] [limit N]
+//
+// with <relation> one of metrics|spans|decisions and <op> one of
+// = != < <= > >=. It compiles to MemSource → FilterOp → LimitOp and runs
+// through query::Execute — the reproduction dogfooding its own engine.
+
+#ifndef DBM_OBS_OBSERVATORY_H_
+#define DBM_OBS_OBSERVATORY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/tracectx.h"
+
+namespace dbm::obs {
+
+/// Prometheus text exposition: one "# TYPE" line and one sample line per
+/// counter/gauge; histograms expose _count, _sum and quantile-labelled
+/// summary lines. Metric names are sanitised (dots and dashes → '_').
+std::string PrometheusText(const Registry& registry = Registry::Default());
+
+/// {"timeseries":[{"name":...,"samples":[[at_us,value],...]},...]} with
+/// at most `tail` newest samples per series.
+std::string TimeSeriesJson(const TimeSeriesStore& store =
+                               TimeSeriesStore::Default(),
+                           size_t tail = 32);
+
+/// {"decisions":[{...},...]} — the tracer's decision ring.
+std::string DecisionsJson(const Tracer& tracer = Tracer::Default());
+
+/// {"health":{"healthy":bool,"gauges":[...],"loop_latency":{...}}} at
+/// simulated time `now_us`.
+std::string HealthJson(int64_t now_us,
+                       const LoopHealth& health = LoopHealth::Default());
+
+/// Sources for the /obs/query relations (defaults = process-wide).
+struct ObservatoryOptions {
+  const Registry* registry = nullptr;
+  const Tracer* tracer = nullptr;
+  const TimeSeriesStore* store = nullptr;
+  const LoopHealth* health = nullptr;
+  size_t timeseries_tail = 32;
+};
+
+/// Runs one mini-language query and renders the result rows as
+/// {"relation":...,"columns":[...],"rows":[[...],...]}.
+Result<std::string> ObservatoryQuery(std::string_view q,
+                                     const ObservatoryOptions& options = {});
+
+/// Dispatches an endpoint path ("/obs/metrics", "/obs/query?q=...") to
+/// the matching renderer. `now_us` is the simulated time of the request
+/// (health verdicts and windows are relative to it).
+Result<std::string> ServeObservatory(std::string_view path, int64_t now_us,
+                                     const ObservatoryOptions& options = {});
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_OBSERVATORY_H_

@@ -1,0 +1,47 @@
+#include "patia/observatory.h"
+
+#include "obs/observatory.h"
+
+namespace dbm::patia {
+
+namespace {
+
+const char* const kEndpoints[] = {
+    "/obs/metrics", "/obs/timeseries", "/obs/decisions",
+    "/obs/health",  "/obs/query",
+};
+
+}  // namespace
+
+Result<std::vector<std::string>> RegisterObservatory(
+    PatiaServer* server, const std::vector<std::string>& nodes,
+    ObservatoryAgentOptions options) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("null server");
+  }
+  if (nodes.empty()) {
+    return Status::InvalidArgument("observatory needs at least one node");
+  }
+  std::vector<std::string> registered;
+  int id = options.first_atom_id;
+  for (const char* endpoint : kEndpoints) {
+    Atom atom;
+    atom.id = id++;
+    atom.name = endpoint;
+    atom.type = "text";
+    // Nominal size only — the generated body prices the transfer.
+    atom.variants = {{std::string(endpoint), 0}};
+    DBM_RETURN_NOT_OK(server->RegisterDynamicAtom(
+        std::move(atom), nodes,
+        [server](const std::string& resource, SimTime now) {
+          auto body = obs::ServeObservatory(resource, now);
+          if (body.ok()) return *std::move(body);
+          return std::string("{\"error\":\"") + body.status().message() +
+                 "\"}";
+        }));
+    registered.push_back(endpoint);
+  }
+  return registered;
+}
+
+}  // namespace dbm::patia

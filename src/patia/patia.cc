@@ -2,14 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/health.h"
+
 namespace dbm::patia {
 
 PatiaServer::PatiaServer(net::Network* network, adapt::MetricBus* bus)
-    : network_(network), bus_(bus) {
+    : network_(network), bus_(bus), derived_(bus) {
   obs::Registry& reg = obs::Registry::Default();
   obs_requests_ = &reg.GetCounter("patia.requests");
   obs_migrations_ = &reg.GetCounter("patia.agent.migrations");
   obs_latency_us_ = &reg.GetHistogram("patia.request.latency_us");
+  processor_util_ch_ = bus_->GetChannel("processor-util");
   adaptivity_ = std::make_shared<adapt::AdaptivityManager>("patia-am");
   state_ = std::make_shared<adapt::StateManager>("patia-state");
   session_ =
@@ -66,6 +69,7 @@ Status PatiaServer::AddNode(const std::string& name, NodeOptions options) {
       name + ".util-gauge", adapt::GaugeKind::kEwma, bus_, /*alpha=*/0.5);
   gauge->FindPort("source")->SetTarget(monitor);
   gauges_.push_back(std::move(gauge));
+  node_util_ch_[name] = bus_->GetChannel(name + ".processor-util");
   return Status::OK();
 }
 
@@ -116,10 +120,28 @@ Status PatiaServer::AddConstraint(int constraint_id, int atom_id,
                           priority);
 }
 
+Status PatiaServer::RegisterDynamicAtom(Atom atom,
+                                        const std::vector<std::string>& nodes,
+                                        ContentFn content) {
+  if (content == nullptr) {
+    return Status::InvalidArgument("dynamic atom '" + atom.name +
+                                   "' needs a content generator");
+  }
+  int id = atom.id;
+  DBM_RETURN_NOT_OK(RegisterAtom(std::move(atom), nodes));
+  dynamic_content_[id] = std::move(content);
+  return Status::OK();
+}
+
 Result<const Atom*> PatiaServer::GetAtom(const std::string& name) const {
-  auto it = atoms_by_name_.find(name);
+  // Dynamic endpoints carry per-request query suffixes
+  // ("/obs/query?q=..."): the atom is the part before '?'.
+  std::string base = name;
+  size_t qpos = base.find('?');
+  if (qpos != std::string::npos) base.resize(qpos);
+  auto it = atoms_by_name_.find(base);
   if (it == atoms_by_name_.end()) {
-    return Status::NotFound("no atom '" + name + "'");
+    return Status::NotFound("no atom '" + base + "'");
   }
   return &atoms_.at(it->second);
 }
@@ -233,17 +255,28 @@ Status PatiaServer::Request(
   SimTime issued = network_->loop()->Now();
   int atom_id = atom->id;
   size_t bytes = variant->bytes;
+
+  // Dynamic atoms generate their body at request time; the body's size
+  // (not the variant's nominal byte count) prices the transfer. The full
+  // request string — "?query" suffix included — reaches the generator.
+  std::shared_ptr<std::string> body;
+  auto dyn = dynamic_content_.find(atom_id);
+  if (dyn != dynamic_content_.end()) {
+    body = std::make_shared<std::string>(dyn->second(atom_name, issued));
+    bytes = body->size();
+    resource = atom_name;
+  }
   SimTime service_time = nodes_.at(node).options.service_time;
 
   BeginServe(node, [this, client, node, atom_id, resource, bytes, issued,
-                    service_time, on_done = std::move(on_done)] {
+                    service_time, body, on_done = std::move(on_done)] {
     // CPU service time on the node, then the network transfer.
     network_->loop()->ScheduleAfter(service_time, [this, client, node,
                                                    atom_id, resource, bytes,
-                                                   issued, on_done] {
+                                                   issued, body, on_done] {
       Status s = network_->Transfer(
           node, client, bytes,
-          [this, client, node, atom_id, resource, issued,
+          [this, client, node, atom_id, resource, issued, body,
            on_done](SimTime done_at) {
             ServedRequest served;
             served.atom_id = atom_id;
@@ -255,11 +288,15 @@ Status PatiaServer::Request(
             ++stats_.completed;
             ++stats_.served_by_node[node];
             obs_latency_us_->Record(static_cast<uint64_t>(served.Latency()));
-            stats_.log.push_back(served);
+            stats_.log.Push(served);
             auto agent = AgentFor(atom_id);
             if (agent.ok()) (*agent)->RecordServe();
             FinishServe(node);
-            if (on_done) on_done(served);
+            if (on_done) {
+              // The body rides only on the callback's copy, never the log.
+              if (body != nullptr) served.body = std::move(*body);
+              on_done(served);
+            }
           });
       if (!s.ok()) {
         // No route: release the slot; the request is lost.
@@ -275,20 +312,35 @@ Status PatiaServer::Tick() {
   for (auto& gauge : gauges_) {
     DBM_RETURN_NOT_OK(gauge->Sample(now));
   }
+  // Derived trend gauges ("derived.<metric>.<stat>") recompute before the
+  // constraint pass so Table-2 rules can trigger on them this tick.
+  derived_.Tick(now);
   // The Table 2 metric name is "processor-util"; republish the serving
   // agents' nodes' utilisation under that name, scoped per atom subject.
+  // Channels were resolved at AddNode — this path does not allocate.
   for (const auto& [atom_id, agent] : agents_) {
-    bus_->Publish("processor-util",
-                  bus_->GetOr(agent->node() + ".processor-util", 0),
-                  now);
+    auto node_ch = node_util_ch_.find(agent->node());
+    double util = node_ch != node_util_ch_.end() ? node_ch->second->value : 0;
+    bus_->Publish(processor_util_ch_, util, now);
     DBM_RETURN_NOT_OK(session_->CheckConstraints(now).status());
   }
+  // The republished metric bypasses adapt::Gauge, so feed the watchdog
+  // directly (per-node gauges record their own samples).
+  obs::LoopHealth::Default().Get("processor-util").Sample(now);
   return Status::OK();
 }
 
 void PatiaServer::StartTicking(SimTime interval) {
   if (ticking_) return;
   ticking_ = true;
+  // Declare the tick cadence to the watchdog: every per-node load gauge
+  // and the republished Table-2 metric should now refresh each interval.
+  auto& health = obs::LoopHealth::Default();
+  health.Expect("processor-util", interval);
+  for (const auto& [node, state] : nodes_) {
+    (void)state;
+    health.Expect(node + ".processor-util", interval);
+  }
   auto tick = std::make_shared<std::function<void()>>();
   std::weak_ptr<std::function<void()>> weak = tick;
   *tick = [this, interval, weak] {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/derived.h"
 #include "adapt/session.h"
 #include "common/rng.h"
 #include "net/network.h"
@@ -55,7 +56,50 @@ struct ServedRequest {
   std::string resource;        // variant delivered
   SimTime issued_at = 0;
   SimTime completed_at = 0;
+  /// Dynamic-atom response body (observatory endpoints). Filled only on
+  /// the copy handed to the request's on_done callback — never retained
+  /// in the served-request log.
+  std::string body;
   SimTime Latency() const { return completed_at - issued_at; }
+};
+
+/// Bounded served-request log: the first `capacity` requests of an epoch
+/// are retained, later ones are counted in dropped() — head-keeping, the
+/// same overflow discipline as the span/decision rings, so long benches
+/// and flash crowds cannot grow memory without limit.
+class ServedLog {
+ public:
+  explicit ServedLog(size_t capacity = 1 << 15) : capacity_(capacity) {}
+
+  void Push(const ServedRequest& r) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back(r);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  std::vector<ServedRequest>::const_iterator begin() const {
+    return entries_.begin();
+  }
+  std::vector<ServedRequest>::const_iterator end() const {
+    return entries_.end();
+  }
+  const ServedRequest& operator[](size_t i) const { return entries_[i]; }
+  const ServedRequest& back() const { return entries_.back(); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<ServedRequest> entries_;
+  uint64_t dropped_ = 0;
 };
 
 /// The mobile service agent: owns the serving of one atom and can migrate
@@ -118,9 +162,15 @@ class PatiaServer {
   struct Stats {
     uint64_t completed = 0;
     uint64_t queued_peak = 0;
-    std::vector<ServedRequest> log;
+    ServedLog log;
     std::map<std::string, uint64_t> served_by_node;
   };
+
+  /// Generates a dynamic atom's response body at serve time. Receives the
+  /// requested resource (the atom name plus any "?query" suffix) and the
+  /// simulated time of the request.
+  using ContentFn = std::function<std::string(const std::string& resource,
+                                              SimTime now)>;
 
   PatiaServer(net::Network* network, adapt::MetricBus* bus);
 
@@ -130,6 +180,14 @@ class PatiaServer {
   /// Registers an atom whose replicas live on `nodes` (all of them hold
   /// every variant). A service agent is created on the first node.
   Status RegisterAtom(Atom atom, const std::vector<std::string>& nodes);
+
+  /// Registers an atom whose body is generated per request (observatory
+  /// endpoints). The atom needs one variant naming its default resource;
+  /// the variant's byte count is ignored — the generated body's size
+  /// prices the network transfer. Requests may carry a "?query" suffix
+  /// ("/obs/query?q=..."), passed through to `content`.
+  Status RegisterDynamicAtom(Atom atom, const std::vector<std::string>& nodes,
+                             ContentFn content);
 
   /// Attaches a Table 2 constraint to an atom by id.
   Status AddConstraint(int constraint_id, int atom_id,
@@ -155,6 +213,8 @@ class PatiaServer {
   const Stats& stats() const { return stats_; }
   adapt::SessionManager& session() { return *session_; }
   adapt::AdaptivityManager& adaptivity() { return *adaptivity_; }
+  /// Derived windowed gauges recomputed on every Tick (trend triggers).
+  adapt::DerivedPublisher& derived() { return derived_; }
   Result<ServiceAgent*> AgentFor(int atom_id);
   Result<const Atom*> GetAtom(const std::string& name) const;
 
@@ -184,6 +244,7 @@ class PatiaServer {
   std::shared_ptr<adapt::StateManager> state_;
   std::shared_ptr<adapt::SessionManager> session_;
   std::vector<std::shared_ptr<adapt::Gauge>> gauges_;
+  adapt::DerivedPublisher derived_;  // bound to bus_ in the constructor
 
   std::map<std::string, NodeState> nodes_;
   std::map<int, Atom> atoms_;
@@ -191,8 +252,15 @@ class PatiaServer {
   std::map<int, std::vector<std::string>> replicas_;
   std::map<int, std::shared_ptr<ServiceAgent>> agents_;
   std::map<int, std::unique_ptr<net::NetworkScorer>> scorers_;
+  std::map<int, ContentFn> dynamic_content_;
   Stats stats_;
   bool ticking_ = false;
+  /// "processor-util" republish channel, resolved once (Tick republishes
+  /// the serving node's utilisation under the Table-2 name every tick —
+  /// that path must not allocate).
+  adapt::MetricBus::Channel* processor_util_ch_ = nullptr;
+  /// Per-node "<node>.processor-util" channels, resolved at AddNode.
+  std::map<std::string, adapt::MetricBus::Channel*> node_util_ch_;
 
   // Per-atom variant-selection counters ("patia.atom.<name>.variant.<res>"),
   // registered with the atom so serving stays string-free.

@@ -11,8 +11,9 @@
 // their value; histograms compare count and mean.
 //
 // Exit status: 0 = no regression, 1 = at least one metric regressed past
-// the threshold, 2 = usage / parse error. Improvements are reported but
-// never fail the run.
+// the threshold, 2 = usage / parse error, 3 = a sidecar file is missing
+// (distinct so CI can treat "no baseline yet" as skip rather than
+// failure). Improvements are reported but never fail the run.
 
 #include <cstdio>
 #include <cstdlib>
@@ -102,10 +103,17 @@ int main(int argc, char** argv) {
   auto baseline = LoadSidecar(paths[0]);
   auto current = LoadSidecar(paths[1]);
   if (!baseline.ok() || !current.ok()) {
-    std::fprintf(stderr, "bench_diff: %s\n",
-                 (!baseline.ok() ? baseline.status() : current.status())
-                     .ToString()
-                     .c_str());
+    const Status& bad =
+        !baseline.ok() ? baseline.status() : current.status();
+    if (bad.IsNotFound()) {
+      std::fprintf(stderr,
+                   "bench_diff: sidecar not found: %s\n"
+                   "bench_diff: no baseline to compare against — run the "
+                   "bench once to produce it (exit 3, not a regression)\n",
+                   bad.ToString().c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "bench_diff: %s\n", bad.ToString().c_str());
     return 2;
   }
 
