@@ -1,0 +1,96 @@
+// A8 — the price of supervision: fault-plane overhead on the ORB path.
+//
+// Three configurations of the same NullServer call, 10k invocations
+// each: bare (no call policy), supervised with faults disabled (the
+// deadline/retry/breaker machinery armed but idle — the robustness tax
+// every production call pays), and supervised under an injected 5%
+// error rate (the recovery path: retries, breaker trips, rejections).
+// The acceptance bar is supervised-idle overhead <= 10% of the bare
+// 73-cycle hop; the fault-rate column shows what the budget buys.
+
+#include "bench/bench_util.h"
+#include "fault/injector.h"
+#include "obs/metrics.h"
+#include "os/go_system.h"
+
+namespace {
+
+using namespace dbm;
+using namespace dbm::os;
+
+constexpr int kCalls = 10000;
+
+/// Cycles per call over kCalls invocations of a fresh NullServer.
+/// `supervise` attaches the default call policy; `spec` arms the
+/// process injector for the measured loop (cleared before returning).
+double CyclesPerCall(bool supervise, const std::string& spec,
+                     uint64_t* failed_calls) {
+  GoSystem sys;
+  auto server = sys.LoadWithService(images::NullServer());
+  if (!server.ok()) return -1;
+  if (supervise) {
+    CallPolicy policy;
+    policy.max_retries = 2;
+    policy.breaker_threshold = 3;
+    if (!sys.orb().SetCallPolicy(server->second, policy).ok()) return -1;
+  }
+  if (!spec.empty()) {
+    if (!fault::Injector::Default().Configure(spec, /*seed=*/42).ok()) {
+      return -1;
+    }
+  }
+  uint64_t failures = 0;
+  Cycles before = sys.ledger().total();
+  for (int i = 0; i < kCalls; ++i) {
+    if (!sys.orb().Call(server->second).ok()) ++failures;
+  }
+  Cycles spent = sys.ledger().total() - before;
+  if (!spec.empty()) fault::Injector::Default().Reset();
+  if (failed_calls != nullptr) *failed_calls = failures;
+  return static_cast<double>(spent) / kCalls;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbm::bench::Init(&argc, argv);
+  bench::Header("A8", "supervised ORB invoke: overhead and fault-path cost");
+
+  uint64_t bare_failed = 0, idle_failed = 0, fault_failed = 0;
+  double bare = CyclesPerCall(false, "", &bare_failed);
+  double idle = CyclesPerCall(true, "", &idle_failed);
+  double faulted =
+      CyclesPerCall(true, "orb.invoke:error@0.05", &fault_failed);
+  if (bare <= 0 || idle <= 0 || faulted <= 0) return 1;
+  double overhead_pct = (idle - bare) / bare * 100.0;
+
+  bench::Table table({26, 16, 14, 12});
+  table.Row({"configuration", "cycles/call", "vs bare", "failed"});
+  table.Rule();
+  table.Row({"bare (no policy)", bench::Fmt("%.1f", bare), "-",
+             bench::FmtU(bare_failed)});
+  table.Row({"supervised, no faults", bench::Fmt("%.1f", idle),
+             bench::Fmt("%+.1f%%", overhead_pct), bench::FmtU(idle_failed)});
+  table.Row({"supervised, error@0.05", bench::Fmt("%.1f", faulted),
+             bench::Fmt("%+.1f%%", (faulted - bare) / bare * 100.0),
+             bench::FmtU(fault_failed)});
+  table.Rule();
+
+  obs::Registry& reg = obs::Registry::Default();
+  reg.GetGauge("bench.faults.bare_cycles_per_call").Set(bare);
+  reg.GetGauge("bench.faults.supervised_cycles_per_call").Set(idle);
+  reg.GetGauge("bench.faults.overhead_pct").Set(overhead_pct);
+  reg.GetGauge("bench.faults.faulted_cycles_per_call").Set(faulted);
+
+  if (overhead_pct > 10.0) {
+    bench::Note(bench::Fmt("%.1f", overhead_pct) +
+                "% idle supervision overhead exceeds the 10% budget");
+    bench::MetricsSidecar("bench_faults");
+    return 1;
+  }
+  bench::Note("idle supervision costs " + bench::Fmt("%.1f", overhead_pct) +
+              "% of the bare hop (budget: 10%); the fault-rate row prices "
+              "the retries and breaker bookkeeping the budget buys.");
+  bench::MetricsSidecar("bench_faults");
+  return 0;
+}

@@ -19,6 +19,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kNotImplemented: return "not-implemented";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

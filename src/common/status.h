@@ -31,6 +31,7 @@ enum class StatusCode : int {
   kIoError = 12,
   kNotImplemented = 13,
   kInternal = 14,
+  kDeadlineExceeded = 15,  // supervised call ran past its cycle budget
 };
 
 /// Returns the canonical lower-case name for a StatusCode.
@@ -92,6 +93,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -113,6 +117,27 @@ class Status {
   }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+
+  /// The shared transient-vs-permanent taxonomy: a retryable failure is
+  /// one where the same call may succeed later with no intervention —
+  /// the provider was busy, down, or slow (unavailable, resource
+  /// exhausted, deadline exceeded). Aborted means a coordinator already
+  /// rolled the work back; InvalidArgument and friends will fail forever.
+  /// The ORB's supervised retry loop and higher-level callers all gate
+  /// on this one predicate.
+  bool IsRetryable() const {
+    switch (code()) {
+      case StatusCode::kUnavailable:
+      case StatusCode::kResourceExhausted:
+      case StatusCode::kDeadlineExceeded:
+        return true;
+      default:
+        return false;
+    }
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

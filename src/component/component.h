@@ -183,6 +183,14 @@ class Component : public std::enable_shared_from_this<Component> {
   virtual Status Start() { return Status::OK(); }
   virtual Status Stop() { return Status::OK(); }
 
+  /// Post-activation health probe — the "first supervised invoke" of a
+  /// freshly switched-in component. The reconfigurer calls this after
+  /// Start and rolls the whole plan back if it fails (transient,
+  /// IsRetryable failures get a bounded number of retries first), so a
+  /// replacement that activates but cannot actually serve never becomes
+  /// the committed architecture.
+  virtual Status Probe() { return Status::OK(); }
+
   // --- state management (for migration / version switch) ---
   virtual bool HasState() const { return false; }
   virtual Status Checkpoint(StateBlob* out) const {
@@ -199,6 +207,13 @@ class Component : public std::enable_shared_from_this<Component> {
   Status DriveStart();
   Status DriveStop();
   void MarkRemoved() { lifecycle_ = Lifecycle::kRemoved; }
+
+  /// Reverse of MarkRemoved for rollback paths: a component re-added to
+  /// the registry resumes the lifecycle it held at removal, so it can be
+  /// restarted (DriveStart refuses kRemoved).
+  void Reinstate(Lifecycle pre_removal) {
+    if (lifecycle_ == Lifecycle::kRemoved) lifecycle_ = pre_removal;
+  }
 
  protected:
   /// Adds another provided type (a component may provide several).

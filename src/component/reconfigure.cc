@@ -96,12 +96,23 @@ Status Reconfigurer::Execute(const ReconfigurationPlan& plan) {
   }
 
   // Activation phase: incoming components Init/Start only after the whole
-  // new structure (including their own bindings) is in place.
+  // new structure (including their own bindings) is in place. Each one
+  // must then pass its Probe — the first supervised invoke — before the
+  // plan may commit; a replacement that starts but cannot serve rolls
+  // the switch back instead of becoming the architecture.
   if (failure.ok()) {
     for (const ComponentPtr& c : pending_activation_) {
       Status s;
       if (c->lifecycle() == Lifecycle::kCreated) s = c->DriveInit();
       if (s.ok() && c->lifecycle() != Lifecycle::kActive) s = c->DriveStart();
+      if (s.ok()) {
+        s = c->Probe();
+        for (int retry = 0; !s.ok() && s.IsRetryable() && retry < kProbeRetries;
+             ++retry) {
+          s = c->Probe();
+        }
+        if (!s.ok()) s = s.WithContext("post-activation probe");
+      }
       if (!s.ok()) {
         failure = s.WithContext("activating '" + c->name() + "'");
         break;
@@ -244,6 +255,7 @@ Status Reconfigurer::ApplySwap(const ReconfigOp& op,
   auto reattach_old = [&] {
     for (Port* p : inbound) p->SetTarget(old_c);
   };
+  Lifecycle pre_removal = old_c->lifecycle();  // Remove() marks kRemoved
   Status s = registry_->Remove(op.name);
   if (!s.ok()) {
     reattach_old();
@@ -270,12 +282,14 @@ Status Reconfigurer::ApplySwap(const ReconfigOp& op,
 
   Registry* reg = registry_;
   std::vector<Port*> inbound_copy = inbound;
-  undo->push_back([reg, old_c, new_c, inbound_copy, was_active] {
+  undo->push_back([reg, old_c, new_c, inbound_copy, was_active,
+                   pre_removal] {
     for (Port* p : inbound_copy) p->Block();
     for (Port* p : inbound_copy) p->SetTarget(nullptr);
     if (new_c->lifecycle() == Lifecycle::kActive) (void)new_c->DriveStop();
     (void)reg->ForceRemove(new_c->name());  // may share the old name
     (void)reg->Add(old_c);
+    old_c->Reinstate(pre_removal);  // Remove() marked it kRemoved
     if (was_active && old_c->lifecycle() != Lifecycle::kActive) {
       (void)old_c->DriveStart();
     }

@@ -85,6 +85,10 @@ struct ReconfigStats {
 
 class Reconfigurer {
  public:
+  /// Retries granted to a component whose post-activation Probe fails
+  /// with a transient (IsRetryable) status before the plan rolls back.
+  static constexpr int kProbeRetries = 2;
+
   explicit Reconfigurer(Registry* registry) : registry_(registry) {}
 
   /// Validates and applies `plan` transactionally. On failure everything

@@ -1,6 +1,8 @@
 #include "dbmachine/scenarios.h"
 
 #include "adl/parser.h"
+#include "fault/injector.h"
+#include "fault/log.h"
 #include "obs/tracectx.h"
 #include "os/go_system.h"
 
@@ -114,9 +116,60 @@ class GenericComponent : public component::Component {
   }
 };
 
+/// Scores the ingest SWITCH rule: Current() is whichever ingest target is
+/// serving delivery right now, so SWITCH moves away from it (to the
+/// fallback while the primary serves, and back only if re-switched).
+class IngestScorer : public adapt::TargetScorer {
+ public:
+  IngestScorer(std::shared_ptr<os::InterfaceId> active,
+               os::InterfaceId primary)
+      : active_(std::move(active)), primary_(primary) {}
+
+  std::optional<adapt::Target> Current() const override {
+    adapt::Target t;
+    t.path = {"ingest",
+              *active_ == primary_ ? std::string("primary")
+                                   : std::string("fallback")};
+    return t;
+  }
+
+ private:
+  std::shared_ptr<os::InterfaceId> active_;
+  os::InterfaceId primary_;
+};
+
+/// Arms the process injector for one scenario run and restores whatever
+/// was armed before (the chaos CI's env spec survives a scoped arming).
+class ScopedFaultSpec {
+ public:
+  ScopedFaultSpec(const std::string& spec, uint64_t seed) {
+    if (spec.empty()) return;
+    fault::Injector& inj = fault::Injector::Default();
+    prev_spec_ = inj.spec();
+    prev_seed_ = inj.seed();
+    status_ = inj.Configure(spec, seed);
+    armed_ = status_.ok();
+  }
+  ~ScopedFaultSpec() {
+    if (armed_) {
+      (void)fault::Injector::Default().Configure(prev_spec_, prev_seed_);
+    }
+  }
+  const Status& status() const { return status_; }
+
+ private:
+  bool armed_ = false;
+  std::string prev_spec_;
+  uint64_t prev_seed_ = 0;
+  Status status_;
+};
+
 }  // namespace
 
 Result<Scenario2Report> RunScenario2(const Scenario2Config& config) {
+  ScopedFaultSpec scoped_faults(config.fault_spec, config.fault_seed);
+  DBM_RETURN_NOT_OK(scoped_faults.status());
+
   EventLoop loop;
   net::Network net(&loop);
   net.AddDevice({"sensor", net::DeviceClass::kSensor, 0.05, 80, 0, 0});
@@ -144,15 +197,99 @@ Result<Scenario2Report> RunScenario2(const Scenario2Config& config) {
                                               "DockedSession"),
                                      factory, &machine.registry()));
 
+  // One root span for the whole delivery: injected faults, breaker
+  // transitions and the SWITCH DecisionRecord all stamp this trace id,
+  // which is how /obs/faults joins to /obs/decisions afterwards.
+  obs::SpanScope request_span("scenario2.request", "scenario");
+
+  Scenario2Report report;
+  if (request_span.active()) {
+    report.trace_id = request_span.context().trace_id.ToHex();
+  }
+
+  // Supervised ingest rig: primary + fallback ingest services behind the
+  // ORB, each under a call policy. The breaker state is published as the
+  // "ingest-breaker" gauge and a Table-2 rule switches delivery to the
+  // fallback when it opens.
+  std::shared_ptr<os::GoSystem> sys;
+  os::InterfaceId ingest_primary = os::kInvalidInterface;
+  os::InterfaceId ingest_fallback = os::kInvalidInterface;
+  auto active_ingest = std::make_shared<os::InterfaceId>(os::kInvalidInterface);
+  adapt::ConstraintTable ingest_rules;
+  std::shared_ptr<adapt::SessionManager> ingest_sm;
+  std::shared_ptr<adapt::AdaptivityManager> ingest_am;
+  std::shared_ptr<IngestScorer> ingest_scorer;
+
   // The stream under observation.
   data::Relation readings =
       data::gen::SensorReadings(config.rows, /*seed=*/7);
   net::SensorStream::Options stream_options;
   stream_options.chunk_rows = config.chunk_rows;
+  stream_options.stream_name = "scenario2";
+
+  if (config.supervised) {
+    sys = std::make_shared<os::GoSystem>();
+    DBM_ASSIGN_OR_RETURN(
+        auto primary,
+        sys->LoadWithService(os::images::NullServer("ingest-primary")));
+    DBM_ASSIGN_OR_RETURN(
+        auto fallback,
+        sys->LoadWithService(os::images::NullServer("ingest-fallback")));
+    ingest_primary = primary.second;
+    ingest_fallback = fallback.second;
+    *active_ingest = ingest_primary;
+    sys->orb().set_now_fn([&loop] { return loop.Now(); });
+    os::CallPolicy policy;
+    policy.max_retries = 2;
+    policy.breaker_threshold = 3;
+    DBM_RETURN_NOT_OK(sys->orb().SetCallPolicy(ingest_primary, policy));
+    DBM_RETURN_NOT_OK(sys->orb().SetCallPolicy(ingest_fallback, policy));
+
+    ingest_sm = std::make_shared<adapt::SessionManager>(
+        "ingest-sm", &machine.bus(), &ingest_rules);
+    ingest_am = std::make_shared<adapt::AdaptivityManager>();
+    ingest_sm->FindPort("adaptivity")->SetTarget(ingest_am);
+    ingest_scorer =
+        std::make_shared<IngestScorer>(active_ingest, ingest_primary);
+    ingest_sm->SetScorer("ingest", ingest_scorer.get());
+    DBM_RETURN_NOT_OK(ingest_rules.Add(
+        2, "ingest",
+        "If ingest-breaker > 1 then SWITCH(ingest.primary, "
+        "ingest.fallback)"));
+    stream_options.on_deliver = [sys, active_ingest](size_t,
+                                                     size_t) -> Status {
+      return sys->orb().Call(*active_ingest);
+    };
+    stream_options.auto_resume = false;  // the SWITCH path resumes
+  }
+
   net::SensorStream stream(&net, "sensor", "laptop", &readings,
                            stream_options);
 
-  Scenario2Report report;
+  auto publish_breaker = [&] {
+    if (sys == nullptr) return;
+    machine.bus().Publish(
+        "ingest-breaker",
+        static_cast<double>(sys->orb().BreakerState(*active_ingest)),
+        loop.Now());
+  };
+  if (config.supervised) {
+    // Breaker open → flip delivery to the fallback and resume the stream
+    // from its last safe point (the failed chunk replays whole).
+    ingest_am->RegisterHandler(
+        "ingest", [&](const adapt::AdaptationRequest&) -> Status {
+          if (*active_ingest == ingest_fallback) return Status::OK();
+          *active_ingest = ingest_fallback;
+          ++report.breaker_switches;
+          fault::Record(fault::FaultEventKind::kRecovery, "orb.ingest",
+                        "SWITCHed delivery to fallback ingest after breaker "
+                        "opened",
+                        loop.Now());
+          publish_breaker();
+          if (stream.stalled()) (void)stream.Resume();
+          return Status::OK();
+        });
+  }
 
   // The adaptation loop: sample the bandwidth gauge; when it collapses,
   // run the Fig 5 switchover (ADL reconfiguration) and move the stream to
@@ -173,6 +310,15 @@ Result<Scenario2Report> RunScenario2(const Scenario2Config& config) {
       report.reconfigured = s.ok();
       stream.RequestCodecSwitch("lz");
     }
+    if (config.supervised) {
+      // The supervised leg of the loop: breaker state → gauge → Table-2
+      // rule → SWITCH enactment. A stall with no rule firing (transient
+      // fault, or already on the fallback) is retried from the last safe
+      // point.
+      publish_breaker();
+      (void)ingest_sm->CheckConstraints(loop.Now());
+      if (stream.stalled()) (void)stream.Resume();
+    }
     if (stream.stats().completed_at < 0) {
       loop.ScheduleAfter(config.tick_interval, [tick] { (*tick)(); });
     }
@@ -185,6 +331,26 @@ Result<Scenario2Report> RunScenario2(const Scenario2Config& config) {
     (*net.GetDevice("laptop"))->set_docked(false);
   });
 
+  // Fault events.
+  if (config.kill_mid_switchover) {
+    // Shortly after the undock the wireless link drops dead and the
+    // in-flight chunk is lost with it; the stream must come back from its
+    // last safe point once the link heals.
+    loop.ScheduleAt(config.undock_at + Millis(2), [&] {
+      link->set_up(false);
+      stream.Kill();
+      loop.ScheduleAfter(config.kill_duration, [&] { link->set_up(true); });
+    });
+  }
+  if (config.supervised && config.kill_primary_at >= 0) {
+    loop.ScheduleAt(config.kill_primary_at, [&] {
+      (void)sys->orb().RevokeInterface(ingest_primary);
+      fault::Record(fault::FaultEventKind::kInjected, "orb.ingest",
+                    "primary ingest component killed (interface revoked)",
+                    loop.Now());
+    });
+  }
+
   bool completed = false;
   DBM_RETURN_NOT_OK(stream.Start(
       [&](const net::SensorStream::Stats&) { completed = true; }));
@@ -195,6 +361,10 @@ Result<Scenario2Report> RunScenario2(const Scenario2Config& config) {
   report.delivery_time = report.stream.completed_at;
   report.conforms_wireless =
       machine.CheckConforms(doc, "WirelessSession").ok();
+  report.replays = report.stream.replays;
+  report.lost_rows = config.rows > report.stream.rows_delivered
+                         ? config.rows - report.stream.rows_delivered
+                         : 0;
   return report;
 }
 

@@ -54,6 +54,28 @@ struct Scenario2Config {
   double wireless_kbps = 150;
   bool adaptive = true;            // false = keep raw stream + docked config
   SimTime tick_interval = Millis(5);
+
+  // --- fault mode (this PR) -------------------------------------------
+  /// Arms the process injector with this spec for the scenario's
+  /// duration (restored afterwards). Empty = whatever the environment
+  /// armed (chaos CI) or nothing.
+  std::string fault_spec;
+  uint64_t fault_seed = 42;
+  /// Kill the link *and* the stream mid-switchover: shortly after the
+  /// undock event the wireless link drops dead for `kill_duration` and
+  /// the in-flight chunk is lost; the stream must replay from its last
+  /// safe point and still deliver every row exactly once.
+  bool kill_mid_switchover = false;
+  SimTime kill_duration = Millis(20);
+  /// Supervised ingest: every delivered chunk is handed to an ingest
+  /// component through a supervised ORB call (primary + fallback
+  /// services behind call policies). A tripped breaker becomes the
+  /// "ingest-breaker" gauge, and a Table-2 rule SWITCHes delivery to
+  /// the fallback.
+  bool supervised = false;
+  /// In supervised mode: sim time at which the primary ingest component
+  /// dies (its interface is revoked). -1 = it lives forever.
+  SimTime kill_primary_at = -1;
 };
 
 struct Scenario2Report {
@@ -62,6 +84,11 @@ struct Scenario2Report {
   bool reconfigured = false;       // ADL switchover executed
   bool conforms_wireless = false;  // running system matches WirelessSession
   uint64_t adaptation_events = 0;
+  // --- fault mode ------------------------------------------------------
+  uint64_t replays = 0;            // safe-point replays the stream needed
+  uint64_t lost_rows = 0;          // rows - rows_delivered (0 = no lost atoms)
+  uint64_t breaker_switches = 0;   // breaker-driven SWITCHes enacted
+  std::string trace_id;            // root trace id (hex), "" if unsampled
 };
 
 Result<Scenario2Report> RunScenario2(const Scenario2Config& config);

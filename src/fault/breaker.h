@@ -1,0 +1,119 @@
+// Per-interface circuit breaker for supervised invocation.
+//
+// Classic three-state machine: Closed (calls flow; consecutive failures
+// counted) → Open after `failure_threshold` consecutive failures (calls
+// rejected without touching the callee) → HalfOpen once `cooldown` time
+// units pass (exactly one probe call is admitted) → Closed again after
+// `successes_to_close` probe successes, or straight back to Open on a
+// probe failure.
+//
+// The time base is an abstract int64 — the ORB drives it with ledger
+// cycles, tests with plain integers — so the state machine is unit-
+// testable without a simulator. Transitions are reported through an
+// optional callback (the ORB turns them into metrics and FaultLog
+// entries); the breaker itself stays dependency-free.
+
+#ifndef DBM_FAULT_BREAKER_H_
+#define DBM_FAULT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace dbm::fault {
+
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  struct Options {
+    int failure_threshold = 3;   // consecutive failures to trip open
+    int64_t cooldown = 1000;     // open → half-open after this long
+    int successes_to_close = 1;  // half-open probes needed to re-close
+  };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  using TransitionFn = std::function<void(State from, State to, int64_t now)>;
+  void set_on_transition(TransitionFn fn) { on_transition_ = std::move(fn); }
+
+  /// Admission control, called before each attempt. Open breakers admit
+  /// nothing until the cooldown elapses, then flip to half-open and admit
+  /// exactly one in-flight probe.
+  bool Allow(int64_t now) {
+    if (state_ == State::kClosed) return true;
+    if (state_ == State::kOpen) {
+      if (now - opened_at_ < options_.cooldown) return false;
+      Transition(State::kHalfOpen, now);
+      probe_in_flight_ = true;
+      return true;
+    }
+    // Half-open: one probe at a time.
+    if (probe_in_flight_) return false;
+    probe_in_flight_ = true;
+    return true;
+  }
+
+  void RecordSuccess(int64_t now) {
+    consecutive_failures_ = 0;
+    if (state_ == State::kHalfOpen) {
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= options_.successes_to_close) {
+        Transition(State::kClosed, now);
+      }
+    }
+  }
+
+  void RecordFailure(int64_t now) {
+    if (state_ == State::kHalfOpen) {
+      // A failed probe re-trips immediately; the cooldown restarts.
+      probe_in_flight_ = false;
+      Transition(State::kOpen, now);
+      opened_at_ = now;
+      return;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= options_.failure_threshold) {
+      Transition(State::kOpen, now);
+      opened_at_ = now;
+    }
+  }
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  uint64_t trips() const { return trips_; }
+  const Options& options() const { return options_; }
+
+  static const char* StateName(State s) {
+    switch (s) {
+      case State::kClosed: return "closed";
+      case State::kHalfOpen: return "half-open";
+      case State::kOpen: return "open";
+    }
+    return "?";
+  }
+
+ private:
+  void Transition(State to, int64_t now) {
+    if (to == state_) return;
+    State from = state_;
+    state_ = to;
+    if (to == State::kOpen) ++trips_;
+    if (to == State::kHalfOpen) probe_successes_ = 0;
+    if (to == State::kClosed) consecutive_failures_ = 0;
+    if (on_transition_) on_transition_(from, to, now);
+  }
+
+  Options options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t opened_at_ = 0;
+  uint64_t trips_ = 0;
+  TransitionFn on_transition_;
+};
+
+}  // namespace dbm::fault
+
+#endif  // DBM_FAULT_BREAKER_H_

@@ -1,0 +1,68 @@
+#include "fault/log.h"
+
+#include "common/json.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace dbm::fault {
+
+const char* FaultEventKindName(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kInjected: return "injected";
+    case FaultEventKind::kBreaker: return "breaker";
+    case FaultEventKind::kRecovery: return "recovery";
+    case FaultEventKind::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+FaultLog& FaultLog::Default() {
+  static FaultLog* log = [] {
+    auto* l = new FaultLog();
+    // Failure history belongs in the post-mortem too: the flight record
+    // gains a "faults" section the moment the fault plane is in use.
+    obs::RegisterFlightSection("faults", [l] {
+      std::string out = "[";
+      bool first = true;
+      for (const FaultEvent& e : l->Snapshot()) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"trace_id\":\"" + e.trace_id.ToHex() + "\"";
+        out += ",\"span_id\":" + std::to_string(e.span_id);
+        out += ",\"at_sim_us\":" + std::to_string(e.at_sim_us);
+        out += ",\"kind\":\"" + std::string(FaultEventKindName(e.kind)) + "\"";
+        out += ",\"point\":\"" + JsonEscape(e.point) + "\"";
+        out += ",\"detail\":\"" + JsonEscape(e.detail) + "\"}";
+      }
+      out += "]";
+      return out;
+    });
+    return l;
+  }();
+  return *log;
+}
+
+void Record(FaultEventKind kind, std::string_view point,
+            std::string_view detail, SimTime at_sim_us) {
+  // Handles resolve once; Record is called from fault paths that are
+  // already off the common case, so a static-local lookup is fine.
+  static obs::Counter* counters[4] = {
+      &obs::Registry::Default().GetCounter("fault.injected"),
+      &obs::Registry::Default().GetCounter("fault.breaker_transitions"),
+      &obs::Registry::Default().GetCounter("fault.recoveries"),
+      &obs::Registry::Default().GetCounter("fault.degraded"),
+  };
+  counters[static_cast<uint8_t>(kind)]->Add(1);
+
+  FaultEvent event;
+  const obs::TraceContext& ctx = obs::CurrentContext();
+  event.trace_id = ctx.trace_id;
+  event.span_id = ctx.span_id;
+  event.at_sim_us = at_sim_us;
+  event.kind = kind;
+  event.SetPoint(point);
+  event.SetDetail(detail);
+  FaultLog::Default().Append(event);
+}
+
+}  // namespace dbm::fault

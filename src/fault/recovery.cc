@@ -1,0 +1,43 @@
+#include "fault/recovery.h"
+
+#include "fault/log.h"
+
+namespace dbm::fault {
+
+Status StateManager::Checkpoint(const std::string& stream,
+                                const SafePoint& sp) {
+  auto it = latest_.find(stream);
+  if (it != latest_.end() && sp.sequence < it->second.sequence) {
+    return Status::FailedPrecondition(
+        "safe point " + std::to_string(sp.sequence) + " of '" + stream +
+        "' is older than checkpointed " +
+        std::to_string(it->second.sequence));
+  }
+  latest_[stream] = sp;
+  ++checkpoints_;
+  return Status::OK();
+}
+
+Result<SafePoint> StateManager::Latest(const std::string& stream) const {
+  auto it = latest_.find(stream);
+  if (it == latest_.end()) {
+    return Status::NotFound("no safe point for stream '" + stream + "'");
+  }
+  return it->second;
+}
+
+void StateManager::Drop(const std::string& stream) { latest_.erase(stream); }
+
+void StateManager::CountReplay(const std::string& stream) {
+  ++replays_;
+  auto it = latest_.find(stream);
+  Record(FaultEventKind::kRecovery, "stream." + stream,
+         "replay from safe point " +
+             (it != latest_.end()
+                  ? std::to_string(it->second.sequence) + " at row " +
+                        std::to_string(it->second.position)
+                  : std::string("0 (stream start)")),
+         it != latest_.end() ? it->second.at : 0);
+}
+
+}  // namespace dbm::fault

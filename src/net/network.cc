@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
+#include "fault/log.h"
+
 namespace dbm::net {
 
 const char* DeviceClassName(DeviceClass c) {
@@ -59,27 +62,52 @@ Status Network::Transfer(const std::string& from, const std::string& to,
   // reference) to avoid a shared_ptr cycle.
   auto send_next = std::make_shared<std::function<void(size_t)>>();
   std::weak_ptr<std::function<void(size_t)>> weak = send_next;
-  *send_next = [this, link, chunk_bytes, on_done = std::move(on_done),
-                weak](size_t remaining) {
+  // One log entry per injected outage window, not per 10ms retry.
+  auto outage_logged = std::make_shared<bool>(false);
+  *send_next = [this, link, chunk_bytes, on_done = std::move(on_done), weak,
+                outage_logged](size_t remaining) {
     auto self = weak.lock();
     if (self == nullptr) return;
     if (remaining == 0) {
       on_done(loop_->Now());
       return;
     }
-    if (!link->up()) {
+    // The fault point is keyed by link *kind* ("net.wired" /
+    // "net.wireless") and re-resolved per chunk: reconfiguration swaps
+    // the link's spec mid-transfer, and flap/partition rules should
+    // follow the medium, not the endpoint pair.
+    fault::Point* point = nullptr;
+    if (fault::Injector::Default().enabled()) {
+      point = fault::Injector::Default().GetPoint("net." + link->spec().kind);
+      if (!point->armed()) point = nullptr;
+    }
+    const bool injected_down =
+        point != nullptr && point->DownAt(loop_->Now());
+    if (!link->up() || injected_down) {
+      if (injected_down && !*outage_logged) {
+        *outage_logged = true;
+        fault::Record(fault::FaultEventKind::kInjected,
+                      "net." + link->spec().kind,
+                      "injected outage: transfer stalled, retrying",
+                      loop_->Now());
+      }
       // Link down: retry in 10 simulated ms (the adaptation layer is
       // expected to reroute before this matters).
       loop_->ScheduleAfter(Millis(10),
                            [self, remaining] { (*self)(remaining); });
       return;
     }
+    *outage_logged = false;
     size_t chunk = std::min(chunk_bytes, remaining);
     link->AccountBytes(chunk);
-    loop_->ScheduleAfter(link->TransferTime(chunk),
-                         [self, remaining, chunk] {
-                           (*self)(remaining - chunk);
-                         });
+    SimTime cost = link->TransferTime(chunk);
+    if (point != nullptr) {
+      fault::Decision d = point->Decide();
+      if (d.latency > 0) cost += d.latency;  // spec value is already µs
+    }
+    loop_->ScheduleAfter(cost, [self, remaining, chunk] {
+      (*self)(remaining - chunk);
+    });
   };
   (*send_next)(bytes);
   return Status::OK();

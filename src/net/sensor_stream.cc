@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/log.h"
+
 namespace dbm::net {
 
 Status SensorStream::Start(std::function<void(const Stats&)> on_complete) {
@@ -13,12 +15,70 @@ Status SensorStream::Start(std::function<void(const Stats&)> on_complete) {
   return Status::OK();
 }
 
+void SensorStream::Kill() {
+  ++stats_.crashes;
+  Stall("killed");
+}
+
+void SensorStream::Stall(const char* why) {
+  ++epoch_;  // orphan every in-flight callback
+  stalled_ = true;
+  fault::Record(fault::FaultEventKind::kInjected,
+                "net.stream", std::string("stream '") + options_.stream_name +
+                    "' stalled: " + why,
+                net_->loop()->Now());
+  if (options_.auto_resume) {
+    uint64_t epoch = epoch_;
+    net_->loop()->ScheduleAfter(options_.resume_delay, [this, epoch] {
+      if (epoch != epoch_ || !stalled_) return;
+      (void)Resume();
+    });
+  } else if (options_.on_stall) {
+    options_.on_stall();
+  }
+}
+
+Status SensorStream::Resume() {
+  if (!stalled_) {
+    return Status::FailedPrecondition("stream '" + options_.stream_name +
+                                      "' is not stalled");
+  }
+  stalled_ = false;
+  ++epoch_;
+  size_t position = 0;
+  auto sp = recovery_->Latest(options_.stream_name);
+  if (sp.ok()) {
+    position = static_cast<size_t>(sp->position);
+    // Restore the checkpointed codec so the replayed chunk encodes to
+    // the same bytes the original did. A pending switch request still
+    // applies at the next safe point, as usual.
+    if (!sp->state.empty()) codec_ = sp->state;
+  }
+  recovery_->CountReplay(options_.stream_name);
+  ++stats_.replays;
+  SendChunk(position);
+  return Status::OK();
+}
+
 void SensorStream::SendChunk(size_t row) {
   if (row >= readings_->size()) {
     stats_.completed_at = net_->loop()->Now();
+    recovery_->Drop(options_.stream_name);
     if (on_complete_) on_complete_(stats_);
     return;
   }
+
+  // Injected crash: the sensor process dies before the chunk leaves it.
+  if (crash_point_->armed()) {
+    fault::Decision d = crash_point_->Decide();
+    if (d.crash || d.error) {
+      ++stats_.crashes;
+      ++stats_.failed_chunks;
+      Stall("injected crash before chunk send");
+      return;
+    }
+  }
+
   // Safe point: apply a pending codec switch at the chunk boundary.
   if (!requested_codec_.empty() && requested_codec_ != codec_) {
     if (data::FindCodec(requested_codec_).ok()) {
@@ -41,6 +101,7 @@ void SensorStream::SendChunk(size_t row) {
   data::Bytes wire = (*codec)->Encode(raw);
   stats_.raw_bytes += raw.size();
   stats_.wire_bytes += wire.size();
+  if (options_.on_wire) options_.on_wire(row, wire);
 
   // Encode on the sensor + decode on the consumer, charged as simulated
   // time before the transfer begins (sequential device, single radio).
@@ -50,20 +111,42 @@ void SensorStream::SendChunk(size_t row) {
   stats_.cpu_time += cpu;
 
   size_t rows_in_chunk = end - row;
-  net_->loop()->ScheduleAfter(cpu, [this, wire, row, end, rows_in_chunk] {
-    Status s = net_->Transfer(
-        from_, to_, wire.size(),
-        [this, end, rows_in_chunk](SimTime) {
-          stats_.rows_delivered += rows_in_chunk;
-          ++stats_.chunks;
-          SendChunk(end);
-        });
-    if (!s.ok() && on_complete_) {
-      stats_.completed_at = net_->loop()->Now();
-      on_complete_(stats_);
-    }
-    (void)row;
-  });
+  uint64_t epoch = epoch_;
+  net_->loop()->ScheduleAfter(
+      cpu, [this, wire, row, end, rows_in_chunk, epoch] {
+        if (epoch != epoch_) return;  // killed while encoding
+        Status s = net_->Transfer(
+            from_, to_, wire.size(),
+            [this, row, end, rows_in_chunk, epoch](SimTime) {
+              if (epoch != epoch_) return;  // killed mid-flight
+              if (options_.on_deliver) {
+                Status d = options_.on_deliver(row, rows_in_chunk);
+                if (!d.ok()) {
+                  ++stats_.failed_chunks;
+                  Stall(d.message().c_str());
+                  return;
+                }
+              }
+              stats_.rows_delivered += rows_in_chunk;
+              ++stats_.chunks;
+              // The chunk landed: this boundary becomes the latest safe
+              // point. Sequence = delivered-chunk count, position = next
+              // row, state = the codec that encoded it.
+              fault::SafePoint sp;
+              sp.sequence = stats_.chunks;
+              sp.position = end;
+              sp.at = net_->loop()->Now();
+              sp.state = codec_;
+              if (recovery_->Checkpoint(options_.stream_name, sp).ok()) {
+                ++stats_.safe_points;
+              }
+              SendChunk(end);
+            });
+        if (!s.ok() && on_complete_) {
+          stats_.completed_at = net_->loop()->Now();
+          on_complete_(stats_);
+        }
+      });
 }
 
 }  // namespace dbm::net

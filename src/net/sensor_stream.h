@@ -6,6 +6,14 @@
 // other version's stream" (§4). A codec switch requested mid-stream takes
 // effect at the next chunk boundary — no chunk is ever half-encoded —
 // and already-delivered rows are never resent.
+//
+// This PR makes safe points recovery points too: after each delivered
+// chunk the stream checkpoints its cursor and codec with a
+// fault::StateManager, and a crash (injected via the "net.stream" fault
+// point, or an explicit Kill()) replays from the latest checkpoint.
+// Because the checkpoint is taken only *after* delivery completes, a
+// chunk interrupted mid-flight is resent whole and counted once —
+// at-least-once per chunk on the wire, exactly-once per counted row.
 
 #ifndef DBM_NET_SENSOR_STREAM_H_
 #define DBM_NET_SENSOR_STREAM_H_
@@ -16,6 +24,8 @@
 #include "data/codec.h"
 #include "data/relation.h"
 #include "data/xml.h"
+#include "fault/injector.h"
+#include "fault/recovery.h"
 #include "net/network.h"
 
 namespace dbm::net {
@@ -29,6 +39,30 @@ class SensorStream {
     /// compressed version "uses more resources on both the sensor and the
     /// Laptop while saving communication time").
     double cpu_us_per_byte = 0.005;
+
+    /// Name under which safe points are checkpointed.
+    std::string stream_name = "sensor";
+    /// Checkpoint store; nullptr = the stream's own private manager.
+    fault::StateManager* recovery = nullptr;
+    /// After a crash or deliver failure, replay automatically from the
+    /// latest safe point (after a short reconnect delay). Off, the
+    /// stream stalls until someone calls Resume() — scenario 2's
+    /// breaker-driven SWITCH path.
+    bool auto_resume = true;
+    SimTime resume_delay = Millis(5);
+
+    /// Per-chunk delivery hook, called when the chunk's bytes land but
+    /// before its rows are counted (scenario 2 routes this through a
+    /// supervised ORB call into the ingest component). A non-OK return
+    /// fails the chunk: nothing is counted, no checkpoint is taken, and
+    /// the stream stalls (then auto-resumes, if enabled).
+    std::function<Status(size_t first_row, size_t rows)> on_deliver;
+    /// Fires when the stream stalls (crash or failed delivery) and
+    /// auto_resume is off. The handler owns getting Resume() called.
+    std::function<void()> on_stall;
+    /// Test tap: every chunk's encoded wire bytes, keyed by first row —
+    /// how the replay test proves resent chunks are byte-identical.
+    std::function<void(size_t first_row, const data::Bytes& wire)> on_wire;
   };
 
   struct Stats {
@@ -37,6 +71,10 @@ class SensorStream {
     uint64_t raw_bytes = 0;       // XML text size before encoding
     uint64_t wire_bytes = 0;      // bytes actually transferred
     uint64_t codec_switches = 0;
+    uint64_t safe_points = 0;     // checkpoints taken
+    uint64_t replays = 0;         // resumes from a safe point
+    uint64_t failed_chunks = 0;   // chunks lost to a crash / failed deliver
+    uint64_t crashes = 0;         // injected or explicit kills
     SimTime cpu_time = 0;         // encode/decode simulated time
     SimTime completed_at = -1;
   };
@@ -48,7 +86,10 @@ class SensorStream {
         to_(std::move(to)),
         readings_(readings),
         options_(std::move(options)),
-        codec_(options_.codec) {}
+        codec_(options_.codec),
+        recovery_(options_.recovery != nullptr ? options_.recovery
+                                               : &own_recovery_),
+        crash_point_(fault::Injector::Default().GetPoint("net.stream")) {}
 
   /// Starts streaming; `on_complete` fires when the last row lands.
   Status Start(std::function<void(const Stats&)> on_complete);
@@ -58,11 +99,23 @@ class SensorStream {
     requested_codec_ = std::move(codec);
   }
 
+  /// Kills the stream as a crash would: in-flight chunks are abandoned
+  /// (their rows never counted) and the stream stalls until Resume().
+  void Kill();
+
+  /// Replays from the latest safe point (stream start if none). The
+  /// checkpointed codec is restored first, so replayed chunks are
+  /// byte-identical to the originals.
+  Status Resume();
+
+  bool stalled() const { return stalled_; }
   const Stats& stats() const { return stats_; }
   const std::string& current_codec() const { return codec_; }
+  fault::StateManager* recovery() const { return recovery_; }
 
  private:
   void SendChunk(size_t row);
+  void Stall(const char* why);
 
   Network* net_;
   std::string from_, to_;
@@ -72,6 +125,14 @@ class SensorStream {
   std::string requested_codec_;
   Stats stats_;
   std::function<void(const Stats&)> on_complete_;
+
+  fault::StateManager own_recovery_;
+  fault::StateManager* recovery_;
+  fault::Point* crash_point_;
+  // Kill()/Stall() bump the epoch; callbacks scheduled before the bump
+  // see a stale value and drop out instead of counting dead chunks.
+  uint64_t epoch_ = 0;
+  bool stalled_ = false;
 };
 
 }  // namespace dbm::net

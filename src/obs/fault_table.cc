@@ -1,0 +1,36 @@
+#include "obs/fault_table.h"
+
+namespace dbm::obs {
+
+using data::Field;
+using data::Schema;
+using data::Tuple;
+using data::Value;
+using data::ValueType;
+
+Schema FaultsSchema() {
+  return Schema({Field{"trace_id", ValueType::kString},
+                 Field{"span_id", ValueType::kInt},
+                 Field{"at_sim_us", ValueType::kInt},
+                 Field{"kind", ValueType::kString},
+                 Field{"point", ValueType::kString},
+                 Field{"detail", ValueType::kString}});
+}
+
+data::Relation FaultsRelation(const fault::FaultLog& log,
+                              const std::string& relation_name) {
+  data::Relation rel(relation_name, FaultsSchema());
+  for (const fault::FaultEvent& e : log.Snapshot()) {
+    Tuple row;
+    row.values = {Value{e.trace_id.ToHex()},
+                  Value{static_cast<int64_t>(e.span_id)},
+                  Value{e.at_sim_us},
+                  Value{std::string(fault::FaultEventKindName(e.kind))},
+                  Value{std::string(e.point)},
+                  Value{std::string(e.detail)}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace dbm::obs

@@ -1,0 +1,33 @@
+// FaultsRelation: the fault log as a relation.
+//
+// The DBOS slant, applied to failure: what went wrong is data. The
+// fault ring freezes into
+//
+//   faults(trace_id:string, span_id:int, at_sim_us:int, kind:string,
+//          point:string, detail:string)
+//
+// with kind one of injected|breaker|recovery|degraded. trace_id is the
+// join key against the decisions relation — "which injected fault led
+// to which SWITCH" is one query, not a log-grep.
+
+#ifndef DBM_OBS_FAULT_TABLE_H_
+#define DBM_OBS_FAULT_TABLE_H_
+
+#include <string>
+
+#include "data/relation.h"
+#include "fault/log.h"
+
+namespace dbm::obs {
+
+/// The schema of FaultsRelation() (shared so callers can bind columns).
+data::Schema FaultsSchema();
+
+/// Snapshots `log`'s ring into a relation named `relation_name`.
+data::Relation FaultsRelation(
+    const fault::FaultLog& log = fault::FaultLog::Default(),
+    const std::string& relation_name = "faults");
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_FAULT_TABLE_H_

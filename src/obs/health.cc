@@ -91,6 +91,16 @@ FlightState& State() {
   return *state;
 }
 
+struct FlightSections {
+  std::mutex mu;
+  std::map<std::string, std::function<std::string()>> sections;
+};
+
+FlightSections& Sections() {
+  static FlightSections* sections = new FlightSections();
+  return *sections;
+}
+
 std::string Num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
@@ -231,6 +241,13 @@ const std::string& FlightRecorderPath() {
   return State().options.path;
 }
 
+void RegisterFlightSection(const std::string& name,
+                           std::function<std::string()> fn) {
+  FlightSections& extra = Sections();
+  std::lock_guard<std::mutex> lock(extra.mu);
+  extra.sections[name] = std::move(fn);
+}
+
 Status DumpFlightRecord(const std::string& path, int64_t now_us,
                         size_t timeseries_tail) {
   std::string out = "{\"flight\":{";
@@ -244,6 +261,13 @@ Status DumpFlightRecord(const std::string& path, int64_t now_us,
   AppendHealth(&out, now_us);
   out += ",";
   AppendTimeSeries(&out, timeseries_tail);
+  {
+    FlightSections& extra = Sections();
+    std::lock_guard<std::mutex> lock(extra.mu);
+    for (const auto& [name, fn] : extra.sections) {
+      out += ",\"" + JsonEscape(name) + "\":" + fn();
+    }
+  }
   out += "}}";
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -161,10 +162,19 @@ void InstallFlightRecorder(const FlightRecorderOptions& options);
 const std::string& FlightRecorderPath();
 
 /// Writes the flight record (spans, decisions, loop latencies, health
-/// verdicts, time-series tails) to `path` now. Also callable directly —
-/// the dump is valid at any quiescent point, not only at a crash.
+/// verdicts, time-series tails, registered extra sections) to `path`
+/// now. Also callable directly — the dump is valid at any quiescent
+/// point, not only at a crash.
 Status DumpFlightRecord(const std::string& path, int64_t now_us = 0,
                         size_t timeseries_tail = 64);
+
+/// Registers (or replaces) an extra flight-record section: at dump time
+/// `fn`'s return value — which must be a complete JSON value — lands in
+/// the record as `"name":<value>`. The layering hook by which higher
+/// layers contribute post-mortem state without obs depending on them:
+/// the fault log registers its ring here as "faults".
+void RegisterFlightSection(const std::string& name,
+                           std::function<std::string()> fn);
 
 }  // namespace dbm::obs
 

@@ -5,6 +5,7 @@
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "obs/fault_table.h"
 #include "obs/metrics_table.h"
 #include "obs/trace_table.h"
 #include "query/executor.h"
@@ -113,6 +114,24 @@ std::string DecisionsJson(const Tracer& tracer) {
   return out;
 }
 
+std::string FaultsJson(const fault::FaultLog& log) {
+  std::string out = "{\"faults\":[";
+  bool first = true;
+  for (const fault::FaultEvent& e : log.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"trace_id\":\"" + e.trace_id.ToHex() + "\"";
+    out += ",\"span_id\":" + std::to_string(e.span_id);
+    out += ",\"at_sim_us\":" + std::to_string(e.at_sim_us);
+    out += std::string(",\"kind\":\"") + fault::FaultEventKindName(e.kind) +
+           "\"";
+    out += ",\"point\":\"" + JsonEscape(e.point) + "\"";
+    out += ",\"detail\":\"" + JsonEscape(e.detail) + "\"}";
+  }
+  out += "],\"dropped\":" + std::to_string(log.dropped()) + "}";
+  return out;
+}
+
 std::string HealthJson(int64_t now_us, const LoopHealth& health) {
   std::vector<LoopHealth::Verdict> verdicts = health.Verdicts(now_us);
   bool healthy = true;
@@ -213,6 +232,9 @@ Result<std::string> ObservatoryQuery(std::string_view q,
         "empty query (expected: <relation> [where <col> <op> <value>] "
         "[limit N])");
   }
+  const fault::FaultLog& fault_log = options.fault_log != nullptr
+                                         ? *options.fault_log
+                                         : fault::FaultLog::Default();
   const std::string& rel_name = tokens[0];
   data::Relation rel;
   if (rel_name == "metrics") {
@@ -221,9 +243,11 @@ Result<std::string> ObservatoryQuery(std::string_view q,
     rel = SpansRelation(tracer);
   } else if (rel_name == "decisions") {
     rel = DecisionsRelation(tracer);
+  } else if (rel_name == "faults") {
+    rel = FaultsRelation(fault_log);
   } else {
     return Status::ParseError("unknown relation '" + rel_name +
-                              "' (expected metrics|spans|decisions)");
+                              "' (expected metrics|spans|decisions|faults)");
   }
 
   query::OperatorPtr root = std::make_unique<query::MemSource>(&rel);
@@ -306,6 +330,11 @@ Result<std::string> ServeObservatory(std::string_view path, int64_t now_us,
     return TimeSeriesJson(store, options.timeseries_tail);
   }
   if (endpoint == "/obs/decisions") return DecisionsJson(tracer);
+  if (endpoint == "/obs/faults") {
+    return FaultsJson(options.fault_log != nullptr
+                          ? *options.fault_log
+                          : fault::FaultLog::Default());
+  }
   if (endpoint == "/obs/health") return HealthJson(now_us, health);
   if (endpoint == "/obs/query") {
     if (query_string.rfind("q=", 0) != 0) {

@@ -8,9 +8,11 @@
 //   /obs/metrics      Prometheus-style text exposition of the registry
 //   /obs/timeseries   retained sample windows, JSON
 //   /obs/decisions    the adaptation decision ring, JSON
+//   /obs/faults       the fault log (injections, breaker transitions,
+//                     recoveries, load sheds), JSON
 //   /obs/health       staleness + loop-latency verdicts, JSON
 //   /obs/query?q=...  a mini query language routed through query::Execute
-//                     over the metrics/spans/decisions relations
+//                     over the metrics/spans/decisions/faults relations
 //
 // Content generation lives here (target dbm_observatory: obs + the
 // relation bridges + the query engine); registering the endpoints as
@@ -21,7 +23,7 @@
 //
 //   <relation> [where <column> <op> <value>] [limit N]
 //
-// with <relation> one of metrics|spans|decisions and <op> one of
+// with <relation> one of metrics|spans|decisions|faults and <op> one of
 // = != < <= > >=. It compiles to MemSource → FilterOp → LimitOp and runs
 // through query::Execute — the reproduction dogfooding its own engine.
 
@@ -32,6 +34,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "fault/log.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -53,6 +56,11 @@ std::string TimeSeriesJson(const TimeSeriesStore& store =
 /// {"decisions":[{...},...]} — the tracer's decision ring.
 std::string DecisionsJson(const Tracer& tracer = Tracer::Default());
 
+/// {"faults":[{...},...]} — the fault log, newest last; each record
+/// carries the trace id that joins it to the decision it triggered.
+std::string FaultsJson(const fault::FaultLog& log =
+                           fault::FaultLog::Default());
+
 /// {"health":{"healthy":bool,"gauges":[...],"loop_latency":{...}}} at
 /// simulated time `now_us`.
 std::string HealthJson(int64_t now_us,
@@ -64,6 +72,7 @@ struct ObservatoryOptions {
   const Tracer* tracer = nullptr;
   const TimeSeriesStore* store = nullptr;
   const LoopHealth* health = nullptr;
+  const fault::FaultLog* fault_log = nullptr;
   size_t timeseries_tail = 32;
 };
 

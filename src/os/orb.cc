@@ -1,6 +1,7 @@
 #include "os/orb.h"
 
 #include "common/strings.h"
+#include "fault/log.h"
 #include "obs/tracectx.h"
 
 namespace dbm::os {
@@ -109,12 +110,14 @@ Status Orb::Invoke(ComponentId caller, uint32_t port_index) {
         StrFormat("port %u of component %u is unbound", port_index, caller));
   }
   const InterfaceRecord& rec = table_[iface];
-  if ((rec.flags & 1) == 0) {
+  if ((rec.flags & 1) == 0 && supervised_.find(iface) == supervised_.end()) {
+    // Unsupervised calls fail fast; supervised ones go through Dispatch
+    // so the breaker sees the dead callee and can trip a SWITCH.
     return Status::Unavailable(
         StrFormat("interface '%s' has been revoked",
                   InterfaceName(iface).c_str()));
   }
-  return InvokeRecord(rec);
+  return Dispatch(iface, rec);
 }
 
 Status Orb::Call(InterfaceId iface) {
@@ -122,13 +125,13 @@ Status Orb::Call(InterfaceId iface) {
   if (rec == nullptr) {
     return Status::NotFound(StrFormat("no interface %u", iface));
   }
-  if ((rec->flags & 1) == 0) {
+  if ((rec->flags & 1) == 0 && supervised_.find(iface) == supervised_.end()) {
     return Status::Unavailable(
         StrFormat("interface '%s' has been revoked",
                   InterfaceName(iface).c_str()));
   }
   vcpu_->ledger()->Charge(costs_.near_call, "orb:near-call");
-  return InvokeRecord(*rec);
+  return Dispatch(iface, *rec);
 }
 
 Status Orb::Call(InterfaceId iface, int64_t a1, int64_t a2, int64_t a3) {
@@ -136,6 +139,180 @@ Status Orb::Call(InterfaceId iface, int64_t a1, int64_t a2, int64_t a3) {
   vcpu_->set_reg(2, a2);
   vcpu_->set_reg(3, a3);
   return Call(iface);
+}
+
+Status Orb::Dispatch(InterfaceId iface, const InterfaceRecord& rec) {
+  if (!supervised_.empty()) {
+    auto it = supervised_.find(iface);
+    if (it != supervised_.end()) {
+      return InvokeSupervised(iface, rec, *it->second);
+    }
+  }
+  if (fault_point_->armed()) return AttemptInvoke(iface, rec, nullptr);
+  return InvokeRecord(rec);
+}
+
+Status Orb::SetCallPolicy(InterfaceId iface, const CallPolicy& policy) {
+  const InterfaceRecord* rec = Lookup(iface);
+  if (rec == nullptr || (rec->flags & 1) == 0) {
+    return Status::NotFound(
+        StrFormat("no live interface %u to supervise", iface));
+  }
+  auto sup = std::make_unique<Supervision>();
+  sup->policy = policy;
+  sup->name = InterfaceName(iface);
+  fault::CircuitBreaker::Options bopts;
+  bopts.failure_threshold =
+      policy.breaker_threshold > 0 ? policy.breaker_threshold : 1;
+  bopts.cooldown = static_cast<int64_t>(policy.breaker_cooldown);
+  sup->breaker = fault::CircuitBreaker(bopts);
+
+  obs::Registry& reg = obs::Registry::Default();
+  const std::string prefix = "orb." + sup->name;
+  sup->timeouts = &reg.GetCounter(prefix + ".timeouts");
+  sup->retries = &reg.GetCounter(prefix + ".retries");
+  sup->failures = &reg.GetCounter(prefix + ".failures");
+  sup->rejected = &reg.GetCounter(prefix + ".rejected");
+  sup->breaker_trips = &reg.GetCounter(prefix + ".breaker_trips");
+  sup->breaker_state = &reg.GetGauge(prefix + ".breaker_state");
+  sup->breaker_state->Set(0);
+
+  // Transitions become a gauge (the session manager's SWITCH trigger),
+  // a counter, and a joinable FaultEvent. `raw` is stable: Supervision
+  // lives behind a unique_ptr for exactly this capture.
+  Supervision* raw = sup.get();
+  raw->breaker.set_on_transition([this, raw](fault::CircuitBreaker::State from,
+                                             fault::CircuitBreaker::State to,
+                                             int64_t now) {
+    raw->breaker_state->Set(static_cast<double>(to));
+    if (to == fault::CircuitBreaker::State::kOpen) raw->breaker_trips->Add(1);
+    fault::Record(fault::FaultEventKind::kBreaker, "orb." + raw->name,
+                  StrFormat("breaker %s -> %s at cycle %lld",
+                            fault::CircuitBreaker::StateName(from),
+                            fault::CircuitBreaker::StateName(to),
+                            static_cast<long long>(now)),
+                  FaultNow());
+  });
+  supervised_[iface] = std::move(sup);
+  return Status::OK();
+}
+
+int Orb::BreakerState(InterfaceId iface) const {
+  auto it = supervised_.find(iface);
+  if (it == supervised_.end()) return 0;
+  return static_cast<int>(it->second->breaker.state());
+}
+
+int Orb::ConsecutiveFailures(InterfaceId iface) const {
+  auto it = supervised_.find(iface);
+  if (it == supervised_.end()) return 0;
+  return it->second->breaker.consecutive_failures();
+}
+
+Status Orb::AttemptInvoke(InterfaceId iface, const InterfaceRecord& rec,
+                          Supervision* sup) {
+  // Retries re-check liveness: an injected crash revokes the interface,
+  // so later attempts of the same call fail here rather than resurrect
+  // the dead callee.
+  if ((rec.flags & 1) == 0) {
+    return Status::Unavailable(
+        StrFormat("interface '%s' has been revoked",
+                  InterfaceName(iface).c_str()));
+  }
+  CycleLedger* ledger = vcpu_->ledger();
+  const Cycles deadline = sup != nullptr ? sup->policy.deadline : 0;
+  const Cycles start = ledger->total();
+  if (fault_point_->armed()) {
+    fault::Decision d = fault_point_->Decide();
+    if (d.latency > 0) {
+      ledger->Charge(static_cast<Cycles>(d.latency), "orb:injected-latency");
+    }
+    const std::string& name = InterfaceName(iface);
+    if (d.crash) {
+      (void)RevokeInterface(iface);
+      fault::Record(fault::FaultEventKind::kInjected, "orb.invoke",
+                    StrFormat("crash: component behind '%s' died, interface "
+                              "revoked",
+                              name.c_str()),
+                    FaultNow());
+      return Status::Unavailable(
+          StrFormat("injected crash: component behind '%s' died",
+                    name.c_str()));
+    }
+    if (d.hang) {
+      // A hang costs the caller its whole budget (or the cap when no
+      // deadline bounds it) before supervision can declare it dead.
+      Cycles cost = deadline > 0 ? deadline : CallPolicy::kHangCycles;
+      ledger->Charge(cost, "orb:injected-hang");
+      fault::Record(fault::FaultEventKind::kInjected, "orb.invoke",
+                    StrFormat("hang on '%s' (+%llu cycles)", name.c_str(),
+                              static_cast<unsigned long long>(cost)),
+                    FaultNow());
+      return Status::DeadlineExceeded(
+          StrFormat("call to '%s' hung past %llu cycles", name.c_str(),
+                    static_cast<unsigned long long>(cost)));
+    }
+    if (d.error) {
+      fault::Record(fault::FaultEventKind::kInjected, "orb.invoke",
+                    StrFormat("error on '%s'", name.c_str()), FaultNow());
+      return Status::Unavailable(
+          StrFormat("injected fault calling '%s'", name.c_str()));
+    }
+  }
+  Status body = InvokeRecord(rec);
+  if (body.ok() && deadline > 0 && ledger->total() - start > deadline) {
+    return Status::DeadlineExceeded(
+        StrFormat("call to '%s' took %llu cycles, budget %llu",
+                  InterfaceName(iface).c_str(),
+                  static_cast<unsigned long long>(ledger->total() - start),
+                  static_cast<unsigned long long>(deadline)));
+  }
+  return body;
+}
+
+Status Orb::InvokeSupervised(InterfaceId iface, const InterfaceRecord& rec,
+                             Supervision& sup) {
+  CycleLedger* ledger = vcpu_->ledger();
+  ledger->Charge(costs_.supervision, "orb:supervision");
+  const bool breaker_on = sup.policy.breaker_threshold > 0;
+  if (breaker_on &&
+      !sup.breaker.Allow(static_cast<int64_t>(ledger->total()))) {
+    sup.rejected->Add(1);
+    return Status::Unavailable(
+        StrFormat("circuit breaker open for interface '%s'",
+                  sup.name.c_str()));
+  }
+  Status last = Status::OK();
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff, deterministically jittered so synchronized
+      // callers fan out instead of retrying in lockstep.
+      Cycles wait = sup.policy.backoff_base << (attempt - 1);
+      if (sup.policy.jitter > 0) {
+        double f = 1.0 + sup.policy.jitter * (2.0 * rng_.UniformDouble() - 1.0);
+        wait = static_cast<Cycles>(static_cast<double>(wait) * f);
+      }
+      if (wait > 0) ledger->Charge(wait, "orb:backoff");
+      sup.retries->Add(1);
+    }
+    last = AttemptInvoke(iface, rec, &sup);
+    const int64_t now = static_cast<int64_t>(ledger->total());
+    if (last.ok()) {
+      if (breaker_on) sup.breaker.RecordSuccess(now);
+      return last;
+    }
+    if (last.IsDeadlineExceeded()) sup.timeouts->Add(1);
+    if (breaker_on) sup.breaker.RecordFailure(now);
+    if (!last.IsRetryable() || attempt >= sup.policy.max_retries) break;
+    // A breaker that tripped mid-sequence also ends the retry loop:
+    // the threshold spans calls, not just this one.
+    if (breaker_on &&
+        sup.breaker.state() == fault::CircuitBreaker::State::kOpen) {
+      break;
+    }
+  }
+  sup.failures->Add(1);
+  return last;
 }
 
 Status Orb::InvokeRecord(const InterfaceRecord& rec) {

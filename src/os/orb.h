@@ -16,12 +16,18 @@
 #define DBM_OS_ORB_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
 #include "common/status.h"
+#include "fault/breaker.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "os/cycles.h"
 #include "os/image.h"
@@ -56,6 +62,33 @@ struct OrbCosts {
   Cycles arg_setup = 6;        // register-window argument pass
   Cycles restore_context = 8;
   Cycles orb_exit = 5;         // return to caller
+  /// Supervision tax: deadline/breaker bookkeeping on a policied call
+  /// (a table-indexed load + two compares). Charged only when the
+  /// interface has a CallPolicy — the bare 73-cycle hop is untouched.
+  Cycles supervision = 2;
+};
+
+/// Per-interface call policy for supervised invocation. All times are
+/// simulated cycles (the ORB's native time base). Defaults give a
+/// deadline-less, breaker-guarded call with two retries.
+struct CallPolicy {
+  /// Per-attempt cycle budget; an attempt consuming more fails with
+  /// DeadlineExceeded. 0 = no deadline (hangs then cost kHangCycles).
+  Cycles deadline = 0;
+  /// Retries after the first attempt, on IsRetryable() failures only.
+  int max_retries = 2;
+  /// Backoff before retry k is `backoff_base << (k-1)` cycles, ±jitter.
+  Cycles backoff_base = 16;
+  /// Fraction of the backoff randomised (deterministically, from the
+  /// ORB's fixed-seed Rng) to de-synchronise retry storms.
+  double jitter = 0.25;
+  /// Consecutive failed *attempts* that trip the breaker open. 0
+  /// disables the breaker for this interface.
+  int breaker_threshold = 3;
+  /// Open → half-open (single probe admitted) after this many cycles.
+  Cycles breaker_cooldown = 2000;
+  /// What an injected hang costs when no deadline bounds it.
+  static constexpr Cycles kHangCycles = 10000;
 };
 
 class Orb {
@@ -71,6 +104,7 @@ class Orb {
     obs_invocations_ = &reg.GetCounter("os.orb.invocations");
     obs_segment_reloads_ = &reg.GetCounter("os.orb.segment_reloads");
     obs_hop_cycles_ = &reg.GetHistogram("os.orb.hop_cycles");
+    fault_point_ = fault::Injector::Default().GetPoint("orb.invoke");
   }
 
   /// Registers a provided interface; returns its id.
@@ -123,8 +157,56 @@ class Orb {
   const OrbCosts& costs() const { return costs_; }
   uint64_t invocation_count() const { return invocations_; }
 
+  // --- Supervised invocation -------------------------------------------
+
+  /// Attaches `policy` to `iface`: every subsequent Invoke/Call through
+  /// it runs under deadline + retry + circuit-breaker supervision, with
+  /// outcomes on the registry as `orb.<iface-name>.{timeouts,retries,
+  /// failures,rejected,breaker_trips}` and `.breaker_state` (0 closed,
+  /// 1 half-open, 2 open). Unpolicied interfaces keep the bare fast
+  /// path.
+  Status SetCallPolicy(InterfaceId iface, const CallPolicy& policy);
+
+  /// Current breaker state of `iface` (0 closed / 1 half-open / 2 open;
+  /// closed when unsupervised) — the gauge the session manager reads to
+  /// SWITCH to a fallback provider.
+  int BreakerState(InterfaceId iface) const;
+
+  /// Consecutive failed attempts (testing / gauges).
+  int ConsecutiveFailures(InterfaceId iface) const;
+
+  /// Sim-time source stamped onto fault-log events (the ORB itself runs
+  /// on cycles, not SimTime). Unset → events carry 0.
+  void set_now_fn(std::function<SimTime()> now_fn) {
+    now_fn_ = std::move(now_fn);
+  }
+
  private:
+  /// Per-supervised-interface runtime state. Metric handles resolve at
+  /// SetCallPolicy so the per-call path only touches atomics.
+  struct Supervision {
+    CallPolicy policy;
+    fault::CircuitBreaker breaker;
+    std::string name;  // interface debug name ("orb.<name>.*" metrics)
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* failures = nullptr;   // calls failed after all retries
+    obs::Counter* rejected = nullptr;   // calls refused by an open breaker
+    obs::Counter* breaker_trips = nullptr;
+    obs::Gauge* breaker_state = nullptr;
+  };
+
   Status InvokeRecord(const InterfaceRecord& rec);
+  /// Routes a validated interface through supervision / injection / the
+  /// bare path — the single dispatch chokepoint behind Invoke and Call.
+  Status Dispatch(InterfaceId iface, const InterfaceRecord& rec);
+  /// One attempt: injector verdict, the hop itself, deadline check.
+  /// `sup` is null on unsupervised calls.
+  Status AttemptInvoke(InterfaceId iface, const InterfaceRecord& rec,
+                       Supervision* sup);
+  Status InvokeSupervised(InterfaceId iface, const InterfaceRecord& rec,
+                          Supervision& sup);
+  SimTime FaultNow() const { return now_fn_ ? now_fn_() : 0; }
 
   Vcpu* vcpu_;
   MachineCosts machine_;
@@ -142,6 +224,14 @@ class Orb {
   obs::Counter* obs_invocations_;
   obs::Counter* obs_segment_reloads_;
   obs::Histogram* obs_hop_cycles_;
+
+  // Fault plane. The "orb.invoke" point handle is resolved once; with
+  // nothing armed and no policies installed, Dispatch adds one empty-map
+  // check and one relaxed load to the hop path.
+  fault::Point* fault_point_;
+  std::unordered_map<InterfaceId, std::unique_ptr<Supervision>> supervised_;
+  Rng rng_{0x0b5e55ed0b5e55edull};  // fixed seed: deterministic jitter
+  std::function<SimTime()> now_fn_;
 };
 
 }  // namespace dbm::os

@@ -1,6 +1,8 @@
 #include "os/scanner.h"
 
 #include "common/strings.h"
+#include "fault/injector.h"
+#include "fault/log.h"
 
 namespace dbm::os {
 
@@ -13,6 +15,23 @@ ScanReport SisrScanner::Scan(const ComponentImage& image) const {
   auto violate = [&report](uint32_t pc, std::string reason) {
     report.violations.push_back(ScanViolation{pc, std::move(reason)});
   };
+
+  // Segment-permission fault, from the scanner's point of view: the
+  // image looks like it loads a segment register, so load-time
+  // verification rejects what would otherwise have been a run-time
+  // protection fault. This is the paper's protection story under test —
+  // a corrupted image never reaches the ORB.
+  static fault::Point* seg_fault =
+      fault::Injector::Default().GetPoint("scanner.segment");
+  if (seg_fault->armed() && seg_fault->Decide().error) {
+    violate(0, "injected segment-permission fault: image appears to load "
+               "a segment register");
+    fault::Record(fault::FaultEventKind::kInjected, "scanner.segment",
+                  "scan rejected image: injected segment-permission fault",
+                  0);
+    report.accepted = false;
+    return report;
+  }
 
   if (text.empty()) {
     violate(0, "empty text section");

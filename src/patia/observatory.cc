@@ -8,7 +8,7 @@ namespace {
 
 const char* const kEndpoints[] = {
     "/obs/metrics", "/obs/timeseries", "/obs/decisions",
-    "/obs/health",  "/obs/query",
+    "/obs/faults",  "/obs/health",     "/obs/query",
 };
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/log.h"
 #include "obs/health.h"
 
 namespace dbm::patia {
@@ -211,6 +212,26 @@ Result<std::string> PatiaServer::ChooseNode(const Atom& atom,
   return agent->node();
 }
 
+void PatiaServer::EnableDegradation(DegradationOptions options) {
+  degradation_enabled_ = true;
+  degradation_ = std::move(options);
+  degradation_breaker_ch_ =
+      degradation_.breaker_metric.empty()
+          ? nullptr
+          : bus_->GetChannel(degradation_.breaker_metric);
+  obs_degraded_ = &obs::Registry::Default().GetCounter("patia.degraded");
+}
+
+bool PatiaServer::Degraded(const std::string& node) const {
+  if (!degradation_enabled_) return false;
+  // Breaker open (state gauge 2) anywhere in the serving path sheds.
+  if (degradation_breaker_ch_ != nullptr &&
+      degradation_breaker_ch_->value >= 2.0) {
+    return true;
+  }
+  return NodeUtilisation(node) >= degradation_.overload_utilisation;
+}
+
 Result<std::string> PatiaServer::ChooseVariant(const Atom& atom,
                                                const std::string& client,
                                                const std::string& node) {
@@ -245,6 +266,24 @@ Status PatiaServer::Request(
   DBM_ASSIGN_OR_RETURN(std::string resource,
                        ChooseVariant(*atom, client, node));
   const AtomVariant* variant = atom->FindVariant(resource);
+  // Load shedding: under an open breaker or node overload, the smallest
+  // variant goes out instead of a refusal — degraded beats down.
+  if (Degraded(node) && atom->variants.size() > 1 &&
+      dynamic_content_.count(atom->id) == 0) {
+    const AtomVariant* smallest = variant;
+    for (const AtomVariant& v : atom->variants) {
+      if (smallest == nullptr || v.bytes < smallest->bytes) smallest = &v;
+    }
+    if (smallest != variant) {
+      variant = smallest;
+      resource = smallest->resource;
+      obs_degraded_->Add(1);
+      fault::Record(fault::FaultEventKind::kDegraded, "patia." + node,
+                    "shed load: served '" + resource + "' for atom '" +
+                        atom->name + "'",
+                    network_->loop()->Now());
+    }
+  }
   obs_requests_->Add(1);
   auto atom_counters = variant_counters_.find(atom->id);
   if (atom_counters != variant_counters_.end()) {

@@ -210,6 +210,25 @@ class PatiaServer {
     session_->EnableHysteresis(options);
   }
 
+  /// Graceful degradation: when the watched breaker metric reports open
+  /// or a node is overloaded past the threshold, requests for static
+  /// multi-variant atoms are served their *smallest* variant — a
+  /// compressed/stale page beats a 503. Sheds are counted on
+  /// "patia.degraded" and land in the fault log as kDegraded events.
+  struct DegradationOptions {
+    /// Bus metric watched for breaker state (e.g. an
+    /// "ingest-breaker" gauge published from Orb::BreakerState);
+    /// value >= 2 (open) sheds. Empty = overload-only.
+    std::string breaker_metric;
+    /// NodeUtilisation() at or above this sheds (active/slots; queued
+    /// work pushes it past 1.0).
+    double overload_utilisation = 1.5;
+  };
+  void EnableDegradation(DegradationOptions options);
+
+  /// True when the next request on `node` would be served degraded.
+  bool Degraded(const std::string& node) const;
+
   const Stats& stats() const { return stats_; }
   adapt::SessionManager& session() { return *session_; }
   adapt::AdaptivityManager& adaptivity() { return *adaptivity_; }
@@ -268,6 +287,11 @@ class PatiaServer {
   obs::Counter* obs_requests_;
   obs::Counter* obs_migrations_;
   obs::Histogram* obs_latency_us_;
+
+  bool degradation_enabled_ = false;
+  DegradationOptions degradation_;
+  adapt::MetricBus::Channel* degradation_breaker_ch_ = nullptr;
+  obs::Counter* obs_degraded_ = nullptr;
 };
 
 /// Poisson request generator with a flash-crowd window during which the

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "fault/log.h"
+#include "obs/metrics.h"
 #include "patia/patia.h"
 
 namespace dbm::patia {
@@ -204,6 +208,96 @@ TEST(PatiaTest, FlashCrowdWithAdaptationServesFromBothNodes) {
   EXPECT_GE((*agent)->migrations(), 1u);  // the SWITCH fired
   // After the switch, node2 actually served traffic.
   EXPECT_GT(rig.server.stats().served_by_node.at("node2"), 0u);
+}
+
+TEST(PatiaDegradationTest, OpenBreakerShedsToSmallestVariant) {
+  Rig rig;
+  Atom stream;
+  stream.id = 595;
+  stream.name = "video.ram";
+  stream.type = "stream";
+  stream.variants = {{"videohalf.ram", 60000}, {"videosmall.ram", 8000}};
+  ASSERT_TRUE(rig.server.RegisterAtom(stream, {"node1"}).ok());
+
+  PatiaServer::DegradationOptions opts;
+  opts.breaker_metric = "ingest-breaker";
+  rig.server.EnableDegradation(opts);
+  EXPECT_FALSE(rig.server.Degraded("node1"));
+
+  // Breaker open (state gauge 2) → the smallest variant goes out and the
+  // shed lands in both the counter and the fault log.
+  rig.bus.Publish("ingest-breaker", 2.0, rig.loop.Now());
+  EXPECT_TRUE(rig.server.Degraded("node1"));
+  uint64_t shed_before =
+      obs::Registry::Default().GetCounter("patia.degraded").value();
+  size_t log_before = fault::FaultLog::Default().Snapshot().size();
+  bool done = false;
+  ASSERT_TRUE(rig.server
+                  .Request("client", "video.ram",
+                           [&](const ServedRequest& r) {
+                             done = true;
+                             EXPECT_EQ(r.resource, "videosmall.ram");
+                           })
+                  .ok());
+  rig.loop.RunUntil();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(
+      obs::Registry::Default().GetCounter("patia.degraded").value(),
+      shed_before + 1);
+  std::vector<fault::FaultEvent> events =
+      fault::FaultLog::Default().Snapshot();
+  ASSERT_GT(events.size(), log_before);
+  bool shed_logged = false;
+  for (size_t i = log_before; i < events.size(); ++i) {
+    if (events[i].kind == fault::FaultEventKind::kDegraded &&
+        std::string(events[i].point) == "patia.node1") {
+      shed_logged = true;
+    }
+  }
+  EXPECT_TRUE(shed_logged);
+
+  // Breaker closes again → the default (first) variant is restored.
+  rig.bus.Publish("ingest-breaker", 0.0, rig.loop.Now());
+  EXPECT_FALSE(rig.server.Degraded("node1"));
+  done = false;
+  ASSERT_TRUE(rig.server
+                  .Request("client", "video.ram",
+                           [&](const ServedRequest& r) {
+                             done = true;
+                             EXPECT_EQ(r.resource, "videohalf.ram");
+                           })
+                  .ok());
+  rig.loop.RunUntil();
+  EXPECT_TRUE(done);
+}
+
+TEST(PatiaDegradationTest, NodeOverloadShedsWithoutABreaker) {
+  Rig rig;
+  Atom stream;
+  stream.id = 596;
+  stream.name = "clip.ram";
+  stream.type = "stream";
+  stream.variants = {{"cliphalf.ram", 40000}, {"clipsmall.ram", 4000}};
+  ASSERT_TRUE(rig.server.RegisterAtom(stream, {"node1"}).ok());
+
+  PatiaServer::DegradationOptions opts;  // overload-only: no metric
+  opts.overload_utilisation = 0.2;
+  rig.server.EnableDegradation(opts);
+
+  // First request finds an idle node (full variant); it occupies a slot,
+  // so the second — issued before the loop drains — sheds on overload.
+  std::vector<std::string> served;
+  auto record = [&](const ServedRequest& r) { served.push_back(r.resource); };
+  ASSERT_TRUE(rig.server.Request("client", "clip.ram", record).ok());
+  EXPECT_TRUE(rig.server.Degraded("node1"));
+  ASSERT_TRUE(rig.server.Request("client", "clip.ram", record).ok());
+  rig.loop.RunUntil();
+  // The shed variant is smaller so it finishes its transfer first —
+  // compare as a set, not by completion order.
+  std::sort(served.begin(), served.end());
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0], "cliphalf.ram");
+  EXPECT_EQ(served[1], "clipsmall.ram");
 }
 
 TEST(ServiceAgentTest, CheckpointRestoreRoundTrip) {

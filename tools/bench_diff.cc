@@ -10,6 +10,12 @@
 // them with --all when that is understood). Counters and gauges compare
 // their value; histograms compare count and mean.
 //
+// A baseline sidecar may carry a top-level "nogate" array of name
+// substrings: metrics matching any entry are reported (NOGATE lines)
+// but never fail the run. This is for fault-schedule-dependent costs —
+// deterministic for a fixed seed, but expected to shift whenever the
+// injector's draw stream changes, which is not a product regression.
+//
 // Exit status: 0 = no regression, 1 = at least one metric regressed past
 // the threshold, 2 = usage / parse error, 3 = a sidecar file is missing
 // (distinct so CI can treat "no baseline yet" as skip rather than
@@ -45,15 +51,21 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 /// Sidecar flattened to comparable scalars (histograms fan out into
-/// .count / .mean entries).
-Result<std::map<std::string, double>> LoadSidecar(const std::string& path) {
+/// .count / .mean entries), plus the baseline's optional nogate list.
+struct Sidecar {
+  std::map<std::string, double> metrics;
+  std::vector<std::string> nogate;
+};
+
+Result<Sidecar> LoadSidecar(const std::string& path) {
   DBM_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   DBM_ASSIGN_OR_RETURN(JsonValue doc, dbm::ParseJson(text));
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics == nullptr || !metrics->IsArray()) {
     return Status::ParseError("'" + path + "' has no metrics array");
   }
-  std::map<std::string, double> out;
+  Sidecar sidecar;
+  std::map<std::string, double>& out = sidecar.metrics;
   for (const JsonValue& m : metrics->array) {
     const JsonValue* name = m.Find("name");
     const JsonValue* kind = m.Find("kind");
@@ -68,7 +80,21 @@ Result<std::map<std::string, double>> LoadSidecar(const std::string& path) {
       if (value != nullptr) out[name->str] = value->NumberOr(0);
     }
   }
-  return out;
+  const JsonValue* nogate = doc.Find("nogate");
+  if (nogate != nullptr && nogate->IsArray()) {
+    for (const JsonValue& n : nogate->array) {
+      if (n.IsString() && !n.str.empty()) sidecar.nogate.push_back(n.str);
+    }
+  }
+  return sidecar;
+}
+
+bool Nogated(const std::vector<std::string>& nogate,
+             const std::string& name) {
+  for (const std::string& pattern : nogate) {
+    if (name.find(pattern) != std::string::npos) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -117,11 +143,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  int regressions = 0, improvements = 0, compared = 0;
-  for (const auto& [name, base] : *baseline) {
+  int regressions = 0, improvements = 0, compared = 0, nogated = 0;
+  for (const auto& [name, base] : baseline->metrics) {
     if (!filter.empty() && name.find(filter) == std::string::npos) continue;
-    auto it = current->find(name);
-    if (it == current->end()) {
+    auto it = current->metrics.find(name);
+    if (it == current->metrics.end()) {
       std::printf("MISSING  %-52s (in baseline only)\n", name.c_str());
       continue;
     }
@@ -130,9 +156,15 @@ int main(int argc, char** argv) {
     double denom = base != 0 ? base : 1;
     double delta = (cur - base) / denom;
     if (delta > threshold) {
-      ++regressions;
-      std::printf("REGRESS  %-52s %.6g -> %.6g  (+%.1f%%)\n", name.c_str(),
-                  base, cur, delta * 100);
+      if (Nogated(baseline->nogate, name)) {
+        ++nogated;
+        std::printf("NOGATE   %-52s %.6g -> %.6g  (+%.1f%%, informational)\n",
+                    name.c_str(), base, cur, delta * 100);
+      } else {
+        ++regressions;
+        std::printf("REGRESS  %-52s %.6g -> %.6g  (+%.1f%%)\n", name.c_str(),
+                    base, cur, delta * 100);
+      }
     } else if (delta < -threshold) {
       ++improvements;
       std::printf("IMPROVE  %-52s %.6g -> %.6g  (%.1f%%)\n", name.c_str(),
@@ -141,7 +173,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "bench_diff: %d compared (filter '%s'), %d regressed, %d improved, "
-      "threshold %.0f%%\n",
-      compared, filter.c_str(), regressions, improvements, threshold * 100);
+      "%d nogated, threshold %.0f%%\n",
+      compared, filter.c_str(), regressions, improvements, nogated,
+      threshold * 100);
   return regressions > 0 ? 1 : 0;
 }
