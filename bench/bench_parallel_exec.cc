@@ -1,0 +1,208 @@
+// A9 — morsel-driven parallel execution: dop scaling on the vCPU pool.
+//
+// Two workloads over the same generated tables, run at dop 1, 2, 4 and
+// 8 on an 8-worker pool: a filtered scan + grouped aggregation, and the
+// headline join (orders ⋈ people, grouped aggregation on top). dop=1 is
+// the serial executor over the identical plan, so every speedup row is
+// against the real single-threaded baseline, not a crippled one. Each
+// run's result set is order-normalized and compared against serial —
+// a wrong parallel answer fails the bench before any timing is read.
+//
+// Acceptance bar (ISSUE 5): >= 2.5x at dop=4 on the join workload,
+// asserted only when the host actually has >= 4 hardware threads (the
+// 1-vCPU dev container reports its scaling numbers without gating).
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "fault/injector.h"
+#include "obs/metrics.h"
+#include "query/parallel.h"
+
+namespace {
+
+using namespace dbm;
+using data::Relation;
+using data::Schema;
+using data::ValueType;
+
+constexpr size_t kOrders = 400000;
+constexpr size_t kPeople = 2000;
+constexpr uint64_t kSeed = 42;
+
+Relation MakeOrders() {
+  Relation rel("orders", Schema({{"person_id", ValueType::kInt},
+                                 {"qty", ValueType::kInt},
+                                 {"val", ValueType::kDouble}}));
+  Rng rng(kSeed);
+  for (size_t i = 0; i < kOrders; ++i) {
+    rel.InsertUnchecked(query::Tuple(
+        {static_cast<int64_t>(rng.Uniform(kPeople)),
+         static_cast<int64_t>(rng.Uniform(50)),
+         0.25 * static_cast<double>(rng.Uniform(1000))}));
+  }
+  return rel;
+}
+
+Relation MakePeople() {
+  Relation rel("people", Schema({{"id", ValueType::kInt},
+                                 {"grp", ValueType::kInt},
+                                 {"name", ValueType::kString}}));
+  Rng rng(kSeed + 1);
+  for (size_t i = 0; i < kPeople; ++i) {
+    rel.InsertUnchecked(query::Tuple({static_cast<int64_t>(i),
+                                      static_cast<int64_t>(rng.Uniform(32)),
+                                      "p#" + std::to_string(i)}));
+  }
+  return rel;
+}
+
+std::multiset<std::string> Canon(const std::vector<query::Tuple>& rows) {
+  std::multiset<std::string> out;
+  for (const query::Tuple& t : rows) out.insert(t.ToString());
+  return out;
+}
+
+struct DopPoint {
+  size_t dop = 0;
+  double millis = 0;
+  double speedup = 1.0;
+  query::ParallelStats stats;
+};
+
+/// Runs `plan` at each dop, checks the result set against dop=1, and
+/// returns the timing curve. Empty on any error/mismatch.
+std::vector<DopPoint> RunCurve(const query::ParallelPlan& plan,
+                               query::WorkerPool* pool,
+                               const std::vector<size_t>& dops) {
+  std::vector<DopPoint> curve;
+  std::multiset<std::string> reference;
+  for (size_t dop : dops) {
+    query::ParallelOptions opt;
+    opt.dop = dop;
+    opt.pool = pool;
+    std::vector<query::Tuple> out;
+    auto t0 = std::chrono::steady_clock::now();
+    auto stats = query::ExecuteParallel(plan, &out, opt);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!stats.ok()) {
+      std::printf("  dop=%zu failed: %s\n", dop,
+                  stats.status().ToString().c_str());
+      return {};
+    }
+    if (dop == dops.front()) {
+      reference = Canon(out);
+    } else if (Canon(out) != reference) {
+      std::printf("  dop=%zu result set diverges from serial!\n", dop);
+      return {};
+    }
+    DopPoint p;
+    p.dop = dop;
+    p.millis =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    p.stats = *stats;
+    curve.push_back(p);
+  }
+  for (DopPoint& p : curve) {
+    p.speedup = curve.front().millis / std::max(p.millis, 1e-9);
+  }
+  return curve;
+}
+
+void PrintCurve(const char* title, const std::vector<DopPoint>& curve) {
+  std::printf("\n%s\n", title);
+  bench::Table table({8, 12, 10, 12, 10});
+  table.Row({"dop", "time ms", "speedup", "morsels", "util %"});
+  table.Rule();
+  for (const DopPoint& p : curve) {
+    table.Row({bench::FmtU(p.dop), bench::Fmt("%.1f", p.millis),
+               bench::Fmt("%.2fx", p.speedup), bench::FmtU(p.stats.morsels),
+               bench::Fmt("%.0f", p.stats.worker_util)});
+  }
+  table.Rule();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbm::bench::Init(&argc, argv);
+  bench::Header("A9", "morsel-driven parallel execution: dop scaling");
+
+  // Timing must not absorb injected faults (the chaos job arms
+  // query.morsel process-wide).
+  (void)fault::Injector::Default().Configure("", 0);
+
+  Relation orders = MakeOrders();
+  Relation people = MakePeople();
+  const std::vector<size_t> dops = {1, 2, 4, 8};
+  query::WorkerPool pool(8);
+
+  // Workload 1: filtered scan + grouped aggregation.
+  query::ParallelPlan scan_plan;
+  scan_plan.probe.mem = &orders;
+  scan_plan.probe.filter = query::Gt(query::Col(1), query::Lit(int64_t{4}));
+  scan_plan.group_by = {0};
+  scan_plan.aggs = {{query::AggFunc::kCount, 0, "n"},
+                    {query::AggFunc::kSum, 2, "sum_val"}};
+  std::vector<DopPoint> scan_curve = RunCurve(scan_plan, &pool, dops);
+  if (scan_curve.empty()) return 1;
+  PrintCurve("scan + aggregate (400k rows)", scan_curve);
+
+  // Workload 2 (the headline): join + grouped aggregation.
+  query::ParallelPlan join_plan;
+  join_plan.probe.mem = &orders;
+  query::ParallelJoinStage stage;
+  stage.build.mem = &people;
+  stage.spec = query::JoinSpec{0, 0};  // people.id = orders.person_id
+  join_plan.joins.push_back(std::move(stage));
+  // Joined schema: people(id, grp, name) ++ orders(person_id, qty, val).
+  join_plan.group_by = {1};
+  join_plan.aggs = {{query::AggFunc::kCount, 0, "n"},
+                    {query::AggFunc::kSum, 5, "sum_val"},
+                    {query::AggFunc::kMax, 4, "max_qty"}};
+  std::vector<DopPoint> join_curve = RunCurve(join_plan, &pool, dops);
+  if (join_curve.empty()) return 1;
+  PrintCurve("join + aggregate (400k ⋈ 2k)", join_curve);
+
+  double speedup4 = 1.0;
+  for (const DopPoint& p : join_curve) {
+    if (p.dop == 4) speedup4 = p.speedup;
+  }
+
+  obs::Registry& reg = obs::Registry::Default();
+  for (const DopPoint& p : scan_curve) {
+    reg.GetGauge("bench.pexec.scan_ms_dop" + std::to_string(p.dop))
+        .Set(p.millis);
+  }
+  for (const DopPoint& p : join_curve) {
+    reg.GetGauge("bench.pexec.join_ms_dop" + std::to_string(p.dop))
+        .Set(p.millis);
+    reg.GetGauge("bench.pexec.join_speedup_dop" + std::to_string(p.dop))
+        .Set(p.speedup);
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  reg.GetGauge("bench.pexec.hw_threads").Set(static_cast<double>(hw));
+  bool gate = hw >= 4;
+  if (gate) {
+    bench::Note(bench::Fmt("dop=4 join speedup %.2fx", speedup4) +
+                " (bar: >= 2.5x on this >=4-thread host)");
+  } else {
+    bench::Note(bench::Fmt("host has %.0f hardware threads", hw) +
+                "; dop=4 bar (>= 2.5x) reported, not enforced");
+  }
+
+  bench::MetricsSidecar("bench_parallel_exec");
+
+  if (gate && speedup4 < 2.5) {
+    std::printf("FAIL: dop=4 join speedup %.2fx < 2.5x\n", speedup4);
+    return 1;
+  }
+  return 0;
+}

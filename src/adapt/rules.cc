@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -388,6 +389,16 @@ bool Evaluate(const Condition& cond, const MetricBus& bus,
     }
   }
   return result;
+}
+
+double NumericTargetScorer::Score(const Target& target) const {
+  if (target.path.empty()) return 0;
+  const std::string& tail = target.path.back();
+  char* end = nullptr;
+  double value = std::strtod(tail.c_str(), &end);
+  // Only a fully-numeric tail counts; "videohalf" must not score as 0-ish
+  // garbage from a partial parse.
+  return (end != nullptr && *end == '\0' && end != tail.c_str()) ? value : 0;
 }
 
 namespace {

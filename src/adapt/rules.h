@@ -34,6 +34,7 @@
 #ifndef DBM_ADAPT_RULES_H_
 #define DBM_ADAPT_RULES_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
@@ -124,6 +125,28 @@ class TargetScorer {
   }
   /// The target currently serving (SWITCH must move *away* from it).
   virtual std::optional<Target> Current() const { return std::nullopt; }
+};
+
+/// Scores a target by the numeric value of its final path segment, so
+/// quantitative settings can be rule targets: `dop.8` scores 8, `dop.2`
+/// scores 2, and BEST/SWITCH prefer the larger setting. Non-numeric
+/// tails score 0 (ties then break by target order, as usual). The
+/// hosting layer supplies Current() as a callback — typically "the
+/// setting in force right now" — so SWITCH moves away from it.
+class NumericTargetScorer : public TargetScorer {
+ public:
+  using CurrentFn = std::function<std::optional<Target>()>;
+
+  explicit NumericTargetScorer(CurrentFn current = nullptr)
+      : current_(std::move(current)) {}
+
+  double Score(const Target& target) const override;
+  std::optional<Target> Current() const override {
+    return current_ ? current_() : std::nullopt;
+  }
+
+ private:
+  CurrentFn current_;
 };
 
 /// The outcome of evaluating a rule.

@@ -20,6 +20,7 @@
 #ifndef DBM_COMPONENT_COMPONENT_H_
 #define DBM_COMPONENT_COMPONENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -75,7 +76,9 @@ class Port {
   bool optional() const { return optional_; }
   bool bound() const { return target_ != nullptr; }
   bool blocked() const { return blocked_; }
-  uint64_t call_count() const { return calls_; }
+  uint64_t call_count() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
 
   void Block() { blocked_ = true; }
   void Unblock() { blocked_ = false; }
@@ -89,7 +92,9 @@ class Port {
     if (target_ == nullptr) {
       return Status::Unavailable("port '" + name_ + "' is unbound");
     }
-    ++calls_;
+    // Relaxed atomic: ports on the parallel plane (buffer → disk/policy)
+    // are resolved from many workers at once.
+    calls_.fetch_add(1, std::memory_order_relaxed);
     return target_.get();
   }
 
@@ -110,7 +115,7 @@ class Port {
   bool optional_;
   bool blocked_ = false;
   std::shared_ptr<Component> target_;
-  uint64_t calls_ = 0;
+  std::atomic<uint64_t> calls_{0};
   uint64_t generation_ = 0;
 };
 

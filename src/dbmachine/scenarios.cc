@@ -1,5 +1,8 @@
 #include "dbmachine/scenarios.h"
 
+#include <chrono>
+#include <cstdlib>
+
 #include "adl/parser.h"
 #include "fault/injector.h"
 #include "fault/log.h"
@@ -402,6 +405,81 @@ Result<Scenario3Report> RunScenario3(const Scenario3Config& config) {
   obs::SpanScope request_span("scenario3.request", "scenario");
   if (request_span.active()) {
     report.trace_id = request_span.context().trace_id.ToHex();
+  }
+
+  if (config.parallel) {
+    // Morsel-driven plane: same join, run by the vCPU worker pool. The
+    // build side is people (the small table), keyed on people.id (col 0)
+    // against orders.person_id (col 1 of the probe pipeline).
+    query::ParallelPlan plan;
+    plan.probe.mem = &orders;
+    query::ParallelJoinStage stage;
+    stage.build.mem = &people;
+    stage.spec = query::JoinSpec{0, 1};
+    plan.joins.push_back(std::move(stage));
+
+    // Fig-1 rig for the dop rule: the coordinator publishes
+    // exec.worker-util each sampling interval; CheckConstraints runs the
+    // Table-2 rule; the adaptivity manager's "dop" handler grants the
+    // scale-up; the governor return value moves the live dop target.
+    adapt::MetricBus bus;
+    adapt::ConstraintTable rules;
+    auto sm = std::make_shared<adapt::SessionManager>("session-manager",
+                                                      &bus, &rules);
+    auto am = std::make_shared<adapt::AdaptivityManager>();
+    DBM_RETURN_NOT_OK(rules.Add(1, "dop", config.dop_rule));
+    sm->FindPort("adaptivity")->SetTarget(am);
+
+    size_t current_dop = config.dop_initial;
+    adapt::NumericTargetScorer dop_scorer([&current_dop] {
+      adapt::Target t;
+      t.path = {"dop", std::to_string(current_dop)};
+      return std::optional<adapt::Target>(std::move(t));
+    });
+    sm->SetScorer("dop", &dop_scorer);
+
+    size_t granted_dop = 0;
+    am->RegisterHandler(
+        "dop", [&granted_dop, &current_dop](
+                   const adapt::AdaptationRequest& req) {
+          if (!req.decision.chosen.has_value() ||
+              req.decision.chosen->path.size() < 2) {
+            return Status::InvalidArgument("dop switch target is not dop.N");
+          }
+          size_t want = static_cast<size_t>(std::strtoul(
+              req.decision.chosen->path.back().c_str(), nullptr, 10));
+          // Scale-up only: the rule's alternatives include the setting we
+          // came from, and dropping back mid-query would just thrash the
+          // morsel schedule.
+          if (want > current_dop) granted_dop = want;
+          return Status::OK();
+        });
+
+    query::ParallelOptions popt;
+    popt.dop = config.dop_initial;
+    popt.dop_max = std::max(config.dop_target, config.dop_initial);
+    popt.morsel_rows = 256;  // enough morsels for mid-query sampling
+    popt.govern_interval = std::chrono::microseconds(200);
+    popt.bus = &bus;
+    popt.governor = [&](const query::GovernorSample& sample) -> size_t {
+      granted_dop = 0;
+      auto enacted =
+          sm->CheckConstraints(static_cast<SimTime>(sample.morsels_done));
+      if (enacted.ok() && *enacted > 0 && granted_dop > current_dop) {
+        current_dop = granted_dop;
+        return granted_dop;
+      }
+      return 0;
+    };
+
+    std::vector<query::Tuple> out;
+    DBM_ASSIGN_OR_RETURN(query::ParallelStats pstats,
+                         query::ExecuteParallel(plan, &out, popt));
+    report.parallel_exec = pstats;
+    report.result_rows = out.size();
+    report.rule_firings = sm->triggers();
+    report.dop_enactments = am->enacted();
+    return report;
   }
 
   // Fig-1 rig: gauges feed the session manager, whose Table-2 rule

@@ -10,6 +10,7 @@
 #include "dbmachine/machine.h"
 #include "net/sensor_stream.h"
 #include "query/executor.h"
+#include "query/parallel.h"
 
 namespace dbm::machine {
 
@@ -120,6 +121,20 @@ struct Scenario3Config {
   /// trace links ORB hop → executor operators → rule firing →
   /// reconfiguration (the causal-tracing acceptance path).
   bool fig1_loop = false;
+
+  /// Parallel mode (the morsel-driven plane): run the same orders ⋈
+  /// people join through ExecuteParallel on the vCPU worker pool,
+  /// starting at `dop_initial` vCPUs with headroom up to `dop_target`.
+  /// The coordinator publishes exec.worker-util on the metric bus; the
+  /// Table-2 `dop_rule` below fires through the session manager when the
+  /// workers saturate, and the adaptivity manager enacts the SWITCH by
+  /// raising the dop target mid-query (scale-up only — scaling back down
+  /// mid-query would just thrash the morsel schedule).
+  bool parallel = false;
+  size_t dop_initial = 2;
+  size_t dop_target = 8;
+  std::string dop_rule =
+      "If exec.worker-util > 90 then SWITCH(dop.2, dop.8)";
 };
 
 struct Scenario3Report {
@@ -128,6 +143,9 @@ struct Scenario3Report {
   /// fig1_loop mode only:
   uint64_t rule_firings = 0;      // session-manager firings observed
   std::string trace_id;           // root trace id (hex), "" if unsampled
+  /// parallel mode only:
+  query::ParallelStats parallel_exec;
+  uint64_t dop_enactments = 0;    // adaptivity-manager dop switchovers
 };
 
 Result<Scenario3Report> RunScenario3(const Scenario3Config& config);

@@ -31,14 +31,12 @@ double NumericOf(const Value& v) {
 }
 }  // namespace
 
-HashAggregate::HashAggregate(OperatorPtr child, std::vector<size_t> group_by,
-                             std::vector<AggSpec> aggs)
-    : child_(std::move(child)),
-      group_by_(std::move(group_by)),
-      aggs_(std::move(aggs)) {
+data::Schema GroupAccumulator::OutputSchema(
+    const data::Schema& input, const std::vector<size_t>& group_by,
+    const std::vector<AggSpec>& aggs) {
   std::vector<data::Field> fields;
-  for (size_t g : group_by_) fields.push_back(child_->schema().field(g));
-  for (const AggSpec& a : aggs_) {
+  for (size_t g : group_by) fields.push_back(input.field(g));
+  for (const AggSpec& a : aggs) {
     data::ValueType type = a.func == AggFunc::kCount
                                ? data::ValueType::kInt
                                : data::ValueType::kDouble;
@@ -46,17 +44,10 @@ HashAggregate::HashAggregate(OperatorPtr child, std::vector<size_t> group_by,
         a.out_name.empty() ? std::string(AggFuncName(a.func)) : a.out_name,
         type});
   }
-  schema_ = Schema(std::move(fields));
+  return data::Schema(std::move(fields));
 }
 
-Status HashAggregate::Open() {
-  DBM_RETURN_NOT_OK(child_->Open());
-  groups_.clear();
-  input_done_ = false;
-  return Status::OK();
-}
-
-Status HashAggregate::Fold(const Tuple& tuple) {
+Status GroupAccumulator::Fold(const Tuple& tuple) {
   Tuple key;
   for (size_t g : group_by_) key.values.push_back(tuple.at(g));
   std::string key_str = key.ToString();
@@ -67,7 +58,8 @@ Status HashAggregate::Fold(const Tuple& tuple) {
     gs.mins.assign(aggs_.size(), 0);
     gs.maxs.assign(aggs_.size(), 0);
     gs.counts.assign(aggs_.size(), 0);
-    it = groups_.emplace(key_str, std::make_pair(key, std::move(gs))).first;
+    it = groups_.emplace(std::move(key_str), std::make_pair(key, std::move(gs)))
+             .first;
   }
   GroupState& gs = it->second.second;
   for (size_t i = 0; i < aggs_.size(); ++i) {
@@ -91,7 +83,32 @@ Status HashAggregate::Fold(const Tuple& tuple) {
   return Status::OK();
 }
 
-Tuple HashAggregate::Finish(const Tuple& key, const GroupState& gs) const {
+void GroupAccumulator::Merge(const GroupAccumulator& other) {
+  for (const auto& [key_str, group] : other.groups_) {
+    auto it = groups_.find(key_str);
+    if (it == groups_.end()) {
+      groups_.emplace(key_str, group);
+      continue;
+    }
+    GroupState& gs = it->second.second;
+    const GroupState& ogs = group.second;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (ogs.counts[i] == 0) continue;
+      if (gs.counts[i] == 0) {
+        gs.mins[i] = ogs.mins[i];
+        gs.maxs[i] = ogs.maxs[i];
+      } else {
+        gs.mins[i] = std::min(gs.mins[i], ogs.mins[i]);
+        gs.maxs[i] = std::max(gs.maxs[i], ogs.maxs[i]);
+      }
+      gs.sums[i] += ogs.sums[i];
+      gs.counts[i] += ogs.counts[i];
+    }
+  }
+}
+
+Tuple GroupAccumulator::FinishGroup(const Tuple& key,
+                                    const GroupState& gs) const {
   Tuple out = key;
   for (size_t i = 0; i < aggs_.size(); ++i) {
     switch (aggs_[i].func) {
@@ -120,26 +137,50 @@ Tuple HashAggregate::Finish(const Tuple& key, const GroupState& gs) const {
   return out;
 }
 
+std::vector<Tuple> GroupAccumulator::Finish() const {
+  std::vector<Tuple> out;
+  out.reserve(groups_.size());
+  for (const auto& [key_str, group] : groups_) {
+    out.push_back(FinishGroup(group.first, group.second));
+  }
+  return out;
+}
+
+HashAggregate::HashAggregate(OperatorPtr child, std::vector<size_t> group_by,
+                             std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {
+  schema_ = GroupAccumulator::OutputSchema(child_->schema(), group_by_, aggs_);
+}
+
+Status HashAggregate::Open() {
+  DBM_RETURN_NOT_OK(child_->Open());
+  acc_ = GroupAccumulator(group_by_, aggs_);
+  finished_.clear();
+  emit_pos_ = 0;
+  input_done_ = false;
+  return Status::OK();
+}
+
 Result<Step> HashAggregate::Next(SimTime now) {
   while (!input_done_) {
     DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
     switch (step.kind) {
       case Step::Kind::kTuple:
         ++stats_.consumed_left;
-        DBM_RETURN_NOT_OK(Fold(step.tuple));
+        DBM_RETURN_NOT_OK(acc_.Fold(step.tuple));
         break;
       case Step::Kind::kNotReady:
         return step;
       case Step::Kind::kEnd:
         input_done_ = true;
-        emit_ = groups_.begin();
+        finished_ = acc_.Finish();
         break;
     }
   }
-  if (emit_ == groups_.end()) return Step::End();
-  Tuple out = Finish(emit_->second.first, emit_->second.second);
-  ++emit_;
-  return Emit(std::move(out), now);
+  if (emit_pos_ >= finished_.size()) return Step::End();
+  return Emit(std::move(finished_[emit_pos_++]), now);
 }
 
 Status HashAggregate::Close() { return child_->Close(); }
@@ -179,7 +220,8 @@ Result<Step> SortOp::Next(SimTime now) {
     }
   }
   if (pos_ >= rows_.size()) return Step::End();
-  return Emit(rows_[pos_++], now);
+  // Move, not copy: the sorted rows are emitted exactly once.
+  return Emit(std::move(rows_[pos_++]), now);
 }
 
 Status SortOp::Close() { return child_->Close(); }

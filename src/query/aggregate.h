@@ -19,6 +19,53 @@ struct AggSpec {
   std::string out_name;
 };
 
+/// Grouped-aggregation accumulator: fold tuples in, merge partials,
+/// finish into result rows in deterministic (key-string) order. Shared
+/// by the serial HashAggregate operator and the parallel executor, whose
+/// workers each fold into a private accumulator and combine them after
+/// the scan (the classic partial-aggregate / merge split). Merging is
+/// exact for count/min/max; sum (and so avg) reassociates floating-point
+/// addition, which matters only beyond binary-fraction precision.
+class GroupAccumulator {
+ public:
+  GroupAccumulator() = default;
+  GroupAccumulator(std::vector<size_t> group_by, std::vector<AggSpec> aggs)
+      : group_by_(std::move(group_by)), aggs_(std::move(aggs)) {}
+
+  /// Folds one input tuple into its group.
+  Status Fold(const Tuple& tuple);
+
+  /// Combines another accumulator (built from disjoint input slices over
+  /// the same specs) into this one.
+  void Merge(const GroupAccumulator& other);
+
+  /// Result rows, one per group, ordered by the group key's string form.
+  std::vector<Tuple> Finish() const;
+
+  size_t groups() const { return groups_.size(); }
+
+  /// The output schema for these specs over `input`.
+  static data::Schema OutputSchema(const data::Schema& input,
+                                   const std::vector<size_t>& group_by,
+                                   const std::vector<AggSpec>& aggs);
+
+ private:
+  struct GroupState {
+    std::vector<double> sums;
+    std::vector<double> mins;
+    std::vector<double> maxs;
+    // counts[i] doubles as "values seen" for min/max validity.
+    std::vector<uint64_t> counts;
+  };
+
+  Tuple FinishGroup(const Tuple& key, const GroupState& gs) const;
+
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  // Key tuples compared via their string form for deterministic ordering.
+  std::map<std::string, std::pair<Tuple, GroupState>> groups_;
+};
+
 /// Hash aggregation with optional GROUP BY columns. Blocking: consumes
 /// the whole input before emitting groups (deterministic group order).
 class HashAggregate : public Operator {
@@ -35,24 +82,14 @@ class HashAggregate : public Operator {
   }
 
  private:
-  struct GroupState {
-    std::vector<double> sums;
-    std::vector<double> mins;
-    std::vector<double> maxs;
-    std::vector<uint64_t> counts;
-  };
-
-  Status Fold(const Tuple& tuple);
-  Tuple Finish(const Tuple& key, const GroupState& gs) const;
-
   OperatorPtr child_;
   std::vector<size_t> group_by_;
   std::vector<AggSpec> aggs_;
   Schema schema_;
-  // Key tuples compared via their string form for deterministic ordering.
-  std::map<std::string, std::pair<Tuple, GroupState>> groups_;
+  GroupAccumulator acc_;
   bool input_done_ = false;
-  std::map<std::string, std::pair<Tuple, GroupState>>::const_iterator emit_;
+  std::vector<Tuple> finished_;
+  size_t emit_pos_ = 0;
 };
 
 /// Full sort by a column (blocking).

@@ -36,9 +36,7 @@ class RelationIndex {
   Status Range(int64_t lo, int64_t hi,
                const std::function<bool(uint64_t row)>& visitor);
 
-  const storage::BufferStats& buffer_stats() const {
-    return buffer_->stats();
-  }
+  storage::BufferStats buffer_stats() const { return buffer_->stats(); }
   uint64_t entries() const { return tree_->size(); }
 
  private:

@@ -1,0 +1,72 @@
+// Morsels: the unit of parallel work distribution.
+//
+// Morsel-driven execution (Leis et al., HyPer) splits a scan into small
+// fixed-size ranges — page ranges over a PagedRelation, row ranges over an
+// in-memory Relation — handed out to workers through one atomic cursor.
+// Because the handout is a fetch-add, work stays balanced under skew (a
+// worker that drew an expensive morsel simply draws fewer of them) and the
+// degree of parallelism can change between any two morsels: a worker whose
+// vCPU index moves above the current target simply stops drawing.
+
+#ifndef DBM_QUERY_MORSEL_H_
+#define DBM_QUERY_MORSEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dbm::query {
+
+/// A half-open range [begin, end) of scan units (pages or rows).
+struct Morsel {
+  size_t begin = 0;
+  size_t end = 0;
+  uint64_t index = 0;  // ordinal of this morsel within the scan
+};
+
+/// Atomic work cursor over `total_units` units in chunks of
+/// `units_per_morsel`. Thread-safe; Poison() aborts the handout so a
+/// failing worker drains the whole pipeline instead of hanging it.
+class MorselCursor {
+ public:
+  MorselCursor(size_t total_units, size_t units_per_morsel)
+      : total_(total_units),
+        per_morsel_(units_per_morsel == 0 ? 1 : units_per_morsel) {}
+
+  /// Draws the next morsel. Returns false when exhausted or poisoned.
+  bool Next(Morsel* out) {
+    if (poisoned_.load(std::memory_order_acquire)) return false;
+    size_t begin = next_.fetch_add(per_morsel_, std::memory_order_relaxed);
+    if (begin >= total_) return false;
+    out->begin = begin;
+    out->end = begin + per_morsel_ < total_ ? begin + per_morsel_ : total_;
+    out->index = begin / per_morsel_;
+    return true;
+  }
+
+  /// Stops further handout (a worker hit an error; the others drain).
+  void Poison() { poisoned_.store(true, std::memory_order_release); }
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// True once every morsel has been handed out (or the cursor was
+  /// poisoned) — the parked-worker wakeup check.
+  bool Exhausted() const {
+    return poisoned() ||
+           next_.load(std::memory_order_relaxed) >= total_;
+  }
+
+  uint64_t total_morsels() const {
+    return (total_ + per_morsel_ - 1) / per_morsel_;
+  }
+
+ private:
+  const size_t total_;
+  const size_t per_morsel_;
+  std::atomic<size_t> next_{0};
+  std::atomic<bool> poisoned_{false};
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_MORSEL_H_

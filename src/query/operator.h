@@ -79,6 +79,14 @@ class Operator {
     if (stats_.first_output_at < 0) stats_.first_output_at = now;
     return Step::Of(std::move(t));
   }
+  /// Forwards a child's kTuple step as-is, counting it as produced.
+  /// Pass-through operators (filter, limit) use this instead of Emit so
+  /// the tuple is never unpacked and re-wrapped into a fresh Step.
+  Step Passthrough(Step step, SimTime now) {
+    ++stats_.produced;
+    if (stats_.first_output_at < 0) stats_.first_output_at = now;
+    return step;
+  }
   OperatorStats stats_;
 };
 
@@ -168,7 +176,7 @@ class FilterOp : public Operator {
       DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
       if (step.kind != Step::Kind::kTuple) return step;
       DBM_ASSIGN_OR_RETURN(bool pass, predicate_->Test(step.tuple));
-      if (pass) return Emit(std::move(step.tuple), now);
+      if (pass) return Passthrough(std::move(step), now);
     }
   }
   Status Close() override { return child_->Close(); }
@@ -235,7 +243,7 @@ class LimitOp : public Operator {
     if (stats_.produced >= limit_) return Step::End();
     DBM_ASSIGN_OR_RETURN(Step step, child_->Next(now));
     if (step.kind != Step::Kind::kTuple) return step;
-    return Emit(std::move(step.tuple), now);
+    return Passthrough(std::move(step), now);
   }
   Status Close() override { return child_->Close(); }
   void VisitChildren(const std::function<void(Operator&)>& fn) override {

@@ -1,0 +1,495 @@
+#include "query/parallel.h"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "data/value.h"
+#include "fault/injector.h"
+#include "fault/log.h"
+#include "obs/metrics.h"
+#include "query/join.h"
+#include "query/paged_source.h"
+
+namespace dbm::query {
+
+using data::CompareValues;
+using data::HashValue;
+
+namespace {
+
+/// Build-side hash partitions per stage. Each worker fills private
+/// buckets during the scan; the merge assigns each partition to exactly
+/// one worker, so the merged multimaps are written single-threaded and
+/// read-only at probe time.
+constexpr size_t kPartitions = 16;
+
+struct ParObs {
+  obs::Gauge& dop;
+  obs::Gauge& morsels;
+  obs::Gauge& util;
+  obs::Counter& queries;
+  obs::Counter& morsels_total;
+  obs::Counter& work_cycles;
+
+  static ParObs& Get() {
+    static ParObs* m = [] {
+      obs::Registry& reg = obs::Registry::Default();
+      return new ParObs{reg.GetGauge("exec.dop"),
+                        reg.GetGauge("exec.morsels"),
+                        reg.GetGauge("exec.worker-util"),
+                        reg.GetCounter("query.pexec.queries"),
+                        reg.GetCounter("query.pexec.morsels"),
+                        reg.GetCounter("query.pexec.work_cycles")};
+    }();
+    return *m;
+  }
+};
+
+/// The per-morsel fault gate. Point::Decide advances the point's Rng and
+/// is not thread-safe, so armed draws serialize on a mutex — the unarmed
+/// fast path stays a single relaxed load.
+struct MorselFaultGate {
+  fault::Point* point;
+  std::mutex mu;
+
+  MorselFaultGate()
+      : point(fault::Injector::Default().GetPoint("query.morsel")) {}
+
+  Status Check() {
+    if (!point->armed()) return Status::OK();
+    fault::Decision d;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      d = point->Decide();
+    }
+    if (d.error || d.crash || d.hang) {
+      const char* what = d.crash ? "crash" : (d.hang ? "hang" : "error");
+      fault::Record(fault::FaultEventKind::kInjected, "query.morsel", what,
+                    0);
+      return Status::Unavailable(
+          std::string("injected ") + what +
+          " at query.morsel: worker abandons the query");
+    }
+    return Status::OK();
+  }
+};
+
+size_t ScanUnits(const ParallelScan& scan, const ParallelOptions& options,
+                 size_t* units_per_morsel) {
+  if (scan.paged != nullptr) {
+    *units_per_morsel = options.morsel_pages;
+    return scan.paged->pages();
+  }
+  *units_per_morsel = options.morsel_rows;
+  return scan.mem->rows().size();
+}
+
+/// Feeds every tuple of `morsel` (post scan-filter) to `fn`.
+template <typename Fn>
+Status ScanMorsel(const ParallelScan& scan, const Morsel& morsel, Fn&& fn) {
+  if (scan.paged != nullptr) {
+    for (size_t page = morsel.begin; page < morsel.end; ++page) {
+      for (uint16_t slot = 0;; ++slot) {
+        DBM_ASSIGN_OR_RETURN(std::optional<Tuple> tuple,
+                             scan.paged->ReadAt(page, slot));
+        if (!tuple.has_value()) break;
+        if (scan.filter != nullptr) {
+          DBM_ASSIGN_OR_RETURN(bool pass, scan.filter->Test(*tuple));
+          if (!pass) continue;
+        }
+        DBM_RETURN_NOT_OK(fn(std::move(*tuple)));
+      }
+    }
+    return Status::OK();
+  }
+  const std::vector<Tuple>& rows = scan.mem->rows();
+  for (size_t i = morsel.begin; i < morsel.end; ++i) {
+    if (scan.filter != nullptr) {
+      DBM_ASSIGN_OR_RETURN(bool pass, scan.filter->Test(rows[i]));
+      if (!pass) continue;
+    }
+    DBM_RETURN_NOT_OK(fn(Tuple{rows[i]}));
+  }
+  return Status::OK();
+}
+
+/// One join stage's merged hash table (partitioned by hash % kPartitions).
+struct StageTable {
+  std::array<std::unordered_multimap<uint64_t, Tuple>, kPartitions> parts;
+  size_t build_col = 0;
+  size_t probe_col = 0;
+};
+
+/// Runs `body(worker, morsel)` over the cursor on workers [0, width),
+/// honoring the park/resume target. A failing worker poisons the cursor
+/// so the others drain, and the first error becomes the job's status.
+Status RunMorselLoop(WorkerPool& pool, size_t width,
+                     const std::atomic<size_t>* target, MorselCursor* cursor,
+                     const std::function<Status(size_t, const Morsel&)>& body,
+                     const std::function<void(WorkerPool::Job*)>& coordinate) {
+  auto worker = [&, target, cursor](size_t wid) -> Status {
+    Morsel morsel;
+    while (true) {
+      if (wid > 0 && target != nullptr &&
+          wid >= target->load(std::memory_order_relaxed)) {
+        // Parked: this vCPU is above the governor's current dop. Check
+        // back shortly — the governor may scale up, or the scan may end.
+        if (cursor->Exhausted()) return Status::OK();
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      if (!cursor->Next(&morsel)) return Status::OK();
+      Status status = body(wid, morsel);
+      if (!status.ok()) {
+        cursor->Poison();
+        return status;
+      }
+    }
+  };
+  std::shared_ptr<WorkerPool::Job> job = pool.Launch(width, worker);
+  if (coordinate) coordinate(job.get());
+  return job->Wait();
+}
+
+}  // namespace
+
+data::Schema ParallelPlan::OutputSchema() const {
+  data::Schema schema = probe.schema();
+  for (const ParallelJoinStage& stage : joins) {
+    schema = data::Schema::Join(stage.build.schema(), schema);
+  }
+  if (!project.empty()) schema = project_schema;
+  if (!aggs.empty()) {
+    schema = GroupAccumulator::OutputSchema(schema, group_by, aggs);
+  }
+  return schema;
+}
+
+Result<OperatorPtr> BuildSerial(const ParallelPlan& plan) {
+  auto make_source = [](const ParallelScan& scan) -> Result<OperatorPtr> {
+    OperatorPtr src;
+    if (scan.paged != nullptr) {
+      src = std::make_unique<PagedSource>(scan.paged);
+    } else if (scan.mem != nullptr) {
+      src = std::make_unique<MemSource>(scan.mem);
+    } else {
+      return Status::InvalidArgument("scan has neither paged nor mem input");
+    }
+    if (scan.filter != nullptr) {
+      src = std::make_unique<FilterOp>(std::move(src), scan.filter);
+    }
+    return src;
+  };
+
+  DBM_ASSIGN_OR_RETURN(OperatorPtr root, make_source(plan.probe));
+  for (const ParallelJoinStage& stage : plan.joins) {
+    DBM_ASSIGN_OR_RETURN(OperatorPtr build, make_source(stage.build));
+    root = std::make_unique<HashJoin>(std::move(build), std::move(root),
+                                      stage.spec);
+  }
+  if (plan.post_filter != nullptr) {
+    root = std::make_unique<FilterOp>(std::move(root), plan.post_filter);
+  }
+  if (!plan.project.empty()) {
+    root = std::make_unique<ProjectOp>(std::move(root), plan.project,
+                                       plan.project_schema);
+  }
+  if (!plan.aggs.empty()) {
+    root = std::make_unique<HashAggregate>(std::move(root), plan.group_by,
+                                           plan.aggs);
+  }
+  return root;
+}
+
+Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
+                                      std::vector<Tuple>* out,
+                                      const ParallelOptions& options) {
+  if (plan.probe.paged == nullptr && plan.probe.mem == nullptr) {
+    return Status::InvalidArgument("parallel plan has no probe input");
+  }
+  ParObs& par_obs = ParObs::Get();
+  par_obs.queries.Add(1);
+
+  if (options.dop <= 1 && options.dop_max <= 1) {
+    // Serial fallback: the exact plan the parallel path mirrors, run by
+    // the serial executor (same operators the rest of the engine uses).
+    DBM_ASSIGN_OR_RETURN(OperatorPtr root, BuildSerial(plan));
+    ExecOptions exec_options;
+    exec_options.cpu_per_tuple = options.cpu_per_tuple;
+    size_t hint_per_morsel = 0;
+    exec_options.reserve_rows = ScanUnits(plan.probe, options,
+                                          &hint_per_morsel);
+    DBM_ASSIGN_OR_RETURN(ExecStats stats, Execute(root.get(), out,
+                                                  exec_options));
+    ParallelStats pstats;
+    pstats.rows = stats.rows;
+    pstats.dop_initial = pstats.dop_final = 1;
+    par_obs.dop.Set(1);
+    par_obs.work_cycles.Add(stats.rows);
+    return pstats;
+  }
+
+  WorkerPool& pool =
+      options.pool != nullptr ? *options.pool : WorkerPool::Default();
+  size_t dop = std::max<size_t>(1, options.dop);
+  size_t dop_max = std::max(dop, options.dop_max);
+  dop_max = std::min(dop_max, pool.size());
+  dop = std::min(dop, dop_max);
+
+  MorselFaultGate fault_gate;
+  std::atomic<size_t> target_dop{dop};
+
+  ParallelStats pstats;
+  pstats.dop_initial = dop;
+  par_obs.dop.Set(static_cast<double>(dop));
+
+  // -------------------------------------------------------------------
+  // Build phase: one partitioned build + merge per join stage, at the
+  // initial dop (the governor engages during the longer probe phase).
+  // -------------------------------------------------------------------
+  std::vector<StageTable> tables(plan.joins.size());
+  std::atomic<uint64_t> build_rows_total{0};
+  for (size_t s = 0; s < plan.joins.size(); ++s) {
+    const ParallelJoinStage& stage = plan.joins[s];
+    StageTable& table = tables[s];
+    table.build_col = stage.spec.left_col;
+    table.probe_col = stage.spec.right_col;
+
+    size_t per_morsel = 0;
+    size_t units = ScanUnits(stage.build, options, &per_morsel);
+    MorselCursor scan_cursor(units, per_morsel);
+
+    using Partition = std::vector<std::pair<uint64_t, Tuple>>;
+    std::vector<std::array<Partition, kPartitions>> locals(dop);
+
+    Status scan_status = RunMorselLoop(
+        pool, dop, /*target=*/nullptr, &scan_cursor,
+        [&](size_t wid, const Morsel& morsel) -> Status {
+          DBM_RETURN_NOT_OK(fault_gate.Check());
+          uint64_t rows_in_morsel = 0;
+          DBM_RETURN_NOT_OK(ScanMorsel(
+              stage.build, morsel, [&](Tuple tuple) -> Status {
+                uint64_t h = HashValue(tuple.at(table.build_col));
+                locals[wid][h % kPartitions].emplace_back(h,
+                                                          std::move(tuple));
+                ++rows_in_morsel;
+                return Status::OK();
+              }));
+          build_rows_total.fetch_add(rows_in_morsel,
+                                     std::memory_order_relaxed);
+          return Status::OK();
+        },
+        nullptr);
+    DBM_RETURN_NOT_OK(scan_status);
+
+    // Single barrier, then a parallel merge: partitions are handed out
+    // through a second cursor, one owner each.
+    MorselCursor merge_cursor(kPartitions, 1);
+    Status merge_status = RunMorselLoop(
+        pool, std::min(dop, kPartitions), /*target=*/nullptr, &merge_cursor,
+        [&](size_t, const Morsel& morsel) -> Status {
+          for (size_t p = morsel.begin; p < morsel.end; ++p) {
+            size_t total = 0;
+            for (const auto& local : locals) total += local[p].size();
+            table.parts[p].reserve(total);
+            for (auto& local : locals) {
+              for (auto& [h, tuple] : local[p]) {
+                table.parts[p].emplace(h, std::move(tuple));
+              }
+            }
+          }
+          return Status::OK();
+        },
+        nullptr);
+    DBM_RETURN_NOT_OK(merge_status);
+  }
+  pstats.build_rows = build_rows_total.load(std::memory_order_relaxed);
+
+  // -------------------------------------------------------------------
+  // Probe phase: the full pipeline runs morsel-at-a-time per worker.
+  // -------------------------------------------------------------------
+  struct WorkerSink {
+    std::vector<Tuple> rows;
+    GroupAccumulator acc;
+    uint64_t morsels = 0;
+    uint64_t rows_out = 0;
+    // Scratch for the join fan-out, reused across rows.
+    std::vector<Tuple> cur, next;
+  };
+  std::vector<WorkerSink> sinks(dop_max);
+  const bool aggregating = !plan.aggs.empty();
+  if (aggregating) {
+    for (WorkerSink& sink : sinks) {
+      sink.acc = GroupAccumulator(plan.group_by, plan.aggs);
+    }
+  }
+  std::atomic<uint64_t> morsels_done{0};
+
+  auto process_row = [&](WorkerSink& sink, Tuple row) -> Status {
+    sink.cur.clear();
+    sink.cur.push_back(std::move(row));
+    for (const StageTable& table : tables) {
+      sink.next.clear();
+      for (const Tuple& t : sink.cur) {
+        const data::Value& key = t.at(table.probe_col);
+        uint64_t h = HashValue(key);
+        const auto& part = table.parts[h % kPartitions];
+        auto [lo, hi] = part.equal_range(h);
+        for (auto it = lo; it != hi; ++it) {
+          if (CompareValues(it->second.at(table.build_col), key) == 0) {
+            sink.next.push_back(Tuple::Concat(it->second, t));
+          }
+        }
+      }
+      sink.cur.swap(sink.next);
+      if (sink.cur.empty()) return Status::OK();
+    }
+    for (Tuple& t : sink.cur) {
+      if (plan.post_filter != nullptr) {
+        DBM_ASSIGN_OR_RETURN(bool pass, plan.post_filter->Test(t));
+        if (!pass) continue;
+      }
+      Tuple shaped;
+      if (!plan.project.empty()) {
+        shaped.values.reserve(plan.project.size());
+        for (const ExprPtr& e : plan.project) {
+          DBM_ASSIGN_OR_RETURN(data::Value v, e->Eval(t));
+          shaped.values.push_back(std::move(v));
+        }
+      } else {
+        shaped = std::move(t);
+      }
+      if (aggregating) {
+        DBM_RETURN_NOT_OK(sink.acc.Fold(shaped));
+      } else {
+        sink.rows.push_back(std::move(shaped));
+      }
+      ++sink.rows_out;
+    }
+    return Status::OK();
+  };
+
+  size_t per_morsel = 0;
+  size_t units = ScanUnits(plan.probe, options, &per_morsel);
+  MorselCursor probe_cursor(units, per_morsel);
+  pstats.morsels = probe_cursor.total_morsels();
+
+  // Coordinator loop: while the job runs, sample utilization, publish
+  // the exec.* metrics and let the governor move the dop target. The
+  // MetricBus is coordinator-only by contract, so all publishing happens
+  // here, never on workers.
+  double util_sum = 0;
+  auto coordinate = [&](WorkerPool::Job* job) {
+    uint64_t last_busy = pool.TotalBusyNs();
+    auto last_wall = std::chrono::steady_clock::now();
+    while (!job->WaitFor(options.govern_interval)) {
+      uint64_t busy = pool.TotalBusyNs();
+      auto wall = std::chrono::steady_clock::now();
+      uint64_t wall_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall -
+                                                               last_wall)
+              .count());
+      size_t active = target_dop.load(std::memory_order_relaxed);
+      double util =
+          wall_ns == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(busy - last_busy) /
+                    (static_cast<double>(wall_ns) *
+                     static_cast<double>(active == 0 ? 1 : active));
+      util = std::min(util, 100.0);
+      last_busy = busy;
+      last_wall = wall;
+      ++pstats.samples;
+      util_sum += util;
+
+      GovernorSample sample;
+      sample.dop = active;
+      sample.dop_max = dop_max;
+      sample.worker_util = util;
+      sample.morsels_done = morsels_done.load(std::memory_order_relaxed);
+
+      par_obs.dop.Set(static_cast<double>(active));
+      par_obs.morsels.Set(static_cast<double>(sample.morsels_done));
+      par_obs.util.Set(util);
+      if (options.bus != nullptr) {
+        SimTime at = static_cast<SimTime>(pstats.samples);
+        options.bus->Publish("exec.dop", static_cast<double>(active), at);
+        options.bus->Publish("exec.morsels",
+                             static_cast<double>(sample.morsels_done), at);
+        options.bus->Publish("exec.worker-util", util, at);
+      }
+      if (options.governor) {
+        size_t want = options.governor(sample);
+        if (want != 0) {
+          want = std::clamp<size_t>(want, 1, dop_max);
+          if (want != active) {
+            target_dop.store(want, std::memory_order_relaxed);
+            ++pstats.dop_switches;
+          }
+        }
+      }
+    }
+  };
+
+  Status probe_status = RunMorselLoop(
+      pool, dop_max, &target_dop, &probe_cursor,
+      [&](size_t wid, const Morsel& morsel) -> Status {
+        DBM_RETURN_NOT_OK(fault_gate.Check());
+        WorkerSink& sink = sinks[wid];
+        DBM_RETURN_NOT_OK(ScanMorsel(
+            plan.probe, morsel,
+            [&](Tuple tuple) { return process_row(sink, std::move(tuple)); }));
+        ++sink.morsels;
+        morsels_done.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      coordinate);
+  DBM_RETURN_NOT_OK(probe_status);
+
+  // -------------------------------------------------------------------
+  // Merge sinks in worker order (deterministic given a fixed schedule;
+  // consumers normalize order before comparing across dops anyway).
+  // -------------------------------------------------------------------
+  uint64_t processed = 0;
+  if (aggregating) {
+    GroupAccumulator merged(plan.group_by, plan.aggs);
+    for (const WorkerSink& sink : sinks) {
+      merged.Merge(sink.acc);
+      processed += sink.rows_out;
+    }
+    std::vector<Tuple> rows = merged.Finish();
+    pstats.rows = rows.size();
+    if (out != nullptr) {
+      out->reserve(out->size() + rows.size());
+      for (Tuple& row : rows) out->push_back(std::move(row));
+    }
+  } else {
+    uint64_t total = 0;
+    for (const WorkerSink& sink : sinks) total += sink.rows.size();
+    pstats.rows = total;
+    processed = total;
+    if (out != nullptr) {
+      out->reserve(out->size() + total);
+      for (WorkerSink& sink : sinks) {
+        for (Tuple& row : sink.rows) out->push_back(std::move(row));
+      }
+    }
+  }
+
+  pstats.dop_final = target_dop.load(std::memory_order_relaxed);
+  pstats.worker_util =
+      pstats.samples == 0 ? 0.0
+                          : util_sum / static_cast<double>(pstats.samples);
+  par_obs.morsels.Set(static_cast<double>(
+      morsels_done.load(std::memory_order_relaxed)));
+  par_obs.morsels_total.Add(morsels_done.load(std::memory_order_relaxed));
+  // Deterministic work measure (same at every dop): rows flowed through
+  // the pipeline plus rows built — this is what bench_diff gates.
+  par_obs.work_cycles.Add(processed + pstats.build_rows);
+  return pstats;
+}
+
+}  // namespace dbm::query

@@ -1,0 +1,147 @@
+#include "query/pool.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace dbm::query {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t DefaultWidth() {
+  if (const char* env = std::getenv("DBM_WORKERS")) {
+    long n = std::atol(env);
+    if (n >= 1 && n <= 64) return static_cast<size_t>(n);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw < 8) return 8;
+  if (hw > 16) return 16;
+  return hw;
+}
+
+}  // namespace
+
+Status WorkerPool::Job::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_.load(std::memory_order_acquire); });
+  return status_;
+}
+
+bool WorkerPool::Job::WaitFor(std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this] {
+    return done_.load(std::memory_order_acquire);
+  });
+}
+
+WorkerPool::WorkerPool(size_t workers) {
+  size_t n = workers == 0 ? 1 : workers;
+  slots_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+  obs::Registry::Default().GetGauge("proc.workers").Set(
+      static_cast<double>(n));
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+WorkerPool& WorkerPool::Default() {
+  static WorkerPool* pool = new WorkerPool(DefaultWidth());
+  return *pool;
+}
+
+std::shared_ptr<WorkerPool::Job> WorkerPool::Launch(size_t width,
+                                                    WorkFn fn) {
+  if (width == 0) width = 1;
+  if (width > workers_.size()) width = workers_.size();
+  auto job = std::make_shared<Job>();
+  job->fn_ = std::move(fn);
+  job->width_ = width;
+  job->remaining_.store(width, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return job_ == nullptr; });
+    job_ = job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  return job;
+}
+
+Status WorkerPool::Run(size_t width, WorkFn fn) {
+  return Launch(width, std::move(fn))->Wait();
+}
+
+uint64_t WorkerPool::TotalBusyNs() const {
+  uint64_t total = 0;
+  uint64_t now = NowNs();
+  for (const auto& slot : slots_) {
+    total += slot->busy_ns.load(std::memory_order_relaxed);
+    uint64_t since = slot->running_since.load(std::memory_order_relaxed);
+    // Benign race: the worker may finish between the two loads, counting
+    // a sliver twice — jitter the governor's gauge tolerates.
+    if (since != 0 && now > since) total += now - since;
+  }
+  return total;
+}
+
+void WorkerPool::WorkerMain(size_t id) {
+  WorkerSlot& slot = *slots_[id];
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && slot.seen_epoch != epoch_);
+      });
+      if (stopping_) return;
+      slot.seen_epoch = epoch_;
+      job = job_;
+    }
+    if (id >= job->width_) continue;
+
+    uint64_t start = NowNs();
+    slot.running_since.store(start, std::memory_order_relaxed);
+    Status status = job->fn_(id);
+    slot.running_since.store(0, std::memory_order_relaxed);
+    slot.busy_ns.fetch_add(NowNs() - start, std::memory_order_relaxed);
+
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(job->mu_);
+      if (job->status_.ok()) job->status_ = std::move(status);
+    }
+    if (job->remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      {
+        std::lock_guard<std::mutex> lock(job->mu_);
+        job->done_.store(true, std::memory_order_release);
+      }
+      job->cv_.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (job_ == job) job_.reset();
+      }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dbm::query

@@ -1,0 +1,121 @@
+// The vCPU worker pool: the parallel plane's processors.
+//
+// The Go! machine of the paper is "one-mode": there is no kernel/user
+// split, so a query's workers ARE the machine's virtual CPUs. The os/
+// layer models a single simulated Vcpu driven by a scheduler; this pool
+// is the host-parallel counterpart — N persistent std::threads, one per
+// vCPU, that the parallel executor dispatches morsel work onto. The pool
+// is created once and reused across queries (thread creation is far more
+// expensive than a morsel), and its width is published as the
+// `proc.workers` gauge so the Fig-1 plane can see how much hardware the
+// query plane has to play with.
+//
+// Dispatch protocol: one job in flight at a time. Launch(width, fn)
+// wakes every worker whose vCPU id is < width; each runs fn(id) to
+// completion and the last participant marks the job done. Errors are
+// first-wins: the job's status is the first non-OK return, and the
+// remaining workers still drain (morsel sources are poisoned by the
+// failing worker, so the drain is prompt) — a worker fault fails the
+// query, never the pool.
+
+#ifndef DBM_QUERY_POOL_H_
+#define DBM_QUERY_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbm::query {
+
+class WorkerPool {
+ public:
+  /// Work run by each participating worker; `worker` is the vCPU id in
+  /// [0, width). Must be safe to run concurrently with itself.
+  using WorkFn = std::function<Status(size_t worker)>;
+
+  /// One dispatched parallel job. Obtained from Launch(); the coordinator
+  /// Wait()s (or polls WaitFor() while running its governor loop).
+  class Job {
+   public:
+    /// Blocks until every participant has returned; yields the job's
+    /// first-error-wins status.
+    Status Wait();
+
+    /// Waits up to `timeout`; true when the job finished.
+    bool WaitFor(std::chrono::nanoseconds timeout);
+
+    bool done() const { return done_.load(std::memory_order_acquire); }
+
+   private:
+    friend class WorkerPool;
+    WorkFn fn_;
+    size_t width_ = 0;
+    std::atomic<size_t> remaining_{0};
+    std::atomic<bool> done_{false};
+    std::mutex mu_;
+    std::condition_variable cv_;
+    Status status_ = Status::OK();  // guarded by mu_
+  };
+
+  /// Spawns `workers` persistent threads (at least 1).
+  explicit WorkerPool(size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// The process-wide pool the parallel executor uses by default. Sized
+  /// from DBM_WORKERS when set, else hardware_concurrency clamped to
+  /// [8, 16] — at least 8 so dop=8 plans run (oversubscribed on small
+  /// hosts, which is what a morsel-driven design tolerates by default).
+  static WorkerPool& Default();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Dispatches fn onto workers [0, width). Width is clamped to the pool
+  /// size. Blocks while another job is in flight (one at a time — the
+  /// parallel executor owns the whole pool for a query's duration).
+  std::shared_ptr<Job> Launch(size_t width, WorkFn fn);
+
+  /// Launch + Wait.
+  Status Run(size_t width, WorkFn fn);
+
+  /// Host nanoseconds all workers have spent inside job functions since
+  /// pool creation, including time inside still-running functions (a
+  /// morsel loop is one long fn invocation — the governor samples
+  /// mid-job, so completed-only accounting would read zero until the
+  /// query ended). Utilization over an interval is Δbusy / (Δwall × dop).
+  uint64_t TotalBusyNs() const;
+
+ private:
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> busy_ns{0};
+    /// Start timestamp of the fn invocation in flight (0 = idle), so
+    /// TotalBusyNs can count in-progress work.
+    std::atomic<uint64_t> running_since{0};
+    uint64_t seen_epoch = 0;  // worker-thread private
+  };
+
+  void WorkerMain(size_t id);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a job
+  std::condition_variable idle_cv_;   // Launch waits here for idleness
+  std::shared_ptr<Job> job_;          // in-flight job (guarded by mu_)
+  uint64_t epoch_ = 0;                // bumps once per Launch
+  bool stopping_ = false;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dbm::query
+
+#endif  // DBM_QUERY_POOL_H_

@@ -1,121 +1,206 @@
 #include "storage/buffer.h"
 
+#include <algorithm>
+
 namespace dbm::storage {
 
+BufferManager::BufferManager(std::string name, size_t frames, size_t shards)
+    : Component(std::move(name), "getpage"),
+      frames_(frames),
+      pinned_(frames, 0),
+      dirty_(frames, 0),
+      resident_(frames, kInvalidPage) {
+  DeclarePort("disk", "disk");
+  DeclarePort("policy", "replacement-policy");
+  pool_.resize(frames);
+  size_t n = std::clamp<size_t>(shards, 1, frames == 0 ? 1 : frames);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  obs::Registry& reg = obs::Registry::Default();
+  obs_gets_ = &reg.GetCounter("storage.buffer.gets");
+  obs_hits_ = &reg.GetCounter("storage.buffer.hits");
+  obs_misses_ = &reg.GetCounter("storage.buffer.misses");
+  obs_evictions_ = &reg.GetCounter("storage.buffer.evictions");
+  obs_writebacks_ = &reg.GetCounter("storage.buffer.dirty_writebacks");
+  obs_hit_rate_ = &reg.GetGauge("storage.buffer.hit_rate");
+}
+
 Result<Page*> BufferManager::GetPage(PageId id) {
-  ++stats_.gets;
-  obs_gets_->Add(1);
   DBM_ASSIGN_OR_RETURN(ReplacementPolicy * policy,
                        Require<ReplacementPolicy>("policy"));
-  auto it = where_.find(id);
-  if (it != where_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.gets;
+  obs_gets_->Add(1);
+  uint64_t gets = gets_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  auto it = shard.where.find(id);
+  if (it != shard.where.end()) {
+    ++shard.stats.hits;
     obs_hits_->Add(1);
-    obs_hit_rate_->Set(stats_.HitRate());
+    uint64_t hits = hits_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs_hit_rate_->Set(static_cast<double>(hits) /
+                       static_cast<double>(gets));
     size_t frame = it->second;
-    policy->OnAccess(frame);
-    ++pin_count_[id];
-    pinned_[frame] = true;
+    // Recency touch: skipped under contention rather than waited for —
+    // the policy degrades to approximate LRU, the hit path stays short.
+    if (policy_mu_.try_lock()) {
+      policy->OnAccess(frame);
+      policy_mu_.unlock();
+    }
+    ++shard.pin_count[id];
+    pinned_[frame] = 1;
     return &pool_[frame];
   }
 
-  ++stats_.misses;
+  ++shard.stats.misses;
   obs_misses_->Add(1);
-  obs_hit_rate_->Set(stats_.HitRate());
-  DBM_ASSIGN_OR_RETURN(size_t frame, FindFreeOrEvict());
+  obs_hit_rate_->Set(
+      static_cast<double>(hits_total_.load(std::memory_order_relaxed)) /
+      static_cast<double>(gets));
+  DBM_ASSIGN_OR_RETURN(size_t frame,
+                       FindFreeOrEvict(id % shards_.size(), shard));
   DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
   DBM_RETURN_NOT_OK(disk->Read(id, &pool_[frame]));
   resident_[frame] = id;
-  where_[id] = frame;
-  dirty_[frame] = false;
-  pin_count_[id] = 1;
-  pinned_[frame] = true;
-  policy->OnLoad(frame);
+  shard.where[id] = frame;
+  dirty_[frame] = 0;
+  shard.pin_count[id] = 1;
+  pinned_[frame] = 1;
+  {
+    std::lock_guard<std::mutex> policy_lock(policy_mu_);
+    policy->OnLoad(frame);
+  }
   return &pool_[frame];
 }
 
 Status BufferManager::Unpin(PageId id, bool dirty) {
-  auto it = where_.find(id);
-  if (it == where_.end()) {
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.where.find(id);
+  if (it == shard.where.end()) {
     return Status::NotFound("unpin of non-resident page " +
                             std::to_string(id));
   }
-  auto pc = pin_count_.find(id);
-  if (pc == pin_count_.end() || pc->second <= 0) {
+  auto pc = shard.pin_count.find(id);
+  if (pc == shard.pin_count.end() || pc->second <= 0) {
     return Status::FailedPrecondition("unpin of unpinned page " +
                                       std::to_string(id));
   }
   size_t frame = it->second;
-  if (dirty) dirty_[frame] = true;
-  if (--pc->second == 0) pinned_[frame] = false;
+  if (dirty) dirty_[frame] = 1;
+  if (--pc->second == 0) pinned_[frame] = 0;
   return Status::OK();
 }
 
 Status BufferManager::FlushAll() {
   DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
-  for (size_t f = 0; f < frames_; ++f) {
-    if (resident_[f] != kInvalidPage && dirty_[f]) {
-      DBM_RETURN_NOT_OK(disk->Write(resident_[f], pool_[f]));
-      dirty_[f] = false;
-      ++stats_.dirty_writebacks;
-      obs_writebacks_->Add(1);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t f = s; f < frames_; f += shards_.size()) {
+      if (resident_[f] != kInvalidPage && dirty_[f]) {
+        DBM_RETURN_NOT_OK(disk->Write(resident_[f], pool_[f]));
+        dirty_[f] = 0;
+        ++shard.stats.dirty_writebacks;
+        obs_writebacks_->Add(1);
+      }
     }
   }
   return Status::OK();
 }
 
-Result<size_t> BufferManager::FindFreeOrEvict() {
-  for (size_t f = 0; f < frames_; ++f) {
+Result<size_t> BufferManager::FindFreeOrEvict(size_t shard_index,
+                                              Shard& shard) {
+  const size_t step = shards_.size();
+  for (size_t f = shard_index; f < frames_; f += step) {
     if (resident_[f] == kInvalidPage) return f;
   }
   DBM_ASSIGN_OR_RETURN(ReplacementPolicy * policy,
                        Require<ReplacementPolicy>("policy"));
-  DBM_ASSIGN_OR_RETURN(size_t victim, policy->PickVictim(pinned_));
-  if (pinned_[victim]) {
-    return Status::Internal("policy picked a pinned victim");
+  // The policy sees all frames; mask every frame outside this shard as
+  // pinned so the victim is in-shard and no other shard's pin state is
+  // read (it is only safe to read under that shard's latch).
+  std::vector<bool> masked(frames_, true);
+  for (size_t f = shard_index; f < frames_; f += step) {
+    masked[f] = pinned_[f] != 0;
+  }
+  std::lock_guard<std::mutex> policy_lock(policy_mu_);
+  DBM_ASSIGN_OR_RETURN(size_t victim, policy->PickVictim(masked));
+  if (victim % step != shard_index || pinned_[victim]) {
+    return Status::Internal("policy picked an out-of-shard or pinned victim");
   }
   PageId old = resident_[victim];
   if (dirty_[victim]) {
     DBM_ASSIGN_OR_RETURN(DiskComponent * disk,
                          Require<DiskComponent>("disk"));
     DBM_RETURN_NOT_OK(disk->Write(old, pool_[victim]));
-    ++stats_.dirty_writebacks;
+    ++shard.stats.dirty_writebacks;
     obs_writebacks_->Add(1);
   }
   policy->OnEvict(victim);
-  where_.erase(old);
-  pin_count_.erase(old);
+  shard.where.erase(old);
+  shard.pin_count.erase(old);
   resident_[victim] = kInvalidPage;
-  dirty_[victim] = false;
-  ++stats_.evictions;
+  dirty_[victim] = 0;
+  ++shard.stats.evictions;
   obs_evictions_->Add(1);
   return victim;
 }
 
+BufferStats BufferManager::stats() const {
+  BufferStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.gets += shard->stats.gets;
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.dirty_writebacks += shard->stats.dirty_writebacks;
+  }
+  return total;
+}
+
 int BufferManager::PinCount(PageId id) const {
-  auto it = pin_count_.find(id);
-  return it == pin_count_.end() ? 0 : it->second;
+  const Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pin_count.find(id);
+  return it == shard.pin_count.end() ? 0 : it->second;
 }
 
 Status BufferManager::CheckInvariants() const {
-  size_t resident = 0;
+  // Quiescent-point check: hold every shard latch (in index order) so
+  // the whole pool is frozen while we look.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+  }
+  size_t resident = 0, mapped = 0;
   for (size_t f = 0; f < frames_; ++f) {
     PageId id = resident_[f];
     if (id == kInvalidPage) continue;
     ++resident;
-    auto it = where_.find(id);
-    if (it == where_.end() || it->second != f) {
+    const Shard& shard = ShardOf(id);
+    if (&shard != shards_[f % shards_.size()].get()) {
+      return Status::Internal("page " + std::to_string(id) +
+                              " resident in out-of-shard frame " +
+                              std::to_string(f));
+    }
+    auto it = shard.where.find(id);
+    if (it == shard.where.end() || it->second != f) {
       return Status::Internal("resident/where mismatch at frame " +
                               std::to_string(f));
     }
-    auto pc = pin_count_.find(id);
-    int pins = pc == pin_count_.end() ? 0 : pc->second;
+    auto pc = shard.pin_count.find(id);
+    int pins = pc == shard.pin_count.end() ? 0 : pc->second;
     if (pins < 0) return Status::Internal("negative pin count");
-    if ((pins > 0) != static_cast<bool>(pinned_[f])) {
+    if ((pins > 0) != (pinned_[f] != 0)) {
       return Status::Internal("pinned bit inconsistent with pin count");
     }
   }
-  if (resident != where_.size()) {
+  for (const auto& shard : shards_) mapped += shard->where.size();
+  if (resident != mapped) {
     return Status::Internal("where map size mismatch");
   }
   return Status::OK();

@@ -3,6 +3,9 @@
 #ifndef DBM_STORAGE_BUFFER_H_
 #define DBM_STORAGE_BUFFER_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,25 +34,22 @@ struct BufferStats {
 /// replacement policy. Pages are pinned while in use; eviction only
 /// considers unpinned frames; dirty pages are written back on eviction
 /// and on FlushAll.
+///
+/// Concurrency: the pool is split into `shards` latch domains. Page id p
+/// lives in shard p % shards, which owns the frames f ≡ p (mod shards) —
+/// so parallel scans over different pages mostly take different latches,
+/// and a page's whole life cycle (map entry, frame, pin count, dirty
+/// bit) happens under exactly one shard mutex. The replacement policy
+/// keeps global (all-frame) state behind its own mutex, ordered strictly
+/// after the shard mutex; victim searches mask out every frame outside
+/// the calling shard, so the policy never reads another shard's pin
+/// state. Hit-path recency updates use try_lock — under contention a
+/// touch may be skipped (approximate LRU), never blocked on.
+/// The default shards=1 is byte-for-byte the old single-threaded
+/// behavior.
 class BufferManager : public component::Component {
  public:
-  BufferManager(std::string name, size_t frames)
-      : Component(std::move(name), "getpage"),
-        frames_(frames),
-        pinned_(frames, false),
-        dirty_(frames, false),
-        resident_(frames, kInvalidPage) {
-    DeclarePort("disk", "disk");
-    DeclarePort("policy", "replacement-policy");
-    pool_.resize(frames);
-    obs::Registry& reg = obs::Registry::Default();
-    obs_gets_ = &reg.GetCounter("storage.buffer.gets");
-    obs_hits_ = &reg.GetCounter("storage.buffer.hits");
-    obs_misses_ = &reg.GetCounter("storage.buffer.misses");
-    obs_evictions_ = &reg.GetCounter("storage.buffer.evictions");
-    obs_writebacks_ = &reg.GetCounter("storage.buffer.dirty_writebacks");
-    obs_hit_rate_ = &reg.GetGauge("storage.buffer.hit_rate");
-  }
+  BufferManager(std::string name, size_t frames, size_t shards = 1);
 
   /// Pins and returns the page. The pointer stays valid until Unpin.
   Result<Page*> GetPage(PageId id);
@@ -60,27 +60,53 @@ class BufferManager : public component::Component {
   /// Writes back every dirty frame (pinned ones included).
   Status FlushAll();
 
-  const BufferStats& stats() const { return stats_; }
+  /// Aggregated over shards (by value: the per-shard rows are live).
+  BufferStats stats() const;
   size_t frame_count() const { return frames_; }
+  size_t shard_count() const { return shards_.size(); }
   int PinCount(PageId id) const;
 
   /// Invariant check used by property tests: every resident entry maps
-  /// back to its frame, pin counts are consistent.
+  /// back to its frame, pin counts are consistent. Takes every shard
+  /// latch — call at quiescent points.
   Status CheckInvariants() const;
 
  private:
-  Result<size_t> FindFreeOrEvict();
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, size_t> where;
+    std::unordered_map<PageId, int> pin_count;
+    BufferStats stats;
+  };
+
+  Shard& ShardOf(PageId id) { return *shards_[id % shards_.size()]; }
+  const Shard& ShardOf(PageId id) const {
+    return *shards_[id % shards_.size()];
+  }
+
+  /// Finds a free in-shard frame or evicts an unpinned one. Caller holds
+  /// the shard mutex.
+  Result<size_t> FindFreeOrEvict(size_t shard_index, Shard& shard);
 
   size_t frames_;
   std::vector<Page> pool_;
-  std::vector<bool> pinned_;   // derived: pin_count_ > 0
-  std::vector<bool> dirty_;
+  // Frame state. char, not bool: vector<bool> bit-packs neighbours into
+  // one byte, which would couple adjacent shards' writes.
+  std::vector<char> pinned_;   // derived: pin_count > 0
+  std::vector<char> dirty_;
   std::vector<PageId> resident_;
-  std::unordered_map<PageId, size_t> where_;
-  std::unordered_map<PageId, int> pin_count_;
-  BufferStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Registry mirrors of stats_ (all BufferManager instances aggregate).
+  /// Guards the (global-state) replacement policy; acquired after a
+  /// shard mutex, never before.
+  std::mutex policy_mu_;
+
+  /// Instance totals for the hit-rate gauge (relaxed; the per-shard
+  /// stats rows are the precise record).
+  std::atomic<uint64_t> gets_total_{0};
+  std::atomic<uint64_t> hits_total_{0};
+
+  // Registry mirrors of stats (all BufferManager instances aggregate).
   obs::Counter* obs_gets_;
   obs::Counter* obs_hits_;
   obs::Counter* obs_misses_;

@@ -10,6 +10,7 @@
 #define DBM_STORAGE_PAGE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -30,12 +31,19 @@ struct Page {
 /// A simulated disk: an in-memory page array with access counters and a
 /// simple cost model (I/O counts stand in for latency; the environment
 /// simulator converts counts to time when needed).
+///
+/// Concurrency: Read/Write of *distinct* pages may run concurrently (the
+/// sharded buffer manager guarantees a page is ever served by one shard,
+/// so same-page races cannot happen through it); the access counters are
+/// relaxed atomics. Allocate is NOT thread-safe — relations are loaded
+/// before parallel execution starts (load-then-scan discipline), so
+/// allocation never races with I/O.
 class DiskComponent : public component::Component {
  public:
   explicit DiskComponent(std::string name = "disk")
       : Component(std::move(name), "disk") {}
 
-  /// Allocates a fresh zeroed page.
+  /// Allocates a fresh zeroed page. Not thread-safe (see above).
   PageId Allocate() {
     pages_.emplace_back();
     pages_.back().id = static_cast<PageId>(pages_.size() - 1);
@@ -48,7 +56,7 @@ class DiskComponent : public component::Component {
                               std::to_string(id));
     }
     *out = pages_[id];
-    ++reads_;
+    reads_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
 
@@ -59,18 +67,18 @@ class DiskComponent : public component::Component {
     }
     pages_[id] = page;
     pages_[id].id = id;
-    ++writes_;
+    writes_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
 
   size_t page_count() const { return pages_.size(); }
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
 
  private:
   std::vector<Page> pages_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace dbm::storage

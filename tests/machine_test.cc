@@ -186,6 +186,38 @@ TEST(Scenario3Test, AdaptiveReoptimisesAndMatchesStaticResult) {
   EXPECT_EQ(adaptive->result_rows, config.orders);
 }
 
+TEST(Scenario3Test, ParallelModeMatchesSerialAndGovernsDop) {
+  Scenario3Config config;
+  config.orders = 60000;
+  config.people = 300;
+  config.parallel = true;
+  config.dop_initial = 2;
+  config.dop_target = 4;
+  config.dop_rule = "If exec.worker-util > 90 then SWITCH(dop.2, dop.4)";
+  auto report = RunScenario3(config);
+  if (!report.ok()) {
+    // Under the chaos schedule the query.morsel point is armed: the
+    // contract is a clean injected failure (poison-drain), never a hang.
+    EXPECT_NE(report.status().ToString().find("injected"),
+              std::string::npos)
+        << report.status().ToString();
+    return;
+  }
+  // Every order matches exactly one person, whatever the dop did.
+  EXPECT_EQ(report->result_rows, config.orders);
+  EXPECT_EQ(report->parallel_exec.dop_initial, 2u);
+  EXPECT_GE(report->parallel_exec.samples, 1u);
+  // The workers saturate (on any host: busy time is wall time spent in
+  // the morsel loop), the rule fires through the session manager, the
+  // adaptivity manager grants the scale-up and the governor enacts it.
+  if (report->parallel_exec.worker_util > 90) {
+    EXPECT_GE(report->rule_firings, 1u);
+    EXPECT_GE(report->dop_enactments, 1u);
+    EXPECT_EQ(report->parallel_exec.dop_final, 4u);
+    EXPECT_GE(report->parallel_exec.dop_switches, 1u);
+  }
+}
+
 TEST(Scenario3Test, AccurateStatsNoReoptimisation) {
   Scenario3Config config;
   config.orders = 5000;

@@ -1,0 +1,453 @@
+// Tests for the morsel-driven parallel plane: cursor, worker pool,
+// serial/parallel equivalence, mid-query dop governance and fault
+// containment.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "adapt/metrics.h"
+#include "common/rng.h"
+#include "fault/injector.h"
+#include "query/paged_source.h"
+#include "query/parallel.h"
+#include "storage/paged_relation.h"
+#include "storage/replacement.h"
+
+namespace dbm::query {
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::ValueType;
+
+/// Equivalence tests compare exact result sets, so the process injector
+/// (armed by the chaos CI's DBM_FAULT_SPEC) is disarmed for their
+/// duration and restored afterwards. The dedicated fault test arms its
+/// own spec the same way.
+class ScopedFaultSpec {
+ public:
+  explicit ScopedFaultSpec(const std::string& spec, uint64_t seed = 42) {
+    fault::Injector& inj = fault::Injector::Default();
+    prev_spec_ = inj.spec();
+    prev_seed_ = inj.seed();
+    EXPECT_TRUE(inj.Configure(spec, seed).ok());
+  }
+  ~ScopedFaultSpec() {
+    (void)fault::Injector::Default().Configure(prev_spec_, prev_seed_);
+  }
+
+ private:
+  std::string prev_spec_;
+  uint64_t prev_seed_;
+};
+
+/// Probe-side table. `val` is always a multiple of 0.25 — an exact
+/// binary fraction — so parallel sum-merge reassociation cannot change
+/// the aggregate (float addition of binary fractions in this range is
+/// exact in either order).
+Relation MakeOrders(size_t rows, size_t people, uint64_t seed) {
+  Relation rel("orders", Schema({{"person_id", ValueType::kInt},
+                                 {"qty", ValueType::kInt},
+                                 {"val", ValueType::kDouble},
+                                 {"tag", ValueType::kString}}));
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t person = static_cast<int64_t>(rng.Uniform(people));
+    int64_t qty = static_cast<int64_t>(rng.Uniform(20));
+    double val = 0.25 * static_cast<double>(rng.Uniform(400));
+    rel.InsertUnchecked(Tuple({person, qty, val,
+                               "o#" + std::to_string(i % 13)}));
+  }
+  return rel;
+}
+
+/// Build-side table: id is dense so most probes match; every third id is
+/// withheld so some probes miss.
+Relation MakePeople(size_t people, uint64_t seed) {
+  Relation rel("people", Schema({{"id", ValueType::kInt},
+                                 {"grp", ValueType::kInt},
+                                 {"name", ValueType::kString}}));
+  Rng rng(seed);
+  for (size_t i = 0; i < people; ++i) {
+    if (i % 3 == 2) continue;
+    rel.InsertUnchecked(Tuple({static_cast<int64_t>(i),
+                               static_cast<int64_t>(rng.Uniform(7)),
+                               "p#" + std::to_string(i)}));
+  }
+  return rel;
+}
+
+std::multiset<std::string> Canon(const std::vector<Tuple>& rows) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : rows) out.insert(t.ToString());
+  return out;
+}
+
+/// Serial reference through BuildSerial + the serial executor.
+std::vector<Tuple> SerialRows(const ParallelPlan& plan) {
+  auto root = BuildSerial(plan);
+  EXPECT_TRUE(root.ok()) << root.status().ToString();
+  std::vector<Tuple> out;
+  ExecOptions opt;
+  auto stats = Execute(root->get(), &out, opt);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return out;
+}
+
+void ExpectEquivalentAtAllDops(const ParallelPlan& plan) {
+  std::multiset<std::string> reference = Canon(SerialRows(plan));
+  EXPECT_FALSE(reference.empty());
+  WorkerPool pool(8);
+  for (size_t dop : {1u, 2u, 4u, 8u}) {
+    ParallelOptions opt;
+    opt.dop = dop;
+    opt.pool = &pool;
+    std::vector<Tuple> out;
+    auto stats = ExecuteParallel(plan, &out, opt);
+    ASSERT_TRUE(stats.ok()) << "dop=" << dop << ": "
+                            << stats.status().ToString();
+    EXPECT_EQ(Canon(out), reference) << "dop=" << dop;
+    EXPECT_EQ(stats->rows, out.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel cursor
+// ---------------------------------------------------------------------------
+
+TEST(MorselCursorTest, PartitionsAllUnitsExactlyOnce) {
+  MorselCursor cursor(100, 7);
+  EXPECT_EQ(cursor.total_morsels(), 15u);
+  std::vector<char> seen(100, 0);
+  Morsel m;
+  uint64_t count = 0;
+  while (cursor.Next(&m)) {
+    ++count;
+    EXPECT_LT(m.begin, m.end);
+    EXPECT_LE(m.end, 100u);
+    for (size_t u = m.begin; u < m.end; ++u) {
+      EXPECT_EQ(seen[u], 0) << "unit " << u << " covered twice";
+      seen[u] = 1;
+    }
+  }
+  EXPECT_EQ(count, 15u);
+  EXPECT_TRUE(cursor.Exhausted());
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 0), 0);
+}
+
+TEST(MorselCursorTest, PoisonStopsHandout) {
+  MorselCursor cursor(1000, 10);
+  Morsel m;
+  ASSERT_TRUE(cursor.Next(&m));
+  cursor.Poison();
+  EXPECT_FALSE(cursor.Next(&m));
+  EXPECT_TRUE(cursor.poisoned());
+  EXPECT_TRUE(cursor.Exhausted());
+}
+
+TEST(MorselCursorTest, ConcurrentDrainCoversEverything) {
+  MorselCursor cursor(10000, 13);
+  std::atomic<uint64_t> units{0};
+  std::atomic<uint64_t> morsels{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      Morsel m;
+      while (cursor.Next(&m)) {
+        units.fetch_add(m.end - m.begin);
+        morsels.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(units.load(), 10000u);
+  EXPECT_EQ(morsels.load(), cursor.total_morsels());
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryLaneExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  Status s = pool.Run(4, [&](size_t worker) {
+    hits[worker].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerPoolTest, WidthLimitsParticipation) {
+  WorkerPool pool(4);
+  std::set<size_t> seen;
+  std::mutex mu;
+  Status s = pool.Run(2, [&](size_t worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(worker);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(seen, (std::set<size_t>{0, 1}));
+}
+
+TEST(WorkerPoolTest, FirstErrorWinsAndPoolSurvives) {
+  WorkerPool pool(4);
+  Status s = pool.Run(4, [&](size_t worker) {
+    if (worker == 2) return Status::Internal("lane 2 exploded");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("lane 2"), std::string::npos);
+  // The pool is healthy for the next job.
+  std::atomic<int> count{0};
+  Status again = pool.Run(4, [&](size_t) {
+    count.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(WorkerPoolTest, AccumulatesBusyTime) {
+  WorkerPool pool(2);
+  uint64_t before = pool.TotalBusyNs();
+  EXPECT_TRUE(pool.Run(2, [](size_t) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_GT(pool.TotalBusyNs(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Serial / parallel equivalence
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExecTest, ScanFilterMatchesSerial) {
+  ScopedFaultSpec quiet("");
+  for (uint64_t seed : {17u, 23u, 42u}) {
+    Relation orders = MakeOrders(5000, 100, seed);
+    ParallelPlan plan;
+    plan.probe.mem = &orders;
+    plan.probe.filter = Gt(Col(1), Lit(int64_t{9}));
+    ExpectEquivalentAtAllDops(plan);
+  }
+}
+
+TEST(ParallelExecTest, JoinProjectMatchesSerial) {
+  ScopedFaultSpec quiet("");
+  for (uint64_t seed : {17u, 23u, 42u}) {
+    Relation orders = MakeOrders(4000, 120, seed);
+    Relation people = MakePeople(120, seed + 1);
+    ParallelPlan plan;
+    plan.probe.mem = &orders;
+    ParallelJoinStage stage;
+    stage.build.mem = &people;
+    stage.spec = JoinSpec{0, 0};  // people.id = orders.person_id
+    plan.joins.push_back(std::move(stage));
+    // Joined schema: people(id, grp, name) ++ orders(person_id, qty, val,
+    // tag).
+    plan.post_filter = Gt(Col(4), Lit(int64_t{2}));
+    plan.project = {Col(1), Col(5), Col(2)};
+    plan.project_schema = Schema({{"grp", ValueType::kInt},
+                                  {"val", ValueType::kDouble},
+                                  {"name", ValueType::kString}});
+    ExpectEquivalentAtAllDops(plan);
+  }
+}
+
+TEST(ParallelExecTest, JoinAggregateMatchesSerial) {
+  ScopedFaultSpec quiet("");
+  for (uint64_t seed : {17u, 23u, 42u}) {
+    Relation orders = MakeOrders(6000, 80, seed);
+    Relation people = MakePeople(80, seed + 1);
+    ParallelPlan plan;
+    plan.probe.mem = &orders;
+    plan.probe.filter = Gt(Col(1), Lit(int64_t{1}));
+    ParallelJoinStage stage;
+    stage.build.mem = &people;
+    stage.spec = JoinSpec{0, 0};
+    plan.joins.push_back(std::move(stage));
+    plan.group_by = {1};  // people.grp
+    plan.aggs = {{AggFunc::kCount, 0, "n"},
+                 {AggFunc::kSum, 5, "sum_val"},
+                 {AggFunc::kMin, 5, "min_val"},
+                 {AggFunc::kMax, 5, "max_val"},
+                 {AggFunc::kAvg, 4, "avg_qty"}};
+    ExpectEquivalentAtAllDops(plan);
+  }
+}
+
+TEST(ParallelExecTest, TwoJoinChainMatchesSerial) {
+  ScopedFaultSpec quiet("");
+  Relation orders = MakeOrders(3000, 60, 42);
+  Relation people = MakePeople(60, 43);
+  Relation groups("groups", Schema({{"gid", ValueType::kInt},
+                                    {"label", ValueType::kString}}));
+  for (int64_t g = 0; g < 7; ++g) {
+    groups.InsertUnchecked(Tuple({g, "g#" + std::to_string(g)}));
+  }
+  ParallelPlan plan;
+  plan.probe.mem = &orders;
+  ParallelJoinStage s1;
+  s1.build.mem = &people;
+  s1.spec = JoinSpec{0, 0};  // people.id = orders.person_id
+  plan.joins.push_back(std::move(s1));
+  // Pipeline after stage 1: people(id, grp, name) ++ orders(...).
+  ParallelJoinStage s2;
+  s2.build.mem = &groups;
+  s2.spec = JoinSpec{0, 1};  // groups.gid = people.grp
+  plan.joins.push_back(std::move(s2));
+  ExpectEquivalentAtAllDops(plan);
+}
+
+TEST(ParallelExecTest, PagedScanMatchesMemScan) {
+  ScopedFaultSpec quiet("");
+  Relation orders = MakeOrders(4000, 70, 23);
+
+  auto disk = std::make_shared<storage::DiskComponent>();
+  auto policy = std::make_shared<storage::LruPolicy>();
+  auto buffer = std::make_shared<storage::BufferManager>("buf", 32,
+                                                         /*shards=*/4);
+  buffer->FindPort("disk")->SetTarget(disk);
+  buffer->FindPort("policy")->SetTarget(policy);
+  auto paged = storage::PagedRelation::Load(orders, buffer.get(), disk.get());
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+  ParallelPlan mem_plan;
+  mem_plan.probe.mem = &orders;
+  mem_plan.probe.filter = Gt(Col(1), Lit(int64_t{4}));
+  std::multiset<std::string> reference = Canon(SerialRows(mem_plan));
+
+  ParallelPlan paged_plan;
+  paged_plan.probe.paged = paged->get();
+  paged_plan.probe.filter = Gt(Col(1), Lit(int64_t{4}));
+  WorkerPool pool(4);
+  for (size_t dop : {1u, 2u, 4u}) {
+    ParallelOptions opt;
+    opt.dop = dop;
+    opt.pool = &pool;
+    opt.morsel_pages = 2;
+    std::vector<Tuple> out;
+    auto stats = ExecuteParallel(paged_plan, &out, opt);
+    ASSERT_TRUE(stats.ok()) << "dop=" << dop << ": "
+                            << stats.status().ToString();
+    EXPECT_EQ(Canon(out), reference) << "dop=" << dop;
+  }
+  EXPECT_TRUE(buffer->CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Mid-query dop governance
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExecTest, GovernorScalesUpMidQuery) {
+  ScopedFaultSpec quiet("");
+  Relation orders = MakeOrders(60000, 100, 17);
+  ParallelPlan plan;
+  plan.probe.mem = &orders;
+  plan.probe.filter = Gt(Col(1), Lit(int64_t{0}));
+
+  WorkerPool pool(4);
+  ParallelOptions opt;
+  opt.dop = 2;
+  opt.dop_max = 4;
+  opt.pool = &pool;
+  opt.morsel_rows = 64;  // many morsels: the query outlives the governor
+  opt.govern_interval = std::chrono::microseconds(100);
+  std::atomic<uint64_t> calls{0};
+  opt.governor = [&](const GovernorSample& sample) -> size_t {
+    calls.fetch_add(1);
+    EXPECT_EQ(sample.dop_max, 4u);
+    return 4;  // always ask for the ceiling
+  };
+
+  std::vector<Tuple> out;
+  auto stats = ExecuteParallel(plan, &out, opt);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_GE(stats->samples, 1u) << "query finished before the first "
+                                   "governor sample; grow the relation";
+  EXPECT_GE(calls.load(), 1u);
+  EXPECT_EQ(stats->dop_initial, 2u);
+  EXPECT_EQ(stats->dop_final, 4u);
+  EXPECT_GE(stats->dop_switches, 1u);
+
+  // Same rows as the serial plan regardless of the mid-query switch.
+  EXPECT_EQ(Canon(out), Canon(SerialRows(plan)));
+}
+
+TEST(ParallelExecTest, PublishesExecMetricsOnBus) {
+  ScopedFaultSpec quiet("");
+  Relation orders = MakeOrders(60000, 100, 23);
+  ParallelPlan plan;
+  plan.probe.mem = &orders;
+
+  adapt::MetricBus bus;
+  WorkerPool pool(2);
+  ParallelOptions opt;
+  opt.dop = 2;
+  opt.pool = &pool;
+  opt.morsel_rows = 64;
+  opt.govern_interval = std::chrono::microseconds(100);
+  opt.bus = &bus;
+  std::vector<Tuple> out;
+  auto stats = ExecuteParallel(plan, &out, opt);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GE(stats->samples, 1u);
+  auto dop = bus.Get("exec.dop");
+  auto morsels = bus.Get("exec.morsels");
+  auto util = bus.Get("exec.worker-util");
+  ASSERT_TRUE(dop.ok());
+  ASSERT_TRUE(morsels.ok());
+  ASSERT_TRUE(util.ok());
+  EXPECT_EQ(*dop, 2.0);
+  // Workers are saturated for the whole scan (in-flight work counts —
+  // the governor reads busy time live, not only after the job ends).
+  EXPECT_GT(*util, 0.0);
+  EXPECT_LE(*util, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExecTest, InjectedMorselFaultFailsQueryCleanly) {
+  Relation orders = MakeOrders(5000, 60, 42);
+  ParallelPlan plan;
+  plan.probe.mem = &orders;
+
+  WorkerPool pool(4);
+  {
+    ScopedFaultSpec chaos("query.morsel:error@1", 7);
+    ParallelOptions opt;
+    opt.dop = 4;
+    opt.pool = &pool;
+    std::vector<Tuple> out;
+    auto stats = ExecuteParallel(plan, &out, opt);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_NE(stats.status().ToString().find("injected"), std::string::npos)
+        << stats.status().ToString();
+  }
+  // Disarmed again: the pool was not wedged by the failed query.
+  {
+    ScopedFaultSpec quiet("");
+    ParallelOptions opt;
+    opt.dop = 4;
+    opt.pool = &pool;
+    std::vector<Tuple> out;
+    auto stats = ExecuteParallel(plan, &out, opt);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(out.size(), orders.size());
+  }
+}
+
+}  // namespace
+}  // namespace dbm::query
