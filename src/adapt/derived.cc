@@ -10,6 +10,7 @@ const char* DerivedKindName(DerivedKind k) {
     case DerivedKind::kP50: return "p50";
     case DerivedKind::kP95: return "p95";
     case DerivedKind::kP99: return "p99";
+    case DerivedKind::kMax: return "max";
   }
   return "?";
 }
@@ -26,6 +27,13 @@ double KindQuantile(DerivedKind k) {
 bool IsQuantile(DerivedKind k) {
   return k == DerivedKind::kP50 || k == DerivedKind::kP95 ||
          k == DerivedKind::kP99;
+}
+double SampleMax(const std::vector<obs::TsSample>& samples) {
+  double best = 0;
+  for (const obs::TsSample& s : samples) {
+    if (s.value > best) best = s.value;
+  }
+  return best;
 }
 }  // namespace
 
@@ -57,6 +65,10 @@ void DerivedPublisher::Tick(SimTime now) {
       if (IsQuantile(row.spec.kind)) {
         value = row.hist_window->WindowQuantile(from,
                                                 KindQuantile(row.spec.kind));
+      } else if (row.spec.kind == DerivedKind::kMax) {
+        // Log2 buckets retain no per-sample maxima; the top of the
+        // window's occupied buckets is the closest honest answer.
+        value = row.hist_window->WindowQuantile(from, 1.0);
       } else if (row.spec.kind == DerivedKind::kRate) {
         double dt_s = ToSeconds(row.spec.window);
         value = dt_s > 0 ? static_cast<double>(
@@ -85,6 +97,9 @@ void DerivedPublisher::Tick(SimTime now) {
         case DerivedKind::kP99:
           value = obs::SampleQuantile(std::move(window),
                                       KindQuantile(row.spec.kind));
+          break;
+        case DerivedKind::kMax:
+          value = SampleMax(window);
           break;
       }
     }

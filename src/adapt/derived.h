@@ -34,6 +34,7 @@ enum class DerivedKind : uint8_t {
   kP50,
   kP95,
   kP99,
+  kMax,   // largest sample in the window (queue-depth peaks)
 };
 
 const char* DerivedKindName(DerivedKind k);

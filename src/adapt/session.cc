@@ -186,6 +186,21 @@ Result<int> SessionManager::CheckConstraints(SimTime now) {
       loop_rec.latency_us = latency;
       obs::LoopHealth::Default().RecordLoopLatency(loop_rec);
       last_enacted_[c->id] = *d.chosen;
+      // The debounce asks "is this constraint's remedy already in
+      // place?" — once a DIFFERENT constraint on the same subject
+      // enacts, the world has moved and that memory is stale. Without
+      // this, a reversible pair (scale up / scale down on one subject)
+      // fires each direction exactly once and then deadlocks on its own
+      // history.
+      for (auto it = last_enacted_.begin(); it != last_enacted_.end();) {
+        const Constraint* other = table_->Find(it->first);
+        if (it->first != c->id &&
+            (other == nullptr || other->subject == c->subject)) {
+          it = last_enacted_.erase(it);
+        } else {
+          ++it;
+        }
+      }
       ++enacted;
       if (hysteresis_.enabled) {
         damper.last_enacted_at = now;

@@ -1,0 +1,167 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace dbm::net {
+
+ClientSwarm::ClientSwarm(EventLoop* loop, RequestSink* sink,
+                         adapt::MetricBus* bus, Options options)
+    : loop_(loop),
+      sink_(sink),
+      bus_(bus),
+      options_(options),
+      rng_(options.seed) {
+  exact_ = options_.sessions <= options_.max_exact_sessions;
+  sessions_ch_ = bus_->GetChannel("net.sessions");
+  obs::Registry& reg = obs::Registry::Default();
+  obs_sessions_ = &reg.GetGauge("net.sessions");
+  obs_issued_ = &reg.GetCounter("net.loadgen.issued");
+  obs_completed_ = &reg.GetCounter("net.loadgen.completed");
+  obs_shed_ = &reg.GetCounter("net.loadgen.shed");
+  obs_backpressured_ = &reg.GetCounter("net.loadgen.backpressured");
+  obs_retries_ = &reg.GetCounter("net.loadgen.retries");
+}
+
+void ClientSwarm::PublishSessions(double value) {
+  bus_->Publish(sessions_ch_, value, loop_->Now());
+  obs_sessions_->Set(value);
+}
+
+Status ClientSwarm::Run(std::vector<std::string> clients,
+                        std::string resource) {
+  if (clients.empty()) {
+    return Status::InvalidArgument("swarm needs at least one client device");
+  }
+  if (options_.sessions == 0) {
+    return Status::InvalidArgument("swarm needs at least one session");
+  }
+  clients_ = std::move(clients);
+  resource_ = std::move(resource);
+  PublishSessions(0);
+  if (exact_) {
+    // Each session is its own state machine; starts stagger linearly
+    // over the ramp so the crowd gathers rather than teleporting in.
+    for (uint64_t i = 0; i < options_.sessions; ++i) {
+      SimTime first = options_.ramp > 0
+                          ? static_cast<SimTime>(
+                                static_cast<double>(options_.ramp) *
+                                static_cast<double>(i) /
+                                static_cast<double>(options_.sessions))
+                          : 0;
+      StartSession(i, first);
+    }
+  } else {
+    ScheduleOpenArrival();
+  }
+  return Status::OK();
+}
+
+void ClientSwarm::StartSession(uint64_t session, SimTime first_issue) {
+  loop_->ScheduleAt(first_issue, [this, session] {
+    ++active_sessions_;
+    PublishSessions(static_cast<double>(active_sessions_));
+    Issue(session);
+  });
+}
+
+void ClientSwarm::Issue(uint64_t session) {
+  if (loop_->Now() > options_.horizon) {
+    // The session retires; in-flight work elsewhere keeps draining.
+    --active_sessions_;
+    PublishSessions(static_cast<double>(active_sessions_));
+    return;
+  }
+  ++issued_;
+  obs_issued_->Add(1);
+  Status s = sink_->Submit(
+      session, ClientFor(session), resource_,
+      [this, session](const RequestSink::Completion& c) {
+        ++completed_;
+        obs_completed_->Add(1);
+        if (c.served) ++served_;
+        Think(session);
+      });
+  if (s.ok()) return;
+  if (s.code() == StatusCode::kResourceExhausted) {
+    // Backpressure: this session already has its fill in flight. Hold
+    // off (jittered so a pushed-back crowd does not retry in lockstep)
+    // and try the same request again.
+    ++backpressured_;
+    obs_backpressured_->Add(1);
+    ++retries_;
+    obs_retries_->Add(1);
+    SimTime delay = static_cast<SimTime>(
+        static_cast<double>(options_.backoff) *
+        (1.0 + rng_.UniformDouble()));
+    loop_->ScheduleAfter(delay, [this, session] { Issue(session); });
+    return;
+  }
+  // Shed at the door: the request is gone; the session thinks, then
+  // asks for the next page like a human reloading later.
+  ++shed_;
+  obs_shed_->Add(1);
+  Think(session);
+}
+
+void ClientSwarm::Think(uint64_t session) {
+  if (loop_->Now() > options_.horizon) {
+    --active_sessions_;
+    PublishSessions(static_cast<double>(active_sessions_));
+    return;
+  }
+  double rate = 1.0 / std::max(1e-9, ToSeconds(options_.think_mean));
+  SimTime gap = Seconds(rng_.Exponential(rate));
+  loop_->ScheduleAfter(gap, [this, session] { Issue(session); });
+}
+
+void ClientSwarm::ScheduleOpenArrival() {
+  const SimTime now = loop_->Now();
+  if (now > options_.horizon) {
+    active_sessions_ = 0;
+    PublishSessions(0);
+    return;
+  }
+  // Above max_exact_sessions the population only matters in aggregate:
+  // its arrival process. Rate ramps with the crowd size.
+  double frac = options_.ramp > 0
+                    ? std::min(1.0, static_cast<double>(now) /
+                                        static_cast<double>(options_.ramp))
+                    : 1.0;
+  active_sessions_ = static_cast<uint64_t>(
+      frac * static_cast<double>(options_.sessions));
+  PublishSessions(static_cast<double>(active_sessions_));
+  double full_rate =
+      options_.open_rate_per_s > 0
+          ? options_.open_rate_per_s
+          : static_cast<double>(options_.sessions) /
+                std::max(1e-9, ToSeconds(options_.think_mean));
+  double rate = full_rate * std::max(frac, 0.01);
+  SimTime gap = std::max<SimTime>(1, Seconds(rng_.Exponential(rate)));
+  loop_->ScheduleAfter(gap, [this] {
+    uint64_t session = rng_.Uniform(options_.sessions);
+    ++issued_;
+    obs_issued_->Add(1);
+    Status s = sink_->Submit(session, ClientFor(session), resource_,
+                             [this](const RequestSink::Completion& c) {
+                               ++completed_;
+                               obs_completed_->Add(1);
+                               if (c.served) ++served_;
+                             });
+    if (!s.ok()) {
+      // Open-loop sessions do not wait around: backpressure and shed
+      // both just lose the request (counted separately).
+      if (s.code() == StatusCode::kResourceExhausted) {
+        ++backpressured_;
+        obs_backpressured_->Add(1);
+      } else {
+        ++shed_;
+        obs_shed_->Add(1);
+      }
+    }
+    ScheduleOpenArrival();
+  });
+}
+
+}  // namespace dbm::net

@@ -168,6 +168,11 @@ void TimeSeriesStore::CollectRegistry(const Registry& registry,
   }
 }
 
+void TimeSeriesStore::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, series] : series_) series->Reset();
+}
+
 size_t TimeSeriesStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return series_.size();

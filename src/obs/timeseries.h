@@ -80,6 +80,18 @@ class TimeSeries {
   /// Retained samples with at_us >= from_us, oldest → newest.
   std::vector<TsSample> Window(int64_t from_us) const;
 
+  /// Forgets all retained samples (handles stay valid). For sweeps that
+  /// restart simulated time at zero between steps — stale samples from a
+  /// previous step would otherwise sit "in the future" of the new run and
+  /// pollute every window. Callers must quiesce writers first; the reset
+  /// is not safe against a concurrent Record.
+  void Reset() {
+    for (size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(0, std::memory_order_relaxed);
+    }
+    cursor_.store(0, std::memory_order_release);
+  }
+
   const std::string& name() const { return name_; }
   size_t capacity() const { return capacity_; }
   /// Samples ever recorded (retained = min(total, capacity)).
@@ -188,6 +200,10 @@ class TimeSeriesStore {
   /// every histogram's cumulative count) to its series at `now_us` — the
   /// periodic "retain everything" sweep.
   void CollectRegistry(const Registry& registry, int64_t now_us);
+
+  /// Resets every series (see TimeSeries::Reset). Handles stay valid;
+  /// writers must be quiescent.
+  void ResetAll();
 
   size_t size() const;
 

@@ -91,6 +91,20 @@ Status WorkerPool::Run(size_t width, WorkFn fn) {
   return Launch(width, std::move(fn))->Wait();
 }
 
+Status WorkerPool::ParallelFor(size_t n, size_t width, const RangeFn& fn) {
+  if (n == 0) return Status::OK();
+  if (width == 0) width = 1;
+  if (width > workers_.size()) width = workers_.size();
+  if (width > n) width = n;
+  const size_t chunk = (n + width - 1) / width;
+  return Run(width, [n, chunk, &fn](size_t worker) -> Status {
+    const size_t begin = worker * chunk;
+    if (begin >= n) return Status::OK();
+    const size_t end = begin + chunk < n ? begin + chunk : n;
+    return fn(begin, end, worker);
+  });
+}
+
 uint64_t WorkerPool::TotalBusyNs() const {
   uint64_t total = 0;
   uint64_t now = NowNs();

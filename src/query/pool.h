@@ -87,6 +87,15 @@ class WorkerPool {
   /// Launch + Wait.
   Status Run(size_t width, WorkFn fn);
 
+  /// Work on one contiguous slice of [0, n); `worker` is the vCPU id.
+  using RangeFn = std::function<Status(size_t begin, size_t end, size_t worker)>;
+
+  /// Partitions [0, n) into up to `width` contiguous slices and runs
+  /// `fn(begin, end, worker)` on each, one slice per worker. The static
+  /// partition fits admission batches (uniform per-item cost); morsel
+  /// work-stealing stays the executor's job. No-op on n == 0.
+  Status ParallelFor(size_t n, size_t width, const RangeFn& fn);
+
   /// Host nanoseconds all workers have spent inside job functions since
   /// pool creation, including time inside still-running functions (a
   /// morsel loop is one long fn invocation — the governor samples

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "adapt/metrics.h"
 #include "adapt/rules.h"
 #include "adapt/session.h"
@@ -378,6 +380,52 @@ TEST(SessionManagerTest, SelectRulesAnsweredOnDemandNotOnTick) {
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(d->chosen->node(), "n2");
   EXPECT_TRUE(rig.sm->Decide("ghost").status().IsNotFound());
+}
+
+TEST(SessionManagerTest, ReversiblePairRefiresAfterReversal) {
+  // A scale-up/scale-down rule pair on one subject, the front door's
+  // shape: each rule guards on the setting the other one enacts. The
+  // per-constraint debounce must treat a reversal by the sibling rule
+  // as "the remedy is no longer in place", or the pair fires once in
+  // each direction and then deadlocks on its own history.
+  SessionRig rig;
+  int level = 0;
+  NumericTargetScorer numeric([&] {
+    Target t;
+    t.path = {"shed", std::to_string(level)};
+    return std::optional<Target>(t);
+  });
+  rig.sm->SetScorer("door", &numeric);
+  rig.am->RegisterHandler("door", [&](const AdaptationRequest& r) {
+    level = static_cast<int>(std::strtol(
+        r.decision.chosen->path[1].c_str(), nullptr, 10));
+    rig.bus.Publish("door-level", level, r.at);
+    return Status::OK();
+  });
+  ASSERT_TRUE(rig.table
+                  .Add(10, "door",
+                       "If door-load > 80 and door-level < 50 then "
+                       "SWITCH(shed.0, shed.50)")
+                  .ok());
+  ASSERT_TRUE(rig.table
+                  .Add(11, "door",
+                       "If door-load < 20 and door-level > 0 then "
+                       "SWITCH(shed.50, shed.0)")
+                  .ok());
+  rig.bus.Publish("door-level", 0, 0);
+
+  rig.bus.Publish("door-load", 95, 1);
+  ASSERT_TRUE(rig.sm->CheckConstraints(1).ok());
+  EXPECT_EQ(level, 50);
+
+  rig.bus.Publish("door-load", 5, 2);
+  ASSERT_TRUE(rig.sm->CheckConstraints(2).ok());
+  EXPECT_EQ(level, 0);
+
+  // The crowd returns: constraint 10 must fire a second time.
+  rig.bus.Publish("door-load", 95, 3);
+  ASSERT_TRUE(rig.sm->CheckConstraints(3).ok());
+  EXPECT_EQ(level, 50);
 }
 
 TEST(SessionManagerTest, HandlerFailureCountsAndRetries) {

@@ -205,6 +205,28 @@ TEST(DerivedTest, PublishesWindowedStatsOntoBus) {
   EXPECT_DOUBLE_EQ(bus.GetOr("derived.derived-test-lat.rate", 0), 10.0);
 }
 
+TEST(DerivedTest, WindowedMaxTracksPeakThenForgetsIt) {
+  adapt::MetricBus bus;
+  adapt::DerivedPublisher derived(&bus);
+  adapt::DerivedSpec peak;
+  peak.source = "derived-test-depth";
+  peak.kind = adapt::DerivedKind::kMax;
+  peak.window = Seconds(2);
+  derived.Add(peak);
+
+  bus.Publish("derived-test-depth", 3, Millis(500));
+  bus.Publish("derived-test-depth", 9, Seconds(1));
+  derived.Tick(Seconds(1) + Millis(100));
+  EXPECT_DOUBLE_EQ(bus.GetOr("derived.derived-test-depth.max", 0), 9.0);
+
+  // The window slides past the spike: only the later, smaller samples
+  // remain, so the published peak drops with them.
+  bus.Publish("derived-test-depth", 5, Seconds(2));
+  bus.Publish("derived-test-depth", 4, Seconds(3));
+  derived.Tick(Seconds(3) + Millis(200));
+  EXPECT_DOUBLE_EQ(bus.GetOr("derived.derived-test-depth.max", 0), 5.0);
+}
+
 // ---------------------------------------------------------------------------
 // Acceptance: a Table-2 rule on a derived percentile fires, and its
 // DecisionRecord joins to a nonzero fig1.loop_latency sample by trace id.

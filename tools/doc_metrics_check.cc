@@ -1,0 +1,283 @@
+// doc_metrics_check — keeps docs/OBSERVABILITY.md's naming table and the
+// source tree's `obs::` registrations from drifting apart.
+//
+// Two directions:
+//
+//   A. Every metric name registered in src/ via GetCounter / GetGauge /
+//      GetHistogram with a string literal must match one of the
+//      naming-table patterns. A new metric therefore forces a doc row
+//      (or a widened pattern) in the same change.
+//   B. Every naming-table pattern must still correspond to something in
+//      the source: either a registered literal matches it, or the
+//      pattern's literal head appears in src/ (covers names assembled
+//      by concatenation, e.g. "orb." + iface + ".timeouts", and bus
+//      metrics that never touch the registry directly). Dead rows get
+//      flagged instead of lingering as documentation of nothing.
+//
+// Patterns use `*` and `<placeholder>` as wildcards; everything else is
+// literal. Matching is ordered-literal-segment search: the first
+// segment anchors at the start, the last anchors at the end unless the
+// pattern ends with a wildcard.
+//
+// Names built by concatenation where the call site's first token is not
+// a string literal (e.g. `GetCounter(prefix + ".timeouts")`) are not
+// extractable without a real parser; direction B's head check is what
+// covers those families. Literal-first concatenations like
+// `GetGauge("bench." + id)` are treated as prefixes.
+//
+// Usage: doc_metrics_check <repo_root>      (exits 1 on any violation)
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Pattern {
+  std::string text;                   // as written in the doc
+  std::vector<std::string> segments;  // literal runs between wildcards
+  bool leading_wildcard = false;
+  bool trailing_wildcard = false;
+  bool matched = false;  // direction B: some registration hit it
+};
+
+struct Registration {
+  std::string name;
+  bool fragment = false;  // literal was a prefix of a built-up name
+  std::string file;
+  int line = 0;
+};
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- doc side ---------------------------------------------------------
+
+// Splits a backticked doc token into literal segments around `*` and
+// `<...>` wildcards.
+Pattern ParsePattern(const std::string& text) {
+  Pattern p;
+  p.text = text;
+  std::string cur;
+  for (size_t i = 0; i < text.size();) {
+    if (text[i] == '*') {
+      if (!cur.empty()) p.segments.push_back(cur);
+      if (cur.empty() && p.segments.empty()) p.leading_wildcard = true;
+      cur.clear();
+      p.trailing_wildcard = true;
+      ++i;
+    } else if (text[i] == '<') {
+      size_t close = text.find('>', i);
+      if (close == std::string::npos) {  // stray '<': treat as literal
+        cur += text[i++];
+        continue;
+      }
+      if (!cur.empty()) p.segments.push_back(cur);
+      if (cur.empty() && p.segments.empty()) p.leading_wildcard = true;
+      cur.clear();
+      p.trailing_wildcard = true;
+      i = close + 1;
+    } else {
+      if (p.trailing_wildcard && cur.empty() && !p.segments.empty()) {
+        // literal resumes after a wildcard
+      }
+      p.trailing_wildcard = false;
+      cur += text[i++];
+    }
+  }
+  if (!cur.empty()) p.segments.push_back(cur);
+  return p;
+}
+
+// The naming table: rows of the first markdown table after the
+// "## Naming convention" heading, first column, backticked tokens.
+std::vector<Pattern> LoadPatterns(const fs::path& doc, std::string* err) {
+  std::string text = ReadFile(doc);
+  if (text.empty()) {
+    *err = "cannot read " + doc.string();
+    return {};
+  }
+  size_t section = text.find("## Naming convention");
+  if (section == std::string::npos) {
+    *err = "no '## Naming convention' section in " + doc.string();
+    return {};
+  }
+  size_t end = text.find("\n## ", section + 1);
+  if (end == std::string::npos) end = text.size();
+
+  std::vector<Pattern> patterns;
+  std::istringstream lines(text.substr(section, end - section));
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    size_t second_bar = line.find('|', 1);
+    if (second_bar == std::string::npos) continue;
+    std::string cell = line.substr(1, second_bar - 1);
+    // Backticked tokens only; the separator row and headers have none.
+    for (size_t tick = cell.find('`'); tick != std::string::npos;) {
+      size_t close = cell.find('`', tick + 1);
+      if (close == std::string::npos) break;
+      std::string token = cell.substr(tick + 1, close - tick - 1);
+      if (!token.empty()) patterns.push_back(ParsePattern(token));
+      tick = cell.find('`', close + 1);
+    }
+  }
+  if (patterns.empty()) *err = "naming table parsed to zero patterns";
+  return patterns;
+}
+
+// --- source side ------------------------------------------------------
+
+void ScanSource(const std::string& text, const std::string& file,
+                std::vector<Registration>* out) {
+  static const char* kCalls[] = {"GetCounter(", "GetGauge(",
+                                 "GetHistogram("};
+  for (const char* call : kCalls) {
+    const size_t call_len = std::strlen(call);
+    for (size_t pos = text.find(call); pos != std::string::npos;
+         pos = text.find(call, pos + call_len)) {
+      size_t i = pos + call_len;
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[i]))) {
+        ++i;
+      }
+      if (i >= text.size() || text[i] != '"') continue;  // built name
+      size_t close = text.find('"', i + 1);
+      if (close == std::string::npos) continue;
+      Registration r;
+      r.name = text.substr(i + 1, close - i - 1);
+      r.file = file;
+      r.line = 1 + static_cast<int>(
+                       std::count(text.begin(), text.begin() + pos, '\n'));
+      size_t after = close + 1;
+      while (after < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[after]))) {
+        ++after;
+      }
+      r.fragment = after >= text.size() || text[after] != ')';
+      if (!r.name.empty()) out->push_back(r);
+    }
+  }
+}
+
+// --- matching ---------------------------------------------------------
+
+bool MatchFull(const Pattern& p, const std::string& name) {
+  if (p.segments.empty()) return true;  // pure wildcard
+  size_t at = 0;
+  for (size_t s = 0; s < p.segments.size(); ++s) {
+    const std::string& seg = p.segments[s];
+    if (s == 0 && !p.leading_wildcard) {
+      if (name.compare(0, seg.size(), seg) != 0) return false;
+      at = seg.size();
+    } else {
+      size_t found = name.find(seg, at);
+      if (found == std::string::npos) return false;
+      at = found + seg.size();
+    }
+  }
+  if (!p.trailing_wildcard && at != name.size()) return false;
+  return true;
+}
+
+// A fragment (the literal prefix of a concatenated name) matches when
+// it overlaps the pattern's anchored head: one is a prefix of the
+// other. The built-up tail is unknowable, so this is the best the
+// pattern can claim.
+bool MatchFragment(const Pattern& p, const std::string& frag) {
+  if (p.segments.empty() || p.leading_wildcard) return true;
+  const std::string& head = p.segments[0];
+  const size_t n = std::min(head.size(), frag.size());
+  return head.compare(0, n, frag, 0, n) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: doc_metrics_check <repo_root>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const fs::path doc = root / "docs" / "OBSERVABILITY.md";
+  const fs::path src = root / "src";
+
+  std::string err;
+  std::vector<Pattern> patterns = LoadPatterns(doc, &err);
+  if (patterns.empty()) {
+    std::fprintf(stderr, "doc_metrics_check: %s\n", err.c_str());
+    return 2;
+  }
+
+  std::vector<Registration> regs;
+  std::string corpus;  // every scanned file, for direction B head checks
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    std::string text = ReadFile(entry.path());
+    ScanSource(text, fs::relative(entry.path(), root).string(), &regs);
+    corpus += text;
+  }
+  if (regs.empty()) {
+    std::fprintf(stderr, "doc_metrics_check: no registrations under %s\n",
+                 src.string().c_str());
+    return 2;
+  }
+
+  int violations = 0;
+
+  // Direction A: every registered name is documented.
+  for (const Registration& r : regs) {
+    bool ok = false;
+    for (Pattern& p : patterns) {
+      const bool hit =
+          r.fragment ? MatchFragment(p, r.name) : MatchFull(p, r.name);
+      if (hit) {
+        ok = true;
+        if (!r.fragment) p.matched = true;
+        // fragments are too weak a signal to mark a pattern as alive
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "UNDOCUMENTED  %s  (%s:%d) — add a row to the naming "
+                   "table in docs/OBSERVABILITY.md\n",
+                   r.name.c_str(), r.file.c_str(), r.line);
+      ++violations;
+    }
+  }
+
+  // Direction B: every documented pattern still names something real.
+  for (Pattern& p : patterns) {
+    if (p.matched) continue;
+    const std::string head =
+        (p.segments.empty() || p.leading_wildcard) ? "" : p.segments[0];
+    if (!head.empty() && corpus.find(head) != std::string::npos) continue;
+    std::fprintf(stderr,
+                 "STALE DOC ROW  `%s` — no registration matches it and "
+                 "'%s' appears nowhere under src/\n",
+                 p.text.c_str(), head.c_str());
+    ++violations;
+  }
+
+  if (violations > 0) {
+    std::fprintf(stderr, "doc_metrics_check: %d violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("doc_metrics_check: %zu registrations x %zu patterns, clean\n",
+              regs.size(), patterns.size());
+  return 0;
+}
