@@ -3,34 +3,18 @@
 // The Fig-1 loop publishes gauges every tick; if publishing allocates,
 // the observer perturbs the observed. This bench measures the resolved-
 // channel MetricBus publish path and *asserts* it is allocation-free in
-// steady state (global operator new/delete counters), then prices the
-// derived-gauge recompute and the endpoint renderers so EXPERIMENTS.md
-// can quote what introspection costs.
+// steady state (the shared dbm_alloc_hook counting allocator — the same
+// counter EXPLAIN ANALYZE attributes), then prices the derived-gauge
+// recompute and the endpoint renderers so EXPERIMENTS.md can quote what
+// introspection costs.
 
-#include <atomic>
 #include <chrono>
-#include <cstdlib>
-#include <new>
 
 #include "adapt/derived.h"
 #include "adapt/metrics.h"
 #include "bench/bench_util.h"
+#include "obs/alloc_hook.h"
 #include "obs/observatory.h"
-
-namespace {
-
-std::atomic<uint64_t> g_allocs{0};
-
-}  // namespace
-
-void* operator new(size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -46,6 +30,7 @@ double HostSeconds(std::chrono::steady_clock::time_point t0) {
 int main(int argc, char** argv) {
   bench::Init(&argc, argv);
   bench::Header("BENCH-OBSERVATORY", "publish path + introspection cost");
+  dbm::obs::InstallCountingAllocator();
 
   adapt::MetricBus bus;
   adapt::MetricBus::Channel* ch = bus.GetChannel("processor-util");
@@ -56,14 +41,14 @@ int main(int argc, char** argv) {
   }
 
   constexpr uint64_t kPublishes = 2'000'000;
-  uint64_t allocs_before = g_allocs.load();
+  uint64_t allocs_before = obs::AllocCount();
   auto t0 = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < kPublishes; ++i) {
     bus.Publish(ch, 0.5 + (i & 7) * 0.01,
                 static_cast<SimTime>(1024 + i));
   }
   double publish_s = HostSeconds(t0);
-  uint64_t publish_allocs = g_allocs.load() - allocs_before;
+  uint64_t publish_allocs = obs::AllocCount() - allocs_before;
 
   bench::Table t({34, 16, 16});
   t.Row({"path", "ops", "ns/op"});

@@ -1,0 +1,28 @@
+// The counting replacement allocator (static library dbm_alloc_hook).
+//
+// Kept in its own translation unit and its own library because a program
+// may have at most one replacement of the global operator new. Linking
+// dbm_alloc_hook opts a binary into counting; calling
+// obs::InstallCountingAllocator() anchors this TU so the linker cannot
+// drop it. See obs/alloc_hook.h for the reader side.
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/alloc_hook.h"
+
+void* operator new(std::size_t size) {
+  dbm::obs::internal::BumpAllocCount();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dbm::obs {
+
+void InstallCountingAllocator() { internal::MarkAllocCountingInstalled(); }
+
+}  // namespace dbm::obs

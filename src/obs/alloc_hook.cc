@@ -1,0 +1,34 @@
+#include "obs/alloc_hook.h"
+
+#include <atomic>
+
+namespace dbm::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<bool> g_installed{false};
+
+}  // namespace
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool AllocCountingInstalled() {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void BumpAllocCount() {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MarkAllocCountingInstalled() {
+  g_installed.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace dbm::obs

@@ -1,0 +1,44 @@
+// Process-wide operator-new counter, shared between the profiler and the
+// allocation-regression benches.
+//
+// bench_observatory proved the idiom: replace the global operator new /
+// delete with counting versions and assert hot paths allocate nothing.
+// EXPLAIN ANALYZE wants the same counter per query. But a program gets
+// exactly ONE replacement allocator, so the replacement lives in its own
+// static library (dbm_alloc_hook, src/obs/alloc_count_new.cc) that only
+// binaries which want counting link; the counter itself lives here, in
+// dbm_obs, where the profiler can read it unconditionally.
+//
+// Binaries that do not link dbm_alloc_hook read a counter that stays 0 —
+// profiles then honestly report zero observed allocations rather than
+// lying or crashing. AllocCountingInstalled() tells the two cases apart.
+
+#ifndef DBM_OBS_ALLOC_HOOK_H_
+#define DBM_OBS_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace dbm::obs {
+
+/// Allocations observed so far (0 forever when the counting allocator is
+/// not linked in). Deltas around a region give the region's allocations.
+uint64_t AllocCount();
+
+/// True when the counting operator new from dbm_alloc_hook is linked.
+bool AllocCountingInstalled();
+
+namespace internal {
+/// Written by the counting allocator TU. Relaxed: the count is a gauge,
+/// not a synchronisation point.
+void BumpAllocCount();
+void MarkAllocCountingInstalled();
+}  // namespace internal
+
+/// Anchor that forces the linker to pull in dbm_alloc_hook's replacement
+/// operator new. Binaries that want per-query allocation counts call
+/// this once at startup (bench_util's Init does it when linked).
+void InstallCountingAllocator();
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_ALLOC_HOOK_H_

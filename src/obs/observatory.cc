@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "obs/fault_table.h"
 #include "obs/metrics_table.h"
+#include "obs/profile_table.h"
 #include "obs/trace_table.h"
 #include "query/executor.h"
 #include "query/expr.h"
@@ -38,9 +39,11 @@ std::string PromName(const std::string& name) {
 
 }  // namespace
 
-std::string PrometheusText(const Registry& registry) {
+namespace {
+
+std::string RenderPromLines(const std::vector<MetricSnapshot>& metrics) {
   std::string out;
-  for (const MetricSnapshot& m : registry.Snapshot()) {
+  for (const MetricSnapshot& m : metrics) {
     const std::string name = PromName(m.name);
     switch (m.kind) {
       case MetricKind::kCounter:
@@ -62,6 +65,12 @@ std::string PrometheusText(const Registry& registry) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const Registry& registry) {
+  return RenderPromLines(registry.Snapshot());
 }
 
 std::string TimeSeriesJson(const TimeSeriesStore& store, size_t tail) {
@@ -245,9 +254,14 @@ Result<std::string> ObservatoryQuery(std::string_view q,
     rel = DecisionsRelation(tracer);
   } else if (rel_name == "faults") {
     rel = FaultsRelation(fault_log);
+  } else if (rel_name == "profiles") {
+    rel = ProfilesRelation(options.profiles != nullptr
+                               ? *options.profiles
+                               : ProfilePlane::Default());
   } else {
-    return Status::ParseError("unknown relation '" + rel_name +
-                              "' (expected metrics|spans|decisions|faults)");
+    return Status::ParseError(
+        "unknown relation '" + rel_name +
+        "' (expected metrics|spans|decisions|faults|profiles)");
   }
 
   query::OperatorPtr root = std::make_unique<query::MemSource>(&rel);
@@ -336,6 +350,26 @@ Result<std::string> ServeObservatory(std::string_view path, int64_t now_us,
                           : fault::FaultLog::Default());
   }
   if (endpoint == "/obs/health") return HealthJson(now_us, health);
+  if (endpoint == "/obs/profile") {
+    const ProfilePlane& plane = options.profiles != nullptr
+                                    ? *options.profiles
+                                    : ProfilePlane::Default();
+    if (query_string == "fmt=collapsed") return ProfilesCollapsed(plane);
+    if (query_string == "fmt=prom") {
+      // The Prometheus exposition narrowed to the profiling plane's own
+      // metrics (profile.request.* histograms and record counters).
+      std::vector<MetricSnapshot> metrics;
+      for (MetricSnapshot& m : registry.Snapshot()) {
+        if (m.name.rfind("profile.", 0) == 0) metrics.push_back(std::move(m));
+      }
+      return RenderPromLines(metrics);
+    }
+    if (!query_string.empty() && query_string != "fmt=json") {
+      return Status::InvalidArgument(
+          "/obs/profile supports ?fmt=json|prom|collapsed");
+    }
+    return ProfilesJson(plane);
+  }
   if (endpoint == "/obs/query") {
     if (query_string.rfind("q=", 0) != 0) {
       return Status::InvalidArgument(

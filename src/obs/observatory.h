@@ -11,8 +11,14 @@
 //   /obs/faults       the fault log (injections, breaker transitions,
 //                     recoveries, load sheds), JSON
 //   /obs/health       staleness + loop-latency verdicts, JSON
+//   /obs/profile      the profiling plane: request latency attribution +
+//                     EXPLAIN ANALYZE tails (JSON); ?fmt=prom narrows
+//                     the Prometheus exposition to profile.* metrics,
+//                     ?fmt=collapsed emits collapsed stacks for
+//                     flamegraph.pl / speedscope
 //   /obs/query?q=...  a mini query language routed through query::Execute
-//                     over the metrics/spans/decisions/faults relations
+//                     over the metrics/spans/decisions/faults/profiles
+//                     relations
 //
 // Content generation lives here (target dbm_observatory: obs + the
 // relation bridges + the query engine); registering the endpoints as
@@ -23,9 +29,10 @@
 //
 //   <relation> [where <column> <op> <value>] [limit N]
 //
-// with <relation> one of metrics|spans|decisions|faults and <op> one of
-// = != < <= > >=. It compiles to MemSource → FilterOp → LimitOp and runs
-// through query::Execute — the reproduction dogfooding its own engine.
+// with <relation> one of metrics|spans|decisions|faults|profiles and
+// <op> one of = != < <= > >=. It compiles to MemSource → FilterOp →
+// LimitOp and runs through query::Execute — the reproduction dogfooding
+// its own engine.
 
 #ifndef DBM_OBS_OBSERVATORY_H_
 #define DBM_OBS_OBSERVATORY_H_
@@ -37,6 +44,7 @@
 #include "fault/log.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/timeseries.h"
 #include "obs/tracectx.h"
 
@@ -73,6 +81,7 @@ struct ObservatoryOptions {
   const TimeSeriesStore* store = nullptr;
   const LoopHealth* health = nullptr;
   const fault::FaultLog* fault_log = nullptr;
+  const ProfilePlane* profiles = nullptr;
   size_t timeseries_tail = 32;
 };
 

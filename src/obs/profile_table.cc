@@ -1,0 +1,40 @@
+#include "obs/profile_table.h"
+
+namespace dbm::obs {
+
+using data::Field;
+using data::Schema;
+using data::Tuple;
+using data::Value;
+using data::ValueType;
+
+Schema ProfilesSchema() {
+  return Schema({Field{"trace_id", ValueType::kString},
+                 Field{"resource", ValueType::kString},
+                 Field{"served", ValueType::kInt},
+                 Field{"at_us", ValueType::kInt},
+                 Field{"queue_us", ValueType::kInt},
+                 Field{"dispatch_us", ValueType::kInt},
+                 Field{"exec_us", ValueType::kInt},
+                 Field{"total_us", ValueType::kInt}});
+}
+
+data::Relation ProfilesRelation(const ProfilePlane& plane,
+                                const std::string& relation_name) {
+  data::Relation rel(relation_name, ProfilesSchema());
+  for (const RequestProfile& r : plane.Requests()) {
+    Tuple row;
+    row.values = {Value{r.trace_id.ToHex()},
+                  Value{std::string(r.resource)},
+                  Value{static_cast<int64_t>(r.served ? 1 : 0)},
+                  Value{static_cast<int64_t>(r.at_us)},
+                  Value{static_cast<int64_t>(r.queue_us)},
+                  Value{static_cast<int64_t>(r.dispatch_us)},
+                  Value{static_cast<int64_t>(r.exec_us)},
+                  Value{static_cast<int64_t>(r.total_us)}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace dbm::obs

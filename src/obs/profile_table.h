@@ -1,0 +1,34 @@
+// ProfilesTable: the request-latency breakdown as a relation.
+//
+// Same slant as metrics_table.h — profiling state must be queryable by
+// the machine's own engine. ProfilesRelation() freezes the ProfilePlane's
+// request ring into
+//
+//   profiles(trace_id:string, resource:string, served:int, at_us:int,
+//            queue_us:int, dispatch_us:int, exec_us:int, total_us:int)
+//
+// so `/obs/query?q=profiles where exec_us > 1000` works like any other
+// relation (tests/profile_test.cc proves the round trip).
+
+#ifndef DBM_OBS_PROFILE_TABLE_H_
+#define DBM_OBS_PROFILE_TABLE_H_
+
+#include <string>
+
+#include "data/relation.h"
+#include "obs/profile.h"
+
+namespace dbm::obs {
+
+/// The schema of ProfilesRelation() (shared so callers can bind columns).
+data::Schema ProfilesSchema();
+
+/// Snapshots `plane`'s request ring into a relation named
+/// `relation_name`, oldest first.
+data::Relation ProfilesRelation(
+    const ProfilePlane& plane = ProfilePlane::Default(),
+    const std::string& relation_name = "profiles");
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_PROFILE_TABLE_H_

@@ -1,0 +1,35 @@
+#include "obs/waitstate.h"
+
+namespace dbm::obs {
+
+namespace {
+
+thread_local WaitRecorderFn t_recorder = nullptr;
+thread_local void* t_recorder_ctx = nullptr;
+
+}  // namespace
+
+const char* WaitStateName(WaitState state) {
+  switch (state) {
+    case WaitState::kBarrier: return "barrier";
+    case WaitState::kLatch: return "latch";
+    case WaitState::kStarved: return "starved";
+  }
+  return "unknown";
+}
+
+void SetThreadWaitRecorder(WaitRecorderFn fn, void* ctx) {
+  t_recorder = fn;
+  t_recorder_ctx = ctx;
+}
+
+WaitStateScope::WaitStateScope(WaitState state)
+    : state_(state), active_(t_recorder != nullptr) {
+  if (active_) t_recorder(t_recorder_ctx, state_, /*enter=*/true);
+}
+
+WaitStateScope::~WaitStateScope() {
+  if (active_) t_recorder(t_recorder_ctx, state_, /*enter=*/false);
+}
+
+}  // namespace dbm::obs

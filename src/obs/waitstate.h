@@ -1,0 +1,68 @@
+// Wait-state channel: how blocked time gets attributed to a cause.
+//
+// The worker pool's busy-ns bookkeeping cannot tell "running a morsel"
+// from "blocked on the hash-join merge barrier" — both happen inside the
+// job function. This header is the narrow waist that fixes that without
+// inverting any dependencies: low layers (storage latches, the parallel
+// executor's barrier and park loop) open a WaitStateScope around blocking
+// sections, and whoever owns the thread (the WorkerPool) installs a
+// per-thread recorder that turns those scopes into per-state nanosecond
+// ledgers. Threads with no recorder installed pay one thread-local load
+// per scope and record nothing.
+//
+// States:
+//   kBarrier  blocked at a phase barrier (e.g. build-scan → merge)
+//   kLatch    waiting for a contended storage latch (buffer shard)
+//   kStarved  parked with no morsel to run (dop governor parked the vCPU,
+//             or the cursor is drained but the job has not ended)
+//
+// "running" and "idle" are not scope states: the pool derives them from
+// its own job bookkeeping (running = in the job fn minus waits, idle =
+// between jobs). The five together are published by the pool as
+// `proc.worker.<state>_ns` gauges.
+
+#ifndef DBM_OBS_WAITSTATE_H_
+#define DBM_OBS_WAITSTATE_H_
+
+#include <cstddef>
+
+namespace dbm::obs {
+
+enum class WaitState : int {
+  kBarrier = 0,
+  kLatch = 1,
+  kStarved = 2,
+};
+
+inline constexpr size_t kWaitStateCount = 3;
+
+const char* WaitStateName(WaitState state);
+
+/// Called at scope open (enter=true) and close (enter=false) on the
+/// thread that owns the scope. The recorder takes its own timestamps.
+using WaitRecorderFn = void (*)(void* ctx, WaitState state, bool enter);
+
+/// Installs `fn` as the calling thread's wait recorder (nullptr clears).
+/// The pool installs one per worker thread; everything else leaves the
+/// default (none) and scopes become no-ops.
+void SetThreadWaitRecorder(WaitRecorderFn fn, void* ctx);
+
+/// RAII wait attribution. Open it around a section that blocks; nested
+/// scopes are the recorder's business (the pool's recorder attributes
+/// the whole nest to the outermost state).
+class WaitStateScope {
+ public:
+  explicit WaitStateScope(WaitState state);
+  ~WaitStateScope();
+
+  WaitStateScope(const WaitStateScope&) = delete;
+  WaitStateScope& operator=(const WaitStateScope&) = delete;
+
+ private:
+  WaitState state_;
+  bool active_;
+};
+
+}  // namespace dbm::obs
+
+#endif  // DBM_OBS_WAITSTATE_H_

@@ -5,6 +5,7 @@
 
 #include "fault/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace dbm::patia {
 
@@ -141,13 +142,15 @@ Status FrontDoor::Submit(uint64_t session, const std::string& client,
   p.resource = resource;
   p.done = std::move(done);
   p.enqueued_at = network_->loop()->Now();
+  const obs::TraceContext& ctx = obs::CurrentContext();
+  if (ctx.valid()) p.trace = ctx.trace_id;
   queue_.push_back(std::move(p));
   ++stats_.admitted;
   if (queue_.size() > stats_.depth_peak) stats_.depth_peak = queue_.size();
   return Status::OK();
 }
 
-void FrontDoor::OnRequestDone(uint64_t session, SimTime enqueued_at,
+void FrontDoor::OnRequestDone(uint64_t session, const RequestTiming& timing,
                               DoneFn done, bool served,
                               SimTime completed_at) {
   --outstanding_;
@@ -158,21 +161,41 @@ void FrontDoor::OnRequestDone(uint64_t session, SimTime enqueued_at,
   } else {
     ++stats_.failed;
   }
-  obs_latency_us_->Record(static_cast<uint64_t>(completed_at - enqueued_at));
+  obs_latency_us_->Record(
+      static_cast<uint64_t>(completed_at - timing.enqueued_at));
+  // End-to-end attribution: the request's whole latency, split where it
+  // was actually spent, joined to traces by trace id.
+  obs::RequestProfile prof;
+  prof.trace_id = timing.trace;
+  prof.at_us = static_cast<int64_t>(timing.enqueued_at);
+  prof.queue_us =
+      static_cast<uint64_t>(timing.dispatched_at - timing.enqueued_at);
+  prof.dispatch_us = timing.dispatch_us;
+  prof.exec_us = completed_at > timing.dispatched_at
+                     ? static_cast<uint64_t>(completed_at -
+                                             timing.dispatched_at)
+                     : 0;
+  prof.total_us =
+      static_cast<uint64_t>(completed_at - timing.enqueued_at);
+  prof.served = served;
+  prof.SetResource(timing.resource);
+  obs::ProfilePlane::Default().RecordRequest(prof);
   if (done) {
     net::RequestSink::Completion c;
     c.served = served;
-    c.issued_at = enqueued_at;
+    c.issued_at = timing.enqueued_at;
     c.completed_at = completed_at;
     done(c);
   }
 }
 
-void FrontDoor::InvokeBatchService() {
-  if (go_ == nullptr) return;
+uint64_t FrontDoor::InvokeBatchService() {
+  if (go_ == nullptr) return 0;
   const os::Cycles before = go_->ledger().total();
   Status s = go_->orb().Call(batch_iface_);
-  obs_invoke_cycles_->Add(go_->ledger().total() - before);
+  const uint64_t spent =
+      static_cast<uint64_t>(go_->ledger().total() - before);
+  obs_invoke_cycles_->Add(spent);
   if (!s.ok()) {
     // A failed batch invocation is a supervision event, not request
     // loss — the breaker opens, degradation watches it, requests still
@@ -180,6 +203,7 @@ void FrontDoor::InvokeBatchService() {
     ++stats_.invoke_failures;
     obs_invoke_failures_->Add(1);
   }
+  return spent;
 }
 
 void FrontDoor::DispatchBatch(SimTime now) {
@@ -202,7 +226,10 @@ void FrontDoor::DispatchBatch(SimTime now) {
   obs_batch_->Record(static_cast<uint64_t>(n));
   // One supervised, cycle-accounted ORB invocation covers the whole
   // batch — the per-call overhead every request would otherwise pay.
-  InvokeBatchService();
+  // Each request's dispatch_us is its amortised share of the invocation
+  // (cycles → µs at the repo's 1000-cycles-per-µs convention).
+  const uint64_t invoke_cycles = InvokeBatchService();
+  const uint64_t dispatch_us_share = invoke_cycles / n / 1000;
   // Admission-stage work (routing fingerprints) fans out over the
   // query plane's workers. The histograms are lock-free, so recording
   // queue waits from the slices is safe.
@@ -225,16 +252,21 @@ void FrontDoor::DispatchBatch(SimTime now) {
       stats_.outstanding_peak = outstanding_;
     }
     const uint64_t session = p.session;
-    const SimTime enqueued_at = p.enqueued_at;
+    RequestTiming timing;
+    timing.enqueued_at = p.enqueued_at;
+    timing.dispatched_at = now;
+    timing.dispatch_us = dispatch_us_share;
+    timing.trace = p.trace;
+    timing.resource = p.resource;
     DoneFn done = std::move(p.done);
     Status s = server_->Request(
         p.client, p.resource,
-        [this, session, enqueued_at, done](const ServedRequest& served) {
-          OnRequestDone(session, enqueued_at, done, /*served=*/true,
+        [this, session, timing, done](const ServedRequest& served) {
+          OnRequestDone(session, timing, done, /*served=*/true,
                         served.completed_at);
         });
     if (!s.ok()) {
-      OnRequestDone(session, enqueued_at, std::move(done),
+      OnRequestDone(session, timing, std::move(done),
                     /*served=*/false, now);
     }
   }

@@ -48,6 +48,7 @@
 #include "adapt/derived.h"
 #include "adapt/session.h"
 #include "net/loadgen.h"
+#include "obs/tracectx.h"
 #include "os/go_system.h"
 #include "patia/patia.h"
 #include "query/pool.h"
@@ -149,12 +150,25 @@ class FrontDoor : public net::RequestSink {
     DoneFn done;
     SimTime enqueued_at = 0;
     uint64_t route_hint = 0;  // batch-stage fingerprint (WorkerPool)
+    obs::TraceId trace;  // enclosing trace at Submit (invalid if unsampled)
+  };
+
+  /// End-to-end attribution for one finished request, threaded from
+  /// admission through dispatch to completion and recorded as an
+  /// obs::RequestProfile (queue / dispatch / exec split by trace id).
+  struct RequestTiming {
+    SimTime enqueued_at = 0;
+    SimTime dispatched_at = 0;
+    uint64_t dispatch_us = 0;  // amortised batch-ORB share
+    obs::TraceId trace;
+    std::string resource;
   };
 
   void DispatchBatch(SimTime now);
-  void InvokeBatchService();
-  void OnRequestDone(uint64_t session, SimTime enqueued_at, DoneFn done,
-                     bool served, SimTime completed_at);
+  /// Returns the invocation's cycle cost (0 when the ORB is absent).
+  uint64_t InvokeBatchService();
+  void OnRequestDone(uint64_t session, const RequestTiming& timing,
+                     DoneFn done, bool served, SimTime completed_at);
   void SetShedLevel(int level, SimTime at);
   void PublishGauges(SimTime now);
   void ScheduleTick();

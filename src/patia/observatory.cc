@@ -7,8 +7,8 @@ namespace dbm::patia {
 namespace {
 
 const char* const kEndpoints[] = {
-    "/obs/metrics", "/obs/timeseries", "/obs/decisions",
-    "/obs/faults",  "/obs/health",     "/obs/query",
+    "/obs/metrics", "/obs/timeseries", "/obs/decisions", "/obs/faults",
+    "/obs/health",  "/obs/profile",    "/obs/query",
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "query/executor.h"
 
 #include "common/strings.h"
+#include "obs/alloc_hook.h"
 #include "obs/trace.h"
 #include "obs/tracectx.h"
 
@@ -76,6 +77,27 @@ obs::SpanRecord RunRange(uint64_t start_host_ns, SimTime sim_begin,
   return range;
 }
 
+// EXPLAIN ANALYZE for the generic pull loop: the operator tree walked
+// after the run, per-node rows from OperatorStats. Allocations are only
+// measurable at run granularity here (the pull loop interleaves every
+// operator), so the delta lands on the root node — the Σ-equals-total
+// invariant holds, and the parallel path refines the split.
+void FillSerialProfile(QueryProfile* profile, Operator& root,
+                       const ExecStats& stats, uint64_t allocs_before,
+                       uint64_t host_start_ns) {
+  profile->root = ProfileFromOperators(root);
+  profile->dop = 1;
+  profile->total_rows = stats.rows;
+  profile->total_cycles = profile->SumCycles();
+  profile->total_allocs = obs::AllocCount() - allocs_before;
+  profile->root.allocs = profile->total_allocs;
+  profile->total_pages = profile->SumPages();
+  profile->host_ns = obs::NowHostNs() - host_start_ns;
+  const obs::TraceContext& ctx = obs::CurrentContext();
+  if (ctx.valid()) profile->trace_id = ctx.trace_id.ToHex();
+  PublishProfile(*profile);
+}
+
 }  // namespace
 
 Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
@@ -83,6 +105,8 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
   obs::TraceSpan span(&ExecObs::Get().host_ticks);
   obs::SpanScope exec_span("query.execute", "query");
   uint64_t host_start = obs::NowHostNs();
+  const uint64_t allocs_before =
+      options.profile != nullptr ? obs::AllocCount() : 0;
   ExecStats stats;
   stats.started_at = options.start_time;
   SimTime now = options.start_time;
@@ -116,6 +140,10 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
                             RunRange(host_start, stats.started_at, now),
                             obs::Tracer::Default());
         }
+        if (options.profile != nullptr) {
+          FillSerialProfile(options.profile, *root, stats, allocs_before,
+                            host_start);
+        }
         return stats;
     }
     if (options.safe_point_every > 0 &&
@@ -132,6 +160,10 @@ Result<ExecStats> Execute(Operator* root, std::vector<Tuple>* out,
           EmitOperatorSpans(*root, exec_span.context(),
                             RunRange(host_start, stats.started_at, now),
                             obs::Tracer::Default());
+        }
+        if (options.profile != nullptr) {
+          FillSerialProfile(options.profile, *root, stats, allocs_before,
+                            host_start);
         }
         return stats;
       }

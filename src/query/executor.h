@@ -18,6 +18,7 @@
 
 #include "adapt/session.h"
 #include "query/optimizer.h"
+#include "query/profile.h"
 
 namespace dbm::query {
 
@@ -50,6 +51,12 @@ struct ExecOptions {
   /// the output vector once up front instead of growing it geometrically
   /// through the pull loop.
   size_t reserve_rows = 0;
+  /// EXPLAIN ANALYZE: when set, the executor fills it with the run's
+  /// annotated operator tree (rows/cycles per operator from
+  /// OperatorStats, allocation and host-time deltas at run granularity)
+  /// and publishes its tail to obs::ProfilePlane. Null = no profiling,
+  /// no overhead beyond one branch.
+  QueryProfile* profile = nullptr;
 };
 
 /// Runs the tree to completion, collecting output. NotReady steps advance

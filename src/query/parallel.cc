@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -9,7 +10,11 @@
 #include "data/value.h"
 #include "fault/injector.h"
 #include "fault/log.h"
+#include "obs/alloc_hook.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/tracectx.h"
+#include "obs/waitstate.h"
 #include "query/join.h"
 #include "query/paged_source.h"
 
@@ -87,15 +92,18 @@ size_t ScanUnits(const ParallelScan& scan, const ParallelOptions& options,
   return scan.mem->rows().size();
 }
 
-/// Feeds every tuple of `morsel` (post scan-filter) to `fn`.
+/// Feeds every tuple of `morsel` (post scan-filter) to `fn`. `raw`, when
+/// non-null, counts rows read before the scan filter (profiling).
 template <typename Fn>
-Status ScanMorsel(const ParallelScan& scan, const Morsel& morsel, Fn&& fn) {
+Status ScanMorsel(const ParallelScan& scan, const Morsel& morsel, Fn&& fn,
+                  uint64_t* raw = nullptr) {
   if (scan.paged != nullptr) {
     for (size_t page = morsel.begin; page < morsel.end; ++page) {
       for (uint16_t slot = 0;; ++slot) {
         DBM_ASSIGN_OR_RETURN(std::optional<Tuple> tuple,
                              scan.paged->ReadAt(page, slot));
         if (!tuple.has_value()) break;
+        if (raw != nullptr) ++*raw;
         if (scan.filter != nullptr) {
           DBM_ASSIGN_OR_RETURN(bool pass, scan.filter->Test(*tuple));
           if (!pass) continue;
@@ -106,6 +114,7 @@ Status ScanMorsel(const ParallelScan& scan, const Morsel& morsel, Fn&& fn) {
     return Status::OK();
   }
   const std::vector<Tuple>& rows = scan.mem->rows();
+  if (raw != nullptr) *raw += morsel.end - morsel.begin;
   for (size_t i = morsel.begin; i < morsel.end; ++i) {
     if (scan.filter != nullptr) {
       DBM_ASSIGN_OR_RETURN(bool pass, scan.filter->Test(rows[i]));
@@ -137,7 +146,10 @@ Status RunMorselLoop(WorkerPool& pool, size_t width,
           wid >= target->load(std::memory_order_relaxed)) {
         // Parked: this vCPU is above the governor's current dop. Check
         // back shortly — the governor may scale up, or the scan may end.
+        // Parked time is morsel-starvation, not work: without the scope
+        // it would count as busy and inflate exec.worker-util.
         if (cursor->Exhausted()) return Status::OK();
+        obs::WaitStateScope wait(obs::WaitState::kStarved);
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         continue;
       }
@@ -216,9 +228,13 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
   if (options.dop <= 1 && options.dop_max <= 1) {
     // Serial fallback: the exact plan the parallel path mirrors, run by
     // the serial executor (same operators the rest of the engine uses).
+    // The executor profiles BuildSerial's tree directly, which is the
+    // same shape the parallel path assembles — profiles compare
+    // node-for-node across dops.
     DBM_ASSIGN_OR_RETURN(OperatorPtr root, BuildSerial(plan));
     ExecOptions exec_options;
     exec_options.cpu_per_tuple = options.cpu_per_tuple;
+    exec_options.profile = options.profile;
     size_t hint_per_morsel = 0;
     exec_options.reserve_rows = ScanUnits(plan.probe, options,
                                           &hint_per_morsel);
@@ -247,75 +263,43 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
   par_obs.dop.Set(static_cast<double>(dop));
 
   // -------------------------------------------------------------------
-  // Build phase: one partitioned build + merge per join stage, at the
-  // initial dop (the governor engages during the longer probe phase).
+  // Profiling state (EXPLAIN ANALYZE). All counters below are only
+  // written when a profile was requested; the unprofiled path pays one
+  // predictable branch per morsel.
   // -------------------------------------------------------------------
-  std::vector<StageTable> tables(plan.joins.size());
-  std::atomic<uint64_t> build_rows_total{0};
-  for (size_t s = 0; s < plan.joins.size(); ++s) {
-    const ParallelJoinStage& stage = plan.joins[s];
-    StageTable& table = tables[s];
-    table.build_col = stage.spec.left_col;
-    table.probe_col = stage.spec.right_col;
-
-    size_t per_morsel = 0;
-    size_t units = ScanUnits(stage.build, options, &per_morsel);
-    MorselCursor scan_cursor(units, per_morsel);
-
-    using Partition = std::vector<std::pair<uint64_t, Tuple>>;
-    std::vector<std::array<Partition, kPartitions>> locals(dop);
-
-    Status scan_status = RunMorselLoop(
-        pool, dop, /*target=*/nullptr, &scan_cursor,
-        [&](size_t wid, const Morsel& morsel) -> Status {
-          DBM_RETURN_NOT_OK(fault_gate.Check());
-          uint64_t rows_in_morsel = 0;
-          DBM_RETURN_NOT_OK(ScanMorsel(
-              stage.build, morsel, [&](Tuple tuple) -> Status {
-                uint64_t h = HashValue(tuple.at(table.build_col));
-                locals[wid][h % kPartitions].emplace_back(h,
-                                                          std::move(tuple));
-                ++rows_in_morsel;
-                return Status::OK();
-              }));
-          build_rows_total.fetch_add(rows_in_morsel,
-                                     std::memory_order_relaxed);
-          return Status::OK();
-        },
-        nullptr);
-    DBM_RETURN_NOT_OK(scan_status);
-
-    // Single barrier, then a parallel merge: partitions are handed out
-    // through a second cursor, one owner each.
-    MorselCursor merge_cursor(kPartitions, 1);
-    Status merge_status = RunMorselLoop(
-        pool, std::min(dop, kPartitions), /*target=*/nullptr, &merge_cursor,
-        [&](size_t, const Morsel& morsel) -> Status {
-          for (size_t p = morsel.begin; p < morsel.end; ++p) {
-            size_t total = 0;
-            for (const auto& local : locals) total += local[p].size();
-            table.parts[p].reserve(total);
-            for (auto& local : locals) {
-              for (auto& [h, tuple] : local[p]) {
-                table.parts[p].emplace(h, std::move(tuple));
-              }
-            }
-          }
-          return Status::OK();
-        },
-        nullptr);
-    DBM_RETURN_NOT_OK(merge_status);
+  const bool profiling = options.profile != nullptr;
+  const uint64_t prof_host_start = profiling ? obs::NowHostNs() : 0;
+  const uint64_t prof_allocs_before = profiling ? obs::AllocCount() : 0;
+  uint64_t base_running = 0, base_idle = 0, base_barrier = 0,
+           base_latch = 0, base_starved = 0;
+  if (profiling) {
+    base_running = pool.TotalBusyNs();
+    base_idle = pool.IdleNs();
+    base_barrier = pool.StateNs(obs::WaitState::kBarrier);
+    base_latch = pool.StateNs(obs::WaitState::kLatch);
+    base_starved = pool.StateNs(obs::WaitState::kStarved);
   }
-  pstats.build_rows = build_rows_total.load(std::memory_order_relaxed);
 
-  // -------------------------------------------------------------------
-  // Probe phase: the full pipeline runs morsel-at-a-time per worker.
-  // -------------------------------------------------------------------
+  /// Per-join-stage build-phase counters (worker-written, hence atomic).
+  struct StageProf {
+    std::atomic<uint64_t> raw{0};      // build rows read, pre scan-filter
+    std::atomic<uint64_t> rows{0};     // build rows kept (post filter)
+    std::atomic<uint64_t> morsels{0};  // build morsels processed
+    std::atomic<uint64_t> pages{0};    // build pages touched (paged scans)
+    uint64_t allocs = 0;  // coordinator-side delta around the stage job
+  };
+  std::vector<StageProf> stage_prof(plan.joins.size());
+
   struct WorkerSink {
     std::vector<Tuple> rows;
     GroupAccumulator acc;
     uint64_t morsels = 0;
     uint64_t rows_out = 0;
+    // Profiling counters; each sink belongs to one worker, plain fields.
+    uint64_t raw_rows = 0;   // probe rows read, pre scan-filter
+    uint64_t scan_rows = 0;  // rows entering the pipeline (post filter)
+    uint64_t pages = 0;      // probe pages touched
+    std::vector<uint64_t> stage_out;  // rows out of each join stage
     // Scratch for the join fan-out, reused across rows.
     std::vector<Tuple> cur, next;
   };
@@ -326,12 +310,263 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       sink.acc = GroupAccumulator(plan.group_by, plan.aggs);
     }
   }
+  if (profiling) {
+    for (WorkerSink& sink : sinks) {
+      sink.stage_out.assign(plan.joins.size(), 0);
+    }
+  }
   std::atomic<uint64_t> morsels_done{0};
 
+  // Assembles the plan-shaped profile tree from the phase counters and
+  // publishes it. Called on success and on either phase's failure — a
+  // failed query still leaves a (partial) profile behind, with the error
+  // attributed to the phase that raised it. The tree mirrors
+  // BuildSerial() node-for-node: aggregate → project → filter → join
+  // chain (each hash-join's children are [build subtree, probe subtree]),
+  // so profiles compare across dops.
+  auto finish_profile = [&](const Status& status,
+                            const std::string& failed_phase) {
+    if (!profiling) return;
+    QueryProfile& prof = *options.profile;
+
+    auto scan_subtree = [](const ParallelScan& scan, uint64_t raw,
+                           uint64_t post, uint64_t pages,
+                           uint64_t morsels) {
+      ProfileNode leaf;
+      leaf.name = scan.paged != nullptr
+                      ? "paged-scan(" + scan.paged->name() + ")"
+                      : "scan(" + scan.mem->name() + ")";
+      leaf.rows_out = raw;
+      leaf.work_cycles = raw;
+      leaf.pages = pages;
+      leaf.morsels = morsels;
+      if (scan.filter == nullptr) return leaf;
+      ProfileNode filter;
+      filter.name = "filter(" + scan.filter->ToString() + ")";
+      filter.rows_in = raw;
+      filter.rows_out = post;
+      filter.work_cycles = post;
+      filter.children.push_back(std::move(leaf));
+      return filter;
+    };
+
+    uint64_t shaped_total = 0, raw_probe = 0, scan_probe = 0,
+             probe_pages = 0;
+    std::vector<uint64_t> stage_total(plan.joins.size(), 0);
+    for (const WorkerSink& sink : sinks) {
+      shaped_total += sink.rows_out;
+      raw_probe += sink.raw_rows;
+      scan_probe += sink.scan_rows;
+      probe_pages += sink.pages;
+      for (size_t s = 0; s < sink.stage_out.size(); ++s) {
+        stage_total[s] += sink.stage_out[s];
+      }
+    }
+    const uint64_t probe_morsels =
+        morsels_done.load(std::memory_order_relaxed);
+
+    ProfileNode node = scan_subtree(plan.probe, raw_probe, scan_probe,
+                                    probe_pages, probe_morsels);
+    uint64_t stage_allocs = 0;
+    uint64_t stage_morsels = 0;
+    for (size_t s = 0; s < plan.joins.size(); ++s) {
+      const StageProf& sp = stage_prof[s];
+      stage_morsels += sp.morsels.load(std::memory_order_relaxed);
+      ProfileNode build = scan_subtree(
+          plan.joins[s].build, sp.raw.load(std::memory_order_relaxed),
+          sp.rows.load(std::memory_order_relaxed),
+          sp.pages.load(std::memory_order_relaxed),
+          sp.morsels.load(std::memory_order_relaxed));
+      ProfileNode join;
+      join.name = "hash-join";
+      join.rows_out = stage_total[s];
+      join.work_cycles = join.rows_out;
+      join.allocs = sp.allocs;
+      stage_allocs += sp.allocs;
+      join.rows_in = build.rows_out + node.rows_out;
+      join.children.push_back(std::move(build));
+      join.children.push_back(std::move(node));
+      node = std::move(join);
+    }
+    if (plan.post_filter != nullptr) {
+      ProfileNode filter;
+      filter.name = "filter(" + plan.post_filter->ToString() + ")";
+      filter.rows_in = node.rows_out;
+      filter.rows_out = shaped_total;
+      filter.work_cycles = shaped_total;
+      filter.children.push_back(std::move(node));
+      node = std::move(filter);
+    }
+    if (!plan.project.empty()) {
+      ProfileNode project;
+      project.name = "project";
+      project.rows_in = node.rows_out;
+      project.rows_out = shaped_total;
+      project.work_cycles = shaped_total;
+      project.children.push_back(std::move(node));
+      node = std::move(project);
+    }
+    if (aggregating) {
+      ProfileNode agg;
+      agg.name = "aggregate";
+      agg.rows_in = node.rows_out;
+      agg.rows_out = pstats.rows;
+      agg.work_cycles = pstats.rows;
+      agg.children.push_back(std::move(node));
+      node = std::move(agg);
+    }
+    prof.root = std::move(node);
+    prof.dop = pstats.dop_initial;
+    prof.total_rows = pstats.rows;
+    prof.total_allocs = obs::AllocCount() - prof_allocs_before;
+    // Stage deltas are sub-intervals of the run's delta on one monotonic
+    // counter, so the remainder (probe + merge + coordinator) is
+    // non-negative; assigning it to the root keeps Σ allocs == total.
+    prof.root.allocs += prof.total_allocs - stage_allocs;
+    prof.total_cycles = prof.SumCycles();
+    prof.total_pages = prof.SumPages();
+    prof.total_morsels = probe_morsels + stage_morsels;
+    prof.host_ns = obs::NowHostNs() - prof_host_start;
+    auto delta = [](uint64_t now, uint64_t base) {
+      return now > base ? now - base : 0;
+    };
+    prof.running_ns = delta(pool.TotalBusyNs(), base_running);
+    prof.idle_ns = delta(pool.IdleNs(), base_idle);
+    prof.barrier_ns =
+        delta(pool.StateNs(obs::WaitState::kBarrier), base_barrier);
+    prof.latch_ns = delta(pool.StateNs(obs::WaitState::kLatch), base_latch);
+    prof.starved_ns =
+        delta(pool.StateNs(obs::WaitState::kStarved), base_starved);
+    if (!status.ok()) {
+      prof.error = status.message();
+      prof.failed_phase = failed_phase;
+    }
+    const obs::TraceContext& ctx = obs::CurrentContext();
+    if (ctx.valid()) prof.trace_id = ctx.trace_id.ToHex();
+    PublishProfile(prof);
+  };
+
+  // -------------------------------------------------------------------
+  // Build phase: one partitioned build + merge per join stage, at the
+  // initial dop (the governor engages during the longer probe phase).
+  //
+  // Scan and merge are one fused pool job per stage: each worker drains
+  // scan morsels into its private partitions, arrives at an in-job
+  // barrier (a merging worker reads *every* worker's partitions, so none
+  // may merge before all have finished scanning), then takes whole
+  // partitions from a second cursor. The barrier wait is declared
+  // obs::WaitState::kBarrier, so it accrues to proc.worker.barrier_ns —
+  // not to busy time, which used to inflate exec.worker-util.
+  // -------------------------------------------------------------------
+  std::vector<StageTable> tables(plan.joins.size());
+  std::atomic<uint64_t> build_rows_total{0};
+  for (size_t s = 0; s < plan.joins.size(); ++s) {
+    const ParallelJoinStage& stage = plan.joins[s];
+    StageTable& table = tables[s];
+    table.build_col = stage.spec.left_col;
+    table.probe_col = stage.spec.right_col;
+    StageProf& sprof = stage_prof[s];
+
+    size_t per_morsel = 0;
+    size_t units = ScanUnits(stage.build, options, &per_morsel);
+    MorselCursor scan_cursor(units, per_morsel);
+    MorselCursor merge_cursor(kPartitions, 1);
+
+    using Partition = std::vector<std::pair<uint64_t, Tuple>>;
+    std::vector<std::array<Partition, kPartitions>> locals(dop);
+
+    std::atomic<bool> scan_failed{false};
+    std::mutex barrier_mu;
+    std::condition_variable barrier_cv;
+    size_t arrived = 0;
+
+    const uint64_t stage_allocs_before =
+        profiling ? obs::AllocCount() : 0;
+    Status build_status = pool.Run(dop, [&](size_t wid) -> Status {
+      Status scan_status = Status::OK();
+      Morsel morsel;
+      while (scan_cursor.Next(&morsel)) {
+        scan_status = fault_gate.Check();
+        if (scan_status.ok()) {
+          uint64_t raw = 0;
+          uint64_t rows_in_morsel = 0;
+          scan_status = ScanMorsel(
+              stage.build, morsel,
+              [&](Tuple tuple) -> Status {
+                uint64_t h = HashValue(tuple.at(table.build_col));
+                locals[wid][h % kPartitions].emplace_back(h,
+                                                          std::move(tuple));
+                ++rows_in_morsel;
+                return Status::OK();
+              },
+              profiling ? &raw : nullptr);
+          build_rows_total.fetch_add(rows_in_morsel,
+                                     std::memory_order_relaxed);
+          if (profiling) {
+            sprof.raw.fetch_add(raw, std::memory_order_relaxed);
+            sprof.rows.fetch_add(rows_in_morsel,
+                                 std::memory_order_relaxed);
+            sprof.morsels.fetch_add(1, std::memory_order_relaxed);
+            if (stage.build.paged != nullptr) {
+              sprof.pages.fetch_add(morsel.end - morsel.begin,
+                                    std::memory_order_relaxed);
+            }
+          }
+        }
+        if (!scan_status.ok()) {
+          // Poison so peers drain promptly — but still arrive at the
+          // barrier below: the others are waiting for this worker too.
+          scan_cursor.Poison();
+          scan_failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      {
+        std::unique_lock<std::mutex> lock(barrier_mu);
+        if (++arrived == dop) {
+          barrier_cv.notify_all();
+        } else {
+          obs::WaitStateScope wait(obs::WaitState::kBarrier);
+          barrier_cv.wait(lock, [&] { return arrived == dop; });
+        }
+      }
+      DBM_RETURN_NOT_OK(scan_status);
+      if (scan_failed.load(std::memory_order_relaxed)) return Status::OK();
+      Morsel part;
+      while (merge_cursor.Next(&part)) {
+        for (size_t p = part.begin; p < part.end; ++p) {
+          size_t total = 0;
+          for (const auto& local : locals) total += local[p].size();
+          table.parts[p].reserve(total);
+          for (auto& local : locals) {
+            for (auto& [h, tuple] : local[p]) {
+              table.parts[p].emplace(h, std::move(tuple));
+            }
+          }
+        }
+      }
+      return Status::OK();
+    });
+    if (profiling) {
+      sprof.allocs = obs::AllocCount() - stage_allocs_before;
+    }
+    if (!build_status.ok()) {
+      pool.PublishWaitStateGauges();
+      finish_profile(build_status, "build#" + std::to_string(s));
+      return build_status;
+    }
+  }
+  pstats.build_rows = build_rows_total.load(std::memory_order_relaxed);
+
+  // -------------------------------------------------------------------
+  // Probe phase: the full pipeline runs morsel-at-a-time per worker.
+  // -------------------------------------------------------------------
   auto process_row = [&](WorkerSink& sink, Tuple row) -> Status {
+    if (profiling) ++sink.scan_rows;
     sink.cur.clear();
     sink.cur.push_back(std::move(row));
-    for (const StageTable& table : tables) {
+    for (size_t st = 0; st < tables.size(); ++st) {
+      const StageTable& table = tables[st];
       sink.next.clear();
       for (const Tuple& t : sink.cur) {
         const data::Value& key = t.at(table.probe_col);
@@ -345,6 +580,7 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
         }
       }
       sink.cur.swap(sink.next);
+      if (profiling) sink.stage_out[st] += sink.cur.size();
       if (sink.cur.empty()) return Status::OK();
     }
     for (Tuple& t : sink.cur) {
@@ -410,10 +646,13 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       sample.dop_max = dop_max;
       sample.worker_util = util;
       sample.morsels_done = morsels_done.load(std::memory_order_relaxed);
+      sample.barrier_ns = pool.StateNs(obs::WaitState::kBarrier);
+      sample.starved_ns = pool.StateNs(obs::WaitState::kStarved);
 
       par_obs.dop.Set(static_cast<double>(active));
       par_obs.morsels.Set(static_cast<double>(sample.morsels_done));
       par_obs.util.Set(util);
+      pool.PublishWaitStateGauges();
       if (options.bus != nullptr) {
         SimTime at = static_cast<SimTime>(pstats.samples);
         options.bus->Publish("exec.dop", static_cast<double>(active), at);
@@ -441,13 +680,21 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
         WorkerSink& sink = sinks[wid];
         DBM_RETURN_NOT_OK(ScanMorsel(
             plan.probe, morsel,
-            [&](Tuple tuple) { return process_row(sink, std::move(tuple)); }));
+            [&](Tuple tuple) { return process_row(sink, std::move(tuple)); },
+            profiling ? &sink.raw_rows : nullptr));
         ++sink.morsels;
+        if (profiling && plan.probe.paged != nullptr) {
+          sink.pages += morsel.end - morsel.begin;
+        }
         morsels_done.fetch_add(1, std::memory_order_relaxed);
         return Status::OK();
       },
       coordinate);
-  DBM_RETURN_NOT_OK(probe_status);
+  if (!probe_status.ok()) {
+    pool.PublishWaitStateGauges();
+    finish_profile(probe_status, "probe");
+    return probe_status;
+  }
 
   // -------------------------------------------------------------------
   // Merge sinks in worker order (deterministic given a fixed schedule;
@@ -489,6 +736,8 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
   // Deterministic work measure (same at every dop): rows flowed through
   // the pipeline plus rows built — this is what bench_diff gates.
   par_obs.work_cycles.Add(processed + pstats.build_rows);
+  pool.PublishWaitStateGauges();
+  finish_profile(Status::OK(), "");
   return pstats;
 }
 

@@ -94,6 +94,11 @@ struct GovernorSample {
   size_t dop_max = 0;          // job width (the scale-up ceiling)
   double worker_util = 0;      // percent of the interval spent working
   uint64_t morsels_done = 0;   // probe morsels completed so far
+  /// Cumulative pool wait-state ledgers (host ns) at sample time, so a
+  /// governor (or a Table-2 rule over proc.worker.* gauges) can tell
+  /// "saturated" from "barrier-bound" before scaling dop.
+  uint64_t barrier_ns = 0;
+  uint64_t starved_ns = 0;
 };
 
 /// Returns the desired dop (0 = keep current). Called from the
@@ -120,6 +125,14 @@ struct ParallelOptions {
   std::chrono::nanoseconds govern_interval = std::chrono::milliseconds(2);
   /// Forwarded to the serial executor on the dop=1 path.
   SimTime cpu_per_tuple = 1;
+  /// EXPLAIN ANALYZE: when set, filled with the run's annotated plan
+  /// tree — per-stage rows/cycles/allocs/pages/morsels from the phase
+  /// counters, pool wait-state deltas, and failure attribution when the
+  /// query errors. The dop=1 fallback maps the serial operator stats
+  /// onto the same plan-shaped tree, so profiles compare node-for-node
+  /// across dops. Null = no profiling (no per-row overhead beyond a
+  /// dead branch).
+  QueryProfile* profile = nullptr;
 };
 
 struct ParallelStats {

@@ -1,5 +1,6 @@
 #include "query/pool.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "obs/metrics.h"
@@ -111,15 +112,98 @@ uint64_t WorkerPool::TotalBusyNs() const {
   for (const auto& slot : slots_) {
     total += slot->busy_ns.load(std::memory_order_relaxed);
     uint64_t since = slot->running_since.load(std::memory_order_relaxed);
-    // Benign race: the worker may finish between the two loads, counting
-    // a sliver twice — jitter the governor's gauge tolerates.
+    // Benign race: the worker may finish between the loads, counting a
+    // sliver twice — jitter the governor's gauge tolerates.
+    if (since != 0 && now > since) {
+      uint64_t in_flight = now - since;
+      // Running means *running*: subtract the in-flight job's declared
+      // waits (completed scopes, then the one currently open if any).
+      uint64_t waited = slot->job_wait_ns.load(std::memory_order_relaxed);
+      uint64_t wait_since = slot->wait_since.load(std::memory_order_relaxed);
+      if (wait_since != 0 && now > wait_since) waited += now - wait_since;
+      in_flight -= std::min(in_flight, waited);
+      total += in_flight;
+    }
+  }
+  return total;
+}
+
+uint64_t WorkerPool::StateNs(obs::WaitState state) const {
+  const size_t s = static_cast<size_t>(state);
+  uint64_t total = 0;
+  uint64_t now = NowNs();
+  for (const auto& slot : slots_) {
+    total += slot->state_ns[s].load(std::memory_order_relaxed);
+    if (slot->wait_state.load(std::memory_order_relaxed) ==
+        static_cast<int>(state)) {
+      uint64_t since = slot->wait_since.load(std::memory_order_relaxed);
+      if (since != 0 && now > since) total += now - since;
+    }
+  }
+  return total;
+}
+
+uint64_t WorkerPool::IdleNs() const {
+  uint64_t total = 0;
+  uint64_t now = NowNs();
+  for (const auto& slot : slots_) {
+    total += slot->idle_ns.load(std::memory_order_relaxed);
+    uint64_t since = slot->idle_since.load(std::memory_order_relaxed);
     if (since != 0 && now > since) total += now - since;
   }
   return total;
 }
 
+void WorkerPool::PublishWaitStateGauges() const {
+  // Handles resolved once; several pools may publish (last write wins —
+  // the gauges describe the most recently active pool, which is the one
+  // running queries).
+  struct StateObs {
+    obs::Gauge& running;
+    obs::Gauge& idle;
+    obs::Gauge& barrier;
+    obs::Gauge& latch;
+    obs::Gauge& starved;
+  };
+  static StateObs* g = [] {
+    obs::Registry& reg = obs::Registry::Default();
+    return new StateObs{reg.GetGauge("proc.worker.running_ns"),
+                        reg.GetGauge("proc.worker.idle_ns"),
+                        reg.GetGauge("proc.worker.barrier_ns"),
+                        reg.GetGauge("proc.worker.latch_ns"),
+                        reg.GetGauge("proc.worker.starved_ns")};
+  }();
+  g->running.Set(static_cast<double>(TotalBusyNs()));
+  g->idle.Set(static_cast<double>(IdleNs()));
+  g->barrier.Set(static_cast<double>(StateNs(obs::WaitState::kBarrier)));
+  g->latch.Set(static_cast<double>(StateNs(obs::WaitState::kLatch)));
+  g->starved.Set(static_cast<double>(StateNs(obs::WaitState::kStarved)));
+}
+
+void WorkerPool::WaitRecorder(void* ctx, obs::WaitState state, bool enter) {
+  WorkerSlot& slot = *static_cast<WorkerSlot*>(ctx);
+  if (enter) {
+    // Nested scopes attribute the whole nest to the outermost state.
+    if (slot.wait_depth++ > 0) return;
+    slot.wait_state.store(static_cast<int>(state),
+                          std::memory_order_relaxed);
+    slot.wait_since.store(NowNs(), std::memory_order_relaxed);
+    return;
+  }
+  if (--slot.wait_depth > 0) return;
+  uint64_t since = slot.wait_since.exchange(0, std::memory_order_relaxed);
+  int s = slot.wait_state.exchange(-1, std::memory_order_relaxed);
+  if (since == 0 || s < 0) return;
+  uint64_t now = NowNs();
+  uint64_t waited = now > since ? now - since : 0;
+  slot.state_ns[s].fetch_add(waited, std::memory_order_relaxed);
+  slot.job_wait_ns.fetch_add(waited, std::memory_order_relaxed);
+}
+
 void WorkerPool::WorkerMain(size_t id) {
   WorkerSlot& slot = *slots_[id];
+  obs::SetThreadWaitRecorder(&WorkerPool::WaitRecorder, &slot);
+  slot.idle_since.store(NowNs(), std::memory_order_relaxed);
   while (true) {
     std::shared_ptr<Job> job;
     {
@@ -134,10 +218,21 @@ void WorkerPool::WorkerMain(size_t id) {
     if (id >= job->width_) continue;
 
     uint64_t start = NowNs();
+    uint64_t idle_from = slot.idle_since.exchange(0,
+                                                  std::memory_order_relaxed);
+    if (idle_from != 0 && start > idle_from) {
+      slot.idle_ns.fetch_add(start - idle_from, std::memory_order_relaxed);
+    }
+    slot.job_wait_ns.store(0, std::memory_order_relaxed);
     slot.running_since.store(start, std::memory_order_relaxed);
     Status status = job->fn_(id);
+    uint64_t end = NowNs();
     slot.running_since.store(0, std::memory_order_relaxed);
-    slot.busy_ns.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    uint64_t waited = slot.job_wait_ns.exchange(0, std::memory_order_relaxed);
+    uint64_t ran = end - start;
+    slot.busy_ns.fetch_add(ran - std::min(ran, waited),
+                           std::memory_order_relaxed);
+    slot.idle_since.store(end, std::memory_order_relaxed);
 
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(job->mu_);

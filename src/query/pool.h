@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/waitstate.h"
 
 namespace dbm::query {
 
@@ -96,22 +97,55 @@ class WorkerPool {
   /// work-stealing stays the executor's job. No-op on n == 0.
   Status ParallelFor(size_t n, size_t width, const RangeFn& fn);
 
-  /// Host nanoseconds all workers have spent inside job functions since
-  /// pool creation, including time inside still-running functions (a
-  /// morsel loop is one long fn invocation — the governor samples
+  /// Host nanoseconds all workers have spent *running* job functions
+  /// since pool creation, including time inside still-running functions
+  /// (a morsel loop is one long fn invocation — the governor samples
   /// mid-job, so completed-only accounting would read zero until the
-  /// query ended). Utilization over an interval is Δbusy / (Δwall × dop).
+  /// query ended) but EXCLUDING time the job fn spent blocked inside a
+  /// declared obs::WaitStateScope (barrier, latch, morsel-starved park).
+  /// Counting blocked time as busy is exactly what used to inflate
+  /// `exec.worker-util` and mislead the dop governor on barrier-bound
+  /// plans. Utilization over an interval is Δbusy / (Δwall × dop).
   uint64_t TotalBusyNs() const;
+
+  /// Cumulative host ns workers have spent blocked in `state` scopes,
+  /// including an in-progress wait. The pool's workers install a
+  /// per-thread wait recorder (obs/waitstate.h) on startup; scopes
+  /// opened on non-pool threads are invisible here.
+  uint64_t StateNs(obs::WaitState state) const;
+
+  /// Cumulative host ns workers have spent between jobs (parked in the
+  /// dispatch wait, or sitting out a job narrower than the pool).
+  uint64_t IdleNs() const;
+
+  /// Publishes the five wait-state ledgers as `proc.worker.<state>_ns`
+  /// gauges (running / idle / barrier / latch / starved). Called by the
+  /// parallel executor's coordinator each governor interval and at job
+  /// end; cheap enough to call whenever fresh numbers are wanted.
+  void PublishWaitStateGauges() const;
 
  private:
   struct alignas(64) WorkerSlot {
-    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> busy_ns{0};  // completed-job running time
     /// Start timestamp of the fn invocation in flight (0 = idle), so
     /// TotalBusyNs can count in-progress work.
     std::atomic<uint64_t> running_since{0};
+    /// Wait time accumulated inside the in-flight job (folded into
+    /// busy_ns's exclusion at job end; read by TotalBusyNs mid-job).
+    std::atomic<uint64_t> job_wait_ns{0};
+    /// Nonzero while inside a wait scope: its start timestamp.
+    std::atomic<uint64_t> wait_since{0};
+    std::atomic<int> wait_state{-1};
+    /// Cumulative per-state wait ledgers (completed scopes only; an
+    /// in-progress wait is added by the readers via wait_since).
+    std::atomic<uint64_t> state_ns[obs::kWaitStateCount] = {};
+    std::atomic<uint64_t> idle_ns{0};
+    std::atomic<uint64_t> idle_since{0};
     uint64_t seen_epoch = 0;  // worker-thread private
+    int wait_depth = 0;       // worker-thread private (nested scopes)
   };
 
+  static void WaitRecorder(void* ctx, obs::WaitState state, bool enter);
   void WorkerMain(size_t id);
 
   std::mutex mu_;

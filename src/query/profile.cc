@@ -1,0 +1,176 @@
+#include "query/profile.h"
+
+#include "common/json.h"
+#include "obs/profile.h"
+
+namespace dbm::query {
+
+namespace {
+
+uint64_t SumOver(const ProfileNode& node, uint64_t ProfileNode::*field) {
+  uint64_t total = node.*field;
+  for (const ProfileNode& child : node.children) {
+    total += SumOver(child, field);
+  }
+  return total;
+}
+
+void RenderText(const ProfileNode& node, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  *out += node.name;
+  *out += "  rows=" + std::to_string(node.rows_in) + "->" +
+          std::to_string(node.rows_out);
+  *out += " cycles=" + std::to_string(node.work_cycles);
+  *out += " allocs=" + std::to_string(node.allocs);
+  if (node.pages > 0) *out += " pages=" + std::to_string(node.pages);
+  if (node.morsels > 0) *out += " morsels=" + std::to_string(node.morsels);
+  *out += "\n";
+  for (const ProfileNode& child : node.children) {
+    RenderText(child, depth + 1, out);
+  }
+}
+
+void RenderJson(const ProfileNode& node, std::string* out) {
+  *out += "{\"name\":\"" + dbm::JsonEscape(node.name) + "\"";
+  *out += ",\"rows_in\":" + std::to_string(node.rows_in);
+  *out += ",\"rows_out\":" + std::to_string(node.rows_out);
+  *out += ",\"cycles\":" + std::to_string(node.work_cycles);
+  *out += ",\"allocs\":" + std::to_string(node.allocs);
+  *out += ",\"pages\":" + std::to_string(node.pages);
+  *out += ",\"morsels\":" + std::to_string(node.morsels);
+  *out += ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ",";
+    RenderJson(node.children[i], out);
+  }
+  *out += "]}";
+}
+
+/// Collapsed-stack frames cannot contain spaces or semicolons (both are
+/// the format's separators); predicate-bearing names like
+/// "filter(qty > 4)" get squashed.
+std::string Frame(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out += (c == ' ' || c == ';') ? '_' : c;
+  }
+  return out;
+}
+
+void RenderCollapsed(const ProfileNode& node, const std::string& prefix,
+                     std::string* out) {
+  std::string path = prefix + ";" + Frame(node.name);
+  if (node.work_cycles > 0) {
+    *out += path + " " + std::to_string(node.work_cycles) + "\n";
+  }
+  for (const ProfileNode& child : node.children) {
+    RenderCollapsed(child, path, out);
+  }
+}
+
+}  // namespace
+
+uint64_t QueryProfile::SumCycles() const {
+  return SumOver(root, &ProfileNode::work_cycles);
+}
+
+uint64_t QueryProfile::SumAllocs() const {
+  return SumOver(root, &ProfileNode::allocs);
+}
+
+uint64_t QueryProfile::SumPages() const {
+  return SumOver(root, &ProfileNode::pages);
+}
+
+std::string QueryProfile::ToText() const {
+  std::string out = "EXPLAIN ANALYZE " + query + " (dop=" +
+                    std::to_string(dop) + ")\n";
+  RenderText(root, 1, &out);
+  out += "totals: rows=" + std::to_string(total_rows) +
+         " cycles=" + std::to_string(total_cycles) +
+         " allocs=" + std::to_string(total_allocs) +
+         " pages=" + std::to_string(total_pages) +
+         " morsels=" + std::to_string(total_morsels) +
+         " host_ns=" + std::to_string(host_ns) + "\n";
+  out += "waits: running_ns=" + std::to_string(running_ns) +
+         " idle_ns=" + std::to_string(idle_ns) +
+         " barrier_ns=" + std::to_string(barrier_ns) +
+         " latch_ns=" + std::to_string(latch_ns) +
+         " starved_ns=" + std::to_string(starved_ns) + "\n";
+  if (!error.empty()) {
+    out += "error: " + error;
+    if (!failed_phase.empty()) out += " (phase " + failed_phase + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"query\":\"" + dbm::JsonEscape(query) + "\"";
+  out += ",\"trace_id\":\"" + dbm::JsonEscape(trace_id) + "\"";
+  out += ",\"dop\":" + std::to_string(dop);
+  out += ",\"total_rows\":" + std::to_string(total_rows);
+  out += ",\"total_cycles\":" + std::to_string(total_cycles);
+  out += ",\"total_allocs\":" + std::to_string(total_allocs);
+  out += ",\"total_pages\":" + std::to_string(total_pages);
+  out += ",\"total_morsels\":" + std::to_string(total_morsels);
+  out += ",\"host_ns\":" + std::to_string(host_ns);
+  out += ",\"waits\":{\"running_ns\":" + std::to_string(running_ns);
+  out += ",\"idle_ns\":" + std::to_string(idle_ns);
+  out += ",\"barrier_ns\":" + std::to_string(barrier_ns);
+  out += ",\"latch_ns\":" + std::to_string(latch_ns);
+  out += ",\"starved_ns\":" + std::to_string(starved_ns) + "}";
+  out += ",\"error\":\"" + dbm::JsonEscape(error) + "\"";
+  out += ",\"failed_phase\":\"" + dbm::JsonEscape(failed_phase) + "\"";
+  out += ",\"root\":";
+  RenderJson(root, &out);
+  out += "}";
+  return out;
+}
+
+std::string QueryProfile::ToCollapsed() const {
+  std::string out;
+  RenderCollapsed(root, Frame(query), &out);
+  if (barrier_ns > 0) {
+    out += Frame(query) + ";wait;barrier_ns " + std::to_string(barrier_ns) +
+           "\n";
+  }
+  if (latch_ns > 0) {
+    out += Frame(query) + ";wait;latch_ns " + std::to_string(latch_ns) + "\n";
+  }
+  if (starved_ns > 0) {
+    out += Frame(query) + ";wait;starved_ns " + std::to_string(starved_ns) +
+           "\n";
+  }
+  return out;
+}
+
+ProfileNode ProfileFromOperators(Operator& root) {
+  ProfileNode node;
+  node.name = root.name();
+  node.rows_out = root.stats().produced;
+  node.work_cycles = node.rows_out;
+  root.VisitChildren([&](Operator& child) {
+    node.children.push_back(ProfileFromOperators(child));
+    node.rows_in += node.children.back().rows_out;
+  });
+  return node;
+}
+
+void PublishProfile(const QueryProfile& profile) {
+  obs::QueryProfileSummary summary;
+  summary.query = profile.query;
+  summary.trace_id = profile.trace_id;
+  summary.dop = profile.dop;
+  summary.rows = profile.total_rows;
+  summary.cycles = profile.total_cycles;
+  summary.allocs = profile.total_allocs;
+  summary.host_ns = profile.host_ns;
+  summary.error = profile.error;
+  summary.collapsed = profile.ToCollapsed();
+  summary.json = profile.ToJson();
+  obs::ProfilePlane::Default().RecordQuery(std::move(summary));
+}
+
+}  // namespace dbm::query

@@ -1,8 +1,34 @@
 #include "storage/buffer.h"
 
 #include <algorithm>
+#include <mutex>
+
+#include "obs/waitstate.h"
 
 namespace dbm::storage {
+
+namespace {
+
+/// Shard-latch guard that declares contended acquisition as latch-wait
+/// (obs::WaitState::kLatch) so pool workers blocked here accrue to
+/// proc.worker.latch_ns instead of busy time. The uncontended path is a
+/// bare try_lock — no extra cost when the latch is free.
+class LatchGuard {
+ public:
+  explicit LatchGuard(std::mutex& mu) : mu_(mu) {
+    if (mu_.try_lock()) return;
+    obs::WaitStateScope wait(obs::WaitState::kLatch);
+    mu_.lock();
+  }
+  ~LatchGuard() { mu_.unlock(); }
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+ private:
+  std::mutex& mu_;
+};
+
+}  // namespace
 
 BufferManager::BufferManager(std::string name, size_t frames, size_t shards)
     : Component(std::move(name), "getpage"),
@@ -29,7 +55,7 @@ Result<Page*> BufferManager::GetPage(PageId id) {
   DBM_ASSIGN_OR_RETURN(ReplacementPolicy * policy,
                        Require<ReplacementPolicy>("policy"));
   Shard& shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  LatchGuard lock(shard.mu);
   ++shard.stats.gets;
   obs_gets_->Add(1);
   uint64_t gets = gets_total_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -76,7 +102,7 @@ Result<Page*> BufferManager::GetPage(PageId id) {
 
 Status BufferManager::Unpin(PageId id, bool dirty) {
   Shard& shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  LatchGuard lock(shard.mu);
   auto it = shard.where.find(id);
   if (it == shard.where.end()) {
     return Status::NotFound("unpin of non-resident page " +

@@ -227,6 +227,48 @@ TEST(WorkerPoolTest, AccumulatesBusyTime) {
   EXPECT_GT(pool.TotalBusyNs(), before);
 }
 
+// Pins the wait-state fix: time a worker spends blocked inside a
+// declared wait scope (the merge barrier, a latch, a starved park) must
+// accrue to StateNs(state), NOT to TotalBusyNs. The old accounting
+// counted barrier-blocked workers as busy, which inflated
+// exec.worker-util on barrier-bound plans and misled the dop governor.
+TEST(WorkerPoolTest, BarrierWaitExcludedFromBusy) {
+  WorkerPool pool(4);
+  const uint64_t busy0 = pool.TotalBusyNs();
+  const uint64_t barrier0 = pool.StateNs(obs::WaitState::kBarrier);
+  std::atomic<int> waiting{0};
+  std::atomic<bool> released{false};
+  ASSERT_TRUE(pool.Run(4, [&](size_t worker) -> Status {
+                    if (worker == 0) {
+                      // Hold the "barrier" closed until everyone is
+                      // provably inside their wait scope, then work 50ms.
+                      while (waiting.load(std::memory_order_acquire) < 3) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                      }
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(50));
+                      released.store(true, std::memory_order_release);
+                    } else {
+                      obs::WaitStateScope wait(obs::WaitState::kBarrier);
+                      waiting.fetch_add(1, std::memory_order_acq_rel);
+                      while (!released.load(std::memory_order_acquire)) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                      }
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  const uint64_t busy_delta = pool.TotalBusyNs() - busy0;
+  const uint64_t barrier_delta =
+      pool.StateNs(obs::WaitState::kBarrier) - barrier0;
+  // Three workers each waited >= 50ms. Wait-as-busy accounting would
+  // read >= 200ms busy; the fix leaves only worker 0's ~50ms of work.
+  EXPECT_LT(busy_delta, 150'000'000u);
+  EXPECT_GE(barrier_delta, 100'000'000u);
+}
+
 // ---------------------------------------------------------------------------
 // Serial / parallel equivalence
 // ---------------------------------------------------------------------------
