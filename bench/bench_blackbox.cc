@@ -1,0 +1,271 @@
+// Black-box overhead — what durable telemetry costs when it's on.
+//
+// The black box is only honest if its price is measured, not assumed.
+// This bench runs the A9 flash-crowd front-door step (4096 closed-loop
+// sessions over a two-node Patia world, Table-2 shedding live) twice:
+// once bare, once with a TelemetryLog installed as the process-wide
+// sink, flusher thread running, segments landing in
+// bench_blackbox.telem/ next to the binary. The acceptance bar is the
+// ISSUE-8 one: the logged run may cost at most 3% more simulated cycles
+// per admitted request. The tap charges no simulated work — durability
+// rides on a real thread, not the model — so the cycle comparison is
+// exact; host wall time is reported alongside as the honest (noisy)
+// number.
+//
+// bench.blackbox.append_cycles is a cycles-named gauge holding the
+// deterministic count of records offered to the sink during the logged
+// step (publishes + decisions + profiles + faults are all functions of
+// the simulated workload), so bench_diff gates it against the committed
+// baseline: an instrumentation change that silently adds or loses taps
+// fails CI visibly.
+//
+// The bench finishes by replaying its own segments through the
+// TelemetryReader — the same time travel tools/obs_replay performs —
+// proving the records that were appended are the records that recover.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fault/injector.h"
+#include "net/loadgen.h"
+#include "obs/alloc_hook.h"
+#include "obs/blackbox/log.h"
+#include "obs/blackbox/reader.h"
+#include "patia/frontdoor.h"
+#include "patia/patia.h"
+
+namespace {
+
+using namespace dbm;
+using namespace dbm::patia;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "bench_blackbox FAIL: %s\n", what);
+    std::exit(1);
+  }
+}
+
+struct StepResult {
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  double cycles_per_admitted = 0;
+  double host_ms = 0;
+};
+
+// The A9 step of bench_flashcrowd, fixed at 4096 closed-loop sessions —
+// several times service capacity, so admission, shedding, the ORB batch
+// path and the Fig-1 tick loop are all hot.
+StepResult RunStep(uint64_t seed) {
+  obs::TimeSeriesStore::Default().ResetAll();
+  obs::Registry& reg = obs::Registry::Default();
+  const uint64_t cycles_before =
+      reg.GetCounter("admission.invoke_cycles").value();
+  const auto host_before = std::chrono::steady_clock::now();
+
+  EventLoop loop;
+  net::Network net(&loop);
+  adapt::MetricBus bus;
+  net.AddDevice({"node1", net::DeviceClass::kServer, 1.0, -1, 0, 0});
+  net.AddDevice({"node2", net::DeviceClass::kServer, 1.0, -1, 10, 0});
+  for (int i = 0; i < 4; ++i) {
+    std::string edge = "edge" + std::to_string(i + 1);
+    net.AddDevice({edge, net::DeviceClass::kLaptop, 0.5, -1, 5.0 + i, 5});
+    net.Connect("node1", edge, {500000, Millis(1), "wired"});
+    net.Connect("node2", edge, {500000, Millis(1), "wired"});
+  }
+
+  PatiaServer server(&net, &bus);
+  (void)server.AddNode("node1", {8, Millis(2)});
+  (void)server.AddNode("node2", {8, Millis(2)});
+  Atom page;
+  page.id = 7;
+  page.name = "Page1.html";
+  page.type = "html";
+  page.variants = {{"Page1.html", 24000}, {"Page1.small.html", 2400}};
+  (void)server.RegisterAtom(page, {"node1", "node2"});
+  (void)server.AddConstraint(
+      450, 7, "Select BEST(node1.Page1.html, node2.Page1.html)");
+
+  FrontDoorOptions fd;
+  fd.queue_capacity = 256;
+  fd.session_inflight_limit = 4;
+  fd.batch_max = 32;
+  fd.dispatch_interval = Millis(1);
+  fd.service_credit = 48;
+  fd.admission_dop = 4;
+  fd.use_orb = true;
+  FrontDoor door(&server, &net, &bus, fd);
+  Check(door.AddShedRule(
+                900,
+                "If derived.admission.depth.mean > 96 and "
+                "admission.shed_level < 50 then SWITCH(shed.0, shed.50)")
+            .ok(),
+        "rule 900 parses");
+  Check(door.AddShedRule(
+                902,
+                "If derived.admission.depth.mean < 16 and "
+                "admission.shed_level > 0 then SWITCH(shed.50, shed.0)",
+                /*priority=*/1)
+            .ok(),
+        "rule 902 parses");
+  server.EnableDegradation({"frontdoor.breaker", 1.5});
+  door.Start();
+  server.StartTicking(Millis(50));
+
+  net::ClientSwarm::Options sw;
+  sw.sessions = 4096;
+  sw.think_mean = Millis(200);
+  sw.ramp = Seconds(1);
+  sw.horizon = Seconds(8);
+  sw.backoff = Millis(25);
+  sw.seed = seed;
+  net::ClientSwarm swarm(&loop, &door, &bus, sw);
+  Check(swarm.Run({"edge1", "edge2", "edge3", "edge4"}, "Page1.html").ok(),
+        "swarm starts");
+
+  loop.RunUntil(Seconds(12));
+  door.Stop();
+  loop.RunUntil(Seconds(20));
+
+  StepResult out;
+  out.admitted = door.stats().admitted;
+  out.completed = door.stats().completed;
+  if (out.admitted > 0) {
+    out.cycles_per_admitted =
+        static_cast<double>(
+            reg.GetCounter("admission.invoke_cycles").value() -
+            cycles_before) /
+        static_cast<double>(out.admitted);
+  }
+  out.host_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - host_before)
+                    .count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbm::bench::Init(&argc, argv);
+  bench::Header("BB", "black-box overhead on the flash-crowd front door");
+  // The overhead comparison needs a quiet injector; the chaos job
+  // exercises the crash point through blackbox_test instead.
+  Check(fault::Injector::Default().Configure("", 0).ok(), "injector quiet");
+  obs::Registry& reg = obs::Registry::Default();
+
+  // Arm 1: bare — no sink installed, the tap is one relaxed load.
+  StepResult off = RunStep(/*seed=*/42);
+
+  // Arm 2: logged — TelemetryLog installed, flusher thread live,
+  // segments in an artifact-collectable *.telem directory.
+  obs::blackbox::TelemetryLogOptions lopt;
+  lopt.dir = bench::Context().out_dir + "bench_blackbox.telem";
+  lopt.segment_bytes = 1 << 20;
+  // Generous retention: the replay assertion below wants the *whole*
+  // history back, not the retained tail.
+  lopt.max_segments = 64;
+  lopt.ring_capacity = 1 << 15;
+  lopt.fsync = obs::blackbox::FsyncPolicy::kInterval;
+  auto log = obs::blackbox::TelemetryLog::Open(lopt);
+  Check(log.ok(), "telemetry log opens");
+  (*log)->Install();
+  StepResult on = RunStep(/*seed=*/42);
+  (*log)->Uninstall();
+  Check((*log)->Flush().ok(), "final flush");
+  obs::blackbox::TelemetryLogStats ls = (*log)->stats();
+
+  bench::Table table({10, 10, 10, 12, 10});
+  table.Row({"arm", "admitted", "done", "cycles/req", "host_ms"});
+  table.Rule();
+  table.Row({"bare", bench::FmtU(off.admitted), bench::FmtU(off.completed),
+             bench::Fmt("%.1f", off.cycles_per_admitted),
+             bench::Fmt("%.0f", off.host_ms)});
+  table.Row({"logged", bench::FmtU(on.admitted), bench::FmtU(on.completed),
+             bench::Fmt("%.1f", on.cycles_per_admitted),
+             bench::Fmt("%.0f", on.host_ms)});
+  table.Rule();
+
+  const uint64_t offered = ls.appended + ls.dropped + ls.sampled_out;
+  bench::Note(bench::Fmt("%.0f", static_cast<double>(offered)) +
+              " records offered to the sink during the logged arm (" +
+              bench::FmtU(ls.appended) + " ringed, " +
+              bench::FmtU(ls.dropped) + " dropped, " +
+              bench::FmtU(ls.flushed) + " on disk across " +
+              bench::FmtU(ls.segments_created) + " segments, " +
+              bench::FmtU(ls.fsyncs) + " fsyncs)");
+
+  // The deterministic cost pin: the offered-record count is a function
+  // of the simulated workload alone (the flusher's host-time race moves
+  // records between 'ringed' and 'dropped', never in or out of
+  // 'offered'). bench_diff gates this cycles-named gauge at 10%.
+  reg.GetGauge("bench.blackbox.append_cycles")
+      .Set(static_cast<double>(offered));
+  reg.GetGauge("bench.blackbox.cycles_per_request_bare")
+      .Set(off.cycles_per_admitted);
+  reg.GetGauge("bench.blackbox.cycles_per_request_logged")
+      .Set(on.cycles_per_admitted);
+
+  // Acceptance bar 1: <= 3% simulated-cycle overhead per admitted
+  // request. The tap charges no simulated work, so this is exact
+  // equality in practice — the bar catches anyone later putting the
+  // durable plane on the simulated clock.
+  Check(off.admitted == on.admitted,
+        "same seed admits the same crowd in both arms");
+  Check(on.cycles_per_admitted <= off.cycles_per_admitted * 1.03,
+        "logged arm stays within 3% cycles/request of bare");
+  Check(offered > 1000, "the workload actually exercised the tap");
+
+  // Acceptance bar 2: the hot append path allocates nothing.
+  {
+    obs::InstallCountingAllocator();
+    obs::blackbox::TelemetryLogOptions aopt;
+    // Its own directory: reusing the logged arm's would truncate the
+    // history the replay assertion below recovers.
+    aopt.dir = bench::Context().out_dir + "bench_blackbox_alloc.telem";
+    aopt.start_flusher = false;  // nothing drains: pure enqueue cost
+    aopt.ring_capacity = 1 << 14;
+    auto alog = obs::blackbox::TelemetryLog::Open(aopt);
+    Check(alog.ok(), "alloc-probe log opens");
+    obs::blackbox::TelemetryRecord rec;
+    rec.kind = static_cast<uint8_t>(obs::blackbox::RecordKind::kMetric);
+    rec.SetName("bench.alloc.probe");
+    (*alog)->Append(rec);  // warm up
+    const uint64_t allocs_before = obs::AllocCount();
+    for (int i = 0; i < 10000; ++i) {
+      rec.at_us = i;
+      (*alog)->Append(rec);
+    }
+    const uint64_t append_allocs = obs::AllocCount() - allocs_before;
+    bench::Note("allocations across 10000 appends: " +
+                bench::FmtU(append_allocs));
+    Check(!obs::AllocCountingInstalled() || append_allocs == 0,
+          "append path is allocation-free");
+  }
+
+  // Time travel over our own wreckage-free history: the flushed records
+  // recover, and the gauge plane can be asked for any past instant.
+  auto reader = obs::blackbox::TelemetryReader::Open(lopt.dir);
+  Check(reader.ok(), "telemetry directory recovers");
+  Check(!reader->report().truncated, "clean shutdown leaves no torn tail");
+  Check(reader->records().size() == ls.flushed,
+        "every flushed record recovers");
+  auto mid = reader->GaugesAsOf(reader->LastAtUs() / 2);
+  bench::Note("replay: " + bench::FmtU(reader->records().size()) +
+              " records recovered; " + bench::FmtU(mid.size()) +
+              " gauges reconstructable at the halfway instant (try "
+              "tools/obs_replay --dir=" +
+              lopt.dir + " --at=" +
+              bench::FmtU(static_cast<uint64_t>(reader->LastAtUs() / 2)) +
+              ")");
+
+  bench::Note("durable telemetry rides the flusher thread, not the "
+              "simulated machine: the cycle cost of the A9 path is "
+              "unchanged and the append path never allocates.");
+  bench::MetricsSidecar("bench_blackbox");
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "component/component.h"
+#include "obs/blackbox/record.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -49,6 +50,9 @@ class MetricBus {
     uint64_t publishes = 0;
     obs::Gauge* mirror = nullptr;        // registry gauge "bus.<metric>"
     obs::TimeSeries* series = nullptr;   // retained history "bus.<metric>"
+    /// The map key (stable: map nodes never move) — what the black-box
+    /// tap stamps on durable metric records.
+    const MetricName* name = nullptr;
   };
 
   /// Finds or creates the channel for `metric`, resolving its mirror
@@ -61,6 +65,7 @@ class MetricBus {
       const std::string mirrored = "bus." + metric;
       it->second.mirror = &obs::Registry::Default().GetGauge(mirrored);
       it->second.series = &obs::TimeSeriesStore::Default().Get(mirrored);
+      it->second.name = &it->first;
     }
     return &it->second;
   }
@@ -72,6 +77,19 @@ class MetricBus {
     ++channel->publishes;
     channel->mirror->Set(value);
     channel->series->Record(at, value);
+    if (obs::blackbox::TelemetrySinkInstalled()) {
+      // The durable tap. Guarded so the no-black-box cost stays one
+      // relaxed load; the sink applies 1-in-N sampling and the record
+      // fill is stack-only, keeping the publish path allocation-free.
+      obs::blackbox::TelemetryRecord rec;
+      rec.kind = static_cast<uint8_t>(obs::blackbox::RecordKind::kMetric);
+      rec.trace_id = obs::CurrentContext().trace_id;
+      rec.at_us = at;
+      rec.a = value;
+      rec.b = static_cast<double>(channel->publishes);
+      if (channel->name != nullptr) rec.SetName(*channel->name);
+      obs::blackbox::Tap(rec);
+    }
   }
 
   void Publish(const MetricName& metric, double value, SimTime at) {

@@ -115,6 +115,42 @@ class Parser {
     return v;
   }
 
+  // Reads exactly four hex digits at pos_ into *out.
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return Err("bad \\u escape");
+    }
+    *out = code;
+    return Status::OK();
+  }
+
+  // Appends the UTF-8 encoding of `code` (a valid scalar value —
+  // surrogates were rejected by the caller) to *out.
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xc0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xe0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      *out += static_cast<char>(0xf0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
   Result<JsonValue> ParseString() {
     if (!Consume('"')) return Err("expected '\"'");
     JsonValue v;
@@ -138,19 +174,29 @@ class Parser {
         case 'r': v.str += '\r'; break;
         case 't': v.str += '\t'; break;
         case 'u': {
-          // Decode BMP escapes; anything outside Latin-1 (or a surrogate)
-          // degrades to '?' — our own emitters only escape control chars.
-          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          // RFC 8259 escapes: four hex digits name a UTF-16 code unit; a
+          // high surrogate must be followed by "\uDC00".."\uDFFF" and
+          // the pair combines into a supplementary code point. The
+          // decoded code point is emitted as UTF-8.
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Err("bad \\u escape");
+          DBM_RETURN_NOT_OK(ParseHex4(&code));
+          if (code >= 0xdc00 && code <= 0xdfff) {
+            return Err("unpaired low surrogate in \\u escape");
           }
-          v.str += code < 0x100 ? static_cast<char>(code) : '?';
+          if (code >= 0xd800 && code <= 0xdbff) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Err("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            DBM_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xdc00 || low > 0xdfff) {
+              return Err("high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          }
+          AppendUtf8(&v.str, code);
           break;
         }
         default: return Err("bad escape");

@@ -2,11 +2,13 @@
 //
 // The observability layer both *writes* JSON (metric sidecars, Chrome
 // traces) and *reads it back*: the trace exporter round-trip test, the
-// spans re-importer, and tools/bench_diff all need to parse documents this
-// repo produced. A full JSON library is not warranted (and the container
-// bakes in no third-party deps); this covers RFC 8259 minus \uXXXX
-// surrogate pairs (escapes decode to '?'), which our own emitters never
-// produce.
+// spans re-importer, tools/bench_diff and tools/obs_replay all need to
+// parse documents this repo produced — the last of these over arbitrary
+// rule/label strings recovered from black-box segments. A full JSON
+// library is not warranted (and the container bakes in no third-party
+// deps); this covers RFC 8259 including \uXXXX escapes: code points
+// decode to UTF-8, surrogate pairs combine, and a lone surrogate half is
+// a parse error.
 
 #ifndef DBM_COMMON_JSON_H_
 #define DBM_COMMON_JSON_H_

@@ -1,6 +1,7 @@
 #include "fault/log.h"
 
 #include "common/json.h"
+#include "obs/blackbox/record.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 
@@ -63,6 +64,18 @@ void Record(FaultEventKind kind, std::string_view point,
   event.SetPoint(point);
   event.SetDetail(detail);
   FaultLog::Default().Append(event);
+
+  if (obs::blackbox::TelemetrySinkInstalled()) {
+    obs::blackbox::TelemetryRecord rec;
+    rec.kind = static_cast<uint8_t>(obs::blackbox::RecordKind::kFault);
+    rec.trace_id = ctx.trace_id;
+    rec.at_us = at_sim_us;
+    rec.a = static_cast<double>(static_cast<uint8_t>(kind));
+    rec.SetName(point);
+    rec.SetText(detail);
+    rec.SetExtra(FaultEventKindName(kind));
+    obs::blackbox::Tap(rec);
+  }
 }
 
 }  // namespace dbm::fault

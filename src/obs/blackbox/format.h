@@ -1,0 +1,60 @@
+// The black box's wire format: segment files of length-prefixed,
+// CRC-checksummed frames.
+//
+// A segment starts with an 8-byte magic ("DBMTELM1") and a u32 format
+// version; every record after it is one frame:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// all little-endian, written explicitly byte-by-byte (never a raw struct
+// memcpy) so a segment written on one build reads on any other. The
+// payload flattens a TelemetryRecord with length-prefixed text fields so
+// short records (most metric samples) stay short on disk.
+//
+// Decoding is defensive by construction: a frame whose header runs past
+// the buffer, whose length exceeds kMaxPayloadBytes, whose CRC mismatches
+// or whose payload is malformed is a *torn tail* — the reader truncates
+// there and keeps everything before it. That single rule is the whole
+// crash-recovery story (and the dress rehearsal for the ROADMAP's WAL).
+
+#ifndef DBM_OBS_BLACKBOX_FORMAT_H_
+#define DBM_OBS_BLACKBOX_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/blackbox/record.h"
+
+namespace dbm::obs::blackbox {
+
+inline constexpr char kSegmentMagic[8] = {'D', 'B', 'M', 'T',
+                                          'E', 'L', 'M', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kSegmentHeaderBytes = 12;  // magic + u32 version
+inline constexpr size_t kFrameHeaderBytes = 8;     // u32 len + u32 crc
+/// Upper bound on an encoded payload; anything longer on disk is
+/// corruption, not a record.
+inline constexpr size_t kMaxPayloadBytes = 512;
+
+/// CRC-32 (reflected, poly 0xEDB88320 — the zlib polynomial).
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+/// Appends the 12-byte segment header to *out.
+void EncodeSegmentHeader(std::string* out);
+
+/// True when data[0..n) starts with a valid segment header.
+bool CheckSegmentHeader(const uint8_t* data, size_t n);
+
+/// Appends one complete frame (header + payload) for `rec` to *out.
+void EncodeFrame(const TelemetryRecord& rec, std::string* out);
+
+/// Decodes the frame at data[0..n). On success fills *rec, sets
+/// *frame_bytes to the full frame size and returns true. Returns false
+/// on a torn or corrupt frame.
+bool DecodeFrame(const uint8_t* data, size_t n, TelemetryRecord* rec,
+                 size_t* frame_bytes);
+
+}  // namespace dbm::obs::blackbox
+
+#endif  // DBM_OBS_BLACKBOX_FORMAT_H_

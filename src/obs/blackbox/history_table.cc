@@ -1,0 +1,140 @@
+#include "obs/blackbox/history_table.h"
+
+namespace dbm::obs::blackbox {
+
+using data::Field;
+using data::Schema;
+using data::Tuple;
+using data::Value;
+using data::ValueType;
+
+namespace {
+
+bool IsKind(const TelemetryRecord& rec, RecordKind kind) {
+  return rec.kind == static_cast<uint8_t>(kind);
+}
+
+}  // namespace
+
+Schema HistoryMetricsSchema() {
+  return Schema({Field{"at_us", ValueType::kInt},
+                 Field{"name", ValueType::kString},
+                 Field{"value", ValueType::kDouble},
+                 Field{"publish_seq", ValueType::kInt},
+                 Field{"trace_id", ValueType::kString}});
+}
+
+Schema HistorySpansSchema() {
+  return Schema({Field{"at_us", ValueType::kInt},
+                 Field{"name", ValueType::kString},
+                 Field{"category", ValueType::kString},
+                 Field{"span_id", ValueType::kInt},
+                 Field{"parent_span_id", ValueType::kInt},
+                 Field{"sim_dur", ValueType::kInt},
+                 Field{"trace_id", ValueType::kString}});
+}
+
+Schema HistoryDecisionsSchema() {
+  return Schema({Field{"at_us", ValueType::kInt},
+                 Field{"constraint_id", ValueType::kInt},
+                 Field{"subject", ValueType::kString},
+                 Field{"rule", ValueType::kString},
+                 Field{"action", ValueType::kString},
+                 Field{"trace_id", ValueType::kString}});
+}
+
+Schema HistoryFaultsSchema() {
+  return Schema({Field{"at_us", ValueType::kInt},
+                 Field{"kind", ValueType::kString},
+                 Field{"point", ValueType::kString},
+                 Field{"detail", ValueType::kString},
+                 Field{"trace_id", ValueType::kString}});
+}
+
+Schema HistoryProfilesSchema() {
+  return Schema({Field{"at_us", ValueType::kInt},
+                 Field{"resource", ValueType::kString},
+                 Field{"queue_us", ValueType::kInt},
+                 Field{"dispatch_us", ValueType::kInt},
+                 Field{"exec_us", ValueType::kInt},
+                 Field{"total_us", ValueType::kInt},
+                 Field{"trace_id", ValueType::kString}});
+}
+
+data::Relation HistoryMetricsRelation(const TelemetryReader& reader,
+                                      const std::string& relation_name) {
+  data::Relation rel(relation_name, HistoryMetricsSchema());
+  for (const TelemetryRecord& r : reader.records()) {
+    if (!IsKind(r, RecordKind::kMetric)) continue;
+    Tuple row;
+    row.values = {Value{r.at_us}, Value{std::string(r.name)}, Value{r.a},
+                  Value{static_cast<int64_t>(r.b)},
+                  Value{r.trace_id.ToHex()}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+data::Relation HistorySpansRelation(const TelemetryReader& reader,
+                                    const std::string& relation_name) {
+  data::Relation rel(relation_name, HistorySpansSchema());
+  for (const TelemetryRecord& r : reader.records()) {
+    if (!IsKind(r, RecordKind::kSpan)) continue;
+    Tuple row;
+    row.values = {Value{r.at_us}, Value{std::string(r.name)},
+                  Value{std::string(r.text)},
+                  Value{static_cast<int64_t>(r.a)},
+                  Value{static_cast<int64_t>(r.b)},
+                  Value{static_cast<int64_t>(r.c)},
+                  Value{r.trace_id.ToHex()}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+data::Relation HistoryDecisionsRelation(const TelemetryReader& reader,
+                                        const std::string& relation_name) {
+  data::Relation rel(relation_name, HistoryDecisionsSchema());
+  for (const TelemetryRecord& r : reader.records()) {
+    if (!IsKind(r, RecordKind::kDecision)) continue;
+    Tuple row;
+    row.values = {Value{r.at_us}, Value{static_cast<int64_t>(r.a)},
+                  Value{std::string(r.name)}, Value{std::string(r.text)},
+                  Value{std::string(r.extra)}, Value{r.trace_id.ToHex()}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+data::Relation HistoryFaultsRelation(const TelemetryReader& reader,
+                                     const std::string& relation_name) {
+  data::Relation rel(relation_name, HistoryFaultsSchema());
+  for (const TelemetryRecord& r : reader.records()) {
+    if (!IsKind(r, RecordKind::kFault)) continue;
+    Tuple row;
+    row.values = {Value{r.at_us}, Value{std::string(r.extra)},
+                  Value{std::string(r.name)}, Value{std::string(r.text)},
+                  Value{r.trace_id.ToHex()}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+data::Relation HistoryProfilesRelation(const TelemetryReader& reader,
+                                       const std::string& relation_name) {
+  data::Relation rel(relation_name, HistoryProfilesSchema());
+  for (const TelemetryRecord& r : reader.records()) {
+    if (!IsKind(r, RecordKind::kProfile)) continue;
+    Tuple row;
+    row.values = {Value{r.at_us}, Value{std::string(r.name)},
+                  Value{static_cast<int64_t>(r.a)},
+                  Value{static_cast<int64_t>(r.b)},
+                  Value{static_cast<int64_t>(r.c)},
+                  Value{static_cast<int64_t>(r.d)},
+                  Value{r.trace_id.ToHex()}};
+    rel.InsertUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace dbm::obs::blackbox

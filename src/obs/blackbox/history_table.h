@@ -1,0 +1,49 @@
+// Relation bridges over recovered telemetry: the time-travel face of the
+// black box.
+//
+// Same pattern as src/obs/metrics_table.h and friends, but sourced from
+// a TelemetryReader instead of the live rings — so the /obs/query mini
+// language (and anything else routed through query::Execute) can filter
+// crash-surviving history by time range exactly like live state:
+//
+//   history.metrics  where at_us <= 2000000 limit 10
+//   history.decisions where constraint_id = 900
+//
+// One relation per record kind; every schema leads with at_us so the
+// time-range idiom (`where at_us >= T`) works uniformly.
+
+#ifndef DBM_OBS_BLACKBOX_HISTORY_TABLE_H_
+#define DBM_OBS_BLACKBOX_HISTORY_TABLE_H_
+
+#include <string>
+
+#include "data/relation.h"
+#include "obs/blackbox/reader.h"
+
+namespace dbm::obs::blackbox {
+
+data::Schema HistoryMetricsSchema();
+data::Schema HistorySpansSchema();
+data::Schema HistoryDecisionsSchema();
+data::Schema HistoryFaultsSchema();
+data::Schema HistoryProfilesSchema();
+
+data::Relation HistoryMetricsRelation(
+    const TelemetryReader& reader,
+    const std::string& relation_name = "history.metrics");
+data::Relation HistorySpansRelation(
+    const TelemetryReader& reader,
+    const std::string& relation_name = "history.spans");
+data::Relation HistoryDecisionsRelation(
+    const TelemetryReader& reader,
+    const std::string& relation_name = "history.decisions");
+data::Relation HistoryFaultsRelation(
+    const TelemetryReader& reader,
+    const std::string& relation_name = "history.faults");
+data::Relation HistoryProfilesRelation(
+    const TelemetryReader& reader,
+    const std::string& relation_name = "history.profiles");
+
+}  // namespace dbm::obs::blackbox
+
+#endif  // DBM_OBS_BLACKBOX_HISTORY_TABLE_H_

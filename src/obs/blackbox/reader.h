@@ -1,0 +1,71 @@
+// The TelemetryReader: the recovery half of the black box.
+//
+// Opens a segment directory written by TelemetryLog — possibly by a
+// process that died mid-append — and recovers every intact record. The
+// recovery rule is the torn-tail rule: scan segments oldest-first, and
+// at the FIRST frame that fails validation (short header, absurd
+// length, CRC mismatch, malformed payload) truncate — keep everything
+// before it, ignore everything after. A clean shutdown recovers every
+// flushed record; a crash recovers at least the fsync barrier and at
+// most the flushed prefix, never a torn or duplicated record.
+//
+// On top of the recovered records it rebuilds history views: time-range
+// slices, per-metric last-value-as-of (the Observatory's gauge state at
+// any past instant — "time travel"), and the relations /obs/history and
+// tools/obs_replay serve through query::Execute.
+
+#ifndef DBM_OBS_BLACKBOX_READER_H_
+#define DBM_OBS_BLACKBOX_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/blackbox/record.h"
+
+namespace dbm::obs::blackbox {
+
+struct RecoveryReport {
+  size_t segments_scanned = 0;
+  uint64_t records = 0;
+  uint64_t bytes_scanned = 0;
+  /// True when the scan stopped at a bad frame (the torn tail).
+  bool truncated = false;
+  std::string truncated_segment;
+  uint64_t truncated_offset = 0;
+};
+
+class TelemetryReader {
+ public:
+  /// Scans `dir` for telem-*.seg files. A missing or empty directory is
+  /// an error; a directory with only torn content recovers zero records
+  /// with truncated=true (still ok()).
+  static Result<TelemetryReader> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  /// All recovered records, oldest segment first, in append order.
+  const std::vector<TelemetryRecord>& records() const { return records_; }
+  const RecoveryReport& report() const { return report_; }
+
+  /// Records with from_us <= at_us <= to_us, in append order.
+  std::vector<TelemetryRecord> Between(int64_t from_us, int64_t to_us) const;
+
+  /// Time travel for the gauge plane: the last published value of every
+  /// bus metric at or before `at_us` — the Observatory's gauge state as
+  /// of that instant, rebuilt from the sampled publish history.
+  std::map<std::string, double> GaugesAsOf(int64_t at_us) const;
+
+  /// at_us of the newest recovered record (0 when empty).
+  int64_t LastAtUs() const;
+
+ private:
+  std::string dir_;
+  std::vector<TelemetryRecord> records_;
+  RecoveryReport report_;
+};
+
+}  // namespace dbm::obs::blackbox
+
+#endif  // DBM_OBS_BLACKBOX_READER_H_

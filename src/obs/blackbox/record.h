@@ -1,0 +1,99 @@
+// The black box's unit of capture: one flattened telemetry record, plus
+// the process-wide sink hot paths publish through.
+//
+// Every kind of volatile observability state — MetricBus publishes,
+// spans, DecisionRecords, FaultEvents, RequestProfiles — flattens onto
+// the same POD so a single ring, a single wire format and a single
+// reader cover the whole plane. The numeric payload (a..d) and the text
+// fields are kind-specific; see the per-kind comments below.
+//
+// Layering: this header lives in dbm_obs (with tracectx.h) so the layers
+// that already record into obs — adapt's metric bus, the fault log, the
+// profiling plane — can tap without depending on the durable log itself.
+// The TelemetryLog (src/obs/blackbox/log.h, target dbm_blackbox) installs
+// itself as the sink; with no sink installed a tap site costs one relaxed
+// atomic load and a branch, the same discipline as fault points and
+// tracer enablement.
+
+#ifndef DBM_OBS_BLACKBOX_RECORD_H_
+#define DBM_OBS_BLACKBOX_RECORD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/tracectx.h"
+
+namespace dbm::obs::blackbox {
+
+enum class RecordKind : uint8_t {
+  kMetric = 0,    // name=bus metric, a=value, b=publish seq
+  kSpan = 1,      // name=span name, text=category, a=span_id,
+                  // b=parent_span_id, c=sim_dur, d=dur_host_ns
+  kDecision = 2,  // name=subject, text=rule, extra=action,
+                  // a=constraint_id, b=span_id, c=gauge_count,
+                  // d=first gauge value
+  kFault = 3,     // name=point, text=detail, extra=kind name, a=kind
+  kProfile = 4,   // name=resource, text=served|failed, a=queue_us,
+                  // b=dispatch_us, c=exec_us, d=total_us
+};
+
+const char* RecordKindName(RecordKind kind);
+
+/// One durable telemetry record. POD with fixed-size text fields (same
+/// rationale as SpanRecord: ring publication can never tear a heap
+/// pointer; longer strings truncate).
+struct TelemetryRecord {
+  uint8_t kind = 0;
+  TraceId trace_id;
+  int64_t at_us = 0;  // the emitting layer's timestamp (usually SimTime)
+  double a = 0, b = 0, c = 0, d = 0;
+  char name[kTraceNameMax] = {};
+  char text[kTraceTextMax] = {};
+  char extra[kTraceTextMax] = {};
+
+  void SetName(std::string_view s) {
+    internal::CopyTruncated(name, sizeof(name), s);
+  }
+  void SetText(std::string_view s) {
+    internal::CopyTruncated(text, sizeof(text), s);
+  }
+  void SetExtra(std::string_view s) {
+    internal::CopyTruncated(extra, sizeof(extra), s);
+  }
+};
+
+/// The consumer interface. Consume must be wait-free and allocation-free:
+/// it is called from the Fig-1 publish path and the ORB span path.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void Consume(const TelemetryRecord& rec) = 0;
+};
+
+namespace internal {
+extern std::atomic<TelemetrySink*> g_telemetry_sink;
+}  // namespace internal
+
+/// Installs (or, with nullptr, removes) the process-wide sink. Like
+/// Tracer::Configure, a quiescent-point operation: callers must not race
+/// it against tap sites that are mid-Consume.
+void SetTelemetrySink(TelemetrySink* sink);
+
+/// The one branch tap sites take before building a record. Checking
+/// first keeps the disabled cost at a relaxed load — no 400-byte record
+/// fill when nothing listens.
+inline bool TelemetrySinkInstalled() {
+  return internal::g_telemetry_sink.load(std::memory_order_relaxed) !=
+         nullptr;
+}
+
+/// Hands one record to the installed sink (no-op when none).
+inline void Tap(const TelemetryRecord& rec) {
+  TelemetrySink* sink =
+      internal::g_telemetry_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) sink->Consume(rec);
+}
+
+}  // namespace dbm::obs::blackbox
+
+#endif  // DBM_OBS_BLACKBOX_RECORD_H_

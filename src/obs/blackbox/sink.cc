@@ -1,0 +1,24 @@
+#include "obs/blackbox/record.h"
+
+namespace dbm::obs::blackbox {
+
+namespace internal {
+std::atomic<TelemetrySink*> g_telemetry_sink{nullptr};
+}  // namespace internal
+
+const char* RecordKindName(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kMetric: return "metric";
+    case RecordKind::kSpan: return "span";
+    case RecordKind::kDecision: return "decision";
+    case RecordKind::kFault: return "fault";
+    case RecordKind::kProfile: return "profile";
+  }
+  return "?";
+}
+
+void SetTelemetrySink(TelemetrySink* sink) {
+  internal::g_telemetry_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace dbm::obs::blackbox

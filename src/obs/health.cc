@@ -221,6 +221,13 @@ void FatalSignalHandler(int sig) {
   std::raise(sig);
 }
 
+void DumpSignalHandler(int sig) {
+  (void)TriggerFlightDump();
+  // std::signal semantics may be one-shot; re-arm so the operator can
+  // snapshot repeatedly.
+  std::signal(sig, &DumpSignalHandler);
+}
+
 }  // namespace
 
 void InstallFlightRecorder(const FlightRecorderOptions& options) {
@@ -233,12 +240,31 @@ void InstallFlightRecorder(const FlightRecorderOptions& options) {
     std::signal(SIGFPE, &FatalSignalHandler);
     std::signal(SIGILL, &FatalSignalHandler);
     std::signal(SIGABRT, &FatalSignalHandler);
+#ifdef SIGUSR1
+    // The on-demand snapshot rides the same install: kill -USR1 <pid>
+    // dumps the flight record without ending the process.
+    InstallFlightDumpSignal(SIGUSR1);
+#endif
   }
   state.installed = true;
 }
 
 const std::string& FlightRecorderPath() {
   return State().options.path;
+}
+
+Status TriggerFlightDump(int64_t now_us) {
+  FlightState& state = State();
+  if (state.options.path.empty()) {
+    return Status::Unavailable("no flight recorder installed");
+  }
+  return DumpFlightRecord(state.options.path,
+                          now_us < 0 ? state.options.now_us : now_us,
+                          state.options.timeseries_tail);
+}
+
+void InstallFlightDumpSignal(int signum) {
+  std::signal(signum, &DumpSignalHandler);
 }
 
 void RegisterFlightSection(const std::string& name,

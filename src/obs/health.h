@@ -172,9 +172,22 @@ Status DumpFlightRecord(const std::string& path, int64_t now_us = 0,
 /// `fn`'s return value — which must be a complete JSON value — lands in
 /// the record as `"name":<value>`. The layering hook by which higher
 /// layers contribute post-mortem state without obs depending on them:
-/// the fault log registers its ring here as "faults".
+/// the fault log registers its ring here as "faults", the black box as
+/// "blackbox".
 void RegisterFlightSection(const std::string& name,
                            std::function<std::string()> fn);
+
+/// On-demand dump to the *installed* recorder's path — operators
+/// snapshotting a healthy process (via /obs/flight or the dump signal),
+/// not only a crashing one. Unlike the crash path it is repeatable: each
+/// call overwrites the sidecar with fresh state. `now_us < 0` uses the
+/// installed options' now_us. Fails when no recorder is installed.
+Status TriggerFlightDump(int64_t now_us = -1);
+
+/// Installs a handler on `signum` (conventionally SIGUSR1) that triggers
+/// an on-demand dump — `kill -USR1 <pid>` snapshots the flight record of
+/// a live process. Best effort, same caveats as the fatal handlers.
+void InstallFlightDumpSignal(int signum);
 
 }  // namespace dbm::obs
 

@@ -1,10 +1,15 @@
 #include "obs/observatory.h"
 
 #include <cstdlib>
+#include <map>
+#include <optional>
 #include <vector>
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "obs/blackbox/history_table.h"
+#include "obs/blackbox/log.h"
+#include "obs/blackbox/reader.h"
 #include "obs/fault_table.h"
 #include "obs/metrics_table.h"
 #include "obs/profile_table.h"
@@ -185,6 +190,21 @@ std::string HealthJson(int64_t now_us, const LoopHealth& health) {
 
 namespace {
 
+/// Flush-and-read the installed black box: the live-process path to
+/// history when the caller did not hand the Observatory a reader.
+Result<blackbox::TelemetryReader> OpenInstalledHistory() {
+  blackbox::TelemetryLog* log = blackbox::TelemetryLog::Installed();
+  if (log == nullptr) {
+    return Status::NotFound(
+        "no telemetry history (no reader configured and no TelemetryLog "
+        "installed)");
+  }
+  // A dead flusher cannot flush — read whatever survived anyway; that is
+  // the whole point of the black box.
+  (void)log->Flush();
+  return blackbox::TelemetryReader::Open(log->options().dir);
+}
+
 Result<query::CmpOp> ParseOp(const std::string& op) {
   if (op == "=") return query::CmpOp::kEq;
   if (op == "!=") return query::CmpOp::kNe;
@@ -246,6 +266,7 @@ Result<std::string> ObservatoryQuery(std::string_view q,
                                          : fault::FaultLog::Default();
   const std::string& rel_name = tokens[0];
   data::Relation rel;
+  std::optional<blackbox::TelemetryReader> owned_history;
   if (rel_name == "metrics") {
     rel = MetricsRelation(registry);
   } else if (rel_name == "spans") {
@@ -258,10 +279,35 @@ Result<std::string> ObservatoryQuery(std::string_view q,
     rel = ProfilesRelation(options.profiles != nullptr
                                ? *options.profiles
                                : ProfilePlane::Default());
+  } else if (rel_name.rfind("history.", 0) == 0) {
+    const blackbox::TelemetryReader* history = options.history;
+    if (history == nullptr) {
+      DBM_ASSIGN_OR_RETURN(blackbox::TelemetryReader opened,
+                           OpenInstalledHistory());
+      owned_history = std::move(opened);
+      history = &*owned_history;
+    }
+    const std::string kind = rel_name.substr(8);
+    if (kind == "metrics") {
+      rel = blackbox::HistoryMetricsRelation(*history, rel_name);
+    } else if (kind == "spans") {
+      rel = blackbox::HistorySpansRelation(*history, rel_name);
+    } else if (kind == "decisions") {
+      rel = blackbox::HistoryDecisionsRelation(*history, rel_name);
+    } else if (kind == "faults") {
+      rel = blackbox::HistoryFaultsRelation(*history, rel_name);
+    } else if (kind == "profiles") {
+      rel = blackbox::HistoryProfilesRelation(*history, rel_name);
+    } else {
+      return Status::ParseError(
+          "unknown history relation '" + rel_name +
+          "' (expected history.{metrics|spans|decisions|faults|profiles})");
+    }
   } else {
     return Status::ParseError(
         "unknown relation '" + rel_name +
-        "' (expected metrics|spans|decisions|faults|profiles)");
+        "' (expected metrics|spans|decisions|faults|profiles or "
+        "history.*)");
   }
 
   query::OperatorPtr root = std::make_unique<query::MemSource>(&rel);
@@ -321,6 +367,112 @@ Result<std::string> ObservatoryQuery(std::string_view q,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// /obs/history — the black box's crash-surviving, time-travelling view
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::map<std::string, std::string> ParseParams(std::string_view qs) {
+  std::map<std::string, std::string> out;
+  for (const std::string& part :
+       Split(std::string(qs), '&', /*skip_empty=*/true)) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      out[part] = "";
+    } else {
+      out[part.substr(0, eq)] = part.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+int64_t ParamInt(const std::map<std::string, std::string>& params,
+                 const std::string& key, int64_t fallback) {
+  auto it = params.find(key);
+  if (it == params.end() || it->second.empty()) return fallback;
+  return static_cast<int64_t>(
+      std::strtoll(it->second.c_str(), nullptr, 10));
+}
+
+std::string HistoryRecordJson(const blackbox::TelemetryRecord& r) {
+  std::string out = "{\"kind\":\"";
+  out += blackbox::RecordKindName(
+      static_cast<blackbox::RecordKind>(r.kind));
+  out += "\",\"at_us\":" + std::to_string(r.at_us);
+  out += ",\"trace_id\":\"" + r.trace_id.ToHex() + "\"";
+  out += ",\"name\":\"" + JsonEscape(r.name) + "\"";
+  out += ",\"text\":\"" + JsonEscape(r.text) + "\"";
+  out += ",\"extra\":\"" + JsonEscape(r.extra) + "\"";
+  out += ",\"a\":" + Num(r.a) + ",\"b\":" + Num(r.b) + ",\"c\":" +
+         Num(r.c) + ",\"d\":" + Num(r.d) + "}";
+  return out;
+}
+
+std::string HistoryJson(const blackbox::TelemetryReader& reader,
+                        int64_t from_us, int64_t to_us, size_t limit) {
+  const blackbox::RecoveryReport& rep = reader.report();
+  std::vector<blackbox::TelemetryRecord> slice =
+      reader.Between(from_us, to_us);
+  std::string out = "{\"history\":{";
+  out += "\"dir\":\"" + JsonEscape(reader.dir()) + "\"";
+  out += ",\"segments_scanned\":" + std::to_string(rep.segments_scanned);
+  out += ",\"records_recovered\":" + std::to_string(rep.records);
+  out += ",\"bytes_scanned\":" + std::to_string(rep.bytes_scanned);
+  out += std::string(",\"truncated\":") + (rep.truncated ? "true" : "false");
+  if (rep.truncated) {
+    out += ",\"truncated_segment\":\"" + JsonEscape(rep.truncated_segment) +
+           "\"";
+    out += ",\"truncated_offset\":" + std::to_string(rep.truncated_offset);
+  }
+  out += ",\"from_us\":" + std::to_string(from_us);
+  out += ",\"to_us\":" + std::to_string(to_us);
+  out += ",\"count\":" + std::to_string(slice.size());
+  out += ",\"records\":[";
+  size_t start = slice.size() > limit ? slice.size() - limit : 0;
+  for (size_t i = start; i < slice.size(); ++i) {
+    if (i > start) out += ",";
+    out += HistoryRecordJson(slice[i]);
+  }
+  out += "]}}";
+  return out;
+}
+
+/// ?fmt=prom: the gauge plane as of `to_us` — Prometheus text of every
+/// bus metric's last recovered value at or before that instant.
+std::string HistoryProm(const blackbox::TelemetryReader& reader,
+                        int64_t to_us) {
+  std::string out;
+  for (const auto& [name, value] : reader.GaugesAsOf(to_us)) {
+    const std::string prom = PromName("history.bus." + name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + Num(value) + "\n";
+  }
+  return out;
+}
+
+/// ?fmt=collapsed: "kind;name count" lines over the range — flamegraph
+/// fodder for "what did the black box spend its frames on".
+std::string HistoryCollapsed(const blackbox::TelemetryReader& reader,
+                             int64_t from_us, int64_t to_us) {
+  std::map<std::string, uint64_t> counts;
+  for (const blackbox::TelemetryRecord& r :
+       reader.Between(from_us, to_us)) {
+    std::string key = blackbox::RecordKindName(
+        static_cast<blackbox::RecordKind>(r.kind));
+    key += ";";
+    key += r.name;
+    ++counts[key];
+  }
+  std::string out;
+  for (const auto& [key, n] : counts) {
+    out += key + " " + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<std::string> ServeObservatory(std::string_view path, int64_t now_us,
                                      const ObservatoryOptions& options) {
   const Registry& registry =
@@ -369,6 +521,42 @@ Result<std::string> ServeObservatory(std::string_view path, int64_t now_us,
           "/obs/profile supports ?fmt=json|prom|collapsed");
     }
     return ProfilesJson(plane);
+  }
+  if (endpoint == "/obs/history") {
+    std::map<std::string, std::string> params = ParseParams(query_string);
+    const std::string fmt =
+        params.count("fmt") ? params.at("fmt") : std::string("json");
+    if (fmt != "json" && fmt != "prom" && fmt != "collapsed") {
+      return Status::InvalidArgument(
+          "/obs/history supports ?fmt=json|prom|collapsed");
+    }
+    const blackbox::TelemetryReader* history = options.history;
+    std::optional<blackbox::TelemetryReader> owned;
+    if (history == nullptr) {
+      DBM_ASSIGN_OR_RETURN(blackbox::TelemetryReader opened,
+                           OpenInstalledHistory());
+      owned = std::move(opened);
+      history = &*owned;
+    }
+    const int64_t from_us = ParamInt(params, "from", 0);
+    const int64_t to_us =
+        ParamInt(params, "to", history->LastAtUs() > now_us
+                                   ? history->LastAtUs()
+                                   : now_us);
+    if (fmt == "prom") return HistoryProm(*history, to_us);
+    if (fmt == "collapsed") {
+      return HistoryCollapsed(*history, from_us, to_us);
+    }
+    const size_t limit =
+        static_cast<size_t>(ParamInt(params, "limit", 64));
+    return HistoryJson(*history, from_us, to_us, limit);
+  }
+  if (endpoint == "/obs/flight") {
+    // The on-demand trigger: dump the installed recorder's sidecar now
+    // and tell the operator where it landed.
+    DBM_RETURN_NOT_OK(TriggerFlightDump(now_us));
+    return "{\"flight_dump\":{\"ok\":true,\"path\":\"" +
+           JsonEscape(FlightRecorderPath()) + "\"}}";
   }
   if (endpoint == "/obs/query") {
     if (query_string.rfind("q=", 0) != 0) {

@@ -18,7 +18,15 @@
 //                     flamegraph.pl / speedscope
 //   /obs/query?q=...  a mini query language routed through query::Execute
 //                     over the metrics/spans/decisions/faults/profiles
-//                     relations
+//                     relations — plus the history.* relations recovered
+//                     from the black box's segments
+//   /obs/history      the durable telemetry log (crash-surviving
+//                     history): recovery report + record tail, JSON;
+//                     ?fmt=prom renders gauge state as of ?to=<us>
+//                     ("time travel"), ?fmt=collapsed emits kind;name
+//                     counts; ?from=/?to= bound the range
+//   /obs/flight       triggers an on-demand flight-record dump to the
+//                     installed sidecar path and reports where it went
 //
 // Content generation lives here (target dbm_observatory: obs + the
 // relation bridges + the query engine); registering the endpoints as
@@ -49,6 +57,10 @@
 #include "obs/tracectx.h"
 
 namespace dbm::obs {
+
+namespace blackbox {
+class TelemetryReader;
+}  // namespace blackbox
 
 /// Prometheus text exposition: one "# TYPE" line and one sample line per
 /// counter/gauge; histograms expose _count, _sum and quantile-labelled
@@ -82,6 +94,11 @@ struct ObservatoryOptions {
   const LoopHealth* health = nullptr;
   const fault::FaultLog* fault_log = nullptr;
   const ProfilePlane* profiles = nullptr;
+  /// Recovered black-box history for /obs/history and the history.*
+  /// query relations. Null = flush-and-read the installed TelemetryLog's
+  /// segment directory per request (live time travel); endpoints fail
+  /// with NotFound when neither source exists.
+  const blackbox::TelemetryReader* history = nullptr;
   size_t timeseries_tail = 32;
 };
 

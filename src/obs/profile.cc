@@ -1,6 +1,7 @@
 #include "obs/profile.h"
 
 #include "common/json.h"
+#include "obs/blackbox/record.h"
 #include "obs/health.h"
 
 namespace dbm::obs {
@@ -36,6 +37,19 @@ void ProfilePlane::RecordRequest(const RequestProfile& rec) {
   dispatch_us_.Record(rec.dispatch_us);
   exec_us_.Record(rec.exec_us);
   total_us_.Record(rec.total_us);
+  if (blackbox::TelemetrySinkInstalled()) {
+    blackbox::TelemetryRecord t;
+    t.kind = static_cast<uint8_t>(blackbox::RecordKind::kProfile);
+    t.trace_id = rec.trace_id;
+    t.at_us = rec.at_us;
+    t.a = static_cast<double>(rec.queue_us);
+    t.b = static_cast<double>(rec.dispatch_us);
+    t.c = static_cast<double>(rec.exec_us);
+    t.d = static_cast<double>(rec.total_us);
+    t.SetName(rec.resource);
+    t.SetText(rec.served ? "served" : "failed");
+    blackbox::Tap(t);
+  }
 }
 
 void ProfilePlane::RecordQuery(QueryProfileSummary summary) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "obs/blackbox/record.h"
 
 namespace dbm::obs {
 
@@ -108,6 +109,41 @@ void Tracer::Configure(const TracerOptions& options) {
                         rate * 18446744073709551615.0);  // 2^64 - 1
   sample_state_.store(options.seed, std::memory_order_relaxed);
   enabled_.store(rate > 0, std::memory_order_relaxed);
+}
+
+void Tracer::Emit(const SpanRecord& span) {
+  spans_->Append(span);
+  if (blackbox::TelemetrySinkInstalled()) {
+    blackbox::TelemetryRecord rec;
+    rec.kind = static_cast<uint8_t>(blackbox::RecordKind::kSpan);
+    rec.trace_id = span.trace_id;
+    rec.at_us = static_cast<int64_t>(span.sim_begin);
+    rec.a = static_cast<double>(span.span_id);
+    rec.b = static_cast<double>(span.parent_span_id);
+    rec.c = static_cast<double>(span.sim_dur);
+    rec.d = static_cast<double>(span.dur_host_ns);
+    rec.SetName(span.name);
+    rec.SetText(span.category);
+    blackbox::Tap(rec);
+  }
+}
+
+void Tracer::Emit(const DecisionRecord& decision) {
+  decisions_->Append(decision);
+  if (blackbox::TelemetrySinkInstalled()) {
+    blackbox::TelemetryRecord rec;
+    rec.kind = static_cast<uint8_t>(blackbox::RecordKind::kDecision);
+    rec.trace_id = decision.trace_id;
+    rec.at_us = decision.at_sim_us;
+    rec.a = static_cast<double>(decision.constraint_id);
+    rec.b = static_cast<double>(decision.span_id);
+    rec.c = static_cast<double>(decision.gauge_count);
+    rec.d = decision.gauge_count > 0 ? decision.gauges[0].value : 0.0;
+    rec.SetName(decision.subject);
+    rec.SetText(decision.rule);
+    rec.SetExtra(decision.action);
+    blackbox::Tap(rec);
+  }
 }
 
 TraceId Tracer::SampleNewTrace() {

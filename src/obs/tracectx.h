@@ -265,10 +265,12 @@ class Tracer {
     return next_span_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  void Emit(const SpanRecord& span) { spans_->Append(span); }
-  void Emit(const DecisionRecord& decision) {
-    decisions_->Append(decision);
-  }
+  /// Out of line (tracectx.cc): besides the ring append, completed spans
+  /// and decisions feed the black-box tap when a durable telemetry sink
+  /// is installed (obs/blackbox/record.h — which includes this header,
+  /// so the tap cannot live here).
+  void Emit(const SpanRecord& span);
+  void Emit(const DecisionRecord& decision);
 
   std::vector<SpanRecord> Spans() const { return spans_->Snapshot(); }
   std::vector<DecisionRecord> Decisions() const {

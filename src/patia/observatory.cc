@@ -8,7 +8,8 @@ namespace {
 
 const char* const kEndpoints[] = {
     "/obs/metrics", "/obs/timeseries", "/obs/decisions", "/obs/faults",
-    "/obs/health",  "/obs/profile",    "/obs/query",
+    "/obs/health",  "/obs/profile",    "/obs/query",     "/obs/history",
+    "/obs/flight",
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/log.h"
+#include "obs/blackbox/log.h"
 #include "obs/health.h"
 
 namespace dbm::patia {
@@ -228,6 +229,15 @@ bool PatiaServer::Degraded(const std::string& node) const {
   if (degradation_breaker_ch_ != nullptr &&
       degradation_breaker_ch_->value >= 2.0) {
     return true;
+  }
+  // A backed-up black-box flusher sheds too: telemetry durability is
+  // part of serving, and the smallest variant buys the flusher air.
+  if (degradation_.blackbox_backlog_degrade > 0) {
+    obs::blackbox::TelemetryLog* log = obs::blackbox::TelemetryLog::Installed();
+    if (log != nullptr &&
+        log->BacklogFraction() >= degradation_.blackbox_backlog_degrade) {
+      return true;
+    }
   }
   return NodeUtilisation(node) >= degradation_.overload_utilisation;
 }

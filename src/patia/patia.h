@@ -223,6 +223,12 @@ class PatiaServer {
     /// NodeUtilisation() at or above this sheds (active/slots; queued
     /// work pushes it past 1.0).
     double overload_utilisation = 1.5;
+    /// When > 0: the installed black box's ring occupancy (fraction of
+    /// TelemetryLog ring capacity waiting for the flusher) at or above
+    /// this also degrades — a flusher that cannot keep up means the
+    /// machine is outrunning its own durability, so the server sheds
+    /// weight rather than drop history. 0 disables the check.
+    double blackbox_backlog_degrade = 0.0;
   };
   void EnableDegradation(DegradationOptions options);
 

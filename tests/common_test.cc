@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/event_loop.h"
+#include "common/json.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -213,6 +214,52 @@ TEST(EventLoopTest, PastScheduleClampsToNow) {
   loop.ScheduleAt(10, [&] { fired_at = loop.Now(); });  // in the past
   loop.RunUntil();
   EXPECT_EQ(fired_at, 50);
+}
+
+TEST(JsonTest, UnicodeEscapeDecodesAscii) {
+  auto v = ParseJson("\"a\\u0041b\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "aAb");
+}
+
+TEST(JsonTest, UnicodeEscapeDecodesTwoByteUtf8) {
+  auto v = ParseJson("\"caf\\u00e9\"");  // é = U+00E9
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "caf\xc3\xa9");
+}
+
+TEST(JsonTest, UnicodeEscapeDecodesThreeByteUtf8) {
+  auto v = ParseJson("\"\\u20AC\"");  // € = U+20AC
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "\xe2\x82\xac");
+}
+
+TEST(JsonTest, SurrogatePairDecodesToFourByteUtf8) {
+  auto v = ParseJson("\"\\uD83D\\uDE00\"");  // 😀 = U+1F600
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, LoneSurrogatesAreErrors) {
+  EXPECT_FALSE(ParseJson("\"\\uD83D\"").ok());          // high, end of string
+  EXPECT_FALSE(ParseJson("\"\\uD83Dx\"").ok());         // high, no escape
+  EXPECT_FALSE(ParseJson("\"\\uD83D\\u0041\"").ok());   // high + non-low
+  EXPECT_FALSE(ParseJson("\"\\uDE00\"").ok());          // bare low
+}
+
+TEST(JsonTest, BadUnicodeEscapesAreErrors) {
+  EXPECT_FALSE(ParseJson("\"\\u00g1\"").ok());  // non-hex digit
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());    // truncated
+  EXPECT_FALSE(ParseJson("\"\\uD83D\\u\"").ok());
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughEmitter) {
+  // JsonEscape escapes control characters as \u00XX; the parser must
+  // bring them back byte-for-byte. Multi-byte UTF-8 passes through raw.
+  const std::string original = "tab\tnl\nbell\x07caf\xc3\xa9 \xf0\x9f\x98\x80";
+  auto v = ParseJson("\"" + JsonEscape(original) + "\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, original);
 }
 
 TEST(SimClockTest, Conversions) {

@@ -332,7 +332,7 @@ struct ObsRig {
     EXPECT_TRUE(server.AddNode("node1", {4, Millis(2)}).ok());
     auto registered = patia::RegisterObservatory(&server, {"node1"});
     EXPECT_TRUE(registered.ok());
-    EXPECT_EQ(registered->size(), 7u);
+    EXPECT_EQ(registered->size(), 9u);
   }
 
   /// Requests `path` and runs the loop until the body arrives. The
