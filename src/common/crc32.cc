@@ -1,0 +1,172 @@
+#include "common/crc32.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define DBM_CRC32_PCLMUL 1
+#endif
+
+namespace dbm {
+namespace {
+
+// Slice-by-8: eight lookup tables let the loop fold eight input bytes
+// per iteration with independent table loads, breaking the
+// one-byte-at-a-time dependency chain. Same polynomial, same values —
+// only faster. The durable planes (WAL frames, page-file slots,
+// telemetry segments) checksum every 4 KiB they write, so this sits on
+// the writeback hot path.
+struct Crc32Tables {
+  uint32_t t[8][256];
+  Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+inline uint32_t Load32(const uint8_t* p) {
+  // Byte-wise little-endian composition: endian-safe, and compilers
+  // fuse it into a single load where that is the native order.
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+#ifdef DBM_CRC32_PCLMUL
+// PCLMULQDQ folding (Intel's "Fast CRC Computation Using PCLMULQDQ"
+// white paper; the same scheme zlib's SIMD path uses). The folding
+// constants are x^K mod P for the reflected polynomial, so the result
+// is bit-identical to the table path — only ~15x faster on the 4 KiB
+// buffers the page-writeback path checksums. Requires n >= 64 and
+// n % 16 == 0; `crc` is the running *internal* state (pre final-xor).
+__attribute__((target("pclmul,sse4.1"))) uint32_t Crc32Pclmul(
+    const uint8_t* buf, size_t len, uint32_t crc) {
+  alignas(16) static const uint64_t k1k2[2] = {0x0154442bd4, 0x01c6e41596};
+  alignas(16) static const uint64_t k3k4[2] = {0x01751997d0, 0x00ccaa009e};
+  alignas(16) static const uint64_t k5k0[2] = {0x0163cd6124, 0x0000000000};
+  alignas(16) static const uint64_t poly[2] = {0x01db710641, 0x01f7011641};
+  __m128i x0, x1, x2, x3, x4, x5, x6, x7, x8, y5, y6, y7, y8;
+
+  x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  buf += 64;
+  len -= 64;
+
+  // Fold four 128-bit lanes in parallel across each 64-byte block.
+  while (len >= 64) {
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+    y5 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+    y6 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+    y7 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+    y8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), y5);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), y6);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), y7);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), y8);
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four lanes into one.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  // Remaining 16-byte blocks.
+  while (len >= 16) {
+    x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+    buf += 16;
+    len -= 16;
+  }
+
+  // 128 -> 64 bits.
+  x2 = _mm_clmulepi64_si128(x1, x0, 0x10);
+  x3 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, x2);
+  x0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  x2 = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, x3);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  // Barrett reduction 64 -> 32 bits.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+  x2 = _mm_and_si128(x1, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x10);
+  x2 = _mm_and_si128(x2, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  return static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+bool HavePclmul() {
+  static const bool have =
+      __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+  return have;
+}
+#endif  // DBM_CRC32_PCLMUL
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const Crc32Tables tables;
+  const auto& t = tables.t;
+  uint32_t crc = 0xffffffffu;
+#ifdef DBM_CRC32_PCLMUL
+  if (n >= 64 && HavePclmul()) {
+    const size_t chunk = n & ~static_cast<size_t>(15);
+    crc = Crc32Pclmul(data, chunk, crc);
+    data += chunk;
+    n -= chunk;
+  }
+#endif
+  while (n >= 8) {
+    const uint32_t lo = crc ^ Load32(data);
+    const uint32_t hi = Load32(data + 4);
+    crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^
+          t[5][(lo >> 16) & 0xff] ^ t[4][lo >> 24] ^ t[3][hi & 0xff] ^
+          t[2][(hi >> 8) & 0xff] ^ t[1][(hi >> 16) & 0xff] ^
+          t[0][hi >> 24];
+    data += 8;
+    n -= 8;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    crc = t[0][(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace dbm

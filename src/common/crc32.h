@@ -1,0 +1,21 @@
+// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib polynomial).
+//
+// Shared by every durable on-disk format in the tree: black-box
+// telemetry segments (obs/blackbox/format.h), WAL frames
+// (storage/wal.h) and page-file slots (storage/durable_disk.h). One
+// implementation means a checksum computed by any writer verifies under
+// any reader.
+
+#ifndef DBM_COMMON_CRC32_H_
+#define DBM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dbm {
+
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+}  // namespace dbm
+
+#endif  // DBM_COMMON_CRC32_H_

@@ -20,6 +20,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kNotImplemented: return "not-implemented";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kDataLoss: return "data-loss";
   }
   return "unknown";
 }

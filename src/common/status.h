@@ -32,6 +32,8 @@ enum class StatusCode : int {
   kNotImplemented = 13,
   kInternal = 14,
   kDeadlineExceeded = 15,  // supervised call ran past its cycle budget
+  kDataLoss = 16,          // durable bytes are provably gone or corrupt
+                           // (CRC mismatch, torn tail) — never transient
 };
 
 /// Returns the canonical lower-case name for a StatusCode.
@@ -96,6 +98,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -120,12 +125,21 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
 
   /// The shared transient-vs-permanent taxonomy: a retryable failure is
   /// one where the same call may succeed later with no intervention —
   /// the provider was busy, down, or slow (unavailable, resource
   /// exhausted, deadline exceeded). Aborted means a coordinator already
   /// rolled the work back; InvalidArgument and friends will fail forever.
+  /// DataLoss is deliberately NOT retryable either: the bytes are gone —
+  /// retrying the read re-reads the same corrupt sector, and a breaker
+  /// or retry loop that treated it as transient would spin on wreckage
+  /// recovery has to repair instead (WAL replay, torn-tail truncation).
   /// The ORB's supervised retry loop and higher-level callers all gate
   /// on this one predicate.
   bool IsRetryable() const {

@@ -75,25 +75,6 @@ struct Cursor {
 
 }  // namespace
 
-uint32_t Crc32(const uint8_t* data, size_t n) {
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xffffffffu;
-  for (size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
-}
-
 void EncodeSegmentHeader(std::string* out) {
   out->append(kSegmentMagic, sizeof(kSegmentMagic));
   Put32(out, kFormatVersion);

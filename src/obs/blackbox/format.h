@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/crc32.h"
 #include "obs/blackbox/record.h"
 
 namespace dbm::obs::blackbox {
@@ -37,8 +38,11 @@ inline constexpr size_t kFrameHeaderBytes = 8;     // u32 len + u32 crc
 /// corruption, not a record.
 inline constexpr size_t kMaxPayloadBytes = 512;
 
-/// CRC-32 (reflected, poly 0xEDB88320 — the zlib polynomial).
-uint32_t Crc32(const uint8_t* data, size_t n);
+/// CRC-32 (reflected, poly 0xEDB88320) — the shared common/crc32
+/// implementation, re-exported so existing call sites keep compiling.
+inline uint32_t Crc32(const uint8_t* data, size_t n) {
+  return ::dbm::Crc32(data, n);
+}
 
 /// Appends the 12-byte segment header to *out.
 void EncodeSegmentHeader(std::string* out);

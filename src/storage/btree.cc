@@ -122,7 +122,7 @@ PageId DescendChildLeftmost(const Page& p, int64_t key) {
 Result<BPlusTree> BPlusTree::Create(BufferManager* buffer,
                                     DiskComponent* disk) {
   PageId root = disk->Allocate();
-  DBM_ASSIGN_OR_RETURN(Page * page, buffer->GetPage(root));
+  DBM_ASSIGN_OR_RETURN(Page * page, buffer->GetFreshPage(root));
   InitNode(page, /*leaf=*/true);
   DBM_RETURN_NOT_OK(buffer->Unpin(root, /*dirty=*/true));
   return BPlusTree(buffer, disk, root);
@@ -150,7 +150,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertInto(PageId node_id,
     if (n > kLeafCapacity - 1) {
       // Split: move the upper half to a new right sibling.
       PageId right_id = disk_->Allocate();
-      auto right_res = buffer_->GetPage(right_id);
+      auto right_res = buffer_->GetFreshPage(right_id);
       if (!right_res.ok()) {
         (void)buffer_->Unpin(node_id, true);
         return right_res.status();
@@ -197,7 +197,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertInto(PageId node_id,
 
   if (n > kInternalCapacity - 1) {
     PageId right_id = disk_->Allocate();
-    auto right_res = buffer_->GetPage(right_id);
+    auto right_res = buffer_->GetFreshPage(right_id);
     if (!right_res.ok()) {
       (void)buffer_->Unpin(node_id, true);
       return right_res.status();
@@ -228,7 +228,7 @@ Status BPlusTree::Insert(int64_t key, uint64_t value) {
   if (split.split) {
     // Grow a new root.
     PageId new_root = disk_->Allocate();
-    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(new_root));
+    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetFreshPage(new_root));
     InitNode(page, /*leaf=*/false);
     PutU32(page, 8, root_);  // first child = old root
     PutI64(page, kHeader, split.sep_key);

@@ -35,7 +35,9 @@ BufferManager::BufferManager(std::string name, size_t frames, size_t shards)
       frames_(frames),
       pinned_(frames, 0),
       dirty_(frames, 0),
-      resident_(frames, kInvalidPage) {
+      resident_(frames, kInvalidPage),
+      rec_lsn_(frames, 0),
+      page_lsn_(frames, 0) {
   DeclarePort("disk", "disk");
   DeclarePort("policy", "replacement-policy");
   pool_.resize(frames);
@@ -52,6 +54,14 @@ BufferManager::BufferManager(std::string name, size_t frames, size_t shards)
 }
 
 Result<Page*> BufferManager::GetPage(PageId id) {
+  return GetPageInternal(id, /*fresh=*/false);
+}
+
+Result<Page*> BufferManager::GetFreshPage(PageId id) {
+  return GetPageInternal(id, /*fresh=*/true);
+}
+
+Result<Page*> BufferManager::GetPageInternal(PageId id, bool fresh) {
   DBM_ASSIGN_OR_RETURN(ReplacementPolicy * policy,
                        Require<ReplacementPolicy>("policy"));
   Shard& shard = ShardOf(id);
@@ -86,11 +96,21 @@ Result<Page*> BufferManager::GetPage(PageId id) {
       static_cast<double>(gets));
   DBM_ASSIGN_OR_RETURN(size_t frame,
                        FindFreeOrEvict(id % shards_.size(), shard));
-  DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
-  DBM_RETURN_NOT_OK(disk->Read(id, &pool_[frame]));
+  if (fresh) {
+    // Just-allocated page: there are no bytes on disk worth fetching
+    // (and a sparse durable disk has no slot to read yet).
+    pool_[frame].bytes.fill(0);
+    pool_[frame].id = id;
+  } else {
+    DBM_ASSIGN_OR_RETURN(DiskComponent * disk,
+                         Require<DiskComponent>("disk"));
+    DBM_RETURN_NOT_OK(disk->Read(id, &pool_[frame]));
+  }
   resident_[frame] = id;
   shard.where[id] = frame;
   dirty_[frame] = 0;
+  rec_lsn_[frame] = 0;
+  page_lsn_[frame] = 0;
   shard.pin_count[id] = 1;
   pinned_[frame] = 1;
   {
@@ -114,26 +134,90 @@ Status BufferManager::Unpin(PageId id, bool dirty) {
                                       std::to_string(id));
   }
   size_t frame = it->second;
-  if (dirty) dirty_[frame] = 1;
+  if (dirty) {
+    dirty_[frame] = 1;
+    // The recovery horizon: the LSN a checkpoint's redo must reach back
+    // to. Stamped at first dirtying, cleared by writeback.
+    if (wal_ != nullptr && rec_lsn_[frame] == 0) {
+      rec_lsn_[frame] = wal_->next_lsn();
+    }
+  }
   if (--pc->second == 0) pinned_[frame] = 0;
   return Status::OK();
 }
 
 Status BufferManager::FlushAll() {
   DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
+  // Collect dirty frames first, then flush in ascending page-id order:
+  // with a WAL attached the page file after a mid-flush crash is then a
+  // clean prefix of the relation, never an arbitrary subset.
+  std::vector<std::pair<PageId, size_t>> dirty;
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (size_t f = s; f < frames_; f += shards_.size()) {
       if (resident_[f] != kInvalidPage && dirty_[f]) {
-        DBM_RETURN_NOT_OK(disk->Write(resident_[f], pool_[f]));
-        dirty_[f] = 0;
-        ++shard.stats.dirty_writebacks;
-        obs_writebacks_->Add(1);
+        dirty.emplace_back(resident_[f], f);
       }
     }
   }
+  std::sort(dirty.begin(), dirty.end());
+  // Attempt every frame even after a failure and report the first error:
+  // one bad write must not leave every later frame dirty.
+  Status first_error = Status::OK();
+  for (const auto& [id, f] : dirty) {
+    Shard& shard = ShardOf(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (resident_[f] != id || !dirty_[f]) continue;  // raced: evicted/flushed
+    Status s = WriteBack(disk, f, shard);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+Status BufferManager::WriteBack(DiskComponent* disk, size_t frame,
+                                Shard& shard) {
+  PageId id = resident_[frame];
+  if (wal_ != nullptr) {
+    // WAL-before-writeback: append the image, pass the durability
+    // barrier, only then touch the page file. A crash between the two
+    // writes leaves a torn slot whose durable image is already in the
+    // log — recovery repairs it; the reverse order could not.
+    DBM_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendPageImage(id, pool_[frame]));
+    DBM_RETURN_NOT_OK(wal_->Durable(lsn));
+    DBM_RETURN_NOT_OK(disk->Write(id, pool_[frame], lsn));
+    page_lsn_[frame] = lsn;
+  } else {
+    DBM_RETURN_NOT_OK(disk->Write(id, pool_[frame]));
+  }
+  dirty_[frame] = 0;
+  rec_lsn_[frame] = 0;
+  ++shard.stats.dirty_writebacks;
+  obs_writebacks_->Add(1);
   return Status::OK();
+}
+
+Status BufferManager::CheckpointWal() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("CheckpointWal without a wal attached");
+  }
+  // Fuzzy: no flush is forced. Everything below the min rec_lsn over
+  // dirty frames has already been written back, so the log below it is
+  // dead weight once the checkpoint record itself is durable.
+  Lsn redo = wal_->next_lsn();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t f = s; f < frames_; f += shards_.size()) {
+      if (resident_[f] != kInvalidPage && dirty_[f] && rec_lsn_[f] != 0) {
+        redo = std::min(redo, rec_lsn_[f]);
+      }
+    }
+  }
+  DBM_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendCheckpoint(redo));
+  (void)lsn;
+  DBM_RETURN_NOT_OK(wal_->Flush());
+  return wal_->TruncateBelow(redo);
 }
 
 Result<size_t> BufferManager::FindFreeOrEvict(size_t shard_index,
@@ -160,9 +244,7 @@ Result<size_t> BufferManager::FindFreeOrEvict(size_t shard_index,
   if (dirty_[victim]) {
     DBM_ASSIGN_OR_RETURN(DiskComponent * disk,
                          Require<DiskComponent>("disk"));
-    DBM_RETURN_NOT_OK(disk->Write(old, pool_[victim]));
-    ++shard.stats.dirty_writebacks;
-    obs_writebacks_->Add(1);
+    DBM_RETURN_NOT_OK(WriteBack(disk, victim, shard));
   }
   policy->OnEvict(victim);
   shard.where.erase(old);

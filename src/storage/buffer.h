@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/replacement.h"
+#include "storage/wal.h"
 
 namespace dbm::storage {
 
@@ -47,6 +48,15 @@ struct BufferStats {
 /// touch may be skipped (approximate LRU), never blocked on.
 /// The default shards=1 is byte-for-byte the old single-threaded
 /// behavior.
+///
+/// Durability (SetWal): with a WAL attached, every writeback obeys
+/// WAL-before-writeback — the page image is appended to the log and the
+/// durability barrier (Wal::Durable) passed *before* the disk write
+/// begins, so the log always covers the page file and a torn slot can
+/// always be repaired from a durable image. Each frame carries two LSNs:
+/// rec_lsn (first dirtying since the last writeback — the recovery
+/// horizon) and page_lsn (the image last written back). The WAL's mutex
+/// is ordered strictly after the shard latch, like policy_mu_.
 class BufferManager : public component::Component {
  public:
   BufferManager(std::string name, size_t frames, size_t shards = 1);
@@ -54,11 +64,35 @@ class BufferManager : public component::Component {
   /// Pins and returns the page. The pointer stays valid until Unpin.
   Result<Page*> GetPage(PageId id);
 
+  /// GetPage for a page id the caller JUST obtained from
+  /// DiskComponent::Allocate: on a miss the frame is zero-filled
+  /// instead of read from disk — a freshly allocated page has no bytes
+  /// worth fetching. The caller must initialise the page and Unpin it
+  /// dirty, or its frame may be evicted and later reads will see an
+  /// unwritten slot. Behaves exactly like GetPage when the page is
+  /// already resident.
+  Result<Page*> GetFreshPage(PageId id);
+
   /// Releases a pin; `dirty` marks the frame for writeback.
   Status Unpin(PageId id, bool dirty);
 
-  /// Writes back every dirty frame (pinned ones included).
+  /// Writes back every dirty frame (pinned ones included). Attempts ALL
+  /// dirty frames even when one fails, then returns the first error —
+  /// one bad sector must not leave every later frame dirty. With a WAL
+  /// attached, frames flush in ascending page-id order so the page file
+  /// after a mid-flush crash is a clean prefix, not an arbitrary subset.
   Status FlushAll();
+
+  /// Attaches (or detaches, with nullptr) the write-ahead log. Attach
+  /// before the first page is dirtied; the buffer does not own the log.
+  void SetWal(Wal* wal) { wal_ = wal; }
+  Wal* wal() const { return wal_; }
+
+  /// Appends a fuzzy checkpoint: the redo LSN (min rec_lsn across dirty
+  /// frames) is logged and fsynced, then segments wholly below it are
+  /// truncated. No page flush is forced — that is what makes it fuzzy;
+  /// clean pages' images are already in the page file.
+  Status CheckpointWal();
 
   /// Aggregated over shards (by value: the per-shard rows are live).
   BufferStats stats() const;
@@ -88,6 +122,15 @@ class BufferManager : public component::Component {
   /// the shard mutex.
   Result<size_t> FindFreeOrEvict(size_t shard_index, Shard& shard);
 
+  /// Shared body of GetPage/GetFreshPage; `fresh` zero-fills on a miss
+  /// instead of reading from disk.
+  Result<Page*> GetPageInternal(PageId id, bool fresh);
+
+  /// Writes frame `frame` back to `disk` (WAL-before-writeback when a
+  /// log is attached) and clears its dirty state. Caller holds the shard
+  /// mutex of the frame's resident page.
+  Status WriteBack(DiskComponent* disk, size_t frame, Shard& shard);
+
   size_t frames_;
   std::vector<Page> pool_;
   // Frame state. char, not bool: vector<bool> bit-packs neighbours into
@@ -95,6 +138,9 @@ class BufferManager : public component::Component {
   std::vector<char> pinned_;   // derived: pin_count > 0
   std::vector<char> dirty_;
   std::vector<PageId> resident_;
+  std::vector<Lsn> rec_lsn_;   // first dirtying since last writeback
+  std::vector<Lsn> page_lsn_;  // image last written back
+  Wal* wal_ = nullptr;         // not owned; may be null (volatile mode)
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Guards the (global-state) replacement policy; acquired after a

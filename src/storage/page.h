@@ -32,6 +32,12 @@ struct Page {
 /// simple cost model (I/O counts stand in for latency; the environment
 /// simulator converts counts to time when needed).
 ///
+/// The page operations are virtual so a durable implementation
+/// (FileDiskComponent in durable_disk.h) substitutes anywhere a
+/// `Require<DiskComponent>("disk")` port resolves — the buffer manager
+/// neither knows nor cares whether pages live in RAM or in a segment
+/// file. This base class stays the volatile reference implementation.
+///
 /// Concurrency: Read/Write of *distinct* pages may run concurrently (the
 /// sharded buffer manager guarantees a page is ever served by one shard,
 /// so same-page races cannot happen through it); the access counters are
@@ -42,15 +48,18 @@ class DiskComponent : public component::Component {
  public:
   explicit DiskComponent(std::string name = "disk")
       : Component(std::move(name), "disk") {}
+  virtual ~DiskComponent() = default;
 
   /// Allocates a fresh zeroed page. Not thread-safe (see above).
-  PageId Allocate() {
+  /// Returns kInvalidPage only when the disk can no longer allocate
+  /// (a durable implementation whose backing file died).
+  virtual PageId Allocate() {
     pages_.emplace_back();
     pages_.back().id = static_cast<PageId>(pages_.size() - 1);
     return pages_.back().id;
   }
 
-  Status Read(PageId id, Page* out) {
+  virtual Status Read(PageId id, Page* out) {
     if (id >= pages_.size()) {
       return Status::NotFound("disk read of unallocated page " +
                               std::to_string(id));
@@ -60,7 +69,12 @@ class DiskComponent : public component::Component {
     return Status::OK();
   }
 
-  Status Write(PageId id, const Page& page) {
+  /// Writes a page image. `lsn` is the WAL sequence number of the image
+  /// being written (0 = unlogged); the volatile disk ignores it, the
+  /// durable one persists it per slot so recovery can replay
+  /// idempotently by LSN comparison.
+  virtual Status Write(PageId id, const Page& page, uint64_t lsn = 0) {
+    (void)lsn;
     if (id >= pages_.size()) {
       return Status::NotFound("disk write of unallocated page " +
                               std::to_string(id));
@@ -71,14 +85,16 @@ class DiskComponent : public component::Component {
     return Status::OK();
   }
 
-  size_t page_count() const { return pages_.size(); }
+  virtual size_t page_count() const { return pages_.size(); }
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
 
- private:
-  std::vector<Page> pages_;
+ protected:
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+
+ private:
+  std::vector<Page> pages_;
 };
 
 }  // namespace dbm::storage

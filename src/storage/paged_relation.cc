@@ -111,6 +111,15 @@ Result<std::unique_ptr<PagedRelation>> PagedRelation::Load(
   return paged;
 }
 
+Result<std::unique_ptr<PagedRelation>> PagedRelation::Recover(
+    std::string name, data::Schema schema, BufferManager* buffer,
+    DiskComponent* disk) {
+  auto file = std::make_unique<RecordFile>(buffer, disk);
+  DBM_RETURN_NOT_OK(file->Attach());
+  return std::unique_ptr<PagedRelation>(new PagedRelation(
+      std::move(name), std::move(schema), std::move(file)));
+}
+
 Status PagedRelation::Append(const Tuple& tuple) {
   DBM_RETURN_NOT_OK(data::CheckTuple(schema_, tuple));
   std::vector<uint8_t> rec = EncodeTuple(tuple);

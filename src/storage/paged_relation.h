@@ -31,6 +31,15 @@ class PagedRelation {
       const data::Relation& rel, BufferManager* buffer,
       DiskComponent* disk);
 
+  /// Re-attaches to a relation already persisted on `disk` — the
+  /// restart path, after storage::Recover() has replayed the WAL onto
+  /// the page file. Rebuilds the page list and row count from the
+  /// on-disk clean prefix; `name`/`schema` come from the caller (the
+  /// catalog, in a full system).
+  static Result<std::unique_ptr<PagedRelation>> Recover(
+      std::string name, data::Schema schema, BufferManager* buffer,
+      DiskComponent* disk);
+
   const std::string& name() const { return name_; }
   const data::Schema& schema() const { return schema_; }
   size_t rows() const { return file_->record_count(); }

@@ -36,7 +36,7 @@ Result<RecordId> RecordFile::Append(const std::vector<uint8_t>& record) {
   }
   if (target == kInvalidPage) {
     target = disk_->Allocate();
-    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetPage(target));
+    DBM_ASSIGN_OR_RETURN(Page * page, buffer_->GetFreshPage(target));
     PutU16(page, 0, 0);
     PutU16(page, 2, kHeader);
     DBM_RETURN_NOT_OK(buffer_->Unpin(target, true));
@@ -54,6 +54,42 @@ Result<RecordId> RecordFile::Append(const std::vector<uint8_t>& record) {
   DBM_RETURN_NOT_OK(buffer_->Unpin(target, true));
   ++record_count_;
   return RecordId{target, count};
+}
+
+Status RecordFile::Attach() {
+  pages_.clear();
+  record_count_ = 0;
+  for (PageId pid = 0; pid < disk_->page_count(); ++pid) {
+    Result<Page*> page = buffer_->GetPage(pid);
+    if (!page.ok()) {
+      // A torn slot (DataLoss) past the prefix ends the relation — the
+      // torn-tail rule again. Anything else is a real failure.
+      if (page.status().IsDataLoss()) break;
+      return page.status();
+    }
+    uint16_t count = GetU16(**page, 0);
+    uint16_t free_off = GetU16(**page, 2);
+    // Validate the slot directory: lengths must chain exactly to
+    // free_offset. A freshly allocated page a crash left empty
+    // (count == 0) ends the prefix, as does a malformed directory.
+    bool valid = count > 0 && free_off >= kHeader && free_off <= kPageSize;
+    if (valid) {
+      size_t off = kHeader;
+      for (uint16_t s = 0; s < count; ++s) {
+        if (off + 2 > free_off) {
+          valid = false;
+          break;
+        }
+        off += 2 + GetU16(**page, off);
+      }
+      if (off != free_off) valid = false;
+    }
+    DBM_RETURN_NOT_OK(buffer_->Unpin(pid, false));
+    if (!valid) break;
+    pages_.push_back(pid);
+    record_count_ += count;
+  }
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> RecordFile::Read(const RecordId& id) {

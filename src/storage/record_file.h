@@ -34,6 +34,14 @@ class RecordFile {
   /// Appends a record, allocating a new page when the tail page is full.
   Result<RecordId> Append(const std::vector<uint8_t>& record);
 
+  /// Re-attaches to pages already on the disk after a restart (the WAL
+  /// has been replayed by then): walks page ids in order, validates each
+  /// page's slot directory, and stops at the first empty or unreadable
+  /// page — the relation's clean prefix. Assumes the file owns the
+  /// disk's pages 0..n-1 contiguously (one relation per disk, the
+  /// load-then-scan discipline).
+  Status Attach();
+
   /// Reads one record.
   Result<std::vector<uint8_t>> Read(const RecordId& id);
 

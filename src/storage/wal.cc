@@ -1,0 +1,650 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/crc32.h"
+#include "common/json.h"
+#include "fault/injector.h"
+#include "fault/log.h"
+#include "obs/health.h"
+#include "obs/tracectx.h"
+
+namespace dbm::storage {
+
+namespace {
+
+std::atomic<Wal*> g_installed{nullptr};
+
+std::string SegmentName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.seg",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool IsSegmentName(const std::string& name) {
+  return name.rfind("wal-", 0) == 0 && name.size() > 4 &&
+         name.substr(name.size() - 4) == ".seg";
+}
+
+/// Parses the zero-padded sequence out of "wal-NNNNNN.seg" (0 on
+/// anything malformed — harmless, Open just starts a fresh numbering).
+uint64_t SegmentSeq(const std::string& name) {
+  if (!IsSegmentName(name)) return 0;
+  uint64_t seq = 0;
+  for (size_t i = 4; i + 4 < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+void Put8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void Put32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void Put64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+struct Cursor {
+  const uint8_t* data;
+  size_t n;
+  size_t pos = 0;
+
+  bool Get8(uint8_t* v) {
+    if (pos + 1 > n) return false;
+    *v = data[pos++];
+    return true;
+  }
+  bool Get32(uint32_t* v) {
+    if (pos + 4 > n) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)])
+             << (8 * i);
+    }
+    pos += 4;
+    *v = out;
+    return true;
+  }
+  bool Get64(uint64_t* v) {
+    if (pos + 8 > n) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)])
+             << (8 * i);
+    }
+    pos += 8;
+    *v = out;
+    return true;
+  }
+};
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "'");
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::vector<std::string> ListSegments(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (IsSegmentName(name)) names.push_back(name);
+  }
+  // Zero-padded sequence numbers make lexicographic order append order.
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+const char* WalFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kNever: return "never";
+    case WalFsyncPolicy::kInterval: return "interval";
+    case WalFsyncPolicy::kCommit: return "commit";
+  }
+  return "?";
+}
+
+void EncodeWalHeader(std::string* out) {
+  out->append(kWalMagic, sizeof(kWalMagic));
+  Put32(out, kWalFormatVersion);
+}
+
+bool CheckWalHeader(const uint8_t* data, size_t n) {
+  if (n < kWalHeaderBytes) return false;
+  if (std::memcmp(data, kWalMagic, sizeof(kWalMagic)) != 0) return false;
+  uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<uint32_t>(
+                   data[sizeof(kWalMagic) + static_cast<size_t>(i)])
+               << (8 * i);
+  }
+  return version == kWalFormatVersion;
+}
+
+void EncodeWalFrame(const WalRecord& rec, std::string* out) {
+  std::string payload;
+  payload.reserve(rec.type == WalRecordType::kPageImage ? kPageSize + 32
+                                                        : 32);
+  Put8(&payload, static_cast<uint8_t>(rec.type));
+  Put64(&payload, rec.lsn);
+  switch (rec.type) {
+    case WalRecordType::kPageImage:
+      Put32(&payload, rec.page);
+      Put32(&payload, static_cast<uint32_t>(rec.image.size()));
+      payload.append(reinterpret_cast<const char*>(rec.image.data()),
+                     rec.image.size());
+      break;
+    case WalRecordType::kCheckpoint:
+      Put64(&payload, rec.redo_lsn);
+      break;
+  }
+  Put32(out, static_cast<uint32_t>(payload.size()));
+  Put32(out, Crc32(reinterpret_cast<const uint8_t*>(payload.data()),
+                   payload.size()));
+  out->append(payload);
+}
+
+bool DecodeWalFrame(const uint8_t* data, size_t n, WalRecord* rec,
+                    size_t* frame_bytes) {
+  if (n < kWalFrameHeaderBytes) return false;
+  uint32_t len = 0, crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(data[static_cast<size_t>(i)]) << (8 * i);
+    crc |= static_cast<uint32_t>(data[4 + static_cast<size_t>(i)])
+           << (8 * i);
+  }
+  if (len > kMaxWalPayloadBytes || kWalFrameHeaderBytes + len > n) {
+    return false;
+  }
+  const uint8_t* payload = data + kWalFrameHeaderBytes;
+  if (Crc32(payload, len) != crc) return false;
+  Cursor cur{payload, len};
+  WalRecord out;
+  uint8_t type = 0;
+  if (!cur.Get8(&type)) return false;
+  if (!cur.Get64(&out.lsn)) return false;
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kPageImage): {
+      out.type = WalRecordType::kPageImage;
+      uint32_t image_len = 0;
+      if (!cur.Get32(&out.page)) return false;
+      if (!cur.Get32(&image_len)) return false;
+      if (image_len != kPageSize || cur.pos + image_len != len) {
+        return false;
+      }
+      out.image.assign(payload + cur.pos, payload + cur.pos + image_len);
+      cur.pos += image_len;
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kCheckpoint):
+      out.type = WalRecordType::kCheckpoint;
+      if (!cur.Get64(&out.redo_lsn)) return false;
+      break;
+    default:
+      return false;
+  }
+  if (cur.pos != len) return false;
+  *rec = std::move(out);
+  *frame_bytes = kWalFrameHeaderBytes + len;
+  return true;
+}
+
+Status ScanWal(
+    const std::string& dir,
+    const std::function<bool(const WalRecord& rec,
+                             const std::string& segment)>& fn,
+    WalScanReport* report) {
+  *report = WalScanReport{};
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::OK();  // fresh database: nothing to recover
+  }
+  std::vector<std::string> names = ListSegments(dir);
+  Lsn prev_lsn = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string path = dir + "/" + names[i];
+    DBM_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    ++report->segments_scanned;
+    report->bytes_scanned += bytes.size();
+    WalScanReport::Segment seg;
+    seg.path = path;
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+    size_t pos = 0;
+    bool torn = false;
+    if (!CheckWalHeader(data, bytes.size())) {
+      torn = true;
+    } else {
+      pos = kWalHeaderBytes;
+      while (pos < bytes.size()) {
+        WalRecord rec;
+        size_t frame_bytes = 0;
+        if (!DecodeWalFrame(data + pos, bytes.size() - pos, &rec,
+                            &frame_bytes) ||
+            rec.lsn <= prev_lsn) {
+          // A bad checksum — or an LSN that runs backwards, which only a
+          // stale or spliced segment produces — ends the trusted history.
+          torn = true;
+          break;
+        }
+        prev_lsn = rec.lsn;
+        seg.bytes += frame_bytes;
+        ++seg.frames;
+        if (seg.first_lsn == 0) seg.first_lsn = rec.lsn;
+        seg.last_lsn = rec.lsn;
+        ++report->frames;
+        report->max_lsn = rec.lsn;
+        if (rec.type == WalRecordType::kCheckpoint) {
+          ++report->checkpoints;
+          report->redo_lsn = rec.redo_lsn;
+        }
+        pos += frame_bytes;
+        if (fn && !fn(rec, path)) {
+          report->segments.push_back(std::move(seg));
+          return Status::OK();
+        }
+      }
+    }
+    report->segments.push_back(std::move(seg));
+    if (torn) {
+      // The torn-tail rule: the first untrusted frame ends the history.
+      // Whole later segments postdate the tear and cannot be trusted to
+      // follow a contiguous prefix, so the scan stops entirely.
+      report->truncated = true;
+      report->truncated_segment = path;
+      report->truncated_offset = pos;
+      report->torn_tail_bytes += bytes.size() - pos;
+      for (size_t j = i + 1; j < names.size(); ++j) {
+        std::error_code size_ec;
+        report->torn_tail_bytes += static_cast<uint64_t>(
+            std::filesystem::file_size(dir + "/" + names[j], size_ec));
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Wal::Wal(WalOptions options)
+    : options_(std::move(options)),
+      m_appends_(&obs::Registry::Default().GetCounter("wal.appends")),
+      m_bytes_(&obs::Registry::Default().GetCounter("wal.bytes")),
+      m_fsyncs_(&obs::Registry::Default().GetCounter("wal.fsyncs")),
+      m_checkpoints_(
+          &obs::Registry::Default().GetCounter("wal.checkpoints")),
+      m_truncated_(
+          &obs::Registry::Default().GetCounter("wal.truncated_segments")),
+      m_segments_(&obs::Registry::Default().GetGauge("wal.segments")),
+      m_durable_lsn_(
+          &obs::Registry::Default().GetGauge("wal.durable_lsn")),
+      m_flush_lag_(&obs::Registry::Default().GetGauge("wal.flush_lag")) {
+  scratch_.reserve(kMaxWalPayloadBytes + kWalFrameHeaderBytes);
+  append_point_ = fault::Injector::Default().GetPoint("storage.wal.append");
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(WalOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("Wal needs a segment directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create '" + options.dir +
+                               "': " + ec.message());
+  }
+  std::unique_ptr<Wal> wal(new Wal(std::move(options)));
+
+  // Scan whatever history survived: trust the prefix, physically
+  // truncate the torn tail so new appends never land behind bytes no
+  // reader would believe, and resume LSNs past the trusted end.
+  WalScanReport report;
+  DBM_RETURN_NOT_OK(ScanWal(wal->options_.dir, nullptr, &report));
+  if (report.truncated) {
+    if (report.truncated_offset <= kWalHeaderBytes) {
+      ::unlink(report.truncated_segment.c_str());
+    } else {
+      if (::truncate(report.truncated_segment.c_str(),
+                     static_cast<off_t>(report.truncated_offset)) != 0) {
+        return Status::IoError("cannot truncate torn tail of '" +
+                               report.truncated_segment + "'");
+      }
+    }
+    // Unlink every segment past the tear.
+    bool past = false;
+    for (const std::string& name : ListSegments(wal->options_.dir)) {
+      const std::string path = wal->options_.dir + "/" + name;
+      if (past) ::unlink(path.c_str());
+      if (path == report.truncated_segment) past = true;
+    }
+  }
+  uint64_t last_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal->mu_);
+    for (const WalScanReport::Segment& seg : report.segments) {
+      if (seg.frames == 0) continue;
+      Segment s;
+      s.path = seg.path;
+      s.first_lsn = seg.first_lsn;
+      s.last_lsn = seg.last_lsn;
+      s.sealed = true;
+      wal->segments_.push_back(std::move(s));
+      last_seq = std::max(
+          last_seq,
+          SegmentSeq(std::filesystem::path(seg.path).filename().string()));
+    }
+    wal->segment_seq_ = last_seq;
+    wal->next_lsn_ = report.max_lsn + 1;
+    wal->flushed_lsn_ = report.max_lsn;
+    wal->durable_lsn_ = report.max_lsn;
+    DBM_RETURN_NOT_OK(wal->OpenSegmentLocked());
+    wal->m_durable_lsn_->Set(static_cast<double>(wal->durable_lsn_));
+    wal->m_flush_lag_->Set(0);
+  }
+  return wal;
+}
+
+Wal::~Wal() {
+  Uninstall();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (!dead_) FsyncLocked();
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Wal::OpenSegmentLocked() {
+  ++segment_seq_;
+  std::string path = options_.dir + "/" + SegmentName(segment_seq_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    return Status::Unavailable("cannot open wal segment '" + path + "'");
+  }
+  std::string header;
+  EncodeWalHeader(&header);
+  if (::write(fd_, header.data(), header.size()) !=
+      static_cast<ssize_t>(header.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Unavailable("cannot write wal header to '" + path +
+                               "'");
+  }
+  segment_size_ = header.size();
+  segment_frames_ = 0;
+  Segment seg;
+  seg.path = path;
+  segments_.push_back(std::move(seg));
+  ++segments_created_;
+  m_segments_->Set(static_cast<double>(segments_.size()));
+  return Status::OK();
+}
+
+void Wal::SealSegmentLocked() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  if (!segments_.empty()) segments_.back().sealed = true;
+}
+
+void Wal::FsyncLocked() {
+  if (fd_ < 0) return;
+  obs::SpanScope span("wal.fsync", "storage");
+  ::fsync(fd_);
+  ++fsyncs_;
+  m_fsyncs_->Add(1);
+  durable_lsn_ = flushed_lsn_;
+  bytes_since_fsync_ = 0;
+  m_durable_lsn_->Set(static_cast<double>(durable_lsn_));
+  m_flush_lag_->Set(static_cast<double>(flushed_lsn_ - durable_lsn_));
+}
+
+Result<Lsn> Wal::AppendLocked(WalRecord* rec) {
+  if (dead_) {
+    return Status::Unavailable("wal is dead (crash fault)");
+  }
+  rec->lsn = next_lsn_;
+  scratch_.clear();
+  EncodeWalFrame(*rec, &scratch_);
+  return CommitScratchLocked(rec->lsn);
+}
+
+/// Rotation, the fault point, the write and the bookkeeping for the
+/// frame already encoded in scratch_. Split from AppendLocked so the
+/// page-image fast path can encode in place and skip the WalRecord
+/// detour (three 4 KiB copies and a heap allocation per writeback).
+Result<Lsn> Wal::CommitScratchLocked(Lsn lsn) {
+  if (segment_frames_ > 0 &&
+      segment_size_ + scratch_.size() > options_.segment_bytes) {
+    SealSegmentLocked();
+    DBM_RETURN_NOT_OK(OpenSegmentLocked());
+  }
+  if (append_point_->armed()) {
+    fault::Decision verdict = append_point_->Decide();
+    if (verdict.crash) {
+      // Act the crash out: half a frame on disk, then the log dies —
+      // exactly the torn tail a kill -9 mid-append leaves behind.
+      // Recovery must truncate here and keep every frame before it.
+      size_t half = scratch_.size() / 2;
+      (void)!::write(fd_, scratch_.data(), half);
+      dead_ = true;
+      fault::Record(fault::FaultEventKind::kInjected, "storage.wal.append",
+                    "crash mid-append: torn frame in " +
+                        (segments_.empty() ? options_.dir
+                                           : segments_.back().path),
+                    0);
+      return Status::Unavailable("wal is dead (injected crash mid-append)");
+    }
+    if (verdict.error) {
+      // A failed append consumes no LSN and leaves no bytes: the caller
+      // may retry and the history stays contiguous.
+      return Status::IoError("injected wal append error");
+    }
+  }
+  if (::write(fd_, scratch_.data(), scratch_.size()) !=
+      static_cast<ssize_t>(scratch_.size())) {
+    dead_ = true;
+    return Status::Unavailable("short write to wal segment '" +
+                               segments_.back().path + "'");
+  }
+  segment_size_ += scratch_.size();
+  ++segment_frames_;
+  if (segments_.back().first_lsn == 0) segments_.back().first_lsn = lsn;
+  segments_.back().last_lsn = lsn;
+  flushed_lsn_ = lsn;
+  next_lsn_ = lsn + 1;
+  ++appends_;
+  bytes_ += scratch_.size();
+  bytes_since_fsync_ += scratch_.size();
+  m_appends_->Add(1);
+  m_bytes_->Add(scratch_.size());
+  if (options_.fsync == WalFsyncPolicy::kInterval &&
+      bytes_since_fsync_ >= options_.fsync_interval_bytes) {
+    FsyncLocked();
+  }
+  m_flush_lag_->Set(static_cast<double>(flushed_lsn_ - durable_lsn_));
+  return lsn;
+}
+
+Result<Lsn> Wal::AppendPageImage(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) {
+    return Status::Unavailable("wal is dead (crash fault)");
+  }
+  // Writeback hot path: encode straight into scratch_ — one image copy,
+  // byte-identical to EncodeWalFrame on a kPageImage WalRecord.
+  const Lsn lsn = next_lsn_;
+  constexpr uint32_t kPayloadBytes =
+      1 + 8 + 4 + 4 + static_cast<uint32_t>(kPageSize);
+  scratch_.clear();
+  Put32(&scratch_, kPayloadBytes);
+  Put32(&scratch_, 0);  // CRC, patched below
+  Put8(&scratch_, static_cast<uint8_t>(WalRecordType::kPageImage));
+  Put64(&scratch_, lsn);
+  Put32(&scratch_, id);
+  Put32(&scratch_, static_cast<uint32_t>(kPageSize));
+  scratch_.append(reinterpret_cast<const char*>(page.bytes.data()),
+                  kPageSize);
+  const uint32_t crc =
+      Crc32(reinterpret_cast<const uint8_t*>(scratch_.data()) +
+                kWalFrameHeaderBytes,
+            kPayloadBytes);
+  for (int i = 0; i < 4; ++i) {
+    scratch_[4 + static_cast<size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  return CommitScratchLocked(lsn);
+}
+
+Result<Lsn> Wal::AppendCheckpoint(Lsn redo_lsn) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  rec.redo_lsn = redo_lsn;
+  std::lock_guard<std::mutex> lock(mu_);
+  DBM_ASSIGN_OR_RETURN(Lsn lsn, AppendLocked(&rec));
+  ++checkpoints_;
+  m_checkpoints_->Add(1);
+  return lsn;
+}
+
+Status Wal::Durable(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return Status::Unavailable("wal is dead (crash fault)");
+  if (lsn > flushed_lsn_) {
+    return Status::FailedPrecondition(
+        "durability barrier requested past the flushed LSN");
+  }
+  if (lsn <= durable_lsn_) return Status::OK();
+  if (options_.fsync == WalFsyncPolicy::kCommit) FsyncLocked();
+  // kNever / kInterval: the barrier trails by design — the torn-tail
+  // rule still bounds what a crash can cost to the un-fsynced tail.
+  return Status::OK();
+}
+
+Status Wal::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return Status::Unavailable("wal is dead (crash fault)");
+  FsyncLocked();
+  return Status::OK();
+}
+
+Status Wal::TruncateBelow(Lsn redo_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (segments_.size() > 1 && segments_.front().sealed &&
+         segments_.front().last_lsn != 0 &&
+         segments_.front().last_lsn < redo_lsn) {
+    ::unlink(segments_.front().path.c_str());
+    segments_.pop_front();
+    ++truncated_segments_;
+    m_truncated_->Add(1);
+  }
+  m_segments_->Set(static_cast<double>(segments_.size()));
+  return Status::OK();
+}
+
+Lsn Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Lsn Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats out;
+  out.next_lsn = next_lsn_;
+  out.flushed_lsn = flushed_lsn_;
+  out.durable_lsn = durable_lsn_;
+  out.appends = appends_;
+  out.bytes = bytes_;
+  out.fsyncs = fsyncs_;
+  out.checkpoints = checkpoints_;
+  out.segments_created = segments_created_;
+  out.segments_live = segments_.size();
+  out.truncated_segments = truncated_segments_;
+  out.dead = dead_;
+  return out;
+}
+
+std::vector<std::string> Wal::SegmentPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(segments_.size());
+  for (const Segment& seg : segments_) out.push_back(seg.path);
+  return out;
+}
+
+void Wal::Install() {
+  g_installed.store(this, std::memory_order_release);
+  static bool section_registered = [] {
+    obs::RegisterFlightSection("wal", [] {
+      Wal* wal = Wal::Installed();
+      return wal == nullptr ? std::string("null")
+                            : wal->FlightSectionJson();
+    });
+    return true;
+  }();
+  (void)section_registered;
+}
+
+void Wal::Uninstall() {
+  Wal* self = this;
+  g_installed.compare_exchange_strong(self, nullptr);
+}
+
+Wal* Wal::Installed() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+std::string Wal::FlightSectionJson() const {
+  WalStats s = stats();
+  std::string out = "{\"dir\":\"" + JsonEscape(options_.dir) + "\"";
+  out += ",\"fsync\":\"" +
+         std::string(WalFsyncPolicyName(options_.fsync)) + "\"";
+  out += ",\"next_lsn\":" + std::to_string(s.next_lsn);
+  out += ",\"flushed_lsn\":" + std::to_string(s.flushed_lsn);
+  out += ",\"durable_lsn\":" + std::to_string(s.durable_lsn);
+  out += ",\"appends\":" + std::to_string(s.appends);
+  out += ",\"bytes\":" + std::to_string(s.bytes);
+  out += ",\"fsyncs\":" + std::to_string(s.fsyncs);
+  out += ",\"checkpoints\":" + std::to_string(s.checkpoints);
+  out += ",\"truncated_segments\":" + std::to_string(s.truncated_segments);
+  out += std::string(",\"dead\":") + (s.dead ? "true" : "false");
+  out += ",\"segments\":[";
+  bool first = true;
+  for (const std::string& path : SegmentPaths()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(path) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dbm::storage

@@ -1,0 +1,249 @@
+// The write-ahead log: durability for the paged store.
+//
+// PR 8's black box proved the frame/CRC/torn-tail recipe on telemetry;
+// this module applies the same recipe to the data plane. The log is a
+// directory of segment files ("wal-000001.seg", ...), each starting with
+// an 8-byte magic ("DBMWAL01") + u32 version, followed by CRC-framed
+// records:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// A payload is either a physical page image (type, LSN, page id, the
+// 4096 bytes) or a fuzzy checkpoint (type, LSN, redo LSN). LSNs are
+// assigned at append, strictly monotonic across segments, and define
+// three watermarks:
+//
+//   next_lsn     the LSN the next append will take
+//   flushed_lsn  last frame fully handed to the OS (write(2) returned)
+//   durable_lsn  last frame covered by an fsync — the durability barrier
+//
+// FsyncPolicy governs how the barrier advances: kNever (it trails until
+// an explicit Flush — the deterministic-test mode), kInterval (fsync
+// every fsync_interval_bytes), kCommit (Durable(lsn) fsyncs immediately,
+// so the WAL-before-writeback barrier is a real fsync per writeback).
+//
+// Recovery is the torn-tail rule verbatim: scan segments in name order,
+// stop at the first frame that fails its checksum, trust nothing after
+// it. Wal::Open physically truncates the torn tail (and unlinks any
+// later segments) so new appends never land behind unreadable bytes,
+// then resumes LSNs where the trusted prefix ended.
+//
+// Truncation: once every page dirtied before some redo LSN has been
+// written back to the page file, the segments wholly below that LSN are
+// dead weight; TruncateBelow unlinks them (fuzzy checkpoints record the
+// redo LSN so a restart knows the same thing).
+
+#ifndef DBM_STORAGE_WAL_H_
+#define DBM_STORAGE_WAL_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "storage/page.h"
+
+namespace dbm::fault {
+class Point;
+}  // namespace dbm::fault
+
+namespace dbm::storage {
+
+/// WAL sequence number. 0 is "no LSN"; the first record gets 1.
+using Lsn = uint64_t;
+
+enum class WalFsyncPolicy { kNever, kInterval, kCommit };
+const char* WalFsyncPolicyName(WalFsyncPolicy policy);
+
+inline constexpr char kWalMagic[8] = {'D', 'B', 'M', 'W', 'A', 'L',
+                                      '0', '1'};
+inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr size_t kWalHeaderBytes = 12;      // magic + u32 version
+inline constexpr size_t kWalFrameHeaderBytes = 8;  // u32 len + u32 crc
+/// Upper bound on an encoded payload (a page image plus headroom);
+/// anything longer on disk is corruption, not a record.
+inline constexpr size_t kMaxWalPayloadBytes = kPageSize + 64;
+
+enum class WalRecordType : uint8_t {
+  kPageImage = 1,
+  kCheckpoint = 2,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kPageImage;
+  Lsn lsn = 0;
+  PageId page = kInvalidPage;   // kPageImage
+  Lsn redo_lsn = 0;             // kCheckpoint: replay may start here
+  std::vector<uint8_t> image;   // kPageImage: exactly kPageSize bytes
+};
+
+/// Appends one complete frame (header + payload) for `rec` to *out.
+void EncodeWalFrame(const WalRecord& rec, std::string* out);
+/// Decodes the frame at data[0..n). Returns false on a torn or corrupt
+/// frame (the torn-tail signal).
+bool DecodeWalFrame(const uint8_t* data, size_t n, WalRecord* rec,
+                    size_t* frame_bytes);
+void EncodeWalHeader(std::string* out);
+bool CheckWalHeader(const uint8_t* data, size_t n);
+
+struct WalOptions {
+  std::string dir;                 // segment directory (created if absent)
+  size_t segment_bytes = 1 << 20;  // rotate past this size
+  WalFsyncPolicy fsync = WalFsyncPolicy::kNever;
+  uint64_t fsync_interval_bytes = 1 << 16;  // kInterval threshold
+};
+
+struct WalStats {
+  Lsn next_lsn = 1;
+  Lsn flushed_lsn = 0;
+  Lsn durable_lsn = 0;
+  uint64_t appends = 0;
+  uint64_t bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t checkpoints = 0;
+  uint64_t segments_created = 0;
+  uint64_t segments_live = 0;
+  uint64_t truncated_segments = 0;
+  bool dead = false;
+};
+
+/// What a scan of a WAL directory found (shared by Wal::Open, recovery
+/// and tools/wal_dump).
+struct WalScanReport {
+  uint64_t segments_scanned = 0;
+  uint64_t frames = 0;
+  uint64_t bytes_scanned = 0;
+  bool truncated = false;              // a torn/corrupt frame ended the scan
+  std::string truncated_segment;
+  uint64_t truncated_offset = 0;
+  uint64_t torn_tail_bytes = 0;        // bytes past the tear, now untrusted
+  Lsn max_lsn = 0;                     // highest trusted LSN
+  Lsn redo_lsn = 0;                    // from the last checkpoint seen
+  uint64_t checkpoints = 0;
+
+  struct Segment {
+    std::string path;
+    uint64_t frames = 0;
+    Lsn first_lsn = 0;
+    Lsn last_lsn = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<Segment> segments;
+};
+
+/// Streams every trusted frame under `dir` through `fn` in append order,
+/// applying the torn-tail rule: the first bad frame truncates the
+/// history there — nothing after it (including whole later segments) is
+/// visited. `fn` may return false to stop early. A missing or empty
+/// directory is a fresh database, not an error: OK with an empty report.
+Status ScanWal(
+    const std::string& dir,
+    const std::function<bool(const WalRecord& rec,
+                             const std::string& segment)>& fn,
+    WalScanReport* report);
+
+/// The log itself. All methods are thread-safe behind one internal
+/// mutex — the WAL is ordered after the buffer shard latches and takes
+/// no lock of any other subsystem.
+class Wal {
+ public:
+  /// Opens (creating the directory if needed). An existing history is
+  /// scanned with the torn-tail rule; the torn tail is physically
+  /// truncated, later segments unlinked, and LSNs resume after the
+  /// trusted prefix. Everything surviving on disk at open counts as
+  /// durable (it will be read back by the next recovery scan).
+  static Result<std::unique_ptr<Wal>> Open(WalOptions options);
+  ~Wal();
+
+  /// Appends a physical page image, returning its LSN. Consults the
+  /// `storage.wal.append` fault point: an injected crash writes half a
+  /// frame and kills the log — byte-identical to kill -9 mid-append.
+  Result<Lsn> AppendPageImage(PageId id, const Page& page);
+
+  /// Appends a fuzzy-checkpoint record carrying the redo LSN (the
+  /// lowest rec_lsn across dirty frames; recovery may start replay
+  /// there instead of at the log's beginning).
+  Result<Lsn> AppendCheckpoint(Lsn redo_lsn);
+
+  /// The WAL-before-writeback barrier: returns once the frame at `lsn`
+  /// is durable *per the policy*. kCommit fsyncs immediately; kInterval
+  /// and kNever return without forcing (their barrier trails — the
+  /// torn-tail rule still bounds what a crash can cost).
+  Status Durable(Lsn lsn);
+
+  /// Unconditional fsync (clean shutdown, checkpoints).
+  Status Flush();
+
+  /// Unlinks sealed segments whose every frame is below `redo_lsn`.
+  Status TruncateBelow(Lsn redo_lsn);
+
+  Lsn next_lsn() const;
+  Lsn durable_lsn() const;
+  WalStats stats() const;
+  std::vector<std::string> SegmentPaths() const;
+  const WalOptions& options() const { return options_; }
+
+  /// Registers this log as the flight-recorder "wal" section (the
+  /// section reads through Installed(), so a destroyed log never leaves
+  /// a dangling capture behind).
+  void Install();
+  void Uninstall();
+  static Wal* Installed();
+  std::string FlightSectionJson() const;
+
+ private:
+  explicit Wal(WalOptions options);
+
+  Status OpenSegmentLocked();
+  void SealSegmentLocked();
+  void FsyncLocked();
+  Result<Lsn> AppendLocked(WalRecord* rec);
+  Result<Lsn> CommitScratchLocked(Lsn lsn);
+
+  struct Segment {
+    std::string path;
+    Lsn first_lsn = 0;
+    Lsn last_lsn = 0;
+    bool sealed = false;
+  };
+
+  mutable std::mutex mu_;
+  WalOptions options_;
+  int fd_ = -1;
+  uint64_t segment_seq_ = 0;
+  size_t segment_size_ = 0;
+  uint64_t segment_frames_ = 0;
+  std::deque<Segment> segments_;  // back() is the open segment
+
+  Lsn next_lsn_ = 1;
+  Lsn flushed_lsn_ = 0;
+  Lsn durable_lsn_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t bytes_since_fsync_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t segments_created_ = 0;
+  uint64_t truncated_segments_ = 0;
+  bool dead_ = false;
+  std::string scratch_;
+
+  fault::Point* append_point_;
+
+  obs::Counter* m_appends_;
+  obs::Counter* m_bytes_;
+  obs::Counter* m_fsyncs_;
+  obs::Counter* m_checkpoints_;
+  obs::Counter* m_truncated_;
+  obs::Gauge* m_segments_;
+  obs::Gauge* m_durable_lsn_;
+  obs::Gauge* m_flush_lag_;
+};
+
+}  // namespace dbm::storage
+
+#endif  // DBM_STORAGE_WAL_H_

@@ -1,0 +1,811 @@
+// Durable paged storage under test: WAL frame fuzzing (truncate / flip /
+// extend), torn-tail recovery, segment rotation and truncation, fsync
+// policies, the file-backed disk's CRC slots, WAL-before-writeback, the
+// FlushAll error-reporting contract, and the headline property — an
+// injected crash mid-bulk-load recovers to an exactly-once durable
+// prefix under the chaos seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "fault/injector.h"
+#include "fault/recovery.h"
+#include "storage/buffer.h"
+#include "storage/durable_disk.h"
+#include "storage/paged_relation.h"
+#include "storage/replacement.h"
+#include "storage/wal.h"
+
+namespace dbm::storage {
+namespace {
+
+// Every test starts from a clean injector: the chaos CI runs this binary
+// with storage.wal.append:crash and storage.disk.write:error armed
+// process-wide, and only the crash tests want those points live (they
+// arm them themselves, per seed).
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fault::Injector::Default().Configure("", 0).ok());
+    base_ = std::filesystem::temp_directory_path() /
+            ("wal_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    std::filesystem::remove_all(base_);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override {
+    fault::Injector::Default().Reset();
+    std::filesystem::remove_all(base_);
+  }
+
+  std::string WalDir() const { return (base_ / "log.wal").string(); }
+  std::string PagePath() const { return (base_ / "pages.dbm").string(); }
+
+  static Page MakePage(PageId id, uint8_t fill) {
+    Page p;
+    p.id = id;
+    p.bytes.fill(fill);
+    return p;
+  }
+
+  std::filesystem::path base_;
+};
+
+/// A buffer/disk/policy rig over a durable disk + WAL. shards=1 keeps
+/// LRU eviction exact, so writebacks happen in page-fill order and the
+/// durable prefix is deterministic.
+struct DurableRig {
+  std::shared_ptr<FileDiskComponent> disk;
+  std::unique_ptr<Wal> wal;
+  std::shared_ptr<BufferManager> buffer;
+
+  static Result<DurableRig> Make(const std::string& page_path,
+                                 const std::string& wal_dir, size_t frames,
+                                 WalOptions wal_options = {}) {
+    DurableRig rig;
+    DBM_ASSIGN_OR_RETURN(auto disk, FileDiskComponent::Open(page_path));
+    rig.disk = std::move(disk);
+    wal_options.dir = wal_dir;
+    DBM_ASSIGN_OR_RETURN(rig.wal, Wal::Open(wal_options));
+    rig.buffer = std::make_shared<BufferManager>("buf", frames);
+    rig.buffer->FindPort("disk")->SetTarget(rig.disk);
+    rig.buffer->FindPort("policy")->SetTarget(std::make_shared<LruPolicy>());
+    rig.buffer->SetWal(rig.wal.get());
+    return rig;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Frame codec + fuzz
+// ---------------------------------------------------------------------
+
+TEST_F(WalTest, FrameRoundTripsBothRecordTypes) {
+  WalRecord image;
+  image.type = WalRecordType::kPageImage;
+  image.lsn = 42;
+  image.page = 7;
+  image.image.assign(kPageSize, 0xAB);
+  std::string buf;
+  EncodeWalFrame(image, &buf);
+
+  WalRecord out;
+  size_t frame_bytes = 0;
+  ASSERT_TRUE(DecodeWalFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                             buf.size(), &out, &frame_bytes));
+  EXPECT_EQ(frame_bytes, buf.size());
+  EXPECT_EQ(out.type, WalRecordType::kPageImage);
+  EXPECT_EQ(out.lsn, 42u);
+  EXPECT_EQ(out.page, 7u);
+  EXPECT_EQ(out.image, image.image);
+
+  WalRecord ckpt;
+  ckpt.type = WalRecordType::kCheckpoint;
+  ckpt.lsn = 43;
+  ckpt.redo_lsn = 40;
+  buf.clear();
+  EncodeWalFrame(ckpt, &buf);
+  ASSERT_TRUE(DecodeWalFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                             buf.size(), &out, &frame_bytes));
+  EXPECT_EQ(out.type, WalRecordType::kCheckpoint);
+  EXPECT_EQ(out.redo_lsn, 40u);
+}
+
+TEST_F(WalTest, FrameFuzzEveryTruncationRejected) {
+  WalRecord rec;
+  rec.type = WalRecordType::kPageImage;
+  rec.lsn = 1;
+  rec.page = 0;
+  rec.image.assign(kPageSize, 0x5C);
+  std::string buf;
+  EncodeWalFrame(rec, &buf);
+  WalRecord out;
+  size_t frame_bytes = 0;
+  // Stepped near the interesting boundaries, exhaustive at the header.
+  for (size_t n = 0; n < buf.size(); n = n < 64 ? n + 1 : n + 97) {
+    EXPECT_FALSE(DecodeWalFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                                n, &out, &frame_bytes))
+        << "truncation to " << n << " bytes decoded";
+  }
+}
+
+TEST_F(WalTest, FrameFuzzEveryBitFlipRejected) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  rec.lsn = 9;
+  rec.redo_lsn = 5;
+  std::string buf;
+  EncodeWalFrame(rec, &buf);
+  WalRecord out;
+  size_t frame_bytes = 0;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = buf;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      // A flip in the length field may make the frame run past the
+      // buffer; a flip anywhere else fails the CRC. Either way: false.
+      EXPECT_FALSE(DecodeWalFrame(
+          reinterpret_cast<const uint8_t*>(corrupt.data()), corrupt.size(),
+          &out, &frame_bytes))
+          << "flip at byte " << i << " bit " << bit << " decoded";
+    }
+  }
+}
+
+TEST_F(WalTest, FrameFuzzTrailingGarbageLeftForNextFrame) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  rec.lsn = 9;
+  rec.redo_lsn = 5;
+  std::string buf;
+  EncodeWalFrame(rec, &buf);
+  size_t clean = buf.size();
+  buf += "garbage after the frame";
+  WalRecord out;
+  size_t frame_bytes = 0;
+  ASSERT_TRUE(DecodeWalFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                             buf.size(), &out, &frame_bytes));
+  EXPECT_EQ(frame_bytes, clean);  // the garbage is the *next* (torn) frame
+}
+
+// ---------------------------------------------------------------------
+// Append / scan / reopen
+// ---------------------------------------------------------------------
+
+TEST_F(WalTest, AppendScanRoundTrip) {
+  auto wal = Wal::Open({.dir = WalDir()});
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  for (PageId id = 0; id < 5; ++id) {
+    auto lsn = (*wal)->AppendPageImage(id, MakePage(id, uint8_t(id + 1)));
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(*lsn, Lsn{id} + 1);  // LSNs start at 1, contiguous
+  }
+  ASSERT_TRUE((*wal)->AppendCheckpoint(3).ok());
+  wal->reset();  // close cleanly
+
+  WalScanReport report;
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(ScanWal(WalDir(),
+                      [&](const WalRecord& rec, const std::string&) {
+                        records.push_back(rec);
+                        return true;
+                      },
+                      &report)
+                  .ok());
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.max_lsn, 6u);
+  EXPECT_EQ(report.redo_lsn, 3u);
+  EXPECT_EQ(report.checkpoints, 1u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].page, PageId(i));
+    EXPECT_EQ(records[i].image[0], uint8_t(i + 1));
+  }
+}
+
+TEST_F(WalTest, ScanOfMissingDirIsEmptyNotError) {
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(WalDir() + "/never_created", nullptr, &report).ok());
+  EXPECT_EQ(report.frames, 0u);
+  EXPECT_FALSE(report.truncated);
+}
+
+TEST_F(WalTest, TornTailTruncatesHistoryAndReopenRepairs) {
+  {
+    auto wal = Wal::Open({.dir = WalDir()});
+    ASSERT_TRUE(wal.ok());
+    for (PageId id = 0; id < 4; ++id) {
+      ASSERT_TRUE((*wal)->AppendPageImage(id, MakePage(id, 1)).ok());
+    }
+  }
+  // Tear the tail: half a frame of garbage, as a crash mid-append leaves.
+  auto segments = [&] {
+    std::vector<std::string> out;
+    for (const auto& e : std::filesystem::directory_iterator(WalDir())) {
+      out.push_back(e.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }();
+  ASSERT_FALSE(segments.empty());
+  uint64_t clean_size = std::filesystem::file_size(segments.back());
+  {
+    std::ofstream f(segments.back(), std::ios::app | std::ios::binary);
+    f << "\x13\x00\x00\x00 half a frame of torn byt";
+  }
+
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(WalDir(), nullptr, &report).ok());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.frames, 4u);  // the trusted prefix survives intact
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+
+  // Reopen: the torn tail is physically gone; LSNs resume after the
+  // trusted prefix; the next scan is clean.
+  auto wal = Wal::Open({.dir = WalDir()});
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(std::filesystem::file_size(segments.back()), clean_size);
+  EXPECT_EQ((*wal)->next_lsn(), 5u);
+  ASSERT_TRUE((*wal)->AppendPageImage(9, MakePage(9, 2)).ok());
+  wal->reset();
+  ASSERT_TRUE(ScanWal(WalDir(), nullptr, &report).ok());
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.frames, 5u);
+  EXPECT_EQ(report.max_lsn, 5u);
+}
+
+TEST_F(WalTest, MidLogCorruptionStopsScanIncludingLaterSegments) {
+  // Tiny segments force rotation: ~3 frames per segment.
+  {
+    auto wal = Wal::Open({.dir = WalDir(), .segment_bytes = 3 * 4200});
+    ASSERT_TRUE(wal.ok());
+    for (PageId id = 0; id < 9; ++id) {
+      ASSERT_TRUE((*wal)->AppendPageImage(id, MakePage(id, 1)).ok());
+    }
+    EXPECT_GE((*wal)->stats().segments_created, 3u);
+  }
+  // Flip one byte in the middle of the FIRST segment's second frame.
+  std::vector<std::string> segments;
+  for (const auto& e : std::filesystem::directory_iterator(WalDir())) {
+    segments.push_back(e.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GE(segments.size(), 3u);
+  {
+    std::fstream f(segments.front(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kWalHeaderBytes + 4200 + 100));
+    f.put('\xFF');
+  }
+  WalScanReport report;
+  uint64_t seen = 0;
+  ASSERT_TRUE(ScanWal(WalDir(),
+                      [&](const WalRecord&, const std::string&) {
+                        ++seen;
+                        return true;
+                      },
+                      &report)
+                  .ok());
+  // Only the frame(s) before the corruption are trusted; frames after it
+  // in the same segment AND the whole later segments are not.
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.truncated_segment, segments.front());
+  EXPECT_LT(seen, 3u);
+  // The torn tail spans the rest of segment 0 plus both later segments.
+  EXPECT_GT(report.torn_tail_bytes,
+            std::filesystem::file_size(segments.back()));
+}
+
+TEST_F(WalTest, RotationAndTruncateBelow) {
+  auto wal = Wal::Open({.dir = WalDir(), .segment_bytes = 2 * 4200});
+  ASSERT_TRUE(wal.ok());
+  for (PageId id = 0; id < 8; ++id) {
+    ASSERT_TRUE((*wal)->AppendPageImage(id, MakePage(id, 1)).ok());
+  }
+  WalStats stats = (*wal)->stats();
+  EXPECT_GE(stats.segments_created, 4u);
+  size_t before = (*wal)->SegmentPaths().size();
+
+  // Everything below LSN 7 lives in sealed early segments; drop them.
+  ASSERT_TRUE((*wal)->TruncateBelow(7).ok());
+  stats = (*wal)->stats();
+  EXPECT_GT(stats.truncated_segments, 0u);
+  EXPECT_LT((*wal)->SegmentPaths().size(), before);
+
+  // The survivors still scan cleanly and cover LSN 7..8.
+  wal->reset();
+  WalScanReport report;
+  Lsn first_seen = 0;
+  ASSERT_TRUE(ScanWal(WalDir(),
+                      [&](const WalRecord& rec, const std::string&) {
+                        if (first_seen == 0) first_seen = rec.lsn;
+                        return true;
+                      },
+                      &report)
+                  .ok());
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.max_lsn, 8u);
+  EXPECT_LE(first_seen, 7u);
+  EXPECT_GT(first_seen, 0u);
+}
+
+TEST_F(WalTest, FsyncPolicies) {
+  // kNever: the barrier trails until an explicit Flush.
+  {
+    auto wal = Wal::Open({.dir = WalDir() + ".never",
+                          .fsync = WalFsyncPolicy::kNever});
+    ASSERT_TRUE(wal.ok());
+    auto lsn = (*wal)->AppendPageImage(0, MakePage(0, 1));
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE((*wal)->Durable(*lsn).ok());
+    EXPECT_EQ((*wal)->durable_lsn(), 0u);
+    ASSERT_TRUE((*wal)->Flush().ok());
+    EXPECT_EQ((*wal)->durable_lsn(), *lsn);
+  }
+  // kCommit: Durable(lsn) is a real fsync barrier.
+  {
+    auto wal = Wal::Open({.dir = WalDir() + ".commit",
+                          .fsync = WalFsyncPolicy::kCommit});
+    ASSERT_TRUE(wal.ok());
+    auto lsn = (*wal)->AppendPageImage(0, MakePage(0, 1));
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE((*wal)->Durable(*lsn).ok());
+    EXPECT_EQ((*wal)->durable_lsn(), *lsn);
+    EXPECT_GE((*wal)->stats().fsyncs, 1u);
+  }
+  // kInterval: the barrier advances on the byte threshold, no Durable
+  // call needed.
+  {
+    auto wal = Wal::Open({.dir = WalDir() + ".interval",
+                          .fsync = WalFsyncPolicy::kInterval,
+                          .fsync_interval_bytes = 2 * 4200});
+    ASSERT_TRUE(wal.ok());
+    for (PageId id = 0; id < 5; ++id) {
+      ASSERT_TRUE((*wal)->AppendPageImage(id, MakePage(id, 1)).ok());
+    }
+    EXPECT_GT((*wal)->durable_lsn(), 0u);
+    EXPECT_LT((*wal)->durable_lsn(), 6u);
+  }
+  // Asking for a barrier past the flushed watermark is a caller bug.
+  auto wal = Wal::Open({.dir = WalDir() + ".bad"});
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE((*wal)->Durable(99).IsFailedPrecondition());
+}
+
+TEST_F(WalTest, InjectedCrashLeavesTornFrameAndKillsLog) {
+  ASSERT_TRUE(fault::Injector::Default()
+                  .Configure("storage.wal.append:crash@1", 17)
+                  .ok());
+  auto wal = Wal::Open({.dir = WalDir()});
+  ASSERT_TRUE(wal.ok());
+  auto lsn = (*wal)->AppendPageImage(0, MakePage(0, 1));
+  EXPECT_TRUE(lsn.status().IsUnavailable());
+  EXPECT_TRUE((*wal)->stats().dead);
+  // Dead means dead: no further appends, no flush.
+  EXPECT_TRUE((*wal)->AppendPageImage(1, MakePage(1, 1)).status().IsUnavailable());
+  EXPECT_TRUE((*wal)->Flush().IsUnavailable());
+  wal->reset();
+
+  // The half-written frame is a torn tail; the scan trusts nothing.
+  ASSERT_TRUE(fault::Injector::Default().Configure("", 0).ok());
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(WalDir(), nullptr, &report).ok());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.frames, 0u);
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Status taxonomy (satellite: DataLoss is terminal)
+// ---------------------------------------------------------------------
+
+TEST_F(WalTest, DataLossIsTerminalNotRetryable) {
+  Status s = Status::DataLoss("page 7 CRC mismatch");
+  EXPECT_TRUE(s.IsDataLoss());
+  EXPECT_FALSE(s.IsRetryable());  // the bytes are gone; retrying re-reads
+                                  // the same corrupt sector
+  EXPECT_NE(s.ToString().find("data-loss"), std::string::npos);
+  // The retryable set is exactly the transient trio.
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_FALSE(Status::IoError("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+}
+
+// ---------------------------------------------------------------------
+// The file-backed disk
+// ---------------------------------------------------------------------
+
+TEST_F(WalTest, FileDiskRoundTripAndReopen) {
+  {
+    auto disk = FileDiskComponent::Open(PagePath());
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+    EXPECT_EQ((*disk)->page_count(), 0u);
+    ASSERT_EQ((*disk)->Allocate(), 0u);
+    ASSERT_EQ((*disk)->Allocate(), 1u);
+    ASSERT_TRUE((*disk)->Write(1, MakePage(1, 0xEE), 12).ok());
+    ASSERT_TRUE((*disk)->Sync().ok());
+  }
+  auto disk = FileDiskComponent::Open(PagePath());
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->page_count(), 2u);
+  Page p;
+  ASSERT_TRUE((*disk)->Read(1, &p).ok());
+  EXPECT_EQ(p.bytes[100], 0xEE);
+  EXPECT_EQ((*disk)->PageLsn(1), 12u);
+  EXPECT_EQ((*disk)->PageLsn(0), 0u);  // allocated, never written
+  // Allocation is sparse: page 0's slot was never materialised, so the
+  // hole (zero bytes under page 1's valid slot) cannot CRC-verify.
+  EXPECT_TRUE((*disk)->Read(0, &p).IsDataLoss());
+  EXPECT_TRUE((*disk)->Read(7, &p).IsNotFound());
+}
+
+TEST_F(WalTest, FileDiskCorruptSlotIsDataLoss) {
+  {
+    auto disk = FileDiskComponent::Open(PagePath());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_EQ((*disk)->Allocate(), 0u);
+    ASSERT_TRUE((*disk)->Write(0, MakePage(0, 0x11), 1).ok());
+  }
+  {
+    // Flip one byte in the slot body.
+    std::fstream f(PagePath(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kPageFileHeaderBytes +
+                                        kPageSlotHeaderBytes + 200));
+    f.put('\x99');
+  }
+  auto disk = FileDiskComponent::Open(PagePath());
+  ASSERT_TRUE(disk.ok());
+  Page p;
+  Status s = (*disk)->Read(0, &p);
+  EXPECT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_FALSE(s.IsRetryable());
+  EXPECT_EQ((*disk)->PageLsn(0), 0u);  // torn slot: always "replay me"
+}
+
+TEST_F(WalTest, FileDiskRejectsForeignFile) {
+  {
+    std::ofstream f(PagePath(), std::ios::binary);
+    f << "this is not a page file at all";
+  }
+  auto disk = FileDiskComponent::Open(PagePath());
+  EXPECT_TRUE(disk.status().IsDataLoss());
+}
+
+// ---------------------------------------------------------------------
+// FlushAll error contract (satellite 1)
+// ---------------------------------------------------------------------
+
+/// An in-memory disk whose Write fails for exactly one page id — the
+/// shape of a single bad sector.
+class BadSectorDisk : public DiskComponent {
+ public:
+  explicit BadSectorDisk(PageId bad) : bad_(bad) {}
+  Status Write(PageId id, const Page& page, uint64_t lsn = 0) override {
+    if (id == bad_) return Status::IoError("bad sector under page " +
+                                           std::to_string(id));
+    return DiskComponent::Write(id, page, lsn);
+  }
+
+ private:
+  PageId bad_;
+};
+
+TEST_F(WalTest, FlushAllAttemptsEveryFrameAndReportsFirstError) {
+  auto disk = std::make_shared<BadSectorDisk>(1);
+  auto buffer = std::make_shared<BufferManager>("buf", 8);
+  buffer->FindPort("disk")->SetTarget(disk);
+  buffer->FindPort("policy")->SetTarget(std::make_shared<LruPolicy>());
+  for (PageId id = 0; id < 4; ++id) {
+    ASSERT_EQ(disk->Allocate(), id);
+    auto page = buffer->GetFreshPage(id);
+    ASSERT_TRUE(page.ok());
+    (*page)->bytes[0] = uint8_t(id + 1);
+    ASSERT_TRUE(buffer->Unpin(id, true).ok());
+  }
+  Status s = buffer->FlushAll();
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();  // the first (only) error
+  // Every OTHER frame was still written back: one bad sector must not
+  // leave the rest of the pool dirty.
+  EXPECT_EQ(disk->writes(), 3u);
+  // Only the failed frame stays dirty: a retry re-attempts page 1 alone
+  // and reports the same first error.
+  s = buffer->FlushAll();
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(disk->writes(), 3u);
+}
+
+TEST_F(WalTest, FlushAllInjectedDiskErrorLeavesFrameDirtyForRetry) {
+  auto rig = DurableRig::Make(PagePath(), WalDir(), 8);
+  ASSERT_TRUE(rig.ok()) << rig.status().ToString();
+  ASSERT_EQ(rig->disk->Allocate(), 0u);
+  auto page = rig->buffer->GetFreshPage(0);
+  ASSERT_TRUE(page.ok());
+  (*page)->bytes[0] = 0x77;
+  ASSERT_TRUE(rig->buffer->Unpin(0, true).ok());
+
+  // Arm the disk-write point: every writeback fails, nothing lands.
+  ASSERT_TRUE(fault::Injector::Default()
+                  .Configure("storage.disk.write:error@1", 23)
+                  .ok());
+  Status s = rig->buffer->FlushAll();
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+  EXPECT_EQ(rig->disk->writes(), 0u);
+
+  // Disarm — the retry drains the still-dirty frame. An injected error
+  // is transient-shaped precisely because the slot was never touched.
+  ASSERT_TRUE(fault::Injector::Default().Configure("", 0).ok());
+  ASSERT_TRUE(rig->buffer->FlushAll().ok());
+  EXPECT_EQ(rig->disk->writes(), 1u);
+  Page check;
+  ASSERT_TRUE(rig->disk->Read(0, &check).ok());
+  EXPECT_EQ(check.bytes[0], 0x77);
+}
+
+// ---------------------------------------------------------------------
+// WAL-before-writeback + recovery
+// ---------------------------------------------------------------------
+
+TEST_F(WalTest, WritebackStampsSlotLsnAndLogsImageFirst) {
+  auto rig = DurableRig::Make(PagePath(), WalDir(), 4);
+  ASSERT_TRUE(rig.ok());
+  ASSERT_EQ(rig->disk->Allocate(), 0u);
+  auto page = rig->buffer->GetFreshPage(0);
+  ASSERT_TRUE(page.ok());
+  (*page)->bytes[9] = 0x42;
+  ASSERT_TRUE(rig->buffer->Unpin(0, true).ok());
+  ASSERT_TRUE(rig->buffer->FlushAll().ok());
+
+  // The slot's LSN is the image's LSN, and that image is in the log.
+  uint64_t slot_lsn = rig->disk->PageLsn(0);
+  EXPECT_GT(slot_lsn, 0u);
+  rig->buffer->SetWal(nullptr);
+  rig->wal.reset();
+  bool found = false;
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(WalDir(),
+                      [&](const WalRecord& rec, const std::string&) {
+                        if (rec.type == WalRecordType::kPageImage &&
+                            rec.page == 0 && rec.lsn == slot_lsn) {
+                          found = rec.image[9] == 0x42;
+                        }
+                        return true;
+                      },
+                      &report)
+                  .ok());
+  EXPECT_TRUE(found);
+}
+
+TEST_F(WalTest, TornSlotRepairedFromDurableWalImage) {
+  {
+    auto rig = DurableRig::Make(PagePath(), WalDir(), 4);
+    ASSERT_TRUE(rig.ok());
+    ASSERT_EQ(rig->disk->Allocate(), 0u);
+    auto page = rig->buffer->GetFreshPage(0);
+    ASSERT_TRUE(page.ok());
+    (*page)->bytes[50] = 0xAA;
+    ASSERT_TRUE(rig->buffer->Unpin(0, true).ok());
+    ASSERT_TRUE(rig->buffer->FlushAll().ok());
+    rig->buffer->SetWal(nullptr);
+  }
+  {
+    // Tear the slot, as a crash between WAL append and writeback-fsync
+    // would: the durable image lives only in the log.
+    std::fstream f(PagePath(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kPageFileHeaderBytes + 8));
+    f.write("\xDE\xAD\xBE\xEF", 4);
+  }
+  auto disk = FileDiskComponent::Open(PagePath());
+  ASSERT_TRUE(disk.ok());
+  Page p;
+  ASSERT_TRUE((*disk)->Read(0, &p).IsDataLoss());
+
+  fault::StateManager state;
+  auto report = Recover(disk->get(), WalDir(), &state);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->pages_replayed, 1u);
+  ASSERT_TRUE((*disk)->Read(0, &p).ok());
+  EXPECT_EQ(p.bytes[50], 0xAA);
+}
+
+TEST_F(WalTest, DoubleRecoveryIsIdempotent) {
+  {
+    auto rig = DurableRig::Make(PagePath(), WalDir(), 4);
+    ASSERT_TRUE(rig.ok());
+    for (PageId id = 0; id < 3; ++id) {
+      ASSERT_EQ(rig->disk->Allocate(), id);
+      auto page = rig->buffer->GetFreshPage(id);
+      ASSERT_TRUE(page.ok());
+      (*page)->bytes[0] = uint8_t(id + 1);
+      ASSERT_TRUE(rig->buffer->Unpin(id, true).ok());
+    }
+    ASSERT_TRUE(rig->buffer->FlushAll().ok());
+    rig->buffer->SetWal(nullptr);
+  }
+  auto disk = FileDiskComponent::Open(PagePath());
+  ASSERT_TRUE(disk.ok());
+  fault::StateManager state;
+  auto first = Recover(disk->get(), WalDir(), &state);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->pages_replayed, 0u);  // writebacks already landed
+  EXPECT_EQ(first->pages_skipped, first->frames_scanned);
+  EXPECT_EQ(first->safe_point_sequence, 1u);
+
+  auto second = Recover(disk->get(), WalDir(), &state);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->pages_replayed, 0u);
+  EXPECT_EQ(second->safe_point_sequence, 2u);  // never regresses
+
+  auto latest = state.Latest("wal.recovery");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->sequence, 2u);
+  EXPECT_EQ(latest->position, second->max_lsn);
+  EXPECT_EQ(state.replays(), 2u);
+}
+
+TEST_F(WalTest, CheckpointWalTruncatesDeadSegments) {
+  WalOptions options;
+  options.segment_bytes = 2 * 4200;  // force rotation
+  auto rig = DurableRig::Make(PagePath(), WalDir(), 4, options);
+  ASSERT_TRUE(rig.ok());
+  for (PageId id = 0; id < 6; ++id) {
+    ASSERT_EQ(rig->disk->Allocate(), id);
+    auto page = rig->buffer->GetFreshPage(id);
+    ASSERT_TRUE(page.ok());
+    (*page)->bytes[0] = uint8_t(id);
+    ASSERT_TRUE(rig->buffer->Unpin(id, true).ok());
+  }
+  ASSERT_TRUE(rig->buffer->FlushAll().ok());
+  size_t before = rig->wal->SegmentPaths().size();
+  // Nothing is dirty → redo = next_lsn → every sealed segment is dead.
+  ASSERT_TRUE(rig->buffer->CheckpointWal().ok());
+  EXPECT_LT(rig->wal->SegmentPaths().size(), before);
+  EXPECT_GE(rig->wal->stats().checkpoints, 1u);
+
+  // Recovery after truncation still round-trips: the page file carries
+  // everything the truncated segments did.
+  rig->buffer->SetWal(nullptr);
+  rig->wal.reset();
+  rig->buffer.reset();
+  rig->disk.reset();
+  auto disk = FileDiskComponent::Open(PagePath());
+  ASSERT_TRUE(disk.ok());
+  auto report = Recover(disk->get(), WalDir(), nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (PageId id = 0; id < 6; ++id) {
+    Page p;
+    ASSERT_TRUE((*disk)->Read(id, &p).ok()) << "page " << id;
+    EXPECT_EQ(p.bytes[0], uint8_t(id));
+  }
+}
+
+// ---------------------------------------------------------------------
+// The headline property: crash mid-bulk-load → exactly-once durable
+// prefix, under every chaos seed.
+// ---------------------------------------------------------------------
+
+class CrashRecoveryTest : public WalTest,
+                          public ::testing::WithParamInterface<uint64_t> {};
+
+/// Loads `rel` until the injected crash kills the run, then "restarts"
+/// (fresh disk handle, clean injector), recovers, and checks the
+/// recovered relation is an exact prefix of the original: no torn
+/// pages, no duplicated rows, no reordering.
+void RunCrashLoadRecoverCheck(const std::string& page_path,
+                              const std::string& wal_dir,
+                              const std::string& fault_spec,
+                              uint64_t seed) {
+  data::Relation orders = data::gen::Orders(20000, 200, 0.5, 42);
+
+  ASSERT_TRUE(fault::Injector::Default().Configure(fault_spec, seed).ok());
+  size_t loaded_rows = 0;
+  {
+    auto rig = DurableRig::Make(page_path, wal_dir, 4);
+    ASSERT_TRUE(rig.ok()) << rig.status().ToString();
+    auto paged = PagedRelation::Load(orders, rig->buffer.get(),
+                                     rig->disk.get());
+    if (paged.ok()) {
+      // The seed never fired over this load — make the test loud rather
+      // than silently passing a weaker property.
+      FAIL() << "fault spec '" << fault_spec << "' @" << seed
+             << " never fired over " << orders.size() << " rows";
+    }
+    loaded_rows = orders.size();
+    rig->buffer->SetWal(nullptr);  // drop before the dead wal is freed
+  }
+
+  // "Restart": clean injector, fresh handles onto the same files.
+  ASSERT_TRUE(fault::Injector::Default().Configure("", 0).ok());
+  auto disk = FileDiskComponent::Open(page_path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  fault::StateManager state;
+  auto report = Recover(disk->get(), wal_dir, &state);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  std::shared_ptr<FileDiskComponent> fdisk = std::move(*disk);
+  auto buffer = std::make_shared<BufferManager>("buf", 8);
+  buffer->FindPort("disk")->SetTarget(fdisk);
+  buffer->FindPort("policy")->SetTarget(std::make_shared<LruPolicy>());
+  auto recovered = PagedRelation::Recover("orders", orders.schema(),
+                                          buffer.get(), fdisk.get());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // Exactly-once durable prefix: every recovered row equals the original
+  // at the same index (no duplicates, no holes, no reordering), and the
+  // count never exceeds what was loaded.
+  size_t i = 0;
+  Status scan = (*recovered)->Scan([&](const data::Tuple& t) {
+    if (i >= orders.size()) {
+      ADD_FAILURE() << "recovered MORE rows than were ever loaded";
+      return false;
+    }
+    EXPECT_TRUE(t == orders.rows()[i]) << "row " << i << " diverges";
+    ++i;
+    return true;
+  });
+  ASSERT_TRUE(scan.ok()) << scan.ToString();  // zero torn pages
+  EXPECT_EQ(i, (*recovered)->rows());
+  EXPECT_LE(i, loaded_rows);
+
+  // The safe point recorded the recovery horizon.
+  auto latest = state.Latest("wal.recovery");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->position, report->max_lsn);
+}
+
+TEST_P(CrashRecoveryTest, WalAppendCrashMidLoadRecoversExactPrefix) {
+  RunCrashLoadRecoverCheck(PagePath(), WalDir(),
+                           "storage.wal.append:crash@0.05", GetParam());
+}
+
+TEST_P(CrashRecoveryTest, DiskWriteCrashMidLoadRecoversExactPrefix) {
+  RunCrashLoadRecoverCheck(PagePath(), WalDir(),
+                           "storage.disk.write:crash@0.05", GetParam());
+}
+
+TEST_P(CrashRecoveryTest, DoubleRecoveryAfterCrashChangesNothing) {
+  RunCrashLoadRecoverCheck(PagePath(), WalDir(),
+                           "storage.wal.append:crash@0.05", GetParam());
+  // Run recovery AGAIN over the already-recovered state: every frame
+  // must be skipped by the LSN comparison.
+  auto disk = FileDiskComponent::Open(PagePath());
+  ASSERT_TRUE(disk.ok());
+  auto report = Recover(disk->get(), WalDir(), nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->pages_replayed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, CrashRecoveryTest,
+                         ::testing::Values(17u, 23u, 42u));
+
+// ---------------------------------------------------------------------
+// Flight section
+// ---------------------------------------------------------------------
+
+TEST_F(WalTest, FlightSectionReportsWatermarks) {
+  auto wal = Wal::Open({.dir = WalDir()});
+  ASSERT_TRUE(wal.ok());
+  (*wal)->Install();
+  ASSERT_TRUE((*wal)->AppendPageImage(0, MakePage(0, 1)).ok());
+  ASSERT_TRUE((*wal)->Flush().ok());
+  std::string json = (*wal)->FlightSectionJson();
+  EXPECT_NE(json.find("\"next_lsn\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"durable_lsn\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fsync\":\"never\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dead\":false"), std::string::npos) << json;
+  (*wal)->Uninstall();
+  EXPECT_EQ(Wal::Installed(), nullptr);
+}
+
+}  // namespace
+}  // namespace dbm::storage
