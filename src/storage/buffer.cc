@@ -156,7 +156,11 @@ Status BufferManager::FlushAll() {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (size_t f = s; f < frames_; f += shards_.size()) {
-      if (resident_[f] != kInvalidPage && dirty_[f]) {
+      // Pinned frames are skipped, like the eviction path: the pin
+      // holder mutates pool_[frame] without the shard latch, so a
+      // writeback here could snapshot a half-mutated image and stamp it
+      // with a valid CRC — recovery would then trust a torn page.
+      if (resident_[f] != kInvalidPage && dirty_[f] && !pinned_[f]) {
         dirty.emplace_back(resident_[f], f);
       }
     }
@@ -168,7 +172,9 @@ Status BufferManager::FlushAll() {
   for (const auto& [id, f] : dirty) {
     Shard& shard = ShardOf(id);
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (resident_[f] != id || !dirty_[f]) continue;  // raced: evicted/flushed
+    if (resident_[f] != id || !dirty_[f] || pinned_[f]) {
+      continue;  // raced: evicted, flushed, or re-pinned
+    }
     Status s = WriteBack(disk, f, shard);
     if (!s.ok() && first_error.ok()) first_error = s;
   }
@@ -217,6 +223,14 @@ Status BufferManager::CheckpointWal() {
   DBM_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendCheckpoint(redo));
   (void)lsn;
   DBM_RETURN_NOT_OK(wal_->Flush());
+  // Data-before-log-truncation, the same rule Recover() follows: the
+  // writebacks below `redo` are plain pwrites whose bytes may still sit
+  // in the OS page cache. Unlinking the segments that hold their only
+  // durable images before fsyncing the page file would let a power loss
+  // silently revert committed pages (to an older image with a valid
+  // CRC, so not even detectable as DataLoss).
+  DBM_ASSIGN_OR_RETURN(DiskComponent * disk, Require<DiskComponent>("disk"));
+  DBM_RETURN_NOT_OK(disk->Sync());
   return wal_->TruncateBelow(redo);
 }
 

@@ -76,11 +76,14 @@ class BufferManager : public component::Component {
   /// Releases a pin; `dirty` marks the frame for writeback.
   Status Unpin(PageId id, bool dirty);
 
-  /// Writes back every dirty frame (pinned ones included). Attempts ALL
-  /// dirty frames even when one fails, then returns the first error —
-  /// one bad sector must not leave every later frame dirty. With a WAL
-  /// attached, frames flush in ascending page-id order so the page file
-  /// after a mid-flush crash is a clean prefix, not an arbitrary subset.
+  /// Writes back every dirty unpinned frame. Pinned frames are skipped
+  /// (as eviction skips them): the pin holder may be mutating the page
+  /// without the shard latch, and a writeback would snapshot a torn
+  /// image under a valid CRC. Attempts ALL eligible frames even when one
+  /// fails, then returns the first error — one bad sector must not leave
+  /// every later frame dirty. With a WAL attached, frames flush in
+  /// ascending page-id order so the page file after a mid-flush crash is
+  /// a clean prefix, not an arbitrary subset.
   Status FlushAll();
 
   /// Attaches (or detaches, with nullptr) the write-ahead log. Attach
@@ -89,9 +92,12 @@ class BufferManager : public component::Component {
   Wal* wal() const { return wal_; }
 
   /// Appends a fuzzy checkpoint: the redo LSN (min rec_lsn across dirty
-  /// frames) is logged and fsynced, then segments wholly below it are
-  /// truncated. No page flush is forced — that is what makes it fuzzy;
-  /// clean pages' images are already in the page file.
+  /// frames) is logged and fsynced, the page file is synced
+  /// (data-before-log-truncation: past writebacks must be durable before
+  /// the segments holding their images are unlinked), then segments
+  /// wholly below the redo LSN are truncated. No page flush is forced —
+  /// that is what makes it fuzzy; clean pages' images are already in the
+  /// page file.
   Status CheckpointWal();
 
   /// Aggregated over shards (by value: the per-shard rows are live).

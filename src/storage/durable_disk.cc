@@ -266,7 +266,13 @@ Status FileDiskComponent::Sync() {
   if (dead_ || fd_ < 0) {
     return Status::Unavailable("page file is dead (crash fault)");
   }
-  ::fsync(fd_);
+  if (::fsync(fd_) != 0) {
+    // A failed fsync may have dropped the dirty pages and cannot be
+    // retried; reporting the barrier as passed would let checkpoint
+    // truncation unlink the only durable images of what was lost.
+    dead_ = true;
+    return Status::IoError("fsync failed on page file '" + path_ + "'");
+  }
   m_fsyncs_->Add(1);
   return Status::OK();
 }

@@ -90,8 +90,11 @@ class FileDiskComponent : public DiskComponent {
   /// exactly the "replay needed" predicate.
   uint64_t PageLsn(PageId id);
 
-  /// fsync the page file.
-  Status Sync();
+  /// fsync the page file. On failure the disk dies: the dropped dirty
+  /// pages cannot be re-synced, and pretending the barrier passed would
+  /// let checkpoint truncation unlink the WAL images that could repair
+  /// them.
+  Status Sync() override;
 
   bool dead() const;
   const std::string& path() const { return path_; }

@@ -85,6 +85,13 @@ class DiskComponent : public component::Component {
     return Status::OK();
   }
 
+  /// Durability barrier for completed writes: returns once every prior
+  /// Write is on stable storage. The volatile disk has no such storage,
+  /// so this is a no-op; the durable one fsyncs the page file. Callers
+  /// that unlink WAL segments (checkpoint truncation) MUST pass this
+  /// barrier first — the data-before-log-truncation rule.
+  virtual Status Sync() { return Status::OK(); }
+
   virtual size_t page_count() const { return pages_.size(); }
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }

@@ -113,8 +113,14 @@ std::vector<std::string> ListSegments(const std::string& dir) {
     std::string name = entry.path().filename().string();
     if (IsSegmentName(name)) names.push_back(name);
   }
-  // Zero-padded sequence numbers make lexicographic order append order.
-  std::sort(names.begin(), names.end());
+  // Numeric order, not lexicographic: past sequence 999999 names grow a
+  // digit and "wal-1000000.seg" would sort before "wal-999999.seg",
+  // which ScanWal's monotonicity check would read as a torn tail.
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              uint64_t sa = SegmentSeq(a), sb = SegmentSeq(b);
+              return sa != sb ? sa < sb : a < b;
+            });
   return names;
 }
 
@@ -333,12 +339,17 @@ Result<std::unique_ptr<Wal>> Wal::Open(WalOptions options) {
                                report.truncated_segment + "'");
       }
     }
-    // Unlink every segment past the tear.
-    bool past = false;
+    // Unlink every segment past the tear — by sequence number, not by
+    // re-encountering the torn segment's path: when the tear was at the
+    // header the torn segment was just unlinked and would never be seen
+    // again, leaving stale higher-LSN segments for a later scan to
+    // resurrect.
+    const uint64_t torn_seq = SegmentSeq(
+        std::filesystem::path(report.truncated_segment).filename().string());
     for (const std::string& name : ListSegments(wal->options_.dir)) {
-      const std::string path = wal->options_.dir + "/" + name;
-      if (past) ::unlink(path.c_str());
-      if (path == report.truncated_segment) past = true;
+      if (SegmentSeq(name) > torn_seq) {
+        ::unlink((wal->options_.dir + "/" + name).c_str());
+      }
     }
   }
   uint64_t last_seq = 0;
@@ -371,7 +382,7 @@ Wal::~Wal() {
   Uninstall();
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ >= 0) {
-    if (!dead_) FsyncLocked();
+    if (!dead_) (void)FsyncLocked();  // best-effort on shutdown
     ::close(fd_);
     fd_ = -1;
   }
@@ -410,16 +421,27 @@ void Wal::SealSegmentLocked() {
   if (!segments_.empty()) segments_.back().sealed = true;
 }
 
-void Wal::FsyncLocked() {
-  if (fd_ < 0) return;
+Status Wal::FsyncLocked() {
+  if (fd_ < 0) return Status::OK();
   obs::SpanScope span("wal.fsync", "storage");
-  ::fsync(fd_);
+  if (::fsync(fd_) != 0) {
+    // fsyncgate semantics: a failed fsync may have dropped the dirty
+    // pages, and retrying cannot bring them back. The barrier must not
+    // advance — callers would writeback against an image the log never
+    // made durable — so the log dies here.
+    dead_ = true;
+    return Status::IoError("fsync failed on wal segment '" +
+                           (segments_.empty() ? options_.dir
+                                              : segments_.back().path) +
+                           "'");
+  }
   ++fsyncs_;
   m_fsyncs_->Add(1);
   durable_lsn_ = flushed_lsn_;
   bytes_since_fsync_ = 0;
   m_durable_lsn_->Set(static_cast<double>(durable_lsn_));
   m_flush_lag_->Set(static_cast<double>(flushed_lsn_ - durable_lsn_));
+  return Status::OK();
 }
 
 Result<Lsn> Wal::AppendLocked(WalRecord* rec) {
@@ -483,7 +505,7 @@ Result<Lsn> Wal::CommitScratchLocked(Lsn lsn) {
   m_bytes_->Add(scratch_.size());
   if (options_.fsync == WalFsyncPolicy::kInterval &&
       bytes_since_fsync_ >= options_.fsync_interval_bytes) {
-    FsyncLocked();
+    DBM_RETURN_NOT_OK(FsyncLocked());
   }
   m_flush_lag_->Set(static_cast<double>(flushed_lsn_ - durable_lsn_));
   return lsn;
@@ -538,7 +560,9 @@ Status Wal::Durable(Lsn lsn) {
         "durability barrier requested past the flushed LSN");
   }
   if (lsn <= durable_lsn_) return Status::OK();
-  if (options_.fsync == WalFsyncPolicy::kCommit) FsyncLocked();
+  if (options_.fsync == WalFsyncPolicy::kCommit) {
+    DBM_RETURN_NOT_OK(FsyncLocked());
+  }
   // kNever / kInterval: the barrier trails by design — the torn-tail
   // rule still bounds what a crash can cost to the un-fsynced tail.
   return Status::OK();
@@ -547,8 +571,7 @@ Status Wal::Durable(Lsn lsn) {
 Status Wal::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (dead_) return Status::Unavailable("wal is dead (crash fault)");
-  FsyncLocked();
-  return Status::OK();
+  return FsyncLocked();
 }
 
 Status Wal::TruncateBelow(Lsn redo_lsn) {

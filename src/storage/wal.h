@@ -22,7 +22,8 @@
 // every fsync_interval_bytes), kCommit (Durable(lsn) fsyncs immediately,
 // so the WAL-before-writeback barrier is a real fsync per writeback).
 //
-// Recovery is the torn-tail rule verbatim: scan segments in name order,
+// Recovery is the torn-tail rule verbatim: scan segments in sequence
+// order,
 // stop at the first frame that fails its checksum, trust nothing after
 // it. Wal::Open physically truncates the torn tail (and unlinks any
 // later segments) so new appends never land behind unreadable bytes,
@@ -200,7 +201,10 @@ class Wal {
 
   Status OpenSegmentLocked();
   void SealSegmentLocked();
-  void FsyncLocked();
+  /// fsync of the open segment. On failure the log dies and the durable
+  /// barrier does NOT advance — a failed fsync may have dropped the
+  /// dirty pages and cannot be safely retried.
+  Status FsyncLocked();
   Result<Lsn> AppendLocked(WalRecord* rec);
   Result<Lsn> CommitScratchLocked(Lsn lsn);
 

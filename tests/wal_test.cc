@@ -303,6 +303,80 @@ TEST_F(WalTest, MidLogCorruptionStopsScanIncludingLaterSegments) {
             std::filesystem::file_size(segments.back()));
 }
 
+TEST_F(WalTest, OpenAfterHeaderTearUnlinksEveryLaterSegment) {
+  // Tiny segments force rotation: ~3 frames per segment.
+  {
+    auto wal = Wal::Open({.dir = WalDir(), .segment_bytes = 3 * 4200});
+    ASSERT_TRUE(wal.ok());
+    for (PageId id = 0; id < 9; ++id) {
+      ASSERT_TRUE((*wal)->AppendPageImage(id, MakePage(id, 1)).ok());
+    }
+    EXPECT_GE((*wal)->stats().segments_created, 3u);
+  }
+  // Smash the FIRST segment's header. The tear is at offset 0, so Open
+  // unlinks the segment outright — and must still unlink every later
+  // segment: their higher LSNs would otherwise survive while new
+  // appends restart at LSN 1, and a later scan would resurrect the
+  // discarded history.
+  std::vector<std::string> segments;
+  for (const auto& e : std::filesystem::directory_iterator(WalDir())) {
+    segments.push_back(e.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GE(segments.size(), 3u);
+  {
+    std::fstream f(segments.front(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("XXXXXXXX", 8);
+  }
+  {
+    auto wal = Wal::Open({.dir = WalDir()});
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ((*wal)->next_lsn(), 1u);  // nothing trusted survived
+    ASSERT_TRUE((*wal)->AppendPageImage(0, MakePage(0, 2)).ok());
+  }
+  // The scan after reopen sees only the new history — the stale
+  // segments past the tear are physically gone.
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(WalDir(), nullptr, &report).ok());
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.frames, 1u);
+  EXPECT_EQ(report.max_lsn, 1u);
+}
+
+TEST_F(WalTest, SegmentOrderIsNumericPastSixDigits) {
+  // Hand-craft two adjacent segments around the six-digit rollover.
+  // Lexicographic order would visit "wal-1000000.seg" before
+  // "wal-999999.seg" and read the LSN drop as a torn tail.
+  std::filesystem::create_directories(WalDir());
+  auto write_segment = [&](const std::string& name, Lsn lsn) {
+    WalRecord rec;
+    rec.type = WalRecordType::kPageImage;
+    rec.lsn = lsn;
+    rec.page = static_cast<PageId>(lsn);
+    rec.image.assign(kPageSize, uint8_t(lsn));
+    std::string bytes;
+    EncodeWalHeader(&bytes);
+    EncodeWalFrame(rec, &bytes);
+    std::ofstream f(WalDir() + "/" + name, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  write_segment("wal-999999.seg", 1);
+  write_segment("wal-1000000.seg", 2);
+
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(WalDir(), nullptr, &report).ok());
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.frames, 2u);
+  EXPECT_EQ(report.max_lsn, 2u);
+
+  // Open resumes past both segments instead of truncating one away.
+  auto wal = Wal::Open({.dir = WalDir()});
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), 3u);
+}
+
 TEST_F(WalTest, RotationAndTruncateBelow) {
   auto wal = Wal::Open({.dir = WalDir(), .segment_bytes = 2 * 4200});
   ASSERT_TRUE(wal.ok());
@@ -551,6 +625,35 @@ TEST_F(WalTest, FlushAllInjectedDiskErrorLeavesFrameDirtyForRetry) {
   EXPECT_EQ(check.bytes[0], 0x77);
 }
 
+TEST_F(WalTest, FlushAllSkipsPinnedFrames) {
+  // A pin holder mutates the page without the shard latch; FlushAll
+  // must not snapshot that frame mid-mutation (the image would land on
+  // disk torn, under a valid CRC). Like eviction, it skips pinned
+  // frames and picks them up once the pin drops.
+  auto disk = std::make_shared<DiskComponent>();
+  auto buffer = std::make_shared<BufferManager>("buf", 8);
+  buffer->FindPort("disk")->SetTarget(disk);
+  buffer->FindPort("policy")->SetTarget(std::make_shared<LruPolicy>());
+  ASSERT_EQ(disk->Allocate(), 0u);
+  auto page = buffer->GetFreshPage(0);
+  ASSERT_TRUE(page.ok());
+  (*page)->bytes[0] = 0x5A;
+  ASSERT_TRUE(buffer->Unpin(0, true).ok());
+
+  // Re-pin the (still dirty) page: FlushAll must leave it alone.
+  ASSERT_TRUE(buffer->GetPage(0).ok());
+  ASSERT_TRUE(buffer->FlushAll().ok());
+  EXPECT_EQ(disk->writes(), 0u);
+
+  // Unpinned again, the frame is still dirty and flushes normally.
+  ASSERT_TRUE(buffer->Unpin(0, false).ok());
+  ASSERT_TRUE(buffer->FlushAll().ok());
+  EXPECT_EQ(disk->writes(), 1u);
+  Page check;
+  ASSERT_TRUE(disk->Read(0, &check).ok());
+  EXPECT_EQ(check.bytes[0], 0x5A);
+}
+
 // ---------------------------------------------------------------------
 // WAL-before-writeback + recovery
 // ---------------------------------------------------------------------
@@ -687,6 +790,66 @@ TEST_F(WalTest, CheckpointWalTruncatesDeadSegments) {
     ASSERT_TRUE((*disk)->Read(id, &p).ok()) << "page " << id;
     EXPECT_EQ(p.bytes[0], uint8_t(id));
   }
+}
+
+/// A disk that snapshots the WAL directory's segment count whenever its
+/// durability barrier is passed — so a test can prove the barrier ran
+/// while the to-be-truncated segments were still on disk.
+class SyncProbeDisk : public DiskComponent {
+ public:
+  explicit SyncProbeDisk(std::string wal_dir)
+      : wal_dir_(std::move(wal_dir)) {}
+  Status Sync() override {
+    ++sync_calls_;
+    segments_at_last_sync_ = CountSegments();
+    return Status::OK();
+  }
+  size_t CountSegments() const {
+    size_t n = 0;
+    std::error_code ec;
+    for (const auto& e [[maybe_unused]] :
+         std::filesystem::directory_iterator(wal_dir_, ec)) {
+      ++n;
+    }
+    return n;
+  }
+  int sync_calls() const { return sync_calls_; }
+  size_t segments_at_last_sync() const { return segments_at_last_sync_; }
+
+ private:
+  std::string wal_dir_;
+  int sync_calls_ = 0;
+  size_t segments_at_last_sync_ = 0;
+};
+
+TEST_F(WalTest, CheckpointWalSyncsPageFileBeforeTruncatingSegments) {
+  // Data-before-log-truncation: writebacks are plain pwrites, so the
+  // checkpoint must fsync the page file BEFORE unlinking the segments
+  // that hold those pages' only durable images — otherwise a power loss
+  // after the unlink silently reverts committed pages.
+  auto wal = Wal::Open({.dir = WalDir(), .segment_bytes = 2 * 4200});
+  ASSERT_TRUE(wal.ok());
+  auto disk = std::make_shared<SyncProbeDisk>(WalDir());
+  auto buffer = std::make_shared<BufferManager>("buf", 4);
+  buffer->FindPort("disk")->SetTarget(disk);
+  buffer->FindPort("policy")->SetTarget(std::make_shared<LruPolicy>());
+  buffer->SetWal(wal->get());
+  for (PageId id = 0; id < 6; ++id) {
+    ASSERT_EQ(disk->Allocate(), id);
+    auto page = buffer->GetFreshPage(id);
+    ASSERT_TRUE(page.ok());
+    (*page)->bytes[0] = uint8_t(id);
+    ASSERT_TRUE(buffer->Unpin(id, true).ok());
+  }
+  ASSERT_TRUE(buffer->FlushAll().ok());
+  size_t before = disk->CountSegments();
+  ASSERT_TRUE(buffer->CheckpointWal().ok());
+  size_t after = disk->CountSegments();
+  EXPECT_LT(after, before);  // the checkpoint did truncate
+  EXPECT_GE(disk->sync_calls(), 1);
+  // The barrier ran while every dead segment was still on disk.
+  EXPECT_EQ(disk->segments_at_last_sync(), before);
+  buffer->SetWal(nullptr);
 }
 
 // ---------------------------------------------------------------------
