@@ -1,0 +1,268 @@
+// A10 — vectorized columnar execution: batch vs row engine A/B.
+//
+// The same two A9 workloads (filtered scan + grouped aggregation, and
+// the headline join + aggregation) run at dop 1, 4 and 8 on both
+// parallel engines — the vectorized columnar batch path (the default)
+// and the original tuple-at-a-time morsel path — over identical
+// generated tables. Every run's result set is order-normalized and
+// compared against the serial reference before any timing is read, so
+// a wrong fast answer fails the bench, not the baseline.
+//
+// Two assertions ride along:
+//   * correctness — batch, row and serial results are the same set at
+//     every dop;
+//   * allocation-freedom — after one warm-up query has sized the
+//     per-worker arenas, a steady-state mem-scan aggregation query
+//     performs ZERO operator-new calls inside worker morsel bodies
+//     (counted by the thread-local alloc hook; enforced whenever the
+//     counting allocator is linked in).
+//
+// Wall-clock ratios are honest-but-noisy host numbers (nogated in the
+// committed baseline); the deterministic gate is query.pexec.work_cycles
+// — identical across engines by construction (same shaped rows + build
+// rows), so bench_diff catches any accounting drift.
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "fault/injector.h"
+#include "obs/alloc_hook.h"
+#include "obs/metrics.h"
+#include "query/parallel.h"
+
+namespace {
+
+using namespace dbm;
+using data::Relation;
+using data::Schema;
+using data::ValueType;
+
+constexpr size_t kOrders = 400000;
+constexpr size_t kPeople = 2000;
+constexpr uint64_t kSeed = 42;
+
+Relation MakeOrders() {
+  Relation rel("orders", Schema({{"person_id", ValueType::kInt},
+                                 {"qty", ValueType::kInt},
+                                 {"val", ValueType::kDouble}}));
+  Rng rng(kSeed);
+  for (size_t i = 0; i < kOrders; ++i) {
+    rel.InsertUnchecked(query::Tuple(
+        {static_cast<int64_t>(rng.Uniform(kPeople)),
+         static_cast<int64_t>(rng.Uniform(50)),
+         0.25 * static_cast<double>(rng.Uniform(1000))}));
+  }
+  return rel;
+}
+
+Relation MakePeople() {
+  Relation rel("people", Schema({{"id", ValueType::kInt},
+                                 {"grp", ValueType::kInt},
+                                 {"name", ValueType::kString}}));
+  Rng rng(kSeed + 1);
+  for (size_t i = 0; i < kPeople; ++i) {
+    rel.InsertUnchecked(query::Tuple({static_cast<int64_t>(i),
+                                      static_cast<int64_t>(rng.Uniform(32)),
+                                      "p#" + std::to_string(i)}));
+  }
+  return rel;
+}
+
+std::multiset<std::string> Canon(const std::vector<query::Tuple>& rows) {
+  std::multiset<std::string> out;
+  for (const query::Tuple& t : rows) out.insert(t.ToString());
+  return out;
+}
+
+struct EnginePoint {
+  size_t dop = 0;
+  double batch_ms = 0;
+  double row_ms = 0;
+  double ratio = 1.0;  // row_ms / batch_ms (>1 = batch faster)
+  query::ParallelStats batch_stats;
+};
+
+/// One timed run on one engine; returns false on error or result
+/// divergence from `reference`.
+bool RunOnce(const query::ParallelPlan& plan, query::WorkerPool* pool,
+             size_t dop, query::ParallelEngine engine,
+             const std::multiset<std::string>& reference, double* millis,
+             query::ParallelStats* stats_out) {
+  query::ParallelOptions opt;
+  opt.dop = dop;
+  opt.pool = pool;
+  opt.engine = engine;
+  std::vector<query::Tuple> out;
+  auto t0 = std::chrono::steady_clock::now();
+  auto stats = query::ExecuteParallel(plan, &out, opt);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!stats.ok()) {
+    std::printf("  dop=%zu failed: %s\n", dop,
+                stats.status().ToString().c_str());
+    return false;
+  }
+  if (Canon(out) != reference) {
+    std::printf("  dop=%zu %s-engine result diverges from serial!\n", dop,
+                engine == query::ParallelEngine::kBatch ? "batch" : "row");
+    return false;
+  }
+  *millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (stats_out != nullptr) *stats_out = *stats;
+  return true;
+}
+
+/// A/B curve: both engines at each dop, identical result sets required.
+std::vector<EnginePoint> RunAB(const query::ParallelPlan& plan,
+                               query::WorkerPool* pool,
+                               const std::vector<size_t>& dops) {
+  // Serial reference (dop=1 delegates to the serial executor).
+  std::multiset<std::string> reference;
+  {
+    query::ParallelOptions opt;
+    opt.pool = pool;
+    std::vector<query::Tuple> out;
+    auto stats = query::ExecuteParallel(plan, &out, opt);
+    if (!stats.ok()) {
+      std::printf("  serial reference failed: %s\n",
+                  stats.status().ToString().c_str());
+      return {};
+    }
+    reference = Canon(out);
+  }
+  std::vector<EnginePoint> curve;
+  for (size_t dop : dops) {
+    EnginePoint p;
+    p.dop = dop;
+    if (!RunOnce(plan, pool, dop, query::ParallelEngine::kBatch, reference,
+                 &p.batch_ms, &p.batch_stats) ||
+        !RunOnce(plan, pool, dop, query::ParallelEngine::kRow, reference,
+                 &p.row_ms, nullptr)) {
+      return {};
+    }
+    p.ratio = p.row_ms / std::max(p.batch_ms, 1e-9);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+void PrintCurve(const char* title, const std::vector<EnginePoint>& curve) {
+  std::printf("\n%s\n", title);
+  bench::Table table({8, 12, 12, 12, 10});
+  table.Row({"dop", "batch ms", "row ms", "row/batch", "batches"});
+  table.Rule();
+  for (const EnginePoint& p : curve) {
+    table.Row({bench::FmtU(p.dop), bench::Fmt("%.1f", p.batch_ms),
+               bench::Fmt("%.1f", p.row_ms), bench::Fmt("%.2fx", p.ratio),
+               bench::FmtU(p.batch_stats.batches)});
+  }
+  table.Rule();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbm::bench::Init(&argc, argv);
+  bench::Header("A10", "vectorized batch execution: batch vs row A/B");
+
+  // Timing and the zero-alloc assertion must not absorb injected faults.
+  (void)fault::Injector::Default().Configure("", 0);
+  obs::InstallCountingAllocator();
+
+  Relation orders = MakeOrders();
+  Relation people = MakePeople();
+  const std::vector<size_t> dops = {1, 4, 8};
+  query::WorkerPool pool(8);
+
+  // Workload 1: filtered scan + grouped aggregation.
+  query::ParallelPlan scan_plan;
+  scan_plan.probe.mem = &orders;
+  scan_plan.probe.filter = query::Gt(query::Col(1), query::Lit(int64_t{4}));
+  scan_plan.group_by = {0};
+  scan_plan.aggs = {{query::AggFunc::kCount, 0, "n"},
+                    {query::AggFunc::kSum, 2, "sum_val"}};
+  std::vector<EnginePoint> scan_curve = RunAB(scan_plan, &pool, dops);
+  if (scan_curve.empty()) return 1;
+  PrintCurve("scan + aggregate (400k rows)", scan_curve);
+
+  // Workload 2: join + grouped aggregation.
+  query::ParallelPlan join_plan;
+  join_plan.probe.mem = &orders;
+  query::ParallelJoinStage stage;
+  stage.build.mem = &people;
+  stage.spec = query::JoinSpec{0, 0};  // people.id = orders.person_id
+  join_plan.joins.push_back(std::move(stage));
+  // Joined schema: people(id, grp, name) ++ orders(person_id, qty, val).
+  join_plan.group_by = {1};
+  join_plan.aggs = {{query::AggFunc::kCount, 0, "n"},
+                    {query::AggFunc::kSum, 5, "sum_val"},
+                    {query::AggFunc::kMax, 4, "max_qty"}};
+  std::vector<EnginePoint> join_curve = RunAB(join_plan, &pool, dops);
+  if (join_curve.empty()) return 1;
+  PrintCurve("join + aggregate (400k ⋈ 2k)", join_curve);
+
+  // Allocation-freedom: the scan curve above warmed every worker's
+  // arenas (chunks are retained across queries), so a steady-state run
+  // of the same mem-scan aggregation must do zero operator-new calls
+  // inside worker morsel bodies.
+  query::ParallelOptions warm;
+  warm.dop = 4;
+  warm.pool = &pool;
+  std::vector<query::Tuple> out;
+  auto warm_stats = query::ExecuteParallel(scan_plan, &out, warm);
+  if (!warm_stats.ok()) return 1;
+  uint64_t steady = warm_stats->steady_allocs;
+  bool counting = obs::AllocCountingInstalled();
+  if (counting) {
+    bench::Note(bench::Fmt("steady-state morsel-body allocations: %.0f",
+                           static_cast<double>(steady)) +
+                " (bar: 0 — arenas retained, hot path allocation-free)");
+  } else {
+    bench::Note("counting allocator not linked; zero-alloc bar reported, "
+                "not enforced");
+  }
+
+  obs::Registry& reg = obs::Registry::Default();
+  for (const EnginePoint& p : scan_curve) {
+    reg.GetGauge("bench.vec.scan_batch_ms_dop" + std::to_string(p.dop))
+        .Set(p.batch_ms);
+    reg.GetGauge("bench.vec.scan_row_ms_dop" + std::to_string(p.dop))
+        .Set(p.row_ms);
+    reg.GetGauge("bench.vec.scan_ratio_dop" + std::to_string(p.dop))
+        .Set(p.ratio);
+  }
+  for (const EnginePoint& p : join_curve) {
+    reg.GetGauge("bench.vec.join_batch_ms_dop" + std::to_string(p.dop))
+        .Set(p.batch_ms);
+    reg.GetGauge("bench.vec.join_row_ms_dop" + std::to_string(p.dop))
+        .Set(p.row_ms);
+    reg.GetGauge("bench.vec.join_ratio_dop" + std::to_string(p.dop))
+        .Set(p.ratio);
+  }
+  reg.GetGauge("bench.vec.steady_allocs").Set(static_cast<double>(steady));
+
+  double join_ratio8 = 1.0;
+  for (const EnginePoint& p : join_curve) {
+    if (p.dop == 8) join_ratio8 = p.ratio;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  reg.GetGauge("bench.vec.hw_threads").Set(static_cast<double>(hw));
+  bench::Note(bench::Fmt("dop=8 join row/batch wall-clock ratio %.2fx",
+                         join_ratio8) +
+              " (informational; host wall-clock is nogated)");
+
+  bench::MetricsSidecar("bench_vectorized");
+
+  if (counting && steady != 0) {
+    std::printf("FAIL: steady-state batch path performed %llu operator-new "
+                "calls (bar: 0)\n",
+                static_cast<unsigned long long>(steady));
+    return 1;
+  }
+  return 0;
+}

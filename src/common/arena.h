@@ -1,0 +1,182 @@
+// Slab/bump arena for the vectorized execution hot path.
+//
+// The batch kernels (src/query/batch.h) want per-morsel scratch and
+// per-query state that costs zero operator-new calls in steady state:
+// the arena allocates big chunks from the heap once, hands out aligned
+// bump-pointer slices, and Reset() rewinds to the start while RETAINING
+// every chunk — the next morsel (or the next query on a warm worker)
+// reuses the same memory with no heap traffic at all. This is the
+// SlabAllocator idiom (rippled's SlabAllocator.h): pay the allocator
+// once, then run allocation-free as fast as the hardware allows.
+//
+// Not thread-safe: arenas are strictly per-worker (the parallel engine
+// gives every vCPU its own pair — see WorkerPool::ScratchArena /
+// StateArena) so there is nothing to share and nothing to lock.
+
+#ifndef DBM_COMMON_ARENA_H_
+#define DBM_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace dbm {
+
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 256 * 1024)
+      : chunk_bytes_(chunk_bytes == 0 ? 4096 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two).
+  /// Never fails; grows the arena when the retained chunks are full —
+  /// the only path that touches operator new.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    while (cur_ < chunks_.size()) {
+      Chunk& c = chunks_[cur_];
+      size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        offset_ = aligned + bytes;
+        used_high_water_ = std::max(used_high_water_, TotalUsed());
+        return c.data.get() + aligned;
+      }
+      // This chunk is exhausted for a request this size; move on. The
+      // skipped tail is reclaimed at the next Reset().
+      ++cur_;
+      offset_ = 0;
+    }
+    size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    chunks_.push_back(Chunk{std::unique_ptr<char[]>(new char[size]), size});
+    cur_ = chunks_.size() - 1;
+    offset_ = bytes;
+    used_high_water_ = std::max(used_high_water_, TotalUsed());
+    return chunks_.back().data.get();
+  }
+
+  /// Typed array of `n` elements (uninitialised). T must not need a
+  /// destructor — the arena never runs any.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copies a string payload into the arena; the view stays valid until
+  /// Reset(). Empty input returns an empty view without allocating.
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = static_cast<char*>(Allocate(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Rewinds to empty while retaining every chunk. All outstanding
+  /// pointers become dangling-by-contract; the memory is reused.
+  void Reset() {
+    cur_ = 0;
+    offset_ = 0;
+    ++resets_;
+  }
+
+  /// Releases every chunk back to the heap (tests / teardown).
+  void Release() {
+    chunks_.clear();
+    cur_ = 0;
+    offset_ = 0;
+  }
+
+  /// Heap bytes held by the arena (capacity, not live use).
+  size_t reserved_bytes() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  size_t chunk_count() const { return chunks_.size(); }
+  uint64_t resets() const { return resets_; }
+  size_t high_water_bytes() const { return used_high_water_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  size_t TotalUsed() const {
+    size_t used = offset_;
+    for (size_t i = 0; i < cur_ && i < chunks_.size(); ++i) {
+      used += chunks_[i].size;
+    }
+    return used;
+  }
+
+  const size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t cur_ = 0;     // chunk currently bumping
+  size_t offset_ = 0;  // bump offset within chunks_[cur_]
+  uint64_t resets_ = 0;
+  size_t used_high_water_ = 0;
+};
+
+/// A growable array of trivially copyable elements living entirely in an
+/// arena. Growth allocates a doubled block from the arena and memcpys —
+/// the abandoned block is reclaimed wholesale at the arena's Reset().
+/// After the arena resets, the vec must be re-Init()ed before use.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  void Init(Arena* arena) {
+    arena_ = arena;
+    data_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+  }
+
+  void PushBack(const T& v) {
+    if (size_ == cap_) Grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  void Reserve(size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  /// Forgets the contents but keeps the current arena block.
+  void Clear() { size_ = 0; }
+
+ private:
+  void Grow(size_t need) {
+    size_t ncap = cap_ == 0 ? 64 : cap_ * 2;
+    while (ncap < need) ncap *= 2;
+    T* nd = arena_->AllocateArray<T>(ncap);
+    if (size_ > 0) std::memcpy(nd, data_, size_ * sizeof(T));
+    data_ = nd;
+    cap_ = ncap;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+};
+
+}  // namespace dbm
+
+#endif  // DBM_COMMON_ARENA_H_

@@ -63,7 +63,62 @@ void RelationStats::PerturbCardinality(double factor) {
 Status Relation::Insert(Tuple tuple) {
   DBM_RETURN_NOT_OK(CheckTuple(schema_, tuple));
   rows_.push_back(std::move(tuple));
+  InvalidateColumnar();
   return Status::OK();
+}
+
+const ColumnarView& Relation::Columnar() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (columnar_) return *columnar_;
+  auto view = std::make_unique<ColumnarView>();
+  view->rows = rows_.size();
+  view->columns.resize(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    ColumnVector& col = view->columns[c];
+    col.decl = schema_.field(c).type;
+    col.tags.resize(rows_.size());
+    // Every row carries a slot in each typed array so a cell is always
+    // addressable by row index — null/absent slots are zeroed. This costs
+    // memory over a packed layout but keeps kernel indexing branch-free.
+    switch (col.decl) {
+      case ValueType::kInt:
+        col.ints.assign(rows_.size(), 0);
+        break;
+      case ValueType::kDouble:
+        col.doubles.assign(rows_.size(), 0.0);
+        break;
+      case ValueType::kString:
+        col.strings.assign(rows_.size(), std::string_view());
+        break;
+      case ValueType::kNull:
+        break;
+    }
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      const Value& v = rows_[r].at(c);
+      ValueType t = TypeOf(v);
+      col.tags[r] = static_cast<uint8_t>(t);
+      switch (t) {
+        case ValueType::kNull:
+          break;
+        case ValueType::kInt:
+          if (col.ints.empty()) col.ints.assign(rows_.size(), 0);
+          col.ints[r] = std::get<int64_t>(v);
+          break;
+        case ValueType::kDouble:
+          if (col.doubles.empty()) col.doubles.assign(rows_.size(), 0.0);
+          col.doubles[r] = std::get<double>(v);
+          break;
+        case ValueType::kString:
+          if (col.strings.empty()) {
+            col.strings.assign(rows_.size(), std::string_view());
+          }
+          col.strings[r] = std::get<std::string>(v);
+          break;
+      }
+    }
+  }
+  columnar_ = std::move(view);
+  return *columnar_;
 }
 
 RelationStats Relation::ComputeStatistics(size_t histogram_buckets) const {

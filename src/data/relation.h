@@ -8,7 +8,9 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -50,12 +52,61 @@ struct RelationStats {
   void PerturbCardinality(double factor);
 };
 
+/// One column of a relation's cached columnar image: per-row type tags
+/// plus contiguous typed arrays. Only the arrays the column actually uses
+/// are populated (an all-int column leaves `doubles`/`strings` empty).
+/// String cells are views into the owning rows' std::string storage —
+/// valid until the relation is mutated.
+struct ColumnVector {
+  ValueType decl = ValueType::kNull;       // declared type (schema)
+  std::vector<uint8_t> tags;               // ValueType per row
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<std::string_view> strings;
+};
+
+/// The whole-relation columnar image the batch kernels scan: the same
+/// data as rows(), transposed once into contiguous arrays so a morsel is
+/// a slice of flat memory instead of a walk over variant-of-string rows.
+struct ColumnarView {
+  size_t rows = 0;
+  std::vector<ColumnVector> columns;  // one per schema field
+};
+
 /// A row-store relation.
 class Relation {
  public:
   Relation() = default;
   Relation(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // The columnar cache is an internal mutex-guarded lazily-built image;
+  // copies and moves carry the rows and drop the cache (it rebuilds on
+  // first use).
+  Relation(const Relation& other)
+      : name_(other.name_), schema_(other.schema_), rows_(other.rows_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      schema_ = other.schema_;
+      rows_ = other.rows_;
+      InvalidateColumnar();
+    }
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : name_(std::move(other.name_)),
+        schema_(std::move(other.schema_)),
+        rows_(std::move(other.rows_)) {}
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      name_ = std::move(other.name_);
+      schema_ = std::move(other.schema_);
+      rows_ = std::move(other.rows_);
+      InvalidateColumnar();
+    }
+    return *this;
+  }
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -65,7 +116,16 @@ class Relation {
   /// Appends a type-checked row.
   Status Insert(Tuple tuple);
   /// Appends without checking (bulk load of trusted data).
-  void InsertUnchecked(Tuple tuple) { rows_.push_back(std::move(tuple)); }
+  void InsertUnchecked(Tuple tuple) {
+    rows_.push_back(std::move(tuple));
+    InvalidateColumnar();
+  }
+
+  /// Columnar image of the relation, built lazily on first use and cached
+  /// until the next mutation. String cells are views into the row store;
+  /// the reference (and the views) stay valid while the relation is alive
+  /// and unmutated. Thread-safe to call concurrently from scan workers.
+  const ColumnarView& Columnar() const;
 
   /// Computes fresh statistics (histogram_buckets per numeric column).
   RelationStats ComputeStatistics(size_t histogram_buckets = 16) const;
@@ -82,9 +142,16 @@ class Relation {
   size_t PayloadBytes() const;
 
  private:
+  void InvalidateColumnar() {
+    std::lock_guard<std::mutex> lock(columnar_mu_);
+    columnar_.reset();
+  }
+
   std::string name_;
   Schema schema_;
   std::vector<Tuple> rows_;
+  mutable std::mutex columnar_mu_;
+  mutable std::unique_ptr<ColumnarView> columnar_;
 };
 
 /// Deterministic synthetic relation generators used across tests, benches

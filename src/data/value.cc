@@ -80,37 +80,50 @@ int CompareValues(const Value& a, const Value& b) {
   }
 }
 
+namespace {
+constexpr uint64_t kFnvBasis = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+uint64_t HashNull() { return kFnvBasis; }
+
+uint64_t HashNumeric(double d) {
+  if (d == 0.0) d = 0.0;  // normalise -0.0
+  return Fnv(&d, sizeof(d), kFnvBasis);
+}
+
+uint64_t HashValue(std::string_view s) {
+  return Fnv(s.data(), s.size(), kFnvBasis ^ 0x9E3779B97F4A7C15ULL);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  return (seed ^ h) * kFnvPrime + 0x9E3779B97F4A7C15ULL;
+}
+
 uint64_t HashValue(const Value& v) {
-  auto fnv = [](const void* data, size_t len, uint64_t seed) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    uint64_t h = seed;
-    for (size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-    return h;
-  };
-  const uint64_t kBasis = 14695981039346656037ULL;
   switch (TypeOf(v)) {
     case ValueType::kNull:
-      return kBasis;
-    case ValueType::kInt: {
+      return HashNull();
+    case ValueType::kInt:
       // Hash ints through their double representation so that 3 and 3.0
       // (equal under CompareValues) hash identically.
-      double d = static_cast<double>(std::get<int64_t>(v));
-      return fnv(&d, sizeof(d), kBasis);
-    }
-    case ValueType::kDouble: {
-      double d = std::get<double>(v);
-      if (d == 0.0) d = 0.0;  // normalise -0.0
-      return fnv(&d, sizeof(d), kBasis);
-    }
-    case ValueType::kString: {
-      const std::string& s = std::get<std::string>(v);
-      return fnv(s.data(), s.size(), kBasis ^ 0x9E3779B97F4A7C15ULL);
-    }
+      return HashNumeric(static_cast<double>(std::get<int64_t>(v)));
+    case ValueType::kDouble:
+      return HashNumeric(std::get<double>(v));
+    case ValueType::kString:
+      return HashValue(std::string_view(std::get<std::string>(v)));
   }
-  return kBasis;
+  return kFnvBasis;
 }
 
 Result<size_t> Schema::IndexOf(const std::string& name) const {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -35,6 +36,21 @@ int CompareValues(const Value& a, const Value& b);
 
 /// FNV-1a hash of a value (for hash joins and grouping).
 uint64_t HashValue(const Value& v);
+
+/// Hash of a string payload, identical to HashValue over a string Value —
+/// the columnar kernels and GroupAccumulator hash string_views directly so
+/// string keys never materialise a temporary std::string on the hot path.
+uint64_t HashValue(std::string_view s);
+
+/// Cell-level primitives behind HashValue, exposed so the batch kernels
+/// (query/batch.cc) hash contiguous columns without building a Value:
+/// numerics hash through their double image (3 and 3.0 hash alike, -0.0
+/// normalised), nulls hash to the FNV basis.
+uint64_t HashNull();
+uint64_t HashNumeric(double d);
+
+/// Order-sensitive combiner for multi-column keys (group-by hashing).
+uint64_t HashCombine(uint64_t seed, uint64_t h);
 
 /// A named, typed column.
 struct Field {

@@ -8,12 +8,15 @@ namespace {
 
 std::atomic<uint64_t> g_alloc_count{0};
 std::atomic<bool> g_installed{false};
+thread_local uint64_t t_alloc_count = 0;
 
 }  // namespace
 
 uint64_t AllocCount() {
   return g_alloc_count.load(std::memory_order_relaxed);
 }
+
+uint64_t AllocCountThisThread() { return t_alloc_count; }
 
 bool AllocCountingInstalled() {
   return g_installed.load(std::memory_order_relaxed);
@@ -23,6 +26,7 @@ namespace internal {
 
 void BumpAllocCount() {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  ++t_alloc_count;
 }
 
 void MarkAllocCountingInstalled() {

@@ -24,6 +24,12 @@ namespace dbm::obs {
 /// not linked in). Deltas around a region give the region's allocations.
 uint64_t AllocCount();
 
+/// Allocations observed on the CALLING thread (0 forever without the
+/// counting allocator). The batch engine brackets each morsel body with
+/// deltas of this counter — concurrent workers cannot pollute each
+/// other's measurement the way the process-wide counter would.
+uint64_t AllocCountThisThread();
+
 /// True when the counting operator new from dbm_alloc_hook is linked.
 bool AllocCountingInstalled();
 

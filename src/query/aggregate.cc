@@ -47,21 +47,70 @@ data::Schema GroupAccumulator::OutputSchema(
   return data::Schema(std::move(fields));
 }
 
-Status GroupAccumulator::Fold(const Tuple& tuple) {
-  Tuple key;
-  for (size_t g : group_by_) key.values.push_back(tuple.at(g));
-  std::string key_str = key.ToString();
-  auto it = groups_.find(key_str);
-  if (it == groups_.end()) {
-    GroupState gs;
-    gs.sums.assign(aggs_.size(), 0);
-    gs.mins.assign(aggs_.size(), 0);
-    gs.maxs.assign(aggs_.size(), 0);
-    gs.counts.assign(aggs_.size(), 0);
-    it = groups_.emplace(std::move(key_str), std::make_pair(key, std::move(gs)))
-             .first;
+GroupAccumulator::GroupState GroupAccumulator::MakeState() const {
+  GroupState gs;
+  gs.sums.assign(aggs_.size(), 0);
+  gs.mins.assign(aggs_.size(), 0);
+  gs.maxs.assign(aggs_.size(), 0);
+  gs.counts.assign(aggs_.size(), 0);
+  return gs;
+}
+
+namespace {
+/// Order-sensitive hash of the key columns (FNV basis seed, HashCombine
+/// per column). Equal-by-CompareValues keys hash alike because HashValue
+/// already sends 3 and 3.0 to the same image.
+uint64_t HashKeyCols(const Tuple& tuple, const std::vector<size_t>& cols) {
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t c : cols) {
+    h = data::HashCombine(h, data::HashValue(tuple.at(c)));
   }
-  GroupState& gs = it->second.second;
+  return h;
+}
+uint64_t HashKeyTuple(const Tuple& key) {
+  uint64_t h = 14695981039346656037ULL;
+  for (const Value& v : key.values) {
+    h = data::HashCombine(h, data::HashValue(v));
+  }
+  return h;
+}
+}  // namespace
+
+Status GroupAccumulator::FoldRow(const Tuple& tuple, Tuple* movable) {
+  uint64_t h = HashKeyCols(tuple, group_by_);
+  uint32_t idx = 0;
+  auto head = index_.find(h);
+  if (head != index_.end()) {
+    for (uint32_t g = head->second; g != 0; g = groups_[g - 1].next) {
+      const Tuple& key = groups_[g - 1].key;
+      bool equal = key.size() == group_by_.size();
+      for (size_t k = 0; equal && k < group_by_.size(); ++k) {
+        equal = CompareValues(key.at(k), tuple.at(group_by_[k])) == 0;
+      }
+      if (equal) {
+        idx = g;
+        break;
+      }
+    }
+  }
+  if (idx == 0) {
+    Group group;
+    group.key.values.reserve(group_by_.size());
+    for (size_t g : group_by_) {
+      if (movable != nullptr) {
+        group.key.values.push_back(std::move(movable->values[g]));
+      } else {
+        group.key.values.push_back(tuple.at(g));
+      }
+    }
+    group.st = MakeState();
+    uint32_t& head_slot = index_[h];
+    group.next = head_slot;
+    groups_.push_back(std::move(group));
+    head_slot = static_cast<uint32_t>(groups_.size());
+    idx = head_slot;
+  }
+  GroupState& gs = groups_[idx - 1].st;
   for (size_t i = 0; i < aggs_.size(); ++i) {
     const AggSpec& a = aggs_[i];
     if (a.func == AggFunc::kCount) {
@@ -83,27 +132,54 @@ Status GroupAccumulator::Fold(const Tuple& tuple) {
   return Status::OK();
 }
 
-void GroupAccumulator::Merge(const GroupAccumulator& other) {
-  for (const auto& [key_str, group] : other.groups_) {
-    auto it = groups_.find(key_str);
-    if (it == groups_.end()) {
-      groups_.emplace(key_str, group);
-      continue;
-    }
-    GroupState& gs = it->second.second;
-    const GroupState& ogs = group.second;
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      if (ogs.counts[i] == 0) continue;
-      if (gs.counts[i] == 0) {
-        gs.mins[i] = ogs.mins[i];
-        gs.maxs[i] = ogs.maxs[i];
-      } else {
-        gs.mins[i] = std::min(gs.mins[i], ogs.mins[i]);
-        gs.maxs[i] = std::max(gs.maxs[i], ogs.maxs[i]);
+void GroupAccumulator::FoldPartial(Tuple key, const double* sums,
+                                   const double* mins, const double* maxs,
+                                   const uint64_t* counts) {
+  uint64_t h = HashKeyTuple(key);
+  uint32_t idx = 0;
+  auto head = index_.find(h);
+  if (head != index_.end()) {
+    for (uint32_t g = head->second; g != 0; g = groups_[g - 1].next) {
+      const Tuple& k = groups_[g - 1].key;
+      bool equal = k.size() == key.size();
+      for (size_t c = 0; equal && c < key.size(); ++c) {
+        equal = CompareValues(k.at(c), key.at(c)) == 0;
       }
-      gs.sums[i] += ogs.sums[i];
-      gs.counts[i] += ogs.counts[i];
+      if (equal) {
+        idx = g;
+        break;
+      }
     }
+  }
+  if (idx == 0) {
+    Group group;
+    group.key = std::move(key);
+    group.st = MakeState();
+    uint32_t& head_slot = index_[h];
+    group.next = head_slot;
+    groups_.push_back(std::move(group));
+    head_slot = static_cast<uint32_t>(groups_.size());
+    idx = head_slot;
+  }
+  GroupState& gs = groups_[idx - 1].st;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (gs.counts[i] == 0) {
+      gs.mins[i] = mins[i];
+      gs.maxs[i] = maxs[i];
+    } else {
+      gs.mins[i] = std::min(gs.mins[i], mins[i]);
+      gs.maxs[i] = std::max(gs.maxs[i], maxs[i]);
+    }
+    gs.sums[i] += sums[i];
+    gs.counts[i] += counts[i];
+  }
+}
+
+void GroupAccumulator::Merge(const GroupAccumulator& other) {
+  for (const Group& group : other.groups_) {
+    FoldPartial(group.key, group.st.sums.data(), group.st.mins.data(),
+                group.st.maxs.data(), group.st.counts.data());
   }
 }
 
@@ -138,10 +214,29 @@ Tuple GroupAccumulator::FinishGroup(const Tuple& key,
 }
 
 std::vector<Tuple> GroupAccumulator::Finish() const {
+  // Deterministic output order regardless of hash/insertion order: sort
+  // by the key's string form (the historical map ordering), breaking the
+  // rare string-form tie by value comparison.
+  std::vector<std::pair<std::string, uint32_t>> order;
+  order.reserve(groups_.size());
+  for (uint32_t g = 0; g < groups_.size(); ++g) {
+    order.emplace_back(groups_[g].key.ToString(), g);
+  }
+  std::sort(order.begin(), order.end(),
+            [this](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              const Tuple& ka = groups_[a.second].key;
+              const Tuple& kb = groups_[b.second].key;
+              for (size_t c = 0; c < ka.size() && c < kb.size(); ++c) {
+                int cmp = CompareValues(ka.at(c), kb.at(c));
+                if (cmp != 0) return cmp < 0;
+              }
+              return false;
+            });
   std::vector<Tuple> out;
   out.reserve(groups_.size());
-  for (const auto& [key_str, group] : groups_) {
-    out.push_back(FinishGroup(group.first, group.second));
+  for (const auto& [key_str, g] : order) {
+    out.push_back(FinishGroup(groups_[g].key, groups_[g].st));
   }
   return out;
 }
@@ -169,7 +264,9 @@ Result<Step> HashAggregate::Next(SimTime now) {
     switch (step.kind) {
       case Step::Kind::kTuple:
         ++stats_.consumed_left;
-        DBM_RETURN_NOT_OK(acc_.Fold(step.tuple));
+        // Move: the input row is consumed here; a fresh group steals its
+        // key values instead of copying them.
+        DBM_RETURN_NOT_OK(acc_.Fold(std::move(step.tuple)));
         break;
       case Step::Kind::kNotReady:
         return step;

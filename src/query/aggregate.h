@@ -3,7 +3,7 @@
 #ifndef DBM_QUERY_AGGREGATE_H_
 #define DBM_QUERY_AGGREGATE_H_
 
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "query/operator.h"
@@ -26,14 +26,27 @@ struct AggSpec {
 /// the scan (the classic partial-aggregate / merge split). Merging is
 /// exact for count/min/max; sum (and so avg) reassociates floating-point
 /// addition, which matters only beyond binary-fraction precision.
+///
+/// Groups are hash-indexed (HashValue over the key columns, equality by
+/// CompareValues), so folding a row allocates nothing once its group
+/// exists — the old string-keyed map built a key.ToString() per row.
+/// Output order is unchanged: Finish() sorts by the key's string form.
 class GroupAccumulator {
  public:
   GroupAccumulator() = default;
   GroupAccumulator(std::vector<size_t> group_by, std::vector<AggSpec> aggs)
       : group_by_(std::move(group_by)), aggs_(std::move(aggs)) {}
 
-  /// Folds one input tuple into its group.
-  Status Fold(const Tuple& tuple);
+  /// Folds one input tuple into its group. The rvalue overload moves the
+  /// key values out of a consumed tuple instead of copying them.
+  Status Fold(const Tuple& tuple) { return FoldRow(tuple, nullptr); }
+  Status Fold(Tuple&& tuple) { return FoldRow(tuple, &tuple); }
+
+  /// Folds one pre-aggregated group (a batch-engine worker's partial):
+  /// arrays are one value per agg spec, with merge semantics identical
+  /// to Merge() for that group.
+  void FoldPartial(Tuple key, const double* sums, const double* mins,
+                   const double* maxs, const uint64_t* counts);
 
   /// Combines another accumulator (built from disjoint input slices over
   /// the same specs) into this one.
@@ -57,13 +70,22 @@ class GroupAccumulator {
     // counts[i] doubles as "values seen" for min/max validity.
     std::vector<uint64_t> counts;
   };
+  struct Group {
+    Tuple key;
+    GroupState st;
+    uint32_t next = 0;  // 1-based chain link for hash collisions
+  };
 
+  /// `movable`, when non-null, is the same tuple as a consumable source
+  /// whose key values a fresh group may steal.
+  Status FoldRow(const Tuple& tuple, Tuple* movable);
+  GroupState MakeState() const;
   Tuple FinishGroup(const Tuple& key, const GroupState& gs) const;
 
   std::vector<size_t> group_by_;
   std::vector<AggSpec> aggs_;
-  // Key tuples compared via their string form for deterministic ordering.
-  std::map<std::string, std::pair<Tuple, GroupState>> groups_;
+  std::vector<Group> groups_;
+  std::unordered_map<uint64_t, uint32_t> index_;  // key hash -> 1-based head
 };
 
 /// Hash aggregation with optional GROUP BY columns. Blocking: consumes

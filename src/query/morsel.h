@@ -21,6 +21,8 @@ struct Morsel {
   size_t begin = 0;
   size_t end = 0;
   uint64_t index = 0;  // ordinal of this morsel within the scan
+
+  size_t size() const { return end - begin; }
 };
 
 /// Atomic work cursor over `total_units` units in chunks of

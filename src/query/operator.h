@@ -203,7 +203,27 @@ class ProjectOp : public Operator {
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs, Schema out_schema)
       : child_(std::move(child)),
         exprs_(std::move(exprs)),
-        schema_(std::move(out_schema)) {}
+        schema_(std::move(out_schema)) {
+    // Pure column permutations (each output a distinct input column) can
+    // move values out of the consumed input row instead of copying
+    // through Eval — the common SELECT a, b, c shape.
+    move_columns_ = !exprs_.empty();
+    std::vector<size_t> seen;
+    for (const ExprPtr& e : exprs_) {
+      if (e->kind != ExprKind::kColumn) {
+        move_columns_ = false;
+        break;
+      }
+      for (size_t s : seen) {
+        if (s == e->column) {
+          move_columns_ = false;
+          break;
+        }
+      }
+      if (!move_columns_) break;
+      seen.push_back(e->column);
+    }
+  }
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "project"; }
   Status Open() override { return child_->Open(); }
@@ -212,6 +232,18 @@ class ProjectOp : public Operator {
     if (step.kind != Step::Kind::kTuple) return step;
     Tuple out;
     out.values.reserve(exprs_.size());
+    if (move_columns_) {
+      for (const ExprPtr& e : exprs_) {
+        if (e->column >= step.tuple.size()) {
+          // Fall through to Eval for its exact out-of-range error.
+          DBM_ASSIGN_OR_RETURN(Value v, e->Eval(step.tuple));
+          out.values.push_back(std::move(v));
+          continue;
+        }
+        out.values.push_back(std::move(step.tuple.values[e->column]));
+      }
+      return Emit(std::move(out), now);
+    }
     for (const ExprPtr& e : exprs_) {
       DBM_ASSIGN_OR_RETURN(Value v, e->Eval(step.tuple));
       out.values.push_back(std::move(v));
@@ -227,6 +259,7 @@ class ProjectOp : public Operator {
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
+  bool move_columns_ = false;
 };
 
 /// LIMIT n.

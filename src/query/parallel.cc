@@ -15,6 +15,7 @@
 #include "obs/trace.h"
 #include "obs/tracectx.h"
 #include "obs/waitstate.h"
+#include "query/batch.h"
 #include "query/join.h"
 #include "query/paged_source.h"
 
@@ -38,6 +39,9 @@ struct ParObs {
   obs::Counter& queries;
   obs::Counter& morsels_total;
   obs::Counter& work_cycles;
+  obs::Counter& batch_batches;
+  obs::Counter& batch_rows;
+  obs::Gauge& batch_selectivity;
 
   static ParObs& Get() {
     static ParObs* m = [] {
@@ -47,7 +51,10 @@ struct ParObs {
                         reg.GetGauge("exec.worker-util"),
                         reg.GetCounter("query.pexec.queries"),
                         reg.GetCounter("query.pexec.morsels"),
-                        reg.GetCounter("query.pexec.work_cycles")};
+                        reg.GetCounter("query.pexec.work_cycles"),
+                        reg.GetCounter("query.batch.batches"),
+                        reg.GetCounter("query.batch.rows"),
+                        reg.GetGauge("query.batch.selectivity")};
     }();
     return *m;
   }
@@ -263,9 +270,63 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
   par_obs.dop.Set(static_cast<double>(dop));
 
   // -------------------------------------------------------------------
+  // Engine selection. The batch engine covers the whole SPJA shape; its
+  // one hard limit is the aggregation table's stack key buffer, so very
+  // wide GROUP BYs take the row engine.
+  // -------------------------------------------------------------------
+  const bool use_batch = options.engine == ParallelEngine::kBatch &&
+                         plan.group_by.size() <= 16;
+  const size_t nstages = plan.joins.size();
+
+  // Batch-engine plan preparation, all coordinator-side, once per query:
+  // per-worker state arenas reset (chunks retained), columnar views
+  // resolved (so workers never touch the relation's lazy-build mutex),
+  // and the per-stage column maps precomputed. The pipeline schema after
+  // j joins is build_{j-1} ++ ... ++ build_0 ++ probe (Schema::Join
+  // prepends each build side), which colmaps[j] encodes as ColRefs.
+  const data::ColumnarView* probe_cv = nullptr;
+  std::vector<const data::ColumnarView*> build_cv(nstages, nullptr);
+  std::vector<size_t> stage_arity(nstages + 1, 0);
+  std::vector<std::vector<ColRef>> colmaps(nstages + 1);
+  std::vector<ColRef> proj_colmap;
+  std::vector<BatchStageTable> btables(use_batch ? nstages : 0);
+  if (use_batch) {
+    for (size_t wid = 0; wid < dop_max; ++wid) {
+      pool.StateArena(wid).Reset();
+    }
+    if (plan.probe.mem != nullptr) probe_cv = &plan.probe.mem->Columnar();
+    stage_arity[0] = plan.probe.schema().size();
+    for (size_t s = 0; s < nstages; ++s) {
+      const ParallelScan& build = plan.joins[s].build;
+      if (build.mem != nullptr) build_cv[s] = &build.mem->Columnar();
+      stage_arity[s + 1] = stage_arity[s] + build.schema().size();
+    }
+    for (size_t j = 1; j <= nstages; ++j) {
+      std::vector<ColRef>& cm = colmaps[j];
+      cm.resize(stage_arity[j]);
+      size_t off = 0;
+      for (size_t k = j; k-- > 0;) {
+        size_t build_arity = plan.joins[k].build.schema().size();
+        for (size_t c = 0; c < build_arity; ++c) {
+          cm[off++] = ColRef{ColSrc::kSeg, static_cast<uint16_t>(k),
+                             static_cast<uint32_t>(c)};
+        }
+      }
+      for (size_t c = 0; c < plan.probe.schema().size(); ++c) {
+        cm[off++] = ColRef{ColSrc::kScan, 0, static_cast<uint32_t>(c)};
+      }
+    }
+    proj_colmap.resize(plan.project.size());
+    for (size_t j = 0; j < plan.project.size(); ++j) {
+      proj_colmap[j] = ColRef{ColSrc::kComputed, 0, static_cast<uint32_t>(j)};
+    }
+  }
+
+  // -------------------------------------------------------------------
   // Profiling state (EXPLAIN ANALYZE). All counters below are only
   // written when a profile was requested; the unprofiled path pays one
-  // predictable branch per morsel.
+  // predictable branch per morsel. (The batch engine keeps its cheap
+  // row/batch tallies unconditionally — they feed query.batch.*.)
   // -------------------------------------------------------------------
   const bool profiling = options.profile != nullptr;
   const uint64_t prof_host_start = profiling ? obs::NowHostNs() : 0;
@@ -286,6 +347,7 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
     std::atomic<uint64_t> rows{0};     // build rows kept (post filter)
     std::atomic<uint64_t> morsels{0};  // build morsels processed
     std::atomic<uint64_t> pages{0};    // build pages touched (paged scans)
+    std::atomic<uint64_t> batches{0};  // build batches (batch engine)
     uint64_t allocs = 0;  // coordinator-side delta around the stage job
   };
   std::vector<StageProf> stage_prof(plan.joins.size());
@@ -300,14 +362,22 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
     uint64_t scan_rows = 0;  // rows entering the pipeline (post filter)
     uint64_t pages = 0;      // probe pages touched
     std::vector<uint64_t> stage_out;  // rows out of each join stage
-    // Scratch for the join fan-out, reused across rows.
+    // Scratch for the join fan-out, reused across rows (row engine).
     std::vector<Tuple> cur, next;
+    // Batch engine: per-worker aggregation table and tallies.
+    BatchAggTable btable;
+    uint64_t batches = 0;
+    uint64_t steady_allocs = 0;  // operator-new calls inside morsel bodies
   };
   std::vector<WorkerSink> sinks(dop_max);
   const bool aggregating = !plan.aggs.empty();
   if (aggregating) {
-    for (WorkerSink& sink : sinks) {
-      sink.acc = GroupAccumulator(plan.group_by, plan.aggs);
+    for (size_t wid = 0; wid < dop_max; ++wid) {
+      sinks[wid].acc = GroupAccumulator(plan.group_by, plan.aggs);
+      if (use_batch) {
+        sinks[wid].btable.Init(&plan.group_by, &plan.aggs,
+                               &pool.StateArena(wid));
+      }
     }
   }
   if (profiling) {
@@ -331,7 +401,7 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
 
     auto scan_subtree = [](const ParallelScan& scan, uint64_t raw,
                            uint64_t post, uint64_t pages,
-                           uint64_t morsels) {
+                           uint64_t morsels, uint64_t batches) {
       ProfileNode leaf;
       leaf.name = scan.paged != nullptr
                       ? "paged-scan(" + scan.paged->name() + ")"
@@ -340,24 +410,30 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       leaf.work_cycles = raw;
       leaf.pages = pages;
       leaf.morsels = morsels;
+      leaf.batches = batches;
       if (scan.filter == nullptr) return leaf;
       ProfileNode filter;
       filter.name = "filter(" + scan.filter->ToString() + ")";
       filter.rows_in = raw;
       filter.rows_out = post;
       filter.work_cycles = post;
+      if (raw > 0) {
+        filter.selectivity =
+            static_cast<double>(post) / static_cast<double>(raw);
+      }
       filter.children.push_back(std::move(leaf));
       return filter;
     };
 
     uint64_t shaped_total = 0, raw_probe = 0, scan_probe = 0,
-             probe_pages = 0;
+             probe_pages = 0, probe_batches = 0;
     std::vector<uint64_t> stage_total(plan.joins.size(), 0);
     for (const WorkerSink& sink : sinks) {
       shaped_total += sink.rows_out;
       raw_probe += sink.raw_rows;
       scan_probe += sink.scan_rows;
       probe_pages += sink.pages;
+      probe_batches += sink.batches;
       for (size_t s = 0; s < sink.stage_out.size(); ++s) {
         stage_total[s] += sink.stage_out[s];
       }
@@ -366,7 +442,8 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
         morsels_done.load(std::memory_order_relaxed);
 
     ProfileNode node = scan_subtree(plan.probe, raw_probe, scan_probe,
-                                    probe_pages, probe_morsels);
+                                    probe_pages, probe_morsels,
+                                    probe_batches);
     uint64_t stage_allocs = 0;
     uint64_t stage_morsels = 0;
     for (size_t s = 0; s < plan.joins.size(); ++s) {
@@ -376,7 +453,8 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
           plan.joins[s].build, sp.raw.load(std::memory_order_relaxed),
           sp.rows.load(std::memory_order_relaxed),
           sp.pages.load(std::memory_order_relaxed),
-          sp.morsels.load(std::memory_order_relaxed));
+          sp.morsels.load(std::memory_order_relaxed),
+          sp.batches.load(std::memory_order_relaxed));
       ProfileNode join;
       join.name = "hash-join";
       join.rows_out = stage_total[s];
@@ -394,6 +472,10 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       filter.rows_in = node.rows_out;
       filter.rows_out = shaped_total;
       filter.work_cycles = shaped_total;
+      if (filter.rows_in > 0) {
+        filter.selectivity = static_cast<double>(shaped_total) /
+                             static_cast<double>(filter.rows_in);
+      }
       filter.children.push_back(std::move(node));
       node = std::move(filter);
     }
@@ -458,13 +540,20 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
   // obs::WaitState::kBarrier, so it accrues to proc.worker.barrier_ns —
   // not to busy time, which used to inflate exec.worker-util.
   // -------------------------------------------------------------------
-  std::vector<StageTable> tables(plan.joins.size());
+  std::vector<StageTable> tables(use_batch ? 0 : plan.joins.size());
   std::atomic<uint64_t> build_rows_total{0};
   for (size_t s = 0; s < plan.joins.size(); ++s) {
     const ParallelJoinStage& stage = plan.joins[s];
-    StageTable& table = tables[s];
-    table.build_col = stage.spec.left_col;
-    table.probe_col = stage.spec.right_col;
+    StageTable* table = use_batch ? nullptr : &tables[s];
+    BatchStageTable* btable = use_batch ? &btables[s] : nullptr;
+    if (use_batch) {
+      btable->ncols = stage.build.schema().size();
+      btable->key_col = stage.spec.left_col;
+      btable->probe_col = stage.spec.right_col;
+    } else {
+      table->build_col = stage.spec.left_col;
+      table->probe_col = stage.spec.right_col;
+    }
     StageProf& sprof = stage_prof[s];
 
     size_t per_morsel = 0;
@@ -473,7 +562,78 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
     MorselCursor merge_cursor(kPartitions, 1);
 
     using Partition = std::vector<std::pair<uint64_t, Tuple>>;
-    std::vector<std::array<Partition, kPartitions>> locals(dop);
+    std::vector<std::array<Partition, kPartitions>> locals(
+        use_batch ? 0 : dop);
+    std::vector<BuildCollector> collectors(use_batch ? dop : 0);
+    if (use_batch) {
+      for (size_t wid = 0; wid < dop; ++wid) {
+        collectors[wid].Init(btable->ncols, btable->key_col,
+                             &pool.StateArena(wid));
+      }
+    }
+
+    // Scans one build morsel into the worker's collector as a column
+    // batch (load → scan filter → partitioned append).
+    auto batch_build_morsel = [&](size_t wid,
+                                  const Morsel& morsel) -> Status {
+      Arena& scratch = pool.ScratchArena(wid);
+      scratch.Reset();
+      ColumnBatch batch;
+      uint64_t raw = 0;
+      if (stage.build.paged != nullptr) {
+        DBM_RETURN_NOT_OK(LoadPagedBatch(*stage.build.paged, morsel.begin,
+                                         morsel.end, &scratch, &batch,
+                                         &raw));
+        sprof.pages.fetch_add(morsel.size(), std::memory_order_relaxed);
+      } else {
+        LoadMemBatch(*build_cv[s], morsel.begin, morsel.end, &scratch,
+                     &batch);
+        raw = batch.rows;
+      }
+      size_t n = batch.rows;
+      uint32_t* sel = scratch.AllocateArray<uint32_t>(n);
+      for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+      if (stage.build.filter != nullptr) {
+        BatchView scan_view;
+        scan_view.batch = &batch;
+        scan_view.arity = batch.ncols;
+        DBM_RETURN_NOT_OK(FilterBatch(*stage.build.filter, scan_view, sel,
+                                      n, &n, &scratch));
+      }
+      collectors[wid].AddBatch(batch, sel, n);
+      build_rows_total.fetch_add(n, std::memory_order_relaxed);
+      sprof.raw.fetch_add(raw, std::memory_order_relaxed);
+      sprof.rows.fetch_add(n, std::memory_order_relaxed);
+      sprof.morsels.fetch_add(1, std::memory_order_relaxed);
+      sprof.batches.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    };
+
+    auto row_build_morsel = [&](size_t wid,
+                                const Morsel& morsel) -> Status {
+      uint64_t raw = 0;
+      uint64_t rows_in_morsel = 0;
+      Status scan_status = ScanMorsel(
+          stage.build, morsel,
+          [&](Tuple tuple) -> Status {
+            uint64_t h = HashValue(tuple.at(table->build_col));
+            locals[wid][h % kPartitions].emplace_back(h, std::move(tuple));
+            ++rows_in_morsel;
+            return Status::OK();
+          },
+          profiling ? &raw : nullptr);
+      build_rows_total.fetch_add(rows_in_morsel,
+                                 std::memory_order_relaxed);
+      if (profiling) {
+        sprof.raw.fetch_add(raw, std::memory_order_relaxed);
+        sprof.rows.fetch_add(rows_in_morsel, std::memory_order_relaxed);
+        sprof.morsels.fetch_add(1, std::memory_order_relaxed);
+        if (stage.build.paged != nullptr) {
+          sprof.pages.fetch_add(morsel.size(), std::memory_order_relaxed);
+        }
+      }
+      return scan_status;
+    };
 
     std::atomic<bool> scan_failed{false};
     std::mutex barrier_mu;
@@ -488,30 +648,8 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       while (scan_cursor.Next(&morsel)) {
         scan_status = fault_gate.Check();
         if (scan_status.ok()) {
-          uint64_t raw = 0;
-          uint64_t rows_in_morsel = 0;
-          scan_status = ScanMorsel(
-              stage.build, morsel,
-              [&](Tuple tuple) -> Status {
-                uint64_t h = HashValue(tuple.at(table.build_col));
-                locals[wid][h % kPartitions].emplace_back(h,
-                                                          std::move(tuple));
-                ++rows_in_morsel;
-                return Status::OK();
-              },
-              profiling ? &raw : nullptr);
-          build_rows_total.fetch_add(rows_in_morsel,
-                                     std::memory_order_relaxed);
-          if (profiling) {
-            sprof.raw.fetch_add(raw, std::memory_order_relaxed);
-            sprof.rows.fetch_add(rows_in_morsel,
-                                 std::memory_order_relaxed);
-            sprof.morsels.fetch_add(1, std::memory_order_relaxed);
-            if (stage.build.paged != nullptr) {
-              sprof.pages.fetch_add(morsel.end - morsel.begin,
-                                    std::memory_order_relaxed);
-            }
-          }
+          scan_status = use_batch ? batch_build_morsel(wid, morsel)
+                                  : row_build_morsel(wid, morsel);
         }
         if (!scan_status.ok()) {
           // Poison so peers drain promptly — but still arrive at the
@@ -535,12 +673,17 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       Morsel part;
       while (merge_cursor.Next(&part)) {
         for (size_t p = part.begin; p < part.end; ++p) {
+          if (use_batch) {
+            MergePartition(collectors.data(), dop, p,
+                           &pool.StateArena(wid), &btable->parts[p]);
+            continue;
+          }
           size_t total = 0;
           for (const auto& local : locals) total += local[p].size();
-          table.parts[p].reserve(total);
+          table->parts[p].reserve(total);
           for (auto& local : locals) {
             for (auto& [h, tuple] : local[p]) {
-              table.parts[p].emplace(h, std::move(tuple));
+              table->parts[p].emplace(h, std::move(tuple));
             }
           }
         }
@@ -605,6 +748,151 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       }
       ++sink.rows_out;
     }
+    return Status::OK();
+  };
+
+  // Batch-engine probe morsel: load the morsel as one column batch, then
+  // run the whole pipeline batch-at-a-time. Positions stay dense through
+  // the join fan-out; `pos_to_row` maps them back to scan rows and
+  // `segs[k][pos]` to the stage-k build row's cells. Everything transient
+  // comes from the worker's scratch arena (reset here, chunks retained),
+  // so the steady-state body performs zero operator-new calls on mem
+  // scans — measured per-thread into sink.steady_allocs.
+  auto process_batch = [&](size_t wid, const Morsel& morsel) -> Status {
+    WorkerSink& sink = sinks[wid];
+    Arena& scratch = pool.ScratchArena(wid);
+    const uint64_t allocs_before = obs::AllocCountThisThread();
+    scratch.Reset();
+
+    ColumnBatch batch;
+    if (plan.probe.paged != nullptr) {
+      uint64_t raw = 0;
+      DBM_RETURN_NOT_OK(LoadPagedBatch(*plan.probe.paged, morsel.begin,
+                                       morsel.end, &scratch, &batch, &raw));
+      sink.raw_rows += raw;
+      sink.pages += morsel.size();
+    } else {
+      LoadMemBatch(*probe_cv, morsel.begin, morsel.end, &scratch, &batch);
+      sink.raw_rows += batch.rows;
+    }
+    ++sink.batches;
+
+    // Scan filter → selection vector of surviving scan rows.
+    size_t n = batch.rows;
+    uint32_t* sel = scratch.AllocateArray<uint32_t>(n);
+    for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+    if (plan.probe.filter != nullptr) {
+      BatchView scan_view;
+      scan_view.batch = &batch;
+      scan_view.arity = batch.ncols;
+      DBM_RETURN_NOT_OK(FilterBatch(*plan.probe.filter, scan_view, sel, n,
+                                    &n, &scratch));
+    }
+    sink.scan_rows += n;
+
+    // Join fan-out: after each stage, positions are re-densified. The
+    // surviving sel doubles as the initial pos→row map.
+    const uint32_t* pos_to_row = sel;
+    size_t cur_n = n;
+    const Cell*** segs =
+        nstages > 0 ? scratch.AllocateArray<const Cell**>(nstages)
+                    : nullptr;
+    for (size_t st = 0; st < nstages && cur_n > 0; ++st) {
+      const BatchStageTable& bt = btables[st];
+      BatchView view;
+      view.batch = &batch;
+      view.pos_to_row = pos_to_row;
+      view.colmap = st > 0 ? colmaps[st].data() : nullptr;
+      view.arity = stage_arity[st];
+      view.segs = segs;
+      ArenaVec<uint32_t> match_pos;
+      ArenaVec<const Cell*> match_build;
+      match_pos.Init(&scratch);
+      match_build.Init(&scratch);
+      for (uint32_t p = 0; p < cur_n; ++p) {
+        Cell key = view.Get(bt.probe_col, p);
+        uint64_t h = HashCell(key);
+        const BatchStagePart& part = bt.parts[h % kBatchPartitions];
+        if (part.rows == 0) continue;
+        for (uint32_t r = part.heads[h & part.mask]; r != 0;
+             r = part.next[r - 1]) {
+          if (part.hashes[r - 1] != h) continue;
+          const Cell* row = part.cells + size_t{r - 1} * bt.ncols;
+          if (CompareCells(row[bt.key_col], key) == 0) {
+            match_pos.PushBack(p);
+            match_build.PushBack(row);
+          }
+        }
+      }
+      size_t m = match_pos.size();
+      uint32_t* new_rows = scratch.AllocateArray<uint32_t>(m);
+      for (size_t i = 0; i < m; ++i) new_rows[i] = pos_to_row[match_pos[i]];
+      for (size_t k = 0; k < st; ++k) {
+        const Cell** remap = scratch.AllocateArray<const Cell*>(m);
+        for (size_t i = 0; i < m; ++i) remap[i] = segs[k][match_pos[i]];
+        segs[k] = remap;
+      }
+      segs[st] = match_build.data();
+      pos_to_row = new_rows;
+      cur_n = m;
+      if (profiling) sink.stage_out[st] += m;
+    }
+
+    BatchView full;
+    full.batch = &batch;
+    full.pos_to_row = pos_to_row;
+    full.colmap = nstages > 0 ? colmaps[nstages].data() : nullptr;
+    full.arity = stage_arity[nstages];
+    full.segs = segs;
+
+    // Post-filter → selection over pipeline positions.
+    uint32_t* shaped_sel = nullptr;
+    size_t shaped_n = cur_n;
+    if (plan.post_filter != nullptr) {
+      shaped_sel = scratch.AllocateArray<uint32_t>(cur_n);
+      for (size_t i = 0; i < cur_n; ++i) {
+        shaped_sel[i] = static_cast<uint32_t>(i);
+      }
+      DBM_RETURN_NOT_OK(FilterBatch(*plan.post_filter, full, shaped_sel,
+                                    cur_n, &shaped_n, &scratch));
+    }
+
+    // Projection → computed columns (dense, so the selection resets).
+    BatchView shaped = full;
+    const uint32_t* out_sel = shaped_sel;
+    size_t out_n = shaped_n;
+    if (!plan.project.empty()) {
+      const Cell** computed =
+          scratch.AllocateArray<const Cell*>(plan.project.size());
+      for (size_t j = 0; j < plan.project.size(); ++j) {
+        Cell* col = scratch.AllocateArray<Cell>(shaped_n);
+        DBM_RETURN_NOT_OK(EvalBatch(*plan.project[j], full, shaped_sel,
+                                    shaped_n, col, &scratch));
+        computed[j] = col;
+      }
+      shaped = BatchView();
+      shaped.colmap = proj_colmap.data();
+      shaped.arity = plan.project.size();
+      shaped.computed = computed;
+      out_sel = nullptr;
+    }
+
+    if (aggregating) {
+      sink.btable.Fold(shaped, out_sel, out_n);
+    } else {
+      for (size_t i = 0; i < out_n; ++i) {
+        uint32_t pos = out_sel != nullptr ? out_sel[i]
+                                          : static_cast<uint32_t>(i);
+        Tuple t;
+        t.values.reserve(shaped.arity);
+        for (size_t c = 0; c < shaped.arity; ++c) {
+          t.values.push_back(CellToValue(shaped.Get(c, pos)));
+        }
+        sink.rows.push_back(std::move(t));
+      }
+    }
+    sink.rows_out += out_n;
+    sink.steady_allocs += obs::AllocCountThisThread() - allocs_before;
     return Status::OK();
   };
 
@@ -678,14 +966,20 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
       [&](size_t wid, const Morsel& morsel) -> Status {
         DBM_RETURN_NOT_OK(fault_gate.Check());
         WorkerSink& sink = sinks[wid];
-        DBM_RETURN_NOT_OK(ScanMorsel(
-            plan.probe, morsel,
-            [&](Tuple tuple) { return process_row(sink, std::move(tuple)); },
-            profiling ? &sink.raw_rows : nullptr));
-        ++sink.morsels;
-        if (profiling && plan.probe.paged != nullptr) {
-          sink.pages += morsel.end - morsel.begin;
+        if (use_batch) {
+          DBM_RETURN_NOT_OK(process_batch(wid, morsel));
+        } else {
+          DBM_RETURN_NOT_OK(ScanMorsel(
+              plan.probe, morsel,
+              [&](Tuple tuple) {
+                return process_row(sink, std::move(tuple));
+              },
+              profiling ? &sink.raw_rows : nullptr));
+          if (profiling && plan.probe.paged != nullptr) {
+            sink.pages += morsel.size();
+          }
         }
+        ++sink.morsels;
         morsels_done.fetch_add(1, std::memory_order_relaxed);
         return Status::OK();
       },
@@ -702,6 +996,12 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
   // -------------------------------------------------------------------
   uint64_t processed = 0;
   if (aggregating) {
+    if (use_batch) {
+      // Each worker's arena table exports through FoldPartial, so the
+      // cross-worker merge and Finish() ordering are exactly the row
+      // engine's.
+      for (WorkerSink& sink : sinks) sink.btable.ExportTo(&sink.acc);
+    }
     GroupAccumulator merged(plan.group_by, plan.aggs);
     for (const WorkerSink& sink : sinks) {
       merged.Merge(sink.acc);
@@ -733,9 +1033,30 @@ Result<ParallelStats> ExecuteParallel(const ParallelPlan& plan,
   par_obs.morsels.Set(static_cast<double>(
       morsels_done.load(std::memory_order_relaxed)));
   par_obs.morsels_total.Add(morsels_done.load(std::memory_order_relaxed));
-  // Deterministic work measure (same at every dop): rows flowed through
-  // the pipeline plus rows built — this is what bench_diff gates.
+  // Deterministic work measure (same at every dop AND both engines —
+  // rows flowed through the pipeline plus rows built — so bench_diff's
+  // gate holds across the engine switch).
   par_obs.work_cycles.Add(processed + pstats.build_rows);
+  if (use_batch) {
+    uint64_t raw_probe = 0, scan_probe = 0;
+    for (const WorkerSink& sink : sinks) {
+      raw_probe += sink.raw_rows;
+      scan_probe += sink.scan_rows;
+      pstats.batches += sink.batches;
+      pstats.steady_allocs += sink.steady_allocs;
+    }
+    uint64_t batch_rows = raw_probe;
+    for (const StageProf& sp : stage_prof) {
+      pstats.batches += sp.batches.load(std::memory_order_relaxed);
+      batch_rows += sp.raw.load(std::memory_order_relaxed);
+    }
+    par_obs.batch_batches.Add(pstats.batches);
+    par_obs.batch_rows.Add(batch_rows);
+    par_obs.batch_selectivity.Set(
+        raw_probe == 0 ? 1.0
+                       : static_cast<double>(scan_probe) /
+                             static_cast<double>(raw_probe));
+  }
   pool.PublishWaitStateGauges();
   finish_profile(Status::OK(), "");
   return pstats;

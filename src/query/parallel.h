@@ -106,6 +106,12 @@ struct GovernorSample {
 /// manager from inside.
 using DopGovernor = std::function<size_t(const GovernorSample&)>;
 
+/// Which parallel execution engine to run the plan on. kBatch is the
+/// default vectorized columnar path (query/batch.h); kRow is the
+/// original tuple-at-a-time morsel engine, kept for A/B benchmarking
+/// and as the fallback for shapes the batch kernels do not cover.
+enum class ParallelEngine : uint8_t { kBatch, kRow };
+
 struct ParallelOptions {
   size_t dop = 1;
   /// Scale-up ceiling for the governor (0 = dop; ≥ dop otherwise). The
@@ -125,6 +131,10 @@ struct ParallelOptions {
   std::chrono::nanoseconds govern_interval = std::chrono::milliseconds(2);
   /// Forwarded to the serial executor on the dop=1 path.
   SimTime cpu_per_tuple = 1;
+  /// Engine selection (dop > 1 only; dop=1 always runs BuildSerial).
+  /// The batch engine falls back to kRow for plans it does not cover
+  /// (group-by arity beyond its stack key buffer).
+  ParallelEngine engine = ParallelEngine::kBatch;
   /// EXPLAIN ANALYZE: when set, filled with the run's annotated plan
   /// tree — per-stage rows/cycles/allocs/pages/morsels from the phase
   /// counters, pool wait-state deltas, and failure attribution when the
@@ -144,6 +154,11 @@ struct ParallelStats {
   uint64_t dop_switches = 0;  // governor-driven target changes
   double worker_util = 0;     // mean over sampling intervals (percent)
   uint64_t samples = 0;       // governor sampling intervals observed
+  uint64_t batches = 0;       // column batches processed (batch engine)
+  /// Operator-new calls inside worker morsel bodies during the probe
+  /// phase (batch engine; thread-local alloc-hook deltas). Zero in
+  /// steady state for mem-scan aggregation plans.
+  uint64_t steady_allocs = 0;
 };
 
 /// Builds the serial operator tree for `plan` — the dop=1 fallback and

@@ -45,8 +45,12 @@ bool WorkerPool::Job::WaitFor(std::chrono::nanoseconds timeout) {
 WorkerPool::WorkerPool(size_t workers) {
   size_t n = workers == 0 ? 1 : workers;
   slots_.reserve(n);
+  scratch_arenas_.reserve(n);
+  state_arenas_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     slots_.push_back(std::make_unique<WorkerSlot>());
+    scratch_arenas_.push_back(std::make_unique<Arena>());
+    state_arenas_.push_back(std::make_unique<Arena>());
   }
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {

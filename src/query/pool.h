@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "obs/waitstate.h"
 
@@ -124,6 +125,15 @@ class WorkerPool {
   /// end; cheap enough to call whenever fresh numbers are wanted.
   void PublishWaitStateGauges() const;
 
+  /// Per-worker slab arenas for the batch engine (see common/arena.h).
+  /// Scratch is reset at every morsel, state at every query; both retain
+  /// their chunks, so after the first query warms them up the morsel hot
+  /// path performs zero operator-new calls. Worker `wid`'s arenas may
+  /// only be touched by that worker while a job is in flight (the
+  /// coordinator resets state arenas between jobs, when no worker runs).
+  Arena& ScratchArena(size_t wid) { return *scratch_arenas_[wid]; }
+  Arena& StateArena(size_t wid) { return *state_arenas_[wid]; }
+
  private:
   struct alignas(64) WorkerSlot {
     std::atomic<uint64_t> busy_ns{0};  // completed-job running time
@@ -157,6 +167,8 @@ class WorkerPool {
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Arena>> scratch_arenas_;
+  std::vector<std::unique_ptr<Arena>> state_arenas_;
 };
 
 }  // namespace dbm::query

@@ -24,6 +24,10 @@ void RenderText(const ProfileNode& node, size_t depth, std::string* out) {
   *out += " allocs=" + std::to_string(node.allocs);
   if (node.pages > 0) *out += " pages=" + std::to_string(node.pages);
   if (node.morsels > 0) *out += " morsels=" + std::to_string(node.morsels);
+  if (node.batches > 0) *out += " batches=" + std::to_string(node.batches);
+  if (node.selectivity >= 0) {
+    *out += " selectivity=" + std::to_string(node.selectivity);
+  }
   *out += "\n";
   for (const ProfileNode& child : node.children) {
     RenderText(child, depth + 1, out);
@@ -38,6 +42,8 @@ void RenderJson(const ProfileNode& node, std::string* out) {
   *out += ",\"allocs\":" + std::to_string(node.allocs);
   *out += ",\"pages\":" + std::to_string(node.pages);
   *out += ",\"morsels\":" + std::to_string(node.morsels);
+  *out += ",\"batches\":" + std::to_string(node.batches);
+  *out += ",\"selectivity\":" + std::to_string(node.selectivity);
   *out += ",\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {
     if (i > 0) *out += ",";

@@ -42,6 +42,8 @@ struct ProfileNode {
   uint64_t allocs = 0;     // operator-new count attributed here
   uint64_t pages = 0;      // pages touched (paged scans)
   uint64_t morsels = 0;    // morsels processed (parallel phases)
+  uint64_t batches = 0;    // column batches processed (batch engine)
+  double selectivity = -1;  // filters: rows_out / rows_in (-1 = n/a)
   std::vector<ProfileNode> children;
 };
 
